@@ -1,0 +1,61 @@
+// Electro-thermal microsystem: a micro-hotplate (gas-sensor heater) with a
+// temperature-dependent polysilicon heater, thermal mass, and conduction to
+// the substrate. Exercises the thermal nature of Table 1 and two-way
+// electro-thermal coupling — the "electro-thermal simulators" the paper
+// lists among emerging microsystem EDA tools, here expressed in the same
+// lumped formalism as the transducers.
+#include <cmath>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "spice/analysis.hpp"
+#include "spice/devices_nonlinear.hpp"
+#include "spice/devices_passive.hpp"
+#include "spice/devices_source.hpp"
+
+using namespace usys;
+
+int main() {
+  std::cout << "=== micro-hotplate: electro-thermal transient ===\n\n";
+
+  // Heater: 1 kOhm poly at ambient, tc = 1e-3 /K. Membrane: Cth = 1 uJ/K,
+  // Rth = 20 kK/W to the rim (typical micro-hotplate scales -> ms response).
+  spice::Circuit ckt;
+  const int drive = ckt.add_node("drive", Nature::electrical);
+  const int temp = ckt.add_node("temp", Nature::thermal);
+  ckt.add<spice::VSource>(
+      "V1", drive, spice::Circuit::kGround,
+      std::make_unique<spice::PulseWave>(0.0, 3.0, 1e-3, 1e-4, 1e-4, 30e-3, 60e-3));
+  ckt.add<spice::JouleHeater>("H1", drive, spice::Circuit::kGround, temp, 1e3, 1e-3);
+  ckt.add<spice::Resistor>("RTH", temp, spice::Circuit::kGround, 2e4, Nature::thermal);
+  ckt.add<spice::Capacitor>("CTH", temp, spice::Circuit::kGround, 1e-6, Nature::thermal);
+
+  spice::TranOptions opts;
+  opts.tstop = 0.12;
+  opts.dt_max = 2e-4;
+  const auto res = spice::transient(ckt, opts);
+  if (!res.ok) {
+    std::cerr << "simulation failed: " << res.error << "\n";
+    return 1;
+  }
+
+  AsciiTable t({"t [ms]", "V_heater [V]", "T rise [K]", "R(T) [ohm]"});
+  for (double time = 0.0; time <= 0.12; time += 8e-3) {
+    const double temp_rise = res.sample(time, temp);
+    t.add_row({fmt_num(time * 1e3), fmt_num(res.sample(time, drive), 3),
+               fmt_num(temp_rise, 4), fmt_num(1e3 * (1.0 + 1e-3 * temp_rise), 5)});
+  }
+  t.print(std::cout);
+
+  // Steady analysis: with tc > 0 the equilibrium rise solves
+  // T = V^2 Rth / (R0 (1 + tc T)).
+  const double v2rth_r0 = 9.0 * 2e4 / 1e3;
+  const double tc = 1e-3;
+  const double t_exact = (-1.0 + std::sqrt(1.0 + 4.0 * tc * v2rth_r0)) / (2.0 * tc);
+  std::cout << "\nanalytic steady rise at 3 V: " << fmt_num(t_exact, 4)
+            << " K (the plateaus approach it; the positive tc trims ~"
+            << fmt_num(100.0 * (v2rth_r0 - t_exact) / v2rth_r0, 2)
+            << "% off the constant-R estimate)\n";
+  std::cout << "thermal time constant Rth*Cth = 20 ms: visible in the rise/decay.\n";
+  return 0;
+}

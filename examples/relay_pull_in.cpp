@@ -1,0 +1,78 @@
+// Electromagnetic relay (Fig. 2c transducer) pull-in study: the reluctance
+// force grows as 1/(d+x)^2 while the spring force is linear, so above a
+// critical coil current the armature snaps in — a behavioral discontinuity
+// that linearized equivalent-circuit models fundamentally cannot express
+// (the paper's core argument for behavioral HDL models).
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/transducers.hpp"
+#include "spice/analysis.hpp"
+#include "spice/devices_controlled.hpp"
+#include "spice/devices_passive.hpp"
+#include "spice/devices_source.hpp"
+
+using namespace usys;
+
+namespace {
+
+/// Runs the relay with a given coil drive voltage; returns final armature
+/// displacement (negative = toward the yoke) and whether it pulled in.
+std::pair<double, bool> run_relay(double v_coil) {
+  core::TransducerGeometry g;
+  g.area = 4e-5;
+  g.gap = 0.4e-3;
+  g.turns = 600;
+
+  spice::Circuit ckt;
+  const int drive = ckt.add_node("drive", Nature::electrical);
+  const int coil = ckt.add_node("coil", Nature::electrical);
+  const int vel = ckt.add_node("vel", Nature::mechanical_translation);
+  const int disp = ckt.add_node("disp", Nature::mechanical_translation);
+  ckt.add<spice::VSource>(
+      "V1", drive, spice::Circuit::kGround,
+      std::make_unique<spice::PwlWave>(std::vector<std::pair<double, double>>{
+          {0.0, 0.0}, {1e-3, v_coil}, {1.0, v_coil}}));
+  ckt.add<spice::Resistor>("Rcoil", drive, coil, 60.0);
+  ckt.add<core::ElectromagneticTransducer>("Xrel", coil, spice::Circuit::kGround, vel,
+                                           spice::Circuit::kGround, g);
+  ckt.add<spice::Mass>("Marm", vel, 2e-3);
+  ckt.add<spice::Spring>("Karm", vel, spice::Circuit::kGround, 900.0);
+  ckt.add<spice::Damper>("Darm", vel, spice::Circuit::kGround, 0.8);
+  ckt.add<spice::StateIntegrator>("XD", disp, vel);
+
+  spice::TranOptions opts;
+  opts.tstop = 60e-3;
+  opts.dt_max = 5e-5;
+  const auto res = spice::transient(ckt, opts);
+  if (!res.ok) return {0.0, false};
+  const double x_end = res.sample(60e-3, disp);
+  // Pulled in if the armature closed most of the gap.
+  return {x_end, x_end < -0.6 * g.gap};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== electromagnetic relay pull-in (Fig. 2c transducer) ===\n\n";
+  std::cout << "gap 0.4 mm, 600 turns, spring 900 N/m: sweeping coil voltage.\n\n";
+
+  AsciiTable t({"V_coil [V]", "armature x(60ms) [um]", "state"});
+  double v_pull_in = -1.0;
+  for (double v : {2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0}) {
+    const auto [x_end, snapped] = run_relay(v);
+    t.add_row({fmt_num(v), fmt_num(x_end * 1e6, 4), snapped ? "PULLED IN" : "holding"});
+    if (snapped && v_pull_in < 0) v_pull_in = v;
+  }
+  t.print(std::cout);
+
+  if (v_pull_in > 0) {
+    std::cout << "\npull-in threshold between " << v_pull_in - 2 << " V and "
+              << v_pull_in << " V.\n";
+  }
+  std::cout << "\nBelow the threshold the armature settles where spring and\n"
+               "reluctance forces balance; above it no equilibrium exists and the\n"
+               "armature snaps to the (clamped) stop. A linearized model would\n"
+               "predict a finite deflection at every voltage — qualitatively wrong.\n";
+  return 0;
+}

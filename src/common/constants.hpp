@@ -1,0 +1,30 @@
+// Physical constants used throughout the transducer models.
+//
+// All values are SI. The paper (Romanowicz et al., ED&TC 1997) uses
+// eps0 = 8.8542e-12 F/m in Listing 1; we keep the CODATA value and provide
+// the paper's rounded value separately so the HDL listing reproduces bit-
+// compatible results when requested.
+#pragma once
+
+namespace usys {
+
+/// Vacuum permittivity [F/m] (CODATA 2018).
+inline constexpr double kEps0 = 8.8541878128e-12;
+
+/// Vacuum permittivity as rounded in the paper's Listing 1 [F/m].
+inline constexpr double kEps0Paper = 8.8542e-12;
+
+/// Vacuum permeability [H/m] (CODATA 2018; exact value pre-2019 redefinition
+/// is 4*pi*1e-7 which the paper's era assumed).
+inline constexpr double kMu0 = 1.25663706212e-6;
+
+/// Vacuum permeability as assumed in 1997: exactly 4*pi*1e-7 [H/m].
+inline constexpr double kMu0Classic = 1.2566370614359172e-6;
+
+/// pi.
+inline constexpr double kPi = 3.14159265358979323846;
+
+/// Boltzmann constant [J/K] (for thermal-noise style extensions).
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+}  // namespace usys

@@ -1,0 +1,111 @@
+#include "common/matrix.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace usys {
+namespace {
+
+template <typename T>
+double magnitude(const T& x) {
+  if constexpr (std::is_same_v<T, double>) {
+    return std::abs(x);
+  } else {
+    return std::abs(x);  // std::abs(complex) = modulus
+  }
+}
+
+template <typename T>
+void lu_solve_impl(Matrix<T>& a, std::vector<T>& b) {
+  const std::size_t n = a.rows();
+  assert(a.cols() == n && b.size() == n);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: find the row with the largest magnitude in column k.
+    std::size_t pivot = k;
+    double best = magnitude(a(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double m = magnitude(a(r, k));
+      if (m > best) {
+        best = m;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) throw SingularMatrixError(k);
+    if (pivot != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(k, c), a(pivot, c));
+      std::swap(b[k], b[pivot]);
+    }
+    const T inv_pivot = T(1) / a(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const T factor = a(r, k) * inv_pivot;
+      if (factor == T{}) continue;
+      a(r, k) = T{};
+      for (std::size_t c = k + 1; c < n; ++c) a(r, c) -= factor * a(k, c);
+      b[r] -= factor * b[k];
+    }
+  }
+  // Back substitution.
+  for (std::size_t i = n; i-- > 0;) {
+    T sum = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) sum -= a(i, c) * b[c];
+    b[i] = sum / a(i, i);
+  }
+}
+
+}  // namespace
+
+void lu_solve(DMatrix& a, DVector& b) { lu_solve_impl(a, b); }
+void lu_solve(ZMatrix& a, ZVector& b) { lu_solve_impl(a, b); }
+
+DVector least_squares(const DMatrix& a, const DVector& b, double damping) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  assert(b.size() == m);
+  DMatrix ata(n, n);
+  DVector atb(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t r = 0; r < m; ++r) s += a(r, i) * a(r, j);
+      ata(i, j) = s;
+    }
+    double s = 0.0;
+    for (std::size_t r = 0; r < m; ++r) s += a(r, i) * b[r];
+    atb[i] = s;
+  }
+  if (damping > 0.0) {
+    for (std::size_t i = 0; i < n; ++i) ata(i, i) += damping;
+  }
+  lu_solve(ata, atb);
+  return atb;
+}
+
+double norm2(const DVector& v) {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+double norm_inf(const DVector& v) {
+  double s = 0.0;
+  for (double x : v) s = std::max(s, std::abs(x));
+  return s;
+}
+
+DVector subtract(const DVector& a, const DVector& b) {
+  assert(a.size() == b.size());
+  DVector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+double dot(const DVector& a, const DVector& b) {
+  assert(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace usys

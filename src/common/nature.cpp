@@ -1,0 +1,59 @@
+#include "common/nature.hpp"
+
+#include <array>
+#include <ostream>
+
+namespace usys {
+namespace {
+
+constexpr std::array<NatureInfo, kNatureCount> kTable = {{
+    {Nature::electrical, "electrical",
+     "voltage", "V", "current", "A", "charge", "C", "flux linkage", "Wb"},
+    {Nature::mechanical_translation, "mechanical1",
+     "velocity", "m/s", "force", "N", "displacement", "m", "momentum", "kg*m/s"},
+    {Nature::mechanical_rotation, "rotational",
+     "angular velocity", "rad/s", "torque", "N*m", "angle", "rad",
+     "angular momentum", "kg*m^2/s"},
+    {Nature::hydraulic, "hydraulic",
+     "pressure", "Pa", "volume flow rate", "m^3/s", "volume", "m^3",
+     "pressure momentum", "Pa*s"},
+    {Nature::thermal, "thermal",
+     "temperature", "K", "heat flow", "W", "heat", "J", "-", "-"},
+}};
+
+}  // namespace
+
+const NatureInfo& nature_info(Nature n) noexcept {
+  return kTable[static_cast<int>(n)];
+}
+
+bool parse_nature(std::string_view text, Nature& out) noexcept {
+  for (const auto& info : kTable) {
+    if (text == info.name) {
+      out = info.nature;
+      return true;
+    }
+  }
+  // Aliases used in the literature / the paper's HDL-A dialect.
+  if (text == "mechanical" || text == "kinematic" || text == "translational") {
+    out = Nature::mechanical_translation;
+    return true;
+  }
+  if (text == "mechanical2" || text == "rotational1") {
+    out = Nature::mechanical_rotation;
+    return true;
+  }
+  if (text == "fluidic") {
+    out = Nature::hydraulic;
+    return true;
+  }
+  return false;
+}
+
+std::string_view to_string(Nature n) noexcept { return nature_info(n).name; }
+
+Nature nature_at(int index) noexcept { return kTable[static_cast<std::size_t>(index)].nature; }
+
+std::ostream& operator<<(std::ostream& os, Nature n) { return os << to_string(n); }
+
+}  // namespace usys

@@ -1,0 +1,63 @@
+// Physical "natures" — the generalized-variable system of Table 1.
+//
+// The paper builds on bond-graph theory: each terminal port carries an
+// *effort* (across/intensive) variable and a *flow* (through) variable whose
+// product is a power. The flow is the time derivative of the *state*
+// (extensive) variable. Under the force-current (FI) analogy used by the
+// paper, the mechanical across variable is velocity and the through variable
+// is force, so electrical and mechanical networks share the same nodal
+// topology and one nodal solver handles both.
+//
+// Table 1 of the paper enumerates four domains; we add `thermal` as a fifth
+// (mentioned in the paper's energy-sum methodology step 2) for completeness.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+
+namespace usys {
+
+/// Physical domain of a node / terminal-port pin.
+enum class Nature : std::uint8_t {
+  electrical,             ///< effort = voltage [V], flow = current [A]
+  mechanical_translation, ///< effort = velocity [m/s], flow = force [N] (FI analogy)
+  mechanical_rotation,    ///< effort = angular velocity [rad/s], flow = torque [N*m]
+  hydraulic,              ///< effort = pressure [Pa], flow = volume flow rate [m^3/s]
+  thermal,                ///< effort = temperature [K], flow = heat flow [W] (pseudo bond graph)
+};
+
+/// Static metadata describing one row of Table 1.
+struct NatureInfo {
+  Nature nature;
+  std::string_view name;          ///< canonical lowercase name used by the HDL and netlists
+  std::string_view effort_name;   ///< e.g. "voltage"
+  std::string_view effort_unit;   ///< e.g. "V"
+  std::string_view flow_name;     ///< e.g. "current"
+  std::string_view flow_unit;     ///< e.g. "A"
+  std::string_view state_name;    ///< e.g. "charge" — integral of the flow
+  std::string_view state_unit;    ///< e.g. "C"
+  std::string_view momentum_name; ///< generalized momentum, integral of the effort
+  std::string_view momentum_unit;
+};
+
+/// Metadata for a nature (never fails; all enum values covered).
+const NatureInfo& nature_info(Nature n) noexcept;
+
+/// Parses a nature name as used in HDL-AT pin declarations and netlists.
+/// Accepts the paper's HDL-A spellings ("electrical", "mechanical1") as well
+/// as our canonical names. Returns true on success.
+bool parse_nature(std::string_view text, Nature& out) noexcept;
+
+/// Canonical name, e.g. "electrical".
+std::string_view to_string(Nature n) noexcept;
+
+/// Number of natures (for iteration in tests/benches).
+inline constexpr int kNatureCount = 5;
+
+/// All natures in declaration order.
+Nature nature_at(int index) noexcept;
+
+std::ostream& operator<<(std::ostream& os, Nature n);
+
+}  // namespace usys

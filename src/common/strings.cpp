@@ -1,0 +1,87 @@
+#include "common/strings.hpp"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace usys {
+
+std::string_view trim(std::string_view s) noexcept {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string_view> split(std::string_view s, std::string_view delims) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || delims.find(s[i]) != std::string_view::npos) {
+      if (i > start) out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i])))
+      return false;
+  }
+  return true;
+}
+
+std::optional<double> parse_spice_number(std::string_view s) noexcept {
+  if (s.empty()) return std::nullopt;
+  std::string buf(s);
+  char* end = nullptr;
+  const double base = std::strtod(buf.c_str(), &end);
+  if (end == buf.c_str()) return std::nullopt;
+  std::string_view rest = trim(std::string_view(end));
+  if (rest.empty()) return base;
+  const std::string suffix = to_lower(rest);
+  // "meg" must be matched before "m".
+  struct Suffix {
+    std::string_view text;
+    double scale;
+  };
+  static constexpr Suffix kSuffixes[] = {
+      {"meg", 1e6}, {"t", 1e12}, {"g", 1e9}, {"k", 1e3}, {"m", 1e-3},
+      {"u", 1e-6},  {"n", 1e-9}, {"p", 1e-12}, {"f", 1e-15},
+  };
+  for (const auto& sfx : kSuffixes) {
+    if (suffix.rfind(sfx.text, 0) == 0) return base * sfx.scale;
+  }
+  // Unit letters only (e.g. "10V"): accept as plain number.
+  for (char c : suffix) {
+    if (!std::isalpha(static_cast<unsigned char>(c))) return std::nullopt;
+  }
+  return base;
+}
+
+std::string str_format(const char* fmt, ...) {
+  va_list args1;
+  va_start(args1, fmt);
+  va_list args2;
+  va_copy(args2, args1);
+  const int len = std::vsnprintf(nullptr, 0, fmt, args1);
+  va_end(args1);
+  std::string out(static_cast<std::size_t>(len), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+  va_end(args2);
+  return out;
+}
+
+}  // namespace usys

@@ -1,0 +1,33 @@
+// String utilities shared by the netlist and HDL-AT front ends.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace usys {
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s) noexcept;
+
+/// Splits on any of the characters in `delims`, dropping empty pieces.
+std::vector<std::string_view> split(std::string_view s, std::string_view delims = " \t");
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view s);
+
+/// Case-insensitive comparison of ASCII strings.
+bool iequals(std::string_view a, std::string_view b) noexcept;
+
+/// Parses a SPICE-style number with engineering suffix:
+///   1k = 1e3, 4.7meg = 4.7e6, 10u = 1e-5, 0.15m = 1.5e-4, 5p = 5e-12 ...
+/// Recognized suffixes (case-insensitive): t g meg k m u n p f.
+/// Trailing unit letters after the suffix are ignored (e.g. "10uF").
+/// Returns nullopt if the leading characters do not form a number.
+std::optional<double> parse_spice_number(std::string_view s) noexcept;
+
+/// printf-style formatting into std::string.
+std::string str_format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace usys

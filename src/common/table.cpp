@@ -1,0 +1,70 @@
+#include "common/table.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "common/strings.hpp"
+
+namespace usys {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void AsciiTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << "| " << row[c];
+      for (std::size_t p = row[c].size(); p < widths[c]; ++p) os << ' ';
+      os << ' ';
+    }
+    os << "|\n";
+  };
+  print_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << "|";
+    for (std::size_t p = 0; p < widths[c] + 2; ++p) os << '-';
+  }
+  os << "|\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt_num(double v, int precision) {
+  return str_format("%.*g", precision, v);
+}
+
+std::string fmt_sci(double v, int precision) {
+  return str_format("%.*e", precision, v);
+}
+
+bool write_csv(const std::string& path, const std::vector<std::string>& headers,
+               const std::vector<std::vector<double>>& rows) {
+  std::ofstream f(path);
+  if (!f) return false;
+  for (std::size_t c = 0; c < headers.size(); ++c) {
+    if (c) f << ',';
+    f << headers[c];
+  }
+  f << '\n';
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) f << ',';
+      f << str_format("%.9g", row[c]);
+    }
+    f << '\n';
+  }
+  return static_cast<bool>(f);
+}
+
+}  // namespace usys

@@ -1,0 +1,42 @@
+// ASCII table / CSV emitters used by the bench harnesses to regenerate the
+// paper's tables and figure series in a uniform, diffable format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace usys {
+
+/// Column-aligned ASCII table. Cells are strings; numeric helpers format
+/// with %g / fixed precision. Used by every bench binary so "the same rows
+/// the paper reports" come out ready to eyeball.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  /// Adds one row; the number of cells must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header rule and column padding.
+  void print(std::ostream& os) const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double compactly ("%.6g" by default).
+std::string fmt_num(double v, int precision = 6);
+
+/// Formats in scientific notation with fixed digits (for paper-style values).
+std::string fmt_sci(double v, int precision = 5);
+
+/// Writes rows of doubles as CSV with a header line; returns false on I/O
+/// failure. Bench binaries use this to emit the Fig. 5 series for plotting.
+bool write_csv(const std::string& path, const std::vector<std::string>& headers,
+               const std::vector<std::vector<double>>& rows);
+
+}  // namespace usys

@@ -1,0 +1,95 @@
+#include "core/netlist_ext.hpp"
+
+#include "core/linearized.hpp"
+#include "core/transducers.hpp"
+
+namespace usys::core {
+
+using spice::NetlistError;
+using spice::param_or;
+using spice::require_param;
+using spice::XDeviceArgs;
+
+namespace {
+
+struct Pins {
+  int ea, eb, mc, md;
+};
+
+Pins transducer_pins(XDeviceArgs& a) {
+  if (a.pins.size() != 4)
+    throw NetlistError(a.line, "transducer takes 4 pins: e+ e- mech_free mech_ref");
+  return {a.node(a.pins[0], Nature::electrical), a.node(a.pins[1], Nature::electrical),
+          a.node(a.pins[2], Nature::mechanical_translation),
+          a.node(a.pins[3], Nature::mechanical_translation)};
+}
+
+}  // namespace
+
+void register_transducer_devices(spice::NetlistParser& parser) {
+  parser.register_xdevice("ETRANSV", [](XDeviceArgs& a) {
+    const Pins p = transducer_pins(a);
+    TransducerGeometry g;
+    g.area = require_param(a, "a");
+    g.gap = require_param(a, "d");
+    g.eps_r = param_or(a, "er", 1.0);
+    auto& dev = a.circuit->add<TransverseElectrostatic>(a.name, p.ea, p.eb, p.mc, p.md, g);
+    dev.set_initial_displacement(param_or(a, "x0", 0.0));
+  });
+
+  parser.register_xdevice("ETRANSP", [](XDeviceArgs& a) {
+    const Pins p = transducer_pins(a);
+    TransducerGeometry g;
+    g.depth = require_param(a, "h");
+    g.length = require_param(a, "l");
+    g.gap = require_param(a, "d");
+    g.eps_r = param_or(a, "er", 1.0);
+    auto& dev = a.circuit->add<ParallelElectrostatic>(a.name, p.ea, p.eb, p.mc, p.md, g);
+    dev.set_initial_displacement(param_or(a, "x0", 0.0));
+  });
+
+  parser.register_xdevice("EMAG", [](XDeviceArgs& a) {
+    const Pins p = transducer_pins(a);
+    TransducerGeometry g;
+    g.area = require_param(a, "a");
+    g.gap = require_param(a, "d");
+    g.turns = static_cast<int>(require_param(a, "n"));
+    auto& dev =
+        a.circuit->add<ElectromagneticTransducer>(a.name, p.ea, p.eb, p.mc, p.md, g);
+    dev.set_initial_displacement(param_or(a, "x0", 0.0));
+  });
+
+  parser.register_xdevice("EDYN", [](XDeviceArgs& a) {
+    const Pins p = transducer_pins(a);
+    TransducerGeometry g;
+    g.turns = static_cast<int>(require_param(a, "n"));
+    g.radius = require_param(a, "r");
+    g.b_field = require_param(a, "b");
+    a.circuit->add<ElectrodynamicTransducer>(a.name, p.ea, p.eb, p.mc, p.md, g);
+  });
+
+  parser.register_xdevice("LINTRANSV", [](XDeviceArgs& a) {
+    const Pins p = transducer_pins(a);
+    ResonatorParams rp;
+    rp.geom.area = require_param(a, "a");
+    rp.geom.gap = require_param(a, "d");
+    rp.geom.eps_r = param_or(a, "er", 1.0);
+    rp.v_bias = require_param(a, "v0");
+    rp.mass = require_param(a, "m");
+    rp.stiffness = require_param(a, "k");
+    rp.damping = param_or(a, "alpha", 40e-3);
+    LinearizationOptions lo;
+    lo.gamma = param_or(a, "secant", 1.0) != 0.0 ? GammaKind::secant : GammaKind::tangent;
+    lo.include_spring_softening = param_or(a, "soften", 0.0) != 0.0;
+    a.circuit->add<LinearizedTransverseElectrostatic>(a.name, p.ea, p.eb, p.mc, p.md,
+                                                      linearize_transverse(rp, lo));
+  });
+}
+
+spice::NetlistParser make_full_parser() {
+  spice::NetlistParser parser;
+  register_transducer_devices(parser);
+  return parser;
+}
+
+}  // namespace usys::core

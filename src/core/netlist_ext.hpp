@@ -1,0 +1,24 @@
+// Registers the paper's transducer models as netlist X-device types:
+//
+//   X<id> ea eb mc md ETRANSV a=<m^2> d=<m> er=<1> [x0=<m>]
+//   X<id> ea eb mc md ETRANSP h=<m> l=<m> d=<m> er=<1> [x0=<m>]
+//   X<id> ea eb mc md EMAG    a=<m^2> d=<m> n=<turns> [x0=<m>]
+//   X<id> ea eb mc md EDYN    n=<turns> r=<m> b=<T>
+//   X<id> ea eb mc md LINTRANSV a=<m^2> d=<m> er=<1> v0=<V> m=<kg> k=<N/m>
+//                                [alpha=<Ns/m>] [secant=1]
+//
+// Pin order: electrical +, electrical -, mechanical free plate, mechanical
+// reference.
+#pragma once
+
+#include "spice/netlist.hpp"
+
+namespace usys::core {
+
+/// Installs the ETRANSV/ETRANSP/EMAG/EDYN/LINTRANSV factories.
+void register_transducer_devices(spice::NetlistParser& parser);
+
+/// A parser with both the built-in and the transducer device types.
+spice::NetlistParser make_full_parser();
+
+}  // namespace usys::core

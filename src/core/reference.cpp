@@ -1,0 +1,112 @@
+#include "core/reference.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace usys::core {
+
+double capacitance_transverse(const TransducerGeometry& g, double x) {
+  return g.eps0 * g.eps_r * g.area / (g.gap + x);
+}
+
+double capacitance_parallel(const TransducerGeometry& g, double x) {
+  return g.eps0 * g.eps_r * g.depth * (g.length - x) / g.gap;
+}
+
+double inductance_electromagnetic(const TransducerGeometry& g, double x) {
+  const double n = static_cast<double>(g.turns);
+  return g.mu0 * g.area * n * n / (2.0 * (g.gap + x));
+}
+
+double inductance_electrodynamic(const TransducerGeometry& g) {
+  const double n = static_cast<double>(g.turns);
+  return g.mu0 * n * n * g.radius / 2.0;
+}
+
+double energy_transverse(const TransducerGeometry& g, double v, double x) {
+  return 0.5 * capacitance_transverse(g, x) * v * v;
+}
+
+double energy_parallel(const TransducerGeometry& g, double v, double x) {
+  return 0.5 * capacitance_parallel(g, x) * v * v;
+}
+
+double energy_electromagnetic(const TransducerGeometry& g, double i, double x) {
+  return 0.5 * inductance_electromagnetic(g, x) * i * i;
+}
+
+double energy_electrodynamic(const TransducerGeometry& g, double i) {
+  return 0.5 * inductance_electrodynamic(g) * i * i;
+}
+
+double force_transverse(const TransducerGeometry& g, double v, double x) {
+  const double gap = g.gap + x;
+  return -g.eps0 * g.eps_r * g.area * v * v / (2.0 * gap * gap);
+}
+
+double force_parallel(const TransducerGeometry& g, double v) {
+  return -g.eps0 * g.eps_r * g.depth * v * v / (2.0 * g.gap);
+}
+
+double force_electromagnetic(const TransducerGeometry& g, double i, double x) {
+  const double n = static_cast<double>(g.turns);
+  const double gap = g.gap + x;
+  return -g.mu0 * g.area * n * n * i * i / (4.0 * gap * gap);
+}
+
+double transduction_electrodynamic(const TransducerGeometry& g) {
+  return 2.0 * kPi * static_cast<double>(g.turns) * g.radius * g.b_field;
+}
+
+double force_electrodynamic(const TransducerGeometry& g, double i) {
+  return transduction_electrodynamic(g) * i;
+}
+
+double static_displacement_transverse(const ResonatorParams& p, double v) {
+  // Solve k*x = F(v, x) = -eps*A*v^2 / (2 (d+x)^2) by Newton on
+  // r(x) = k*x + eps*A*v^2/(2 (d+x)^2); starts at x = 0.
+  const double c = p.geom.eps0 * p.geom.eps_r * p.geom.area * v * v / 2.0;
+  double x = 0.0;
+  for (int it = 0; it < 100; ++it) {
+    const double gap = p.geom.gap + x;
+    if (gap <= 0.0) throw std::domain_error("static displacement: pull-in (gap collapsed)");
+    const double r = p.stiffness * x + c / (gap * gap);
+    const double dr = p.stiffness - 2.0 * c / (gap * gap * gap);
+    const double dx = -r / dr;
+    x += dx;
+    if (std::abs(dx) < 1e-18 + 1e-12 * std::abs(x)) return x;
+  }
+  return x;
+}
+
+double bias_capacitance(const ResonatorParams& p) {
+  const double x0 = static_displacement_transverse(p, p.v_bias);
+  return capacitance_transverse(p.geom, x0);
+}
+
+double gamma_tangent(const ResonatorParams& p) {
+  const double x0 = static_displacement_transverse(p, p.v_bias);
+  const double gap = p.geom.gap + x0;
+  return p.geom.eps0 * p.geom.eps_r * p.geom.area * p.v_bias / (gap * gap);
+}
+
+double gamma_secant(const ResonatorParams& p) {
+  const double x0 = static_displacement_transverse(p, p.v_bias);
+  return std::abs(force_transverse(p.geom, p.v_bias, x0)) / p.v_bias;
+}
+
+double omega0(const ResonatorParams& p) { return std::sqrt(p.stiffness / p.mass); }
+
+double damping_ratio(const ResonatorParams& p) {
+  return p.damping / (2.0 * std::sqrt(p.stiffness * p.mass));
+}
+
+double pull_in_voltage(const ResonatorParams& p) {
+  const double d3 = p.geom.gap * p.geom.gap * p.geom.gap;
+  return std::sqrt(8.0 * p.stiffness * d3 /
+                   (27.0 * p.geom.eps0 * p.geom.eps_r * p.geom.area));
+}
+
+double pull_in_displacement(const ResonatorParams& p) { return -p.geom.gap / 3.0; }
+
+}  // namespace usys::core

@@ -1,0 +1,110 @@
+// Closed-form reference expressions: Tables 2 and 3 of the paper.
+//
+// These are the oracle against which the behavioral devices, the symbolic
+// energy derivation, the HDL-AT models and the FE extraction are all
+// validated. Sign conventions (see DESIGN.md "Key numerical design choices"):
+//  * x is the displacement of the free plate, positive = gap (d+x) opening
+//    for (a)/(c), positive = overlap (l-x) shrinking for (b);
+//  * "force" below is the force *delivered to the free plate* — the quantity
+//    the paper's Table 3 prints (negative = attraction);
+//  * the flow *absorbed* at the mechanical pin of a conservative two-port is
+//    dW(state,x)/dx = -force_on_plate; both are exposed.
+#pragma once
+
+#include "common/constants.hpp"
+
+namespace usys::core {
+
+/// Geometry/material parameters of the four transducers of Fig. 2.
+/// Only the fields a given transducer uses need to be set.
+struct TransducerGeometry {
+  double area = 1e-4;       ///< A: active cross-section [m^2] (a, c)
+  double gap = 0.15e-3;     ///< d: rest gap [m] (a, c) or dielectric gap (b)
+  double eps_r = 1.0;       ///< relative permittivity (a, b)
+  double depth = 1e-3;      ///< h: structure depth [m] (b)
+  double length = 1e-3;     ///< l: overlap length at rest [m] (b)
+  int turns = 100;          ///< N: coil turns (c, d)
+  double radius = 1e-3;     ///< r: coil radius [m] (d)
+  double b_field = 0.5;     ///< B: radial magnet field [T] (d)
+  double eps0 = kEps0Paper; ///< vacuum permittivity (paper's rounded value)
+  double mu0 = kMu0Classic; ///< vacuum permeability
+};
+
+// --- Table 2: input impedances (C or L as a function of x) -----------------
+
+/// (a) transverse electrostatic: C(x) = eps0*er*A/(d+x).
+double capacitance_transverse(const TransducerGeometry& g, double x);
+/// (b) parallel electrostatic: C(x) = eps0*er*h*(l-x)/d.
+double capacitance_parallel(const TransducerGeometry& g, double x);
+/// (c) electromagnetic: L(x) = mu0*A*N^2 / (2*(d+x)).
+double inductance_electromagnetic(const TransducerGeometry& g, double x);
+/// (d) electrodynamic: L = mu0*N^2*r/2 (position independent).
+double inductance_electrodynamic(const TransducerGeometry& g);
+
+// --- Table 2: internal energies --------------------------------------------
+
+/// (a) W = eps0*er*A*V^2 / (2*(d+x)).
+double energy_transverse(const TransducerGeometry& g, double v, double x);
+/// (b) W = eps0*er*h*(l-x)*V^2 / (2*d).
+double energy_parallel(const TransducerGeometry& g, double v, double x);
+/// (c) W = mu0*A*N^2*i^2 / (4*(d+x)).
+double energy_electromagnetic(const TransducerGeometry& g, double i, double x);
+/// (d) W = L i^2 / 2 with L = mu0*N^2*r/2.
+double energy_electrodynamic(const TransducerGeometry& g, double i);
+
+// --- Table 3: port efforts ---------------------------------------------------
+
+/// (a) force on free plate: F = -eps0*er*A*V^2 / (2*(d+x)^2).
+double force_transverse(const TransducerGeometry& g, double v, double x);
+/// (b) force on free plate: F = -eps0*er*h*V^2 / (2*d).
+double force_parallel(const TransducerGeometry& g, double v);
+/// (c) force on armature: F = -mu0*A*N^2*i^2 / (4*(d+x)^2).
+double force_electromagnetic(const TransducerGeometry& g, double i, double x);
+/// (d) Lorentz force on coil: F = 2*pi*N*r*B*i (transduction T = 2*pi*N*r*B).
+double force_electrodynamic(const TransducerGeometry& g, double i);
+/// (d) transduction factor T = 2*pi*N*r*B [N/A] = [V*s/m].
+double transduction_electrodynamic(const TransducerGeometry& g);
+
+// --- Fig. 3 / Table 4: the resonator system --------------------------------
+
+/// Parameters of the transducer + mechanical resonator system of Fig. 3,
+/// defaulted to Table 4 of the paper.
+struct ResonatorParams {
+  TransducerGeometry geom{};      // A = 1e-4, d = 0.15e-3, er = 1 (Table 4)
+  double mass = 1.0e-4;           ///< m [kg]
+  double stiffness = 200.0;       ///< k [N/m]
+  double damping = 40e-3;         ///< alpha [N*s/m]
+  double v_bias = 10.0;           ///< V0 [V], the linearization point
+};
+
+/// Static (quasi-static) displacement at drive voltage v: x* solving
+/// k x = F(v, x). Solved by fixed-point/Newton iteration on the gap.
+double static_displacement_transverse(const ResonatorParams& p, double v);
+
+/// DC capacitance at the bias point: C0 = C(x0(v_bias)).
+double bias_capacitance(const ResonatorParams& p);
+
+/// Tangent transduction factor (Tilmans [1]): Gamma = eps*A*V0/(d+x0)^2,
+/// the slope dF/dV at the bias point.
+double gamma_tangent(const ResonatorParams& p);
+
+/// Secant transduction factor: Gamma_sec = |F(V0,x0)| / V0 — the constant-
+/// ratio coupling for which the *linear* circuit's static deflection matches
+/// the non-linear model exactly at V0 (the convergence the paper's Fig. 5
+/// shows at the 10 V linearization point when driving pulses from 0 V).
+double gamma_secant(const ResonatorParams& p);
+
+/// Undamped resonance [rad/s] and damping ratio of the mechanical resonator.
+double omega0(const ResonatorParams& p);
+double damping_ratio(const ResonatorParams& p);
+
+/// Pull-in voltage of the transverse electrostatic transducer against its
+/// spring: V_pi = sqrt(8 k d^3 / (27 eps0 er A)). Above it no static
+/// equilibrium exists and the plate snaps in (classic MEMS result; the
+/// behavioral model reproduces it, the linearized one cannot).
+double pull_in_voltage(const ResonatorParams& p);
+
+/// Pull-in displacement: the equilibrium ceases to exist at x = -d/3.
+double pull_in_displacement(const ResonatorParams& p);
+
+}  // namespace usys::core

@@ -1,0 +1,65 @@
+#include "core/resonator_system.hpp"
+
+namespace usys::core {
+
+ResonatorSystem build_resonator_system(const ResonatorParams& params,
+                                       TransducerModelKind kind,
+                                       std::unique_ptr<spice::Waveform> drive,
+                                       const LinearizationOptions& lin_opts) {
+  ResonatorSystem sys;
+  sys.circuit = std::make_unique<spice::Circuit>();
+  auto& ckt = *sys.circuit;
+
+  sys.node_drive = ckt.add_node("drive", Nature::electrical);
+  sys.node_vel = ckt.add_node("vel", Nature::mechanical_translation);
+  sys.node_disp = ckt.add_node("disp", Nature::mechanical_translation);
+  const int gnd = spice::Circuit::kGround;
+
+  sys.source = &ckt.add<spice::VSource>("Vdrive", sys.node_drive, gnd, std::move(drive));
+
+  // The transducer: electrical (drive, 0), mechanical free plate at `vel`
+  // reacting against the fixed frame (ground).
+  switch (kind) {
+    case TransducerModelKind::behavioral:
+      sys.behavioral = &ckt.add<TransverseElectrostatic>(
+          "XT", sys.node_drive, gnd, sys.node_vel, gnd, params.geom);
+      break;
+    case TransducerModelKind::linearized: {
+      const LinearizedCoefficients coeffs = linearize_transverse(params, lin_opts);
+      sys.linearized = &ckt.add<LinearizedTransverseElectrostatic>(
+          "XT", sys.node_drive, gnd, sys.node_vel, gnd, coeffs);
+      break;
+    }
+  }
+
+  // Mechanical resonator: mass, spring, damper from the plate to the frame
+  // (C = m, L = 1/k, R = 1/alpha in the FI-analogy circuit of Fig. 4).
+  ckt.add<spice::Mass>("M", sys.node_vel, params.mass);
+  ckt.add<spice::Spring>("K", sys.node_vel, gnd, params.stiffness);
+  ckt.add<spice::Damper>("ALPHA", sys.node_vel, gnd, params.damping);
+
+  // Displacement probe: disp = integral(vel), the "voltage D" of Fig. 5.
+  ckt.add<spice::StateIntegrator>("XDISP", sys.node_disp, sys.node_vel);
+  return sys;
+}
+
+Fig5Trace run_fig5(const ResonatorParams& params, TransducerModelKind kind,
+                   const std::vector<double>& levels, double total_time,
+                   double rise_fall, const spice::TranOptions& tran_opts,
+                   const LinearizationOptions& lin_opts) {
+  auto drive = spice::make_fig5_pulse_train(levels, total_time, rise_fall, rise_fall);
+  ResonatorSystem sys =
+      build_resonator_system(params, kind, std::move(drive), lin_opts);
+
+  spice::TranOptions opts = tran_opts;
+  opts.tstop = total_time;
+  Fig5Trace out;
+  out.raw = spice::transient(*sys.circuit, opts);
+  if (!out.raw.ok) return out;
+  out.time = out.raw.time;
+  out.displacement = out.raw.signal(sys.node_disp);
+  out.drive_voltage = out.raw.signal(sys.node_drive);
+  return out;
+}
+
+}  // namespace usys::core

@@ -1,0 +1,56 @@
+// Builder for the paper's Fig. 3 / Fig. 4 experiment system:
+// an electrostatic transducer electrically driven by a pulse source and
+// mechanically loaded by the resonator (mass m, spring k, damper alpha),
+// with a displacement probe (integral of the plate velocity).
+#pragma once
+
+#include <memory>
+
+#include "core/linearized.hpp"
+#include "core/transducers.hpp"
+#include "spice/analysis.hpp"
+#include "spice/devices_controlled.hpp"
+#include "spice/devices_passive.hpp"
+#include "spice/devices_source.hpp"
+
+namespace usys::core {
+
+/// Which transducer model drives the mechanical resonator.
+enum class TransducerModelKind {
+  behavioral,   ///< non-linear TransverseElectrostatic (the paper's HDL-A model)
+  linearized,   ///< LinearizedTransverseElectrostatic (equivalent-circuit baseline)
+};
+
+/// The assembled system plus the probes needed by benches/tests.
+struct ResonatorSystem {
+  std::unique_ptr<spice::Circuit> circuit;
+  int node_drive = -1;   ///< electrical drive node ("A" in Fig. 5)
+  int node_vel = -1;     ///< mechanical velocity node of the free plate
+  int node_disp = -1;    ///< displacement probe node ("D"/"DT" in Fig. 5)
+  spice::VSource* source = nullptr;
+  TransducerBase* behavioral = nullptr;                   ///< set for behavioral kind
+  LinearizedTransverseElectrostatic* linearized = nullptr; ///< set for linearized kind
+};
+
+/// Builds the Fig. 3 system. The caller supplies the drive waveform (the
+/// paper uses a finite rise/fall pulse train of 5/10/15 V).
+ResonatorSystem build_resonator_system(const ResonatorParams& params,
+                                       TransducerModelKind kind,
+                                       std::unique_ptr<spice::Waveform> drive,
+                                       const LinearizationOptions& lin_opts = {});
+
+/// Convenience: run the Fig. 5 transient on a freshly built system and
+/// return the displacement samples at the given times.
+struct Fig5Trace {
+  std::vector<double> time;
+  std::vector<double> displacement;
+  std::vector<double> drive_voltage;
+  spice::TranResult raw;
+};
+
+Fig5Trace run_fig5(const ResonatorParams& params, TransducerModelKind kind,
+                   const std::vector<double>& levels, double total_time,
+                   double rise_fall, const spice::TranOptions& tran_opts,
+                   const LinearizationOptions& lin_opts = {});
+
+}  // namespace usys::core

@@ -1,0 +1,101 @@
+#include "fem/mesh.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace usys::fem {
+
+int Mesh::add_point(double x, double y, BoundaryTag tag) {
+  pts_.push_back({x, y});
+  tags_.push_back(tag);
+  return static_cast<int>(pts_.size()) - 1;
+}
+
+void Mesh::add_triangle(int a, int b, int c, int region) {
+  tris_.push_back({{a, b, c}, region});
+}
+
+double Mesh::twice_area(int e) const {
+  const Triangle& t = tris_[static_cast<std::size_t>(e)];
+  const Point& p0 = pts_[static_cast<std::size_t>(t.n[0])];
+  const Point& p1 = pts_[static_cast<std::size_t>(t.n[1])];
+  const Point& p2 = pts_[static_cast<std::size_t>(t.n[2])];
+  return (p1.x - p0.x) * (p2.y - p0.y) - (p2.x - p0.x) * (p1.y - p0.y);
+}
+
+std::vector<int> Mesh::nodes_with_tag(BoundaryTag tag) const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < tags_.size(); ++i) {
+    if (tags_[i] == tag) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+Mesh make_plate_mesh(const PlateMeshSpec& spec) {
+  if (spec.nx < 1 || spec.ny < 1) throw std::invalid_argument("plate mesh: nx, ny >= 1");
+  if (spec.width <= 0 || spec.gap <= 0)
+    throw std::invalid_argument("plate mesh: width and gap must be positive");
+
+  Mesh mesh;
+  const int margin_cells =
+      spec.side_margin > 0.0
+          ? (spec.margin_cells > 0
+                 ? spec.margin_cells
+                 : std::max(1, static_cast<int>(std::ceil(
+                                   spec.side_margin / (spec.width / spec.nx)))))
+          : 0;
+  const int total_nx = spec.nx + 2 * margin_cells;
+  const double x0 = -static_cast<double>(margin_cells) * spec.side_margin /
+                    std::max(1, margin_cells);
+
+  // x coordinates: margin | electrode span | margin.
+  std::vector<double> xs;
+  xs.reserve(static_cast<std::size_t>(total_nx) + 1);
+  for (int i = 0; i <= total_nx; ++i) {
+    double x = 0.0;
+    if (i < margin_cells) {
+      x = x0 + static_cast<double>(i) * (spec.side_margin / margin_cells);
+    } else if (i <= margin_cells + spec.nx) {
+      x = static_cast<double>(i - margin_cells) * (spec.width / spec.nx);
+    } else {
+      x = spec.width +
+          static_cast<double>(i - margin_cells - spec.nx) *
+              (spec.side_margin / margin_cells);
+    }
+    xs.push_back(x);
+  }
+
+  // Grid points, tagging the electrode spans on bottom/top rows. Margin
+  // columns on the bottom/top are field boundaries, not electrodes.
+  std::vector<std::vector<int>> grid(static_cast<std::size_t>(spec.ny) + 1);
+  for (int j = 0; j <= spec.ny; ++j) {
+    grid[static_cast<std::size_t>(j)].resize(static_cast<std::size_t>(total_nx) + 1);
+    const double y = spec.gap * static_cast<double>(j) / spec.ny;
+    for (int i = 0; i <= total_nx; ++i) {
+      BoundaryTag tag = BoundaryTag::none;
+      const bool on_electrode_span = (i >= margin_cells) && (i <= margin_cells + spec.nx);
+      if (j == 0 && on_electrode_span) tag = BoundaryTag::bottom;
+      if (j == spec.ny && on_electrode_span) tag = BoundaryTag::top;
+      if (i == 0 && tag == BoundaryTag::none) tag = BoundaryTag::left;
+      if (i == total_nx && tag == BoundaryTag::none) tag = BoundaryTag::right;
+      grid[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] =
+          mesh.add_point(xs[static_cast<std::size_t>(i)], y, tag);
+    }
+  }
+
+  // Two CCW triangles per cell; margin cells are region 1.
+  for (int j = 0; j < spec.ny; ++j) {
+    for (int i = 0; i < total_nx; ++i) {
+      const int region = (i < margin_cells || i >= margin_cells + spec.nx) ? 1 : 0;
+      const int a = grid[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)];
+      const int b = grid[static_cast<std::size_t>(j)][static_cast<std::size_t>(i) + 1];
+      const int c = grid[static_cast<std::size_t>(j) + 1][static_cast<std::size_t>(i) + 1];
+      const int d = grid[static_cast<std::size_t>(j) + 1][static_cast<std::size_t>(i)];
+      mesh.add_triangle(a, b, c, region);
+      mesh.add_triangle(a, c, d, region);
+    }
+  }
+  return mesh;
+}
+
+}  // namespace usys::fem

@@ -1,0 +1,79 @@
+// 2D triangular meshes for the finite-element substrate.
+//
+// The paper characterizes transducers with ANSYS field solutions; this
+// module provides the geometry layer of our in-repo replacement: structured
+// triangulations of rectangular domains with node/edge boundary tags and
+// per-element material (permittivity) regions — all the Fig. 6 parallel-
+// plate extraction needs (the paper's own validation neglects fringe
+// fields, so a rectangle gap domain reproduces it exactly; optional side
+// margins add the fringe region for the extension study).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace usys::fem {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Linear (P1) triangle: three node indices, a material region id.
+struct Triangle {
+  int n[3];
+  int region = 0;
+};
+
+/// Boundary tags used by the plate mesher.
+enum class BoundaryTag : std::uint8_t {
+  none = 0,
+  bottom,  ///< y = 0 (driven electrode)
+  top,     ///< y = height (grounded electrode)
+  left,
+  right,
+};
+
+class Mesh {
+ public:
+  const std::vector<Point>& points() const noexcept { return pts_; }
+  const std::vector<Triangle>& triangles() const noexcept { return tris_; }
+  const std::vector<BoundaryTag>& tags() const noexcept { return tags_; }
+
+  int node_count() const noexcept { return static_cast<int>(pts_.size()); }
+  int element_count() const noexcept { return static_cast<int>(tris_.size()); }
+
+  /// Signed twice-area of element e (positive for CCW orientation).
+  double twice_area(int e) const;
+
+  /// All node ids carrying `tag`.
+  std::vector<int> nodes_with_tag(BoundaryTag tag) const;
+
+  // Construction (used by the meshers below and by tests).
+  int add_point(double x, double y, BoundaryTag tag = BoundaryTag::none);
+  void add_triangle(int a, int b, int c, int region = 0);
+
+ private:
+  std::vector<Point> pts_;
+  std::vector<Triangle> tris_;
+  std::vector<BoundaryTag> tags_;
+};
+
+/// Parameters of the parallel-plate capacitor mesh: a rectangle of width
+/// `width` and height `gap`, driven electrode at the bottom, ground at the
+/// top, `nx` x `ny` cells each split into two triangles. With
+/// `side_margin > 0`, air margins of that width are added left and right of
+/// the electrode (electrode still spans only `width`), exposing fringe
+/// fields; margin cells are tagged region 1.
+struct PlateMeshSpec {
+  double width = 1e-2;
+  double gap = 0.15e-3;
+  int nx = 16;
+  int ny = 16;
+  double side_margin = 0.0;
+  int margin_cells = 0;  ///< lateral cells per margin (0 = derive from nx)
+};
+
+Mesh make_plate_mesh(const PlateMeshSpec& spec);
+
+}  // namespace usys::fem

@@ -1,0 +1,136 @@
+#include "fem/sparse.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace usys::fem {
+
+CsrMatrix CsrMatrix::from_triplets(int n, const std::vector<int>& rows,
+                                   const std::vector<int>& cols,
+                                   const std::vector<double>& vals) {
+  assert(rows.size() == cols.size() && cols.size() == vals.size());
+  CsrMatrix m;
+  m.n_ = n;
+
+  // Sort triplets by (row, col) via an index permutation, then merge.
+  std::vector<std::size_t> order(rows.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (rows[a] != rows[b]) return rows[a] < rows[b];
+    return cols[a] < cols[b];
+  });
+
+  m.row_ptr_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const std::size_t idx = order[k];
+    if (k > 0) {
+      const std::size_t prev = order[k - 1];
+      if (rows[idx] == rows[prev] && cols[idx] == cols[prev]) {
+        m.vals_.back() += vals[idx];
+        continue;
+      }
+    }
+    m.col_idx_.push_back(cols[idx]);
+    m.vals_.push_back(vals[idx]);
+    ++m.row_ptr_[static_cast<std::size_t>(rows[idx]) + 1];
+  }
+  for (int i = 0; i < n; ++i)
+    m.row_ptr_[static_cast<std::size_t>(i) + 1] += m.row_ptr_[static_cast<std::size_t>(i)];
+  return m;
+}
+
+void CsrMatrix::multiply(const std::vector<double>& x, std::vector<double>& y) const {
+  assert(static_cast<int>(x.size()) == n_);
+  y.assign(static_cast<std::size_t>(n_), 0.0);
+  for (int r = 0; r < n_; ++r) {
+    double s = 0.0;
+    for (int k = row_ptr_[static_cast<std::size_t>(r)];
+         k < row_ptr_[static_cast<std::size_t>(r) + 1]; ++k) {
+      s += vals_[static_cast<std::size_t>(k)] *
+           x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
+    }
+    y[static_cast<std::size_t>(r)] = s;
+  }
+}
+
+double CsrMatrix::diagonal(int i) const {
+  for (int k = row_ptr_[static_cast<std::size_t>(i)];
+       k < row_ptr_[static_cast<std::size_t>(i) + 1]; ++k) {
+    if (col_idx_[static_cast<std::size_t>(k)] == i) return vals_[static_cast<std::size_t>(k)];
+  }
+  return 0.0;
+}
+
+CgResult cg_solve(const CsrMatrix& a, const std::vector<double>& b,
+                  std::vector<double>& x, const CgOptions& opts) {
+  const int n = a.size();
+  if (static_cast<int>(b.size()) != n || static_cast<int>(x.size()) != n)
+    throw std::invalid_argument("cg_solve: size mismatch");
+
+  std::vector<double> inv_diag(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double d = a.diagonal(i);
+    inv_diag[static_cast<std::size_t>(i)] = (std::abs(d) > 0.0) ? 1.0 / d : 1.0;
+  }
+
+  std::vector<double> r(static_cast<std::size_t>(n)), z(static_cast<std::size_t>(n)),
+      p(static_cast<std::size_t>(n)), ap(static_cast<std::size_t>(n));
+  a.multiply(x, ap);
+  double bnorm = 0.0;
+  for (int i = 0; i < n; ++i) {
+    r[static_cast<std::size_t>(i)] =
+        b[static_cast<std::size_t>(i)] - ap[static_cast<std::size_t>(i)];
+    bnorm += b[static_cast<std::size_t>(i)] * b[static_cast<std::size_t>(i)];
+  }
+  bnorm = std::sqrt(bnorm);
+  if (bnorm == 0.0) bnorm = 1.0;
+
+  double rz = 0.0;
+  for (int i = 0; i < n; ++i) {
+    z[static_cast<std::size_t>(i)] =
+        inv_diag[static_cast<std::size_t>(i)] * r[static_cast<std::size_t>(i)];
+    rz += r[static_cast<std::size_t>(i)] * z[static_cast<std::size_t>(i)];
+  }
+  p = z;
+
+  CgResult out;
+  for (int it = 0; it < opts.max_iters; ++it) {
+    a.multiply(p, ap);
+    double pap = 0.0;
+    for (int i = 0; i < n; ++i)
+      pap += p[static_cast<std::size_t>(i)] * ap[static_cast<std::size_t>(i)];
+    if (pap <= 0.0) break;  // matrix not SPD (or p exhausted)
+    const double alpha = rz / pap;
+    double rnorm = 0.0;
+    for (int i = 0; i < n; ++i) {
+      x[static_cast<std::size_t>(i)] += alpha * p[static_cast<std::size_t>(i)];
+      r[static_cast<std::size_t>(i)] -= alpha * ap[static_cast<std::size_t>(i)];
+      rnorm += r[static_cast<std::size_t>(i)] * r[static_cast<std::size_t>(i)];
+    }
+    rnorm = std::sqrt(rnorm);
+    out.iterations = it + 1;
+    out.residual = rnorm / bnorm;
+    if (out.residual < opts.rtol) {
+      out.converged = true;
+      return out;
+    }
+    double rz_new = 0.0;
+    for (int i = 0; i < n; ++i) {
+      z[static_cast<std::size_t>(i)] =
+          inv_diag[static_cast<std::size_t>(i)] * r[static_cast<std::size_t>(i)];
+      rz_new += r[static_cast<std::size_t>(i)] * z[static_cast<std::size_t>(i)];
+    }
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (int i = 0; i < n; ++i) {
+      p[static_cast<std::size_t>(i)] =
+          z[static_cast<std::size_t>(i)] + beta * p[static_cast<std::size_t>(i)];
+    }
+  }
+  return out;
+}
+
+}  // namespace usys::fem

@@ -1,0 +1,58 @@
+// Sparse linear algebra for the FEM assembly: COO-to-CSR conversion and a
+// Jacobi-preconditioned conjugate-gradient solver (the stiffness matrices of
+// the electrostatic problems are symmetric positive definite after Dirichlet
+// elimination).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace usys::fem {
+
+/// Compressed sparse row matrix (square).
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Builds from triplets, summing duplicates.
+  static CsrMatrix from_triplets(int n,
+                                 const std::vector<int>& rows,
+                                 const std::vector<int>& cols,
+                                 const std::vector<double>& vals);
+
+  int size() const noexcept { return n_; }
+  std::size_t nonzeros() const noexcept { return vals_.size(); }
+
+  /// y = A x
+  void multiply(const std::vector<double>& x, std::vector<double>& y) const;
+
+  double diagonal(int i) const;
+
+  const std::vector<int>& row_ptr() const noexcept { return row_ptr_; }
+  const std::vector<int>& col_idx() const noexcept { return col_idx_; }
+  const std::vector<double>& values() const noexcept { return vals_; }
+
+ private:
+  int n_ = 0;
+  std::vector<int> row_ptr_;
+  std::vector<int> col_idx_;
+  std::vector<double> vals_;
+};
+
+struct CgOptions {
+  int max_iters = 10'000;
+  double rtol = 1e-12;
+};
+
+struct CgResult {
+  bool converged = false;
+  int iterations = 0;
+  double residual = 0.0;
+};
+
+/// Solves A x = b (A SPD) with Jacobi-preconditioned CG. `x` is the initial
+/// guess on input, the solution on output.
+CgResult cg_solve(const CsrMatrix& a, const std::vector<double>& b,
+                  std::vector<double>& x, const CgOptions& opts = {});
+
+}  // namespace usys::fem

@@ -1,0 +1,110 @@
+// Abstract syntax tree of HDL-AT models.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/nature.hpp"
+
+namespace usys::hdl {
+
+// --- Expressions -------------------------------------------------------------
+
+enum class ExprKind {
+  number,
+  name,        ///< generic or variable reference
+  port_read,   ///< [p, q].field  (field: v, i, tv, f)
+  unary_neg,
+  binary,      ///< op in {+, -, *, /, ^}
+  call,        ///< ddt, integ, sin, cos, tan, exp, log, sqrt, abs, pow
+};
+
+struct ExprNode;
+using ExprPtr = std::unique_ptr<ExprNode>;
+
+struct ExprNode {
+  ExprKind kind;
+  int line = 0;
+
+  double number = 0.0;                 // number
+  std::string name;                    // name / call function / binary op / port field
+  std::string pin1, pin2;              // port_read
+  std::vector<ExprPtr> args;           // unary/binary/call operands
+
+  /// Call-site id for ddt/integ state bookkeeping (assigned at elaboration).
+  int site_id = -1;
+};
+
+// --- Statements ---------------------------------------------------------------
+
+enum class StmtKind {
+  assign,        ///< name := expr ;
+  contribution,  ///< [p, q].field %= expr ;
+  assertion,     ///< ASSERT expr ;  (boundary-condition check, warns if <= 0)
+};
+
+struct Stmt {
+  StmtKind kind;
+  int line = 0;
+  std::string target;        // assign: variable name
+  std::string pin1, pin2;    // contribution pins
+  std::string field;         // contribution field: "i", "f" (flow) or "v" (effort)
+  ExprPtr expr;
+};
+
+// --- Declarations ---------------------------------------------------------------
+
+struct GenericDecl {
+  std::string name;
+  bool has_default = false;
+  double default_value = 0.0;
+};
+
+struct PinDecl {
+  std::string name;
+  Nature nature;
+};
+
+struct VarDecl {
+  std::string name;
+  bool is_state = false;  ///< STATE vs VARIABLE (informational; history lives
+                          ///< in the ddt/integ call sites)
+};
+
+/// One PROCEDURAL FOR <domains> => block.
+struct ProceduralBlock {
+  std::vector<std::string> domains;  ///< lowercase: init, dc, ac, transient
+  std::vector<Stmt> stmts;
+
+  bool has_domain(const std::string& d) const {
+    for (const auto& s : domains) {
+      if (s == d) return true;
+    }
+    return false;
+  }
+};
+
+struct Architecture {
+  std::string name;
+  std::string entity;
+  std::vector<VarDecl> variables;
+  std::vector<ProceduralBlock> blocks;
+};
+
+struct Entity {
+  std::string name;
+  std::vector<GenericDecl> generics;
+  std::vector<PinDecl> pins;
+};
+
+/// A parsed compilation unit (one or more entity/architecture pairs).
+struct DesignUnit {
+  std::vector<Entity> entities;
+  std::vector<Architecture> architectures;
+
+  const Entity* find_entity(const std::string& name) const;
+  const Architecture* find_architecture_of(const std::string& entity) const;
+};
+
+}  // namespace usys::hdl

@@ -1,0 +1,348 @@
+#include "hdl/interpreter.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+#include "hdl/parser.hpp"
+
+namespace usys::hdl {
+
+using sym::Dual;
+
+struct HdlDevice::Frame {
+  std::vector<Dual> slots;
+  spice::EvalCtx* ctx = nullptr;   ///< null during commit (no stamping)
+  const DVector* x = nullptr;
+  Pass pass = Pass::dc;
+  std::size_t seeds = 0;
+  double c0 = 0.0;                 ///< integrator coefficients for this run
+  double c1 = 0.0;
+};
+
+HdlDevice::HdlDevice(std::string name, ElaboratedModel model,
+                     std::vector<int> node_per_pin)
+    : Device(std::move(name)), model_(std::move(model)), nodes_(std::move(node_per_pin)) {
+  if (nodes_.size() != model_.pins.size())
+    throw spice::CircuitError("HdlDevice '" + this->name() + "': pin count mismatch (" +
+                              std::to_string(nodes_.size()) + " nodes for " +
+                              std::to_string(model_.pins.size()) + " pins)");
+  ddt_.resize(static_cast<std::size_t>(model_.ddt_site_count));
+  integ_.resize(static_cast<std::size_t>(model_.integ_site_count));
+}
+
+double HdlDevice::integ_state(int site) const {
+  return integ_.at(static_cast<std::size_t>(site)).s_prev;
+}
+
+int HdlDevice::seed_of(int global) const {
+  for (std::size_t i = 0; i < seed_unknowns_.size(); ++i) {
+    if (seed_unknowns_[i] == global) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void HdlDevice::bind(spice::Binder& binder) {
+  for (std::size_t p = 0; p < model_.pins.size(); ++p) {
+    binder.require_nature(nodes_[p], model_.pins[p].nature, name());
+  }
+  branch_of_pair_.clear();
+  for (const auto& [p1, p2] : model_.effort_pairs) {
+    (void)p2;
+    branch_of_pair_.push_back(
+        binder.alloc_branch(model_.pins[static_cast<std::size_t>(p1)].nature));
+  }
+  seed_unknowns_.clear();
+  for (int n : nodes_) {
+    if (n >= 0 && seed_of(n) < 0) seed_unknowns_.push_back(n);
+  }
+  for (int b : branch_of_pair_) seed_unknowns_.push_back(b);
+}
+
+sym::Dual HdlDevice::eval_expr(const ExprNode& e, Frame& fr) {
+  switch (e.kind) {
+    case ExprKind::number:
+      return Dual(e.number, fr.seeds);
+    case ExprKind::name:
+      return fr.slots[static_cast<std::size_t>(e.site_id)];
+    case ExprKind::port_read: {
+      const int p1 = e.site_id / 256;
+      const int p2 = e.site_id % 256;
+      if (e.name == "i" || e.name == "f") {
+        for (std::size_t k = 0; k < model_.effort_pairs.size(); ++k) {
+          const auto& [a, b] = model_.effort_pairs[k];
+          if ((a == p1 && b == p2) || (a == p2 && b == p1)) {
+            const int br = branch_of_pair_[k];
+            Dual d = Dual::seed((*fr.x)[static_cast<std::size_t>(br)],
+                                static_cast<std::size_t>(seed_of(br)), fr.seeds);
+            return (a == p1) ? d : -d;
+          }
+        }
+        return Dual(0.0, fr.seeds);  // unreachable: validated at elaboration
+      }
+      const int n1 = nodes_[static_cast<std::size_t>(p1)];
+      const int n2 = nodes_[static_cast<std::size_t>(p2)];
+      Dual d(0.0, fr.seeds);
+      if (n1 >= 0)
+        d += Dual::seed((*fr.x)[static_cast<std::size_t>(n1)],
+                        static_cast<std::size_t>(seed_of(n1)), fr.seeds);
+      if (n2 >= 0)
+        d -= Dual::seed((*fr.x)[static_cast<std::size_t>(n2)],
+                        static_cast<std::size_t>(seed_of(n2)), fr.seeds);
+      return d;
+    }
+    case ExprKind::unary_neg:
+      return -eval_expr(*e.args[0], fr);
+    case ExprKind::binary: {
+      const Dual a = eval_expr(*e.args[0], fr);
+      const Dual b = eval_expr(*e.args[1], fr);
+      switch (e.name[0]) {
+        case '+': return a + b;
+        case '-': return a - b;
+        case '*': return a * b;
+        case '/': return a / b;
+        case '^': return pow(a, b);
+        default: return Dual(0.0, fr.seeds);
+      }
+    }
+    case ExprKind::call: {
+      if (e.name == "ddt") {
+        const Dual u = eval_expr(*e.args[0], fr);
+        DdtSite& site = ddt_[static_cast<std::size_t>(e.site_id)];
+        switch (fr.pass) {
+          case Pass::dc:
+            return Dual(0.0, fr.seeds);
+          case Pass::dc_ddt: {
+            // jq-extraction: value 0 (steady state), argument gradient passes
+            // with unit gain; the caller differences against the dc pass.
+            Dual r = u;
+            return r - Dual(u.value(), fr.seeds);
+          }
+          case Pass::transient:
+          case Pass::commit: {
+            const double a0 = 1.0 / fr.c1;
+            const double hist = (fr.c0 > 0.0) ? (-a0 * site.u_prev - site.udot_prev)
+                                              : (-a0 * site.u_prev);
+            Dual r = u * a0 + hist;
+            if (fr.pass == Pass::commit) {
+              site.udot_prev = r.value();
+              site.u_prev = u.value();
+            }
+            return r;
+          }
+        }
+        return Dual(0.0, fr.seeds);
+      }
+      if (e.name == "integ") {
+        const Dual u = eval_expr(*e.args[0], fr);
+        IntegSite& site = integ_[static_cast<std::size_t>(e.site_id)];
+        switch (fr.pass) {
+          case Pass::dc:
+          case Pass::dc_ddt:
+            return Dual(site.s0, fr.seeds);
+          case Pass::transient:
+          case Pass::commit: {
+            Dual r = u * fr.c1 + (site.s_prev + fr.c0 * site.e_prev);
+            if (fr.pass == Pass::commit) {
+              site.s_prev = r.value();
+              site.e_prev = u.value();
+            }
+            return r;
+          }
+        }
+        return Dual(0.0, fr.seeds);
+      }
+      if (e.name == "pow")
+        return pow(eval_expr(*e.args[0], fr), eval_expr(*e.args[1], fr));
+      if (e.name == "min" || e.name == "max") {
+        // Piecewise selection: value and gradient follow the active branch
+        // (standard AHDL semantics; the kink is handled by Newton damping).
+        const Dual a2 = eval_expr(*e.args[0], fr);
+        const Dual b2 = eval_expr(*e.args[1], fr);
+        const bool pick_a = (e.name == "min") ? (a2.value() <= b2.value())
+                                              : (a2.value() >= b2.value());
+        return pick_a ? a2 : b2;
+      }
+      if (e.name == "limit") {
+        const Dual x2 = eval_expr(*e.args[0], fr);
+        const Dual lo = eval_expr(*e.args[1], fr);
+        const Dual hi = eval_expr(*e.args[2], fr);
+        if (x2.value() < lo.value()) return lo;
+        if (x2.value() > hi.value()) return hi;
+        return x2;
+      }
+      const Dual a = eval_expr(*e.args[0], fr);
+      if (e.name == "sin") return sin(a);
+      if (e.name == "cos") return cos(a);
+      if (e.name == "tan") return tan(a);
+      if (e.name == "exp") return exp(a);
+      if (e.name == "log") return log(a);
+      if (e.name == "sqrt") return sqrt(a);
+      if (e.name == "abs") return abs(a);
+      return Dual(0.0, fr.seeds);
+    }
+  }
+  return Dual(0.0, 0);
+}
+
+void HdlDevice::run(spice::EvalCtx* ctx, Pass pass, const DVector& x) {
+  Frame fr;
+  fr.ctx = ctx;
+  fr.x = &x;
+  fr.pass = pass;
+  fr.seeds = seed_unknowns_.size();
+  if (pass == Pass::transient || pass == Pass::commit) {
+    // During commit ctx carries only the integrator coefficients.
+    fr.c0 = ctx != nullptr ? ctx->integ_c0 : 0.0;
+    fr.c1 = ctx != nullptr ? ctx->integ_c1 : 1.0;
+  }
+  fr.slots.reserve(model_.init_frame.size());
+  for (double v : model_.init_frame) fr.slots.emplace_back(v, fr.seeds);
+
+  const bool stamping = (ctx != nullptr) && (pass != Pass::commit);
+
+  // Effort-pair plumbing: KCL for the branch flow and the across part of the
+  // branch equation, stamped once per pair; contributions subtract below.
+  if (stamping) {
+    for (std::size_t k = 0; k < model_.effort_pairs.size(); ++k) {
+      const auto& [pa, pb] = model_.effort_pairs[k];
+      const int br = branch_of_pair_[k];
+      const int na = nodes_[static_cast<std::size_t>(pa)];
+      const int nb = nodes_[static_cast<std::size_t>(pb)];
+      ctx->f_add(na, ctx->v(br));
+      ctx->f_add(nb, -ctx->v(br));
+      ctx->jf_add(na, br, 1.0);
+      ctx->jf_add(nb, br, -1.0);
+      ctx->f_add(br, ctx->v(na) - ctx->v(nb));
+      ctx->jf_add(br, na, 1.0);
+      ctx->jf_add(br, nb, -1.0);
+    }
+  }
+
+  const bool want_transient = (pass == Pass::transient || pass == Pass::commit);
+  const char* domain = want_transient ? "transient" : "dc";
+  bool have_domain = false;
+  for (const auto& b : model_.blocks) {
+    if (b.has_domain(domain)) have_domain = true;
+  }
+
+  for (const auto& b : model_.blocks) {
+    const bool selected = have_domain
+                              ? b.has_domain(domain)
+                              : (b.has_domain("transient") || b.has_domain("ac"));
+    if (!selected) continue;
+    for (const auto& s : b.stmts) {
+      if (s.kind == StmtKind::assign) {
+        const int slot = std::stoi(s.pin1);
+        fr.slots[static_cast<std::size_t>(slot)] = eval_expr(*s.expr, fr);
+        continue;
+      }
+      if (s.kind == StmtKind::assertion) {
+        // Boundary-condition verification: checked on *accepted* solutions
+        // only (commit pass) so Newton excursions don't trip it.
+        if (pass == Pass::commit) {
+          const Dual cond = eval_expr(*s.expr, fr);
+          if (cond.value() <= 0.0 && asserted_.insert(&s).second) {
+            log_warn("HDL model '" + name() + "' (entity " + model_.entity_name +
+                     "): ASSERT at line " + std::to_string(s.line) +
+                     " violated (value " + std::to_string(cond.value()) + ")");
+          }
+        }
+        continue;
+      }
+      const Dual val = eval_expr(*s.expr, fr);
+      if (!stamping) continue;
+      const int p1 = std::stoi(s.pin1);
+      const int p2 = std::stoi(s.pin2);
+      auto stamp_row = [&](int row, double sign) {
+        if (row < 0) return;
+        ctx->f_add(row, sign * val.value());
+        for (std::size_t sidx = 0; sidx < fr.seeds; ++sidx) {
+          const double g = val.grad(sidx);
+          if (g != 0.0) ctx->jf_add(row, seed_unknowns_[sidx], sign * g);
+        }
+      };
+      if (s.field == "v") {
+        for (std::size_t k = 0; k < model_.effort_pairs.size(); ++k) {
+          const auto& [a, b] = model_.effort_pairs[k];
+          if (a == p1 && b == p2) {
+            stamp_row(branch_of_pair_[k], -1.0);
+            break;
+          }
+          if (a == p2 && b == p1) {
+            stamp_row(branch_of_pair_[k], +1.0);
+            break;
+          }
+        }
+        continue;
+      }
+      // Flow contribution: absorbed at p1, released at p2.
+      stamp_row(nodes_[static_cast<std::size_t>(p1)], +1.0);
+      stamp_row(nodes_[static_cast<std::size_t>(p2)], -1.0);
+    }
+  }
+}
+
+void HdlDevice::evaluate(spice::EvalCtx& ctx) {
+  if (ctx.mode == spice::AnalysisMode::transient) {
+    run(&ctx, Pass::transient, *ctx.x);
+    return;
+  }
+  run(&ctx, Pass::dc, *ctx.x);
+  // jq extraction (for AC sweeps): difference the dc_ddt and dc passes.
+  if (ctx.jq == nullptr || model_.ddt_site_count == 0) return;
+  const std::size_t n = ctx.x->size();
+  DVector f_scratch(n, 0.0), q_scratch(n, 0.0);
+  DMatrix jf_a(n, n), jf_b(n, n), jq_scratch(n, n);
+  spice::EvalCtx ca = ctx;
+  ca.f = &f_scratch;
+  ca.q = &q_scratch;
+  ca.jf = &jf_a;
+  ca.jq = &jq_scratch;
+  run(&ca, Pass::dc, *ctx.x);
+  spice::EvalCtx cb = ca;
+  cb.jf = &jf_b;
+  run(&cb, Pass::dc_ddt, *ctx.x);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      const double d = jf_b(r, c) - jf_a(r, c);
+      if (d != 0.0) ctx.jq_add(static_cast<int>(r), static_cast<int>(c), d);
+    }
+  }
+}
+
+void HdlDevice::start_transient(const DVector& x_dc) {
+  // Arm every site, then record each ddt/integ argument's DC value via a
+  // commit pass (c0 = 0, c1 = 1 placeholders make the formulas benign), and
+  // finally reset the histories the pass is not supposed to disturb.
+  for (auto& s : integ_) {
+    s.s_prev = s.s0;
+    s.e_prev = 0.0;
+  }
+  for (auto& s : ddt_) {
+    s.u_prev = 0.0;
+    s.udot_prev = 0.0;
+  }
+  run(nullptr, Pass::commit, x_dc);
+  for (auto& s : ddt_) s.udot_prev = 0.0;
+  for (auto& s : integ_) s.s_prev = s.s0;
+}
+
+void HdlDevice::accept(const spice::AcceptCtx& ctx) {
+  spice::EvalCtx ec;
+  ec.mode = spice::AnalysisMode::transient;
+  ec.integ_c0 = ctx.integ_c0;
+  ec.integ_c1 = ctx.integ_c1;
+  run(&ec, Pass::commit, *ctx.x);
+}
+
+std::unique_ptr<HdlDevice> instantiate(const std::string& device_name,
+                                       const std::string& source,
+                                       const std::string& entity,
+                                       const std::map<std::string, double>& generics,
+                                       const std::vector<int>& node_per_pin) {
+  DesignUnit unit = parse(source);
+  ElaboratedModel model = elaborate(std::move(unit), entity, generics);
+  return std::make_unique<HdlDevice>(device_name, std::move(model), node_per_pin);
+}
+
+}  // namespace usys::hdl

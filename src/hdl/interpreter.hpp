@@ -1,0 +1,96 @@
+// The HDL-AT interpreter: wraps an ElaboratedModel as a spice::Device.
+//
+// Each Newton iteration re-executes the model's procedural blocks with
+// forward-mode AD duals seeded on the instance's unknowns (pin node efforts
+// and effort-branch flows), so flow/effort contributions land in the MNA
+// residual together with exact Jacobian entries.
+//
+// Dynamic operators use direct integrator substitution:
+//  * ddt(e): value = a0*e + hist with a0 = 1/c1 from the step coefficients
+//    (backward-Euler or trapezoidal history kept per call site);
+//  * integ(e): value = s_prev + c0*e_prev + c1*e per call site.
+// During DC, ddt() evaluates to 0 and integ() to its initial value — the
+// HDL-A semantics the paper's models rely on (`x := integ(S)` pins the
+// displacement at 0 in the operating point).
+//
+// AC: the device is linearized with internal integ() states frozen (the
+// same convention the native transducers use — see DESIGN.md); ddt() terms
+// are separated into the jq matrix by a two-pass gradient extraction so
+// (Jf + jw Jq) sees the correct capacitive terms.
+//
+// This interpretation path is intentionally *not* compiled: the paper
+// reports a ~10x simulation-performance penalty for HDL-A models versus
+// native SPICE primitives and attributes it to the model compiler;
+// bench_perf_hdl_overhead measures our equivalent figure.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "hdl/elaborate.hpp"
+#include "spice/circuit.hpp"
+#include "sym/dual.hpp"
+
+namespace usys::hdl {
+
+class HdlDevice final : public spice::Device {
+ public:
+  /// `node_per_pin` maps each model pin (declaration order) to a circuit
+  /// node id (ground = -1 allowed).
+  HdlDevice(std::string name, ElaboratedModel model, std::vector<int> node_per_pin);
+
+  void bind(spice::Binder& binder) override;
+  void evaluate(spice::EvalCtx& ctx) override;
+  void start_transient(const DVector& x_dc) override;
+  void accept(const spice::AcceptCtx& ctx) override;
+
+  const ElaboratedModel& model() const noexcept { return model_; }
+
+  /// Committed value of an integ() call site (e.g. the displacement state
+  /// of the paper's Listing 1), indexed in source order.
+  double integ_state(int site) const;
+
+ private:
+  struct DdtSite {
+    double u_prev = 0.0;
+    double udot_prev = 0.0;
+  };
+  struct IntegSite {
+    double s0 = 0.0;
+    double s_prev = 0.0;
+    double e_prev = 0.0;
+  };
+
+  enum class Pass {
+    dc,          ///< ddt = 0, integ = initial
+    dc_ddt,      ///< like dc but ddt passes gradients through (jq extraction)
+    transient,   ///< full integrator substitution
+    commit,      ///< transient formulas + state commit (post-acceptance)
+  };
+
+  struct Frame;
+  sym::Dual eval_expr(const ExprNode& e, Frame& fr);
+  void run(spice::EvalCtx* ctx, Pass pass, const DVector& x);
+
+  ElaboratedModel model_;
+  std::vector<int> nodes_;           ///< node id per pin
+  std::vector<int> branch_of_pair_;  ///< branch unknown per effort pair
+  std::vector<int> seed_unknowns_;   ///< global unknown per AD seed slot
+  std::vector<DdtSite> ddt_;
+  std::vector<IntegSite> integ_;
+  std::set<const Stmt*> asserted_;   ///< ASSERT sites already reported
+
+  int seed_of(int global) const;     ///< -1 if not seeded (ground)
+};
+
+/// Convenience: parse + elaborate + instantiate in one call.
+/// `source` may contain several entities; `entity` picks one.
+std::unique_ptr<HdlDevice> instantiate(const std::string& device_name,
+                                       const std::string& source,
+                                       const std::string& entity,
+                                       const std::map<std::string, double>& generics,
+                                       const std::vector<int>& node_per_pin);
+
+}  // namespace usys::hdl

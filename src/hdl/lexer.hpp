@@ -1,0 +1,56 @@
+// Tokenizer for HDL-AT, the analog hardware description language of this
+// library (a reconstruction of the paper's HDL-A/HDL-ATM surface syntax:
+// ENTITY/GENERIC/PIN/ARCHITECTURE/STATE/RELATION/PROCEDURAL, ':=' and '%='
+// operators, '[a, b].v' port accesses, '--' comments).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace usys::hdl {
+
+enum class Tok {
+  identifier,   ///< case-insensitive keywords & names
+  number,
+  lparen,       ///< (
+  rparen,       ///< )
+  lbracket,     ///< [
+  rbracket,     ///< ]
+  comma,
+  semicolon,
+  colon,
+  dot,
+  assign,       ///< :=
+  contribute,   ///< %=
+  arrow,        ///< =>
+  plus,
+  minus,
+  star,
+  slash,
+  caret,        ///< ^ (power; the paper's dialect writes products instead)
+  end_of_file,
+};
+
+struct Token {
+  Tok kind;
+  std::string text;   ///< identifier/number spelling (original case)
+  double value = 0.0; ///< for numbers
+  int line = 0;
+  int column = 0;
+};
+
+class LexError : public std::runtime_error {
+ public:
+  LexError(int line, int col, const std::string& what)
+      : std::runtime_error("HDL lex error at " + std::to_string(line) + ":" +
+                           std::to_string(col) + ": " + what) {}
+};
+
+/// Tokenizes full source text. '--' starts a to-end-of-line comment.
+std::vector<Token> lex(const std::string& source);
+
+/// Keyword check, case-insensitive (HDL-A keywords are traditionally upper).
+bool is_keyword(const Token& t, const char* kw);
+
+}  // namespace usys::hdl

@@ -1,0 +1,357 @@
+#include "hdl/parser.hpp"
+
+#include "common/strings.hpp"
+
+namespace usys::hdl {
+
+const Entity* DesignUnit::find_entity(const std::string& name) const {
+  for (const auto& e : entities) {
+    if (iequals(e.name, name)) return &e;
+  }
+  return nullptr;
+}
+
+const Architecture* DesignUnit::find_architecture_of(const std::string& entity) const {
+  for (const auto& a : architectures) {
+    if (iequals(a.entity, entity)) return &a;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  DesignUnit run() {
+    DesignUnit unit;
+    while (!at(Tok::end_of_file)) {
+      if (kw("ENTITY")) {
+        unit.entities.push_back(entity());
+      } else if (kw("ARCHITECTURE")) {
+        unit.architectures.push_back(architecture());
+      } else {
+        throw ParseError(peek().line, "expected ENTITY or ARCHITECTURE, got '" +
+                                          peek().text + "'");
+      }
+    }
+    return unit;
+  }
+
+ private:
+  const Token& peek(int ahead = 0) const {
+    const std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  bool at(Tok k) const { return peek().kind == k; }
+  bool kw(const char* k) const { return is_keyword(peek(), k); }
+
+  Token take() { return toks_[pos_++]; }
+
+  Token expect(Tok k, const char* what) {
+    if (!at(k)) throw ParseError(peek().line, std::string("expected ") + what +
+                                                  ", got '" + peek().text + "'");
+    return take();
+  }
+
+  Token expect_kw(const char* k) {
+    if (!kw(k))
+      throw ParseError(peek().line,
+                       std::string("expected '") + k + "', got '" + peek().text + "'");
+    return take();
+  }
+
+  std::string ident() { return expect(Tok::identifier, "identifier").text; }
+
+  // -- declarations ---------------------------------------------------------
+
+  Entity entity() {
+    expect_kw("ENTITY");
+    Entity e;
+    e.name = ident();
+    expect_kw("IS");
+    while (!kw("END")) {
+      if (kw("GENERIC")) {
+        take();
+        expect(Tok::lparen, "'('");
+        for (;;) {
+          std::vector<std::string> names{ident()};
+          while (at(Tok::comma)) {
+            take();
+            names.push_back(ident());
+          }
+          expect(Tok::colon, "':'");
+          expect_kw("ANALOG");
+          GenericDecl proto;
+          if (at(Tok::assign)) {
+            take();
+            proto.has_default = true;
+            proto.default_value = signed_number();
+          }
+          for (auto& n : names) {
+            GenericDecl g = proto;
+            g.name = std::move(n);
+            e.generics.push_back(std::move(g));
+          }
+          if (at(Tok::semicolon)) {
+            take();
+            continue;
+          }
+          break;
+        }
+        expect(Tok::rparen, "')'");
+        expect(Tok::semicolon, "';'");
+      } else if (kw("PIN")) {
+        take();
+        expect(Tok::lparen, "'('");
+        for (;;) {
+          std::vector<std::string> names{ident()};
+          while (at(Tok::comma)) {
+            take();
+            names.push_back(ident());
+          }
+          expect(Tok::colon, "':'");
+          const Token nat_tok = expect(Tok::identifier, "nature name");
+          Nature nat{};
+          if (!parse_nature(to_lower(nat_tok.text), nat))
+            throw ParseError(nat_tok.line, "unknown nature '" + nat_tok.text + "'");
+          for (auto& n : names) e.pins.push_back({std::move(n), nat});
+          if (at(Tok::semicolon)) {
+            take();
+            continue;
+          }
+          break;
+        }
+        expect(Tok::rparen, "')'");
+        expect(Tok::semicolon, "';'");
+      } else {
+        throw ParseError(peek().line, "expected GENERIC, PIN or END in entity");
+      }
+    }
+    expect_kw("END");
+    expect_kw("ENTITY");
+    const std::string closing = ident();
+    if (!iequals(closing, e.name))
+      throw ParseError(peek().line, "entity name mismatch: '" + closing + "'");
+    expect(Tok::semicolon, "';'");
+    return e;
+  }
+
+  Architecture architecture() {
+    expect_kw("ARCHITECTURE");
+    Architecture a;
+    a.name = ident();
+    expect_kw("OF");
+    a.entity = ident();
+    expect_kw("IS");
+    while (kw("VARIABLE") || kw("STATE")) {
+      const bool is_state = kw("STATE");
+      take();
+      std::vector<std::string> names{ident()};
+      while (at(Tok::comma)) {
+        take();
+        names.push_back(ident());
+      }
+      expect(Tok::colon, "':'");
+      expect_kw("ANALOG");
+      expect(Tok::semicolon, "';'");
+      for (auto& n : names) a.variables.push_back({std::move(n), is_state});
+    }
+    expect_kw("BEGIN");
+    expect_kw("RELATION");
+    while (kw("PROCEDURAL")) {
+      take();
+      expect_kw("FOR");
+      ProceduralBlock block;
+      block.domains.push_back(to_lower(ident()));
+      while (at(Tok::comma)) {
+        take();
+        block.domains.push_back(to_lower(ident()));
+      }
+      expect(Tok::arrow, "'=>'");
+      while (!kw("PROCEDURAL") && !kw("END")) block.stmts.push_back(statement());
+      a.blocks.push_back(std::move(block));
+    }
+    expect_kw("END");
+    expect_kw("RELATION");
+    expect(Tok::semicolon, "';'");
+    expect_kw("END");
+    expect_kw("ARCHITECTURE");
+    const std::string closing = ident();
+    if (!iequals(closing, a.name))
+      throw ParseError(peek().line, "architecture name mismatch: '" + closing + "'");
+    expect(Tok::semicolon, "';'");
+    return a;
+  }
+
+  // -- statements -------------------------------------------------------------
+
+  Stmt statement() {
+    Stmt s;
+    s.line = peek().line;
+    if (kw("ASSERT")) {
+      // ASSERT expr ;  — run-time boundary-condition verification (the paper:
+      // "the validity of boundary conditions may be verified in these models
+      // during run-time"). The expression must stay positive.
+      take();
+      s.kind = StmtKind::assertion;
+      s.expr = expression();
+      expect(Tok::semicolon, "';'");
+      return s;
+    }
+    if (at(Tok::lbracket)) {
+      // [p, q].field %= expr ;
+      take();
+      s.kind = StmtKind::contribution;
+      s.pin1 = ident();
+      expect(Tok::comma, "','");
+      s.pin2 = ident();
+      expect(Tok::rbracket, "']'");
+      expect(Tok::dot, "'.'");
+      s.field = to_lower(ident());
+      expect(Tok::contribute, "'%='");
+      s.expr = expression();
+      expect(Tok::semicolon, "';'");
+      if (s.field != "i" && s.field != "f" && s.field != "v" && s.field != "tv")
+        throw ParseError(s.line, "contribution field must be .i, .f, .v or .tv");
+      return s;
+    }
+    s.kind = StmtKind::assign;
+    s.target = ident();
+    expect(Tok::assign, "':='");
+    s.expr = expression();
+    expect(Tok::semicolon, "';'");
+    return s;
+  }
+
+  double signed_number() {
+    double sign = 1.0;
+    while (at(Tok::minus) || at(Tok::plus)) {
+      if (take().kind == Tok::minus) sign = -sign;
+    }
+    return sign * expect(Tok::number, "number").value;
+  }
+
+  // -- expressions -------------------------------------------------------------
+
+  ExprPtr expression() {
+    ExprPtr lhs = term();
+    while (at(Tok::plus) || at(Tok::minus)) {
+      const Token op = take();
+      auto node = std::make_unique<ExprNode>();
+      node->kind = ExprKind::binary;
+      node->name = op.text;
+      node->line = op.line;
+      node->args.push_back(std::move(lhs));
+      node->args.push_back(term());
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  ExprPtr term() {
+    ExprPtr lhs = factor();
+    while (at(Tok::star) || at(Tok::slash)) {
+      const Token op = take();
+      auto node = std::make_unique<ExprNode>();
+      node->kind = ExprKind::binary;
+      node->name = op.text;
+      node->line = op.line;
+      node->args.push_back(std::move(lhs));
+      node->args.push_back(factor());
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  ExprPtr factor() {
+    if (at(Tok::minus)) {
+      const Token op = take();
+      auto node = std::make_unique<ExprNode>();
+      node->kind = ExprKind::unary_neg;
+      node->line = op.line;
+      node->args.push_back(factor());
+      return node;
+    }
+    if (at(Tok::plus)) {
+      take();
+      return factor();
+    }
+    ExprPtr base = primary();
+    if (at(Tok::caret)) {
+      const Token op = take();
+      auto node = std::make_unique<ExprNode>();
+      node->kind = ExprKind::call;
+      node->name = "pow";
+      node->line = op.line;
+      node->args.push_back(std::move(base));
+      node->args.push_back(factor());  // right-associative
+      return node;
+    }
+    return base;
+  }
+
+  ExprPtr primary() {
+    const Token& t = peek();
+    if (at(Tok::number)) {
+      take();
+      auto node = std::make_unique<ExprNode>();
+      node->kind = ExprKind::number;
+      node->number = t.value;
+      node->line = t.line;
+      return node;
+    }
+    if (at(Tok::lparen)) {
+      take();
+      ExprPtr inner = expression();
+      expect(Tok::rparen, "')'");
+      return inner;
+    }
+    if (at(Tok::lbracket)) {
+      take();
+      auto node = std::make_unique<ExprNode>();
+      node->kind = ExprKind::port_read;
+      node->line = t.line;
+      node->pin1 = ident();
+      expect(Tok::comma, "','");
+      node->pin2 = ident();
+      expect(Tok::rbracket, "']'");
+      expect(Tok::dot, "'.'");
+      node->name = to_lower(ident());
+      return node;
+    }
+    if (at(Tok::identifier)) {
+      const Token id = take();
+      if (at(Tok::lparen)) {
+        take();
+        auto node = std::make_unique<ExprNode>();
+        node->kind = ExprKind::call;
+        node->name = to_lower(id.text);
+        node->line = id.line;
+        node->args.push_back(expression());
+        while (at(Tok::comma)) {
+          take();
+          node->args.push_back(expression());
+        }
+        expect(Tok::rparen, "')'");
+        return node;
+      }
+      auto node = std::make_unique<ExprNode>();
+      node->kind = ExprKind::name;
+      node->name = id.text;
+      node->line = id.line;
+      return node;
+    }
+    throw ParseError(t.line, "expected expression, got '" + t.text + "'");
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+DesignUnit parse(const std::string& source) { return Parser(lex(source)).run(); }
+
+}  // namespace usys::hdl

@@ -1,0 +1,43 @@
+// Recursive-descent parser for HDL-AT. Grammar (keywords case-insensitive):
+//
+//   unit        := { entity | architecture }
+//   entity      := ENTITY id IS [generics] [pins] END ENTITY id ';'
+//   generics    := GENERIC '(' glist { ';' glist } ')' ';'
+//   glist       := id {',' id} ':' ANALOG [':=' number]
+//   pins        := PIN '(' plist { ';' plist } ')' ';'
+//   plist       := id {',' id} ':' nature-name
+//   architecture:= ARCHITECTURE id OF id IS {vardecl} BEGIN relation
+//                  END ARCHITECTURE id ';'
+//   vardecl     := (VARIABLE | STATE) id {',' id} ':' ANALOG ';'
+//   relation    := RELATION {procedural} END RELATION ';'
+//   procedural  := PROCEDURAL FOR id {',' id} '=>' {stmt}
+//   stmt        := id ':=' expr ';'
+//               | portref '.' id '%=' expr ';'
+//   portref     := '[' id ',' id ']'
+//   expr        := term {('+'|'-') term}
+//   term        := factor {('*'|'/') factor}
+//   factor      := ['-'|'+'] primary ['^' factor]
+//   primary     := number | id ['(' expr {',' expr} ')'] | portref '.' id
+//               | '(' expr ')'
+#pragma once
+
+#include "hdl/ast.hpp"
+#include "hdl/lexer.hpp"
+
+namespace usys::hdl {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(int line, const std::string& what)
+      : std::runtime_error("HDL parse error at line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  int line() const noexcept { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Parses HDL-AT source text into a design unit. Throws LexError/ParseError.
+DesignUnit parse(const std::string& source);
+
+}  // namespace usys::hdl

@@ -1,0 +1,98 @@
+// Analyses: .op (DC), .tran (adaptive transient), .ac (small-signal sweep).
+//
+// These mirror the SPICE analysis domains the paper relies on ("FE and SPICE
+// simulators present analogies concerning the analysis types they can
+// perform: static-dc, harmonic-ac, transient-transient").
+#pragma once
+
+#include <complex>
+#include <string>
+#include <vector>
+
+#include "spice/solver.hpp"
+
+namespace usys::spice {
+
+// ---------------------------------------------------------------------------
+// Operating point
+// ---------------------------------------------------------------------------
+
+struct OpResult {
+  bool converged = false;
+  DVector x;
+  int newton_iterations = 0;
+
+  /// Effort at a node id (ground reads 0).
+  double at(int node) const { return node < 0 ? 0.0 : x.at(static_cast<std::size_t>(node)); }
+};
+
+OpResult operating_point(Circuit& circuit, const DcOptions& opts = {});
+
+// ---------------------------------------------------------------------------
+// Transient
+// ---------------------------------------------------------------------------
+
+struct TranOptions {
+  double tstop = 1e-3;
+  double dt_init = 0.0;     ///< 0 = tstop/1000
+  double dt_min = 0.0;      ///< 0 = tstop*1e-12
+  double dt_max = 0.0;      ///< 0 = tstop/50
+  IntegMethod method = IntegMethod::trapezoidal;
+  bool adaptive = true;     ///< LTE-based step control; false = fixed dt_init
+  double lte_reltol = 1e-4;
+  NewtonOptions newton{.max_iters = 50, .reltol = 1e-6, .gmin = 1e-12, .damping_limit = 0.0};
+  DcOptions dc;             ///< options for the initial operating point
+};
+
+struct TranResult {
+  bool ok = false;
+  std::string error;
+  std::vector<double> time;
+  std::vector<DVector> x;          ///< accepted solutions, one per time point
+  int total_newton_iters = 0;
+  int rejected_steps = 0;
+
+  /// Time series of one unknown (node effort or branch flow).
+  std::vector<double> signal(int unknown) const;
+  /// Value of an unknown at the k-th accepted point.
+  double at(std::size_t k, int unknown) const {
+    return unknown < 0 ? 0.0 : x[k][static_cast<std::size_t>(unknown)];
+  }
+  /// Linear interpolation of an unknown at arbitrary time t.
+  double sample(double t, int unknown) const;
+};
+
+TranResult transient(Circuit& circuit, const TranOptions& opts);
+
+// ---------------------------------------------------------------------------
+// AC (small-signal) sweep
+// ---------------------------------------------------------------------------
+
+enum class SweepKind { linear, decade };
+
+struct AcOptions {
+  SweepKind sweep = SweepKind::decade;
+  double f_start = 1.0;
+  double f_stop = 1e6;
+  int points = 100;        ///< total (linear) or per decade (decade)
+  DcOptions dc;
+};
+
+struct AcResult {
+  bool ok = false;
+  std::string error;
+  std::vector<double> freq;
+  std::vector<ZVector> x;  ///< complex solution per frequency
+
+  std::complex<double> at(std::size_t k, int unknown) const {
+    return unknown < 0 ? std::complex<double>(0.0) : x[k][static_cast<std::size_t>(unknown)];
+  }
+  /// |H| in dB at point k for unknown.
+  double magnitude_db(std::size_t k, int unknown) const;
+  /// Phase in degrees.
+  double phase_deg(std::size_t k, int unknown) const;
+};
+
+AcResult ac_sweep(Circuit& circuit, const AcOptions& opts);
+
+}  // namespace usys::spice

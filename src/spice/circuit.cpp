@@ -1,0 +1,122 @@
+#include "spice/circuit.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace usys::spice {
+
+double effort_abstol(Nature n) noexcept {
+  switch (n) {
+    case Nature::electrical: return 1e-6;                // V
+    case Nature::mechanical_translation: return 1e-12;   // m/s
+    case Nature::mechanical_rotation: return 1e-12;      // rad/s
+    case Nature::hydraulic: return 1e-3;                 // Pa
+    case Nature::thermal: return 1e-6;                   // K
+  }
+  return 1e-9;
+}
+
+double flow_abstol(Nature n) noexcept {
+  switch (n) {
+    case Nature::electrical: return 1e-12;               // A
+    case Nature::mechanical_translation: return 1e-12;   // N
+    case Nature::mechanical_rotation: return 1e-12;      // N*m
+    case Nature::hydraulic: return 1e-12;                // m^3/s
+    case Nature::thermal: return 1e-9;                   // W
+  }
+  return 1e-12;
+}
+
+int Binder::alloc_branch(Nature through_nature) {
+  return circuit_.alloc_branch_unknown(through_nature);
+}
+
+Nature Binder::node_nature(int node) const {
+  if (node == Circuit::kGround) return Nature::electrical;  // ground is universal
+  return circuit_.node_nature(node);
+}
+
+void Binder::require_nature(int node, Nature expected, const std::string& device_name) const {
+  if (node == Circuit::kGround) return;  // ground connects to every domain
+  const Nature actual = circuit_.node_nature(node);
+  if (actual != expected) {
+    throw CircuitError("device '" + device_name + "': pin expects nature '" +
+                       std::string(to_string(expected)) + "' but node '" +
+                       circuit_.node_name(node) + "' has nature '" +
+                       std::string(to_string(actual)) + "'");
+  }
+}
+
+int Circuit::add_node(std::string_view name, Nature nature) {
+  if (bound_) throw CircuitError("add_node after bind_all");
+  if (name == "0" || name == "gnd" || name == "GND") return kGround;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name == name) {
+      if (nodes_[i].nature != nature) {
+        throw CircuitError("node '" + std::string(name) + "' redeclared with nature '" +
+                           std::string(to_string(nature)) + "' (was '" +
+                           std::string(to_string(nodes_[i].nature)) + "')");
+      }
+      return static_cast<int>(i);
+    }
+  }
+  nodes_.push_back({std::string(name), nature});
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+std::optional<int> Circuit::find_node(std::string_view name) const noexcept {
+  if (name == "0" || name == "gnd" || name == "GND") return kGround;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name == name) return static_cast<int>(i);
+  }
+  return std::nullopt;
+}
+
+int Circuit::node(std::string_view name) const {
+  if (name == "0" || name == "gnd" || name == "GND") return kGround;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name == name) return static_cast<int>(i);
+  }
+  throw CircuitError("unknown node '" + std::string(name) + "'");
+}
+
+void Circuit::add_device(std::unique_ptr<Device> dev) {
+  if (bound_) throw CircuitError("add_device after bind_all");
+  for (const auto& d : devices_) {
+    if (d->name() == dev->name())
+      throw CircuitError("duplicate device name '" + dev->name() + "'");
+  }
+  devices_.push_back(std::move(dev));
+}
+
+Device* Circuit::find_device(std::string_view name) noexcept {
+  for (auto& d : devices_) {
+    if (d->name() == name) return d.get();
+  }
+  return nullptr;
+}
+
+int Circuit::alloc_branch_unknown(Nature through_nature) {
+  unknown_natures_.push_back(through_nature);
+  abstol_.push_back(flow_abstol(through_nature));
+  return unknown_count_++;
+}
+
+void Circuit::bind_all() {
+  if (bound_) return;
+  // Node unknowns come first, in declaration order.
+  unknown_natures_.clear();
+  abstol_.clear();
+  unknown_natures_.reserve(nodes_.size());
+  for (const auto& n : nodes_) {
+    unknown_natures_.push_back(n.nature);
+    abstol_.push_back(effort_abstol(n.nature));
+  }
+  unknown_count_ = static_cast<int>(nodes_.size());
+  Binder binder(*this);
+  for (auto& d : devices_) d->bind(binder);
+  bound_ = true;
+}
+
+}  // namespace usys::spice

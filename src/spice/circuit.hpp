@@ -1,0 +1,172 @@
+// Circuit graph: typed nodes, devices, and the unknown-vector layout.
+//
+// Following the paper's FI (force-current) analogy, mechanical and electrical
+// nets live in the *same* nodal system: a node's across variable is voltage
+// for electrical nodes and velocity for mechanical ones; KCL rows sum
+// currents or forces respectively. The ground node (index -1) is the shared
+// reference: 0 V for electrical, the fixed mechanical frame for mechanical.
+//
+// Unknown vector layout: [node efforts (0..n_nodes-1) | branch unknowns].
+// Branch unknowns (currents through voltage-defined elements, fluxes etc.)
+// are allocated by devices during bind().
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/nature.hpp"
+#include "spice/types.hpp"
+
+namespace usys::spice {
+
+class Circuit;
+
+/// Raised on malformed circuits: nature mismatches, unknown nodes,
+/// duplicate device names.
+class CircuitError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Handed to Device::bind so devices can allocate branch unknowns and verify
+/// pin natures without seeing the whole Circuit API.
+class Binder {
+ public:
+  explicit Binder(Circuit& c) : circuit_(c) {}
+
+  /// Allocates one branch unknown (returned index is into the global
+  /// unknown vector). `through_nature` sets its convergence tolerance class.
+  int alloc_branch(Nature through_nature);
+
+  /// Nature of a node id; ground accepts any nature.
+  Nature node_nature(int node) const;
+
+  /// Throws CircuitError unless `node` is ground or has nature `expected`.
+  void require_nature(int node, Nature expected, const std::string& device_name) const;
+
+ private:
+  Circuit& circuit_;
+};
+
+/// Base class of everything that stamps equations. See types.hpp for the
+/// charge-oriented stamp contract.
+class Device {
+ public:
+  explicit Device(std::string name) : name_(std::move(name)) {}
+  virtual ~Device() = default;
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Resolve indices / allocate branch unknowns. Called exactly once.
+  virtual void bind(Binder& binder) = 0;
+
+  /// Stamp f, q, Jf, Jq at the iterate in `ctx`. Must be callable any number
+  /// of times per step (Newton re-evaluates).
+  virtual void evaluate(EvalCtx& ctx) = 0;
+
+  /// Complex AC excitation (small-signal sources). Row indexing matches the
+  /// real unknown vector. Default: no AC contribution.
+  virtual void ac_rhs(ZVector& rhs) const { (void)rhs; }
+
+  /// Waveform corner times the transient must step onto exactly.
+  virtual void breakpoints(std::vector<double>& out) const { (void)out; }
+
+  /// Called once before a transient run with the DC solution, so devices can
+  /// arm internal integral states.
+  virtual void start_transient(const DVector& x_dc) { (void)x_dc; }
+
+  /// Called after each accepted transient step to commit internal states.
+  virtual void accept(const AcceptCtx& ctx) { (void)ctx; }
+
+ private:
+  std::string name_;
+};
+
+/// The circuit under construction / simulation.
+class Circuit {
+ public:
+  Circuit() = default;
+
+  /// The ground / reference pseudo-index.
+  static constexpr int kGround = -1;
+
+  /// Adds (or returns) a named node of the given nature. Name "0" is ground.
+  /// Re-adding with a different nature throws.
+  int add_node(std::string_view name, Nature nature);
+
+  /// Looks up an existing node; throws CircuitError if missing.
+  int node(std::string_view name) const;
+
+  /// Non-throwing lookup: nullopt if the node does not exist (ground names
+  /// return kGround).
+  std::optional<int> find_node(std::string_view name) const noexcept;
+
+  /// Node id valid? (ground is not a regular id)
+  int node_count() const noexcept { return static_cast<int>(nodes_.size()); }
+
+  const std::string& node_name(int id) const { return nodes_.at(static_cast<std::size_t>(id)).name; }
+  Nature node_nature(int id) const { return nodes_.at(static_cast<std::size_t>(id)).nature; }
+
+  /// Constructs a device in place and takes ownership. Returns a reference
+  /// that stays valid for the circuit's lifetime.
+  template <typename D, typename... Args>
+  D& add(Args&&... args) {
+    auto dev = std::make_unique<D>(std::forward<Args>(args)...);
+    D& ref = *dev;
+    add_device(std::move(dev));
+    return ref;
+  }
+
+  void add_device(std::unique_ptr<Device> dev);
+
+  const std::vector<std::unique_ptr<Device>>& devices() const noexcept { return devices_; }
+
+  /// Finds a device by name (nullptr if absent).
+  Device* find_device(std::string_view name) noexcept;
+
+  /// Finalizes the unknown layout: binds all devices, allocating branch
+  /// unknowns. Idempotent. Called automatically by the analyses.
+  void bind_all();
+  bool bound() const noexcept { return bound_; }
+
+  /// Total unknown count (nodes + branches); valid after bind_all().
+  int unknown_count() const noexcept { return unknown_count_; }
+  int branch_count() const noexcept { return unknown_count_ - node_count(); }
+
+  /// Per-unknown absolute convergence tolerance, sized by the unknown's
+  /// nature (voltages vs currents vs velocities need different floors).
+  const DVector& abstol() const noexcept { return abstol_; }
+
+  /// Nature of unknown i (node effort nature, or branch through-nature).
+  Nature unknown_nature(int i) const { return unknown_natures_.at(static_cast<std::size_t>(i)); }
+
+ private:
+  friend class Binder;
+  int alloc_branch_unknown(Nature through_nature);
+
+  struct NodeRec {
+    std::string name;
+    Nature nature;
+  };
+
+  std::vector<NodeRec> nodes_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::vector<Nature> unknown_natures_;
+  DVector abstol_;
+  int unknown_count_ = 0;
+  bool bound_ = false;
+};
+
+/// Absolute tolerance used for unknowns of a nature's effort variable.
+double effort_abstol(Nature n) noexcept;
+/// Absolute tolerance used for branch unknowns carrying a nature's flow.
+double flow_abstol(Nature n) noexcept;
+
+}  // namespace usys::spice

@@ -1,0 +1,76 @@
+#include "spice/devices_passive.hpp"
+
+#include <stdexcept>
+
+namespace usys::spice {
+
+Resistor::Resistor(std::string name, int a, int b, double resistance, Nature nature)
+    : Device(std::move(name)), a_(a), b_(b), r_(resistance), nature_(nature) {
+  if (r_ <= 0.0) throw std::invalid_argument("Resistor '" + this->name() + "': R must be > 0");
+}
+
+void Resistor::bind(Binder& binder) {
+  binder.require_nature(a_, nature_, name());
+  binder.require_nature(b_, nature_, name());
+}
+
+void Resistor::evaluate(EvalCtx& ctx) {
+  const double g = 1.0 / r_;
+  const double i = g * (ctx.v(a_) - ctx.v(b_));
+  ctx.f_add(a_, i);
+  ctx.f_add(b_, -i);
+  ctx.jf_add(a_, a_, g);
+  ctx.jf_add(a_, b_, -g);
+  ctx.jf_add(b_, a_, -g);
+  ctx.jf_add(b_, b_, g);
+}
+
+Capacitor::Capacitor(std::string name, int a, int b, double capacitance, Nature nature)
+    : Device(std::move(name)), a_(a), b_(b), c_(capacitance), nature_(nature) {
+  if (c_ <= 0.0)
+    throw std::invalid_argument("Capacitor '" + this->name() + "': C must be > 0");
+}
+
+void Capacitor::bind(Binder& binder) {
+  binder.require_nature(a_, nature_, name());
+  binder.require_nature(b_, nature_, name());
+}
+
+void Capacitor::evaluate(EvalCtx& ctx) {
+  const double q = c_ * (ctx.v(a_) - ctx.v(b_));
+  ctx.q_add(a_, q);
+  ctx.q_add(b_, -q);
+  ctx.jq_add(a_, a_, c_);
+  ctx.jq_add(a_, b_, -c_);
+  ctx.jq_add(b_, a_, -c_);
+  ctx.jq_add(b_, b_, c_);
+}
+
+Inductor::Inductor(std::string name, int a, int b, double inductance, Nature nature)
+    : Device(std::move(name)), a_(a), b_(b), l_(inductance), nature_(nature) {
+  if (l_ <= 0.0)
+    throw std::invalid_argument("Inductor '" + this->name() + "': L must be > 0");
+}
+
+void Inductor::bind(Binder& binder) {
+  binder.require_nature(a_, nature_, name());
+  binder.require_nature(b_, nature_, name());
+  br_ = binder.alloc_branch(nature_);
+}
+
+void Inductor::evaluate(EvalCtx& ctx) {
+  // KCL: branch current leaves a, enters b.
+  const double i = ctx.v(br_);
+  ctx.f_add(a_, i);
+  ctx.f_add(b_, -i);
+  ctx.jf_add(a_, br_, 1.0);
+  ctx.jf_add(b_, br_, -1.0);
+  // Branch equation: d(L i)/dt - (va - vb) = 0.
+  ctx.f_add(br_, -(ctx.v(a_) - ctx.v(b_)));
+  ctx.jf_add(br_, a_, -1.0);
+  ctx.jf_add(br_, b_, 1.0);
+  ctx.q_add(br_, l_ * i);
+  ctx.jq_add(br_, br_, l_);
+}
+
+}  // namespace usys::spice

@@ -1,0 +1,102 @@
+// Passive two-terminal elements, electrical and mechanical.
+//
+// Under the paper's FI analogy the mechanical elements are the electrical
+// ones re-typed:  mass <-> capacitor (C = m), spring <-> inductor (L = 1/k),
+// damper <-> resistor (conductance = alpha). We provide the mechanical
+// elements as first-class devices so netlists read like the physics, while
+// sharing the stamp math with their electrical twins.
+#pragma once
+
+#include "spice/circuit.hpp"
+
+namespace usys::spice {
+
+/// Linear resistor, i = (va - vb)/R. Nature-generic (verified at bind).
+class Resistor : public Device {
+ public:
+  Resistor(std::string name, int a, int b, double resistance,
+           Nature nature = Nature::electrical);
+  void bind(Binder& binder) override;
+  void evaluate(EvalCtx& ctx) override;
+  double resistance() const noexcept { return r_; }
+
+ private:
+  int a_, b_;
+  double r_;
+  Nature nature_;
+};
+
+/// Linear capacitor, q = C (va - vb).
+class Capacitor : public Device {
+ public:
+  Capacitor(std::string name, int a, int b, double capacitance,
+            Nature nature = Nature::electrical);
+  void bind(Binder& binder) override;
+  void evaluate(EvalCtx& ctx) override;
+  double capacitance() const noexcept { return c_; }
+
+ private:
+  int a_, b_;
+  double c_;
+  Nature nature_;
+};
+
+/// Linear inductor with a branch current unknown; flux = L i.
+class Inductor : public Device {
+ public:
+  Inductor(std::string name, int a, int b, double inductance,
+           Nature nature = Nature::electrical);
+  void bind(Binder& binder) override;
+  void evaluate(EvalCtx& ctx) override;
+  double inductance() const noexcept { return l_; }
+  /// Unknown index of the branch current (valid after bind).
+  int branch() const noexcept { return br_; }
+
+ private:
+  int a_, b_;
+  double l_;
+  Nature nature_;
+  int br_ = -1;
+};
+
+/// Point mass attached between a mechanical node and the fixed frame:
+/// F = m dv/dt. (The paper's Fig. 4 shows it as C = m.)
+class Mass : public Capacitor {
+ public:
+  Mass(std::string name, int node, double mass_kg)
+      : Capacitor(std::move(name), node, Circuit::kGround, mass_kg,
+                  Nature::mechanical_translation) {}
+  double mass() const noexcept { return capacitance(); }
+};
+
+/// Linear spring between two mechanical nodes: F = k * integral(v) dt,
+/// i.e. an inductor with L = 1/k. Its branch flow *is* the spring force, so
+/// the DC solution exposes the static force balance directly.
+class Spring : public Inductor {
+ public:
+  Spring(std::string name, int a, int b, double stiffness)
+      : Inductor(std::move(name), a, b, 1.0 / stiffness, Nature::mechanical_translation),
+        k_(stiffness) {}
+  double stiffness() const noexcept { return k_; }
+  /// Spring displacement = force / k; force is the branch unknown.
+  double displacement(const DVector& x) const {
+    return x.at(static_cast<std::size_t>(branch())) / k_;
+  }
+
+ private:
+  double k_;
+};
+
+/// Viscous damper: F = alpha * (va - vb), i.e. a resistor with R = 1/alpha.
+class Damper : public Resistor {
+ public:
+  Damper(std::string name, int a, int b, double alpha)
+      : Resistor(std::move(name), a, b, 1.0 / alpha, Nature::mechanical_translation),
+        alpha_(alpha) {}
+  double alpha() const noexcept { return alpha_; }
+
+ private:
+  double alpha_;
+};
+
+}  // namespace usys::spice

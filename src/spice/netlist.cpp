@@ -1,0 +1,400 @@
+#include "spice/netlist.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "common/strings.hpp"
+#include "spice/devices_controlled.hpp"
+#include "spice/devices_nonlinear.hpp"
+#include "spice/devices_passive.hpp"
+#include "spice/devices_source.hpp"
+
+namespace usys::spice {
+namespace {
+
+// Tokenizes one card, keeping parenthesized waveform argument groups intact:
+// "V1 in 0 PULSE(0 10 5m) AC 1" -> {V1, in, 0, PULSE(0 10 5m), AC, 1}.
+std::vector<std::string> tokenize_card(std::string_view line, int lineno) {
+  std::vector<std::string> out;
+  std::string cur;
+  int depth = 0;
+  for (char c : line) {
+    if (c == '(') ++depth;
+    if (c == ')') {
+      --depth;
+      if (depth < 0) throw NetlistError(lineno, "unbalanced ')'");
+    }
+    if ((std::isspace(static_cast<unsigned char>(c)) != 0) && depth == 0) {
+      if (!cur.empty()) {
+        out.push_back(cur);
+        cur.clear();
+      }
+    } else {
+      cur += c;
+    }
+  }
+  if (depth != 0) throw NetlistError(lineno, "unbalanced '('");
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+double parse_num(const std::string& tok, int lineno) {
+  const auto v = parse_spice_number(tok);
+  if (!v) throw NetlistError(lineno, "expected a number, got '" + tok + "'");
+  return *v;
+}
+
+/// Parses "PULSE(a b c ...)" / "SIN(...)" / "PWL(...)" / plain number.
+std::unique_ptr<Waveform> parse_waveform(const std::string& tok, int lineno) {
+  const auto open = tok.find('(');
+  if (open == std::string::npos) {
+    return std::make_unique<DcWave>(parse_num(tok, lineno));
+  }
+  const std::string kind = to_lower(trim(std::string_view(tok).substr(0, open)));
+  if (tok.back() != ')') throw NetlistError(lineno, "malformed waveform '" + tok + "'");
+  const std::string inner(tok.begin() + static_cast<std::ptrdiff_t>(open) + 1,
+                          tok.end() - 1);
+  std::vector<double> vals;
+  for (auto piece : split(inner, " \t,")) vals.push_back(parse_num(std::string(piece), lineno));
+
+  if (kind == "pulse") {
+    if (vals.size() < 6) throw NetlistError(lineno, "PULSE needs v1 v2 td tr tf pw [per]");
+    return std::make_unique<PulseWave>(vals[0], vals[1], vals[2], vals[3], vals[4], vals[5],
+                                       vals.size() > 6 ? vals[6] : 0.0);
+  }
+  if (kind == "sin") {
+    if (vals.size() < 3) throw NetlistError(lineno, "SIN needs vo va freq [td theta]");
+    return std::make_unique<SinWave>(vals[0], vals[1], vals[2],
+                                     vals.size() > 3 ? vals[3] : 0.0,
+                                     vals.size() > 4 ? vals[4] : 0.0);
+  }
+  if (kind == "pwl") {
+    if (vals.size() < 2 || vals.size() % 2 != 0)
+      throw NetlistError(lineno, "PWL needs t0 v0 t1 v1 ...");
+    std::vector<std::pair<double, double>> pts;
+    for (std::size_t i = 0; i + 1 < vals.size(); i += 2) pts.emplace_back(vals[i], vals[i + 1]);
+    return std::make_unique<PwlWave>(std::move(pts));
+  }
+  if (kind == "dc") {
+    if (vals.size() != 1) throw NetlistError(lineno, "DC needs one value");
+    return std::make_unique<DcWave>(vals[0]);
+  }
+  throw NetlistError(lineno, "unknown waveform kind '" + kind + "'");
+}
+
+void register_builtin_xdevices(NetlistParser& p) {
+  p.register_xdevice("MASS", [](XDeviceArgs& a) {
+    if (a.pins.size() != 1) throw NetlistError(a.line, "MASS takes 1 pin");
+    const int n = a.node(a.pins[0], Nature::mechanical_translation);
+    a.circuit->add<Mass>(a.name, n, require_param(a, "m"));
+  });
+  p.register_xdevice("SPRING", [](XDeviceArgs& a) {
+    if (a.pins.size() != 2) throw NetlistError(a.line, "SPRING takes 2 pins");
+    const int n1 = a.node(a.pins[0], Nature::mechanical_translation);
+    const int n2 = a.node(a.pins[1], Nature::mechanical_translation);
+    a.circuit->add<Spring>(a.name, n1, n2, require_param(a, "k"));
+  });
+  p.register_xdevice("DAMPER", [](XDeviceArgs& a) {
+    if (a.pins.size() != 2) throw NetlistError(a.line, "DAMPER takes 2 pins");
+    const int n1 = a.node(a.pins[0], Nature::mechanical_translation);
+    const int n2 = a.node(a.pins[1], Nature::mechanical_translation);
+    a.circuit->add<Damper>(a.name, n1, n2, require_param(a, "alpha"));
+  });
+  p.register_xdevice("FORCE", [](XDeviceArgs& a) {
+    if (a.pins.size() != 1) throw NetlistError(a.line, "FORCE takes 1 pin");
+    const int n = a.node(a.pins[0], Nature::mechanical_translation);
+    a.circuit->add<ForceSource>(a.name, n, require_param(a, "f"));
+  });
+  // Nature-agnostic pins (couplers and probes): adopt an existing node's
+  // nature when the node was created earlier in the netlist, so e.g.
+  // `Xi disp vel INTEG` after mechanical cards keeps `vel` mechanical.
+  const auto adopt = [](XDeviceArgs& a, const std::string& pin) {
+    if (const auto existing = a.circuit->find_node(pin)) {
+      if (*existing == Circuit::kGround) return *existing;
+      return a.node(pin, a.circuit->node_nature(*existing));
+    }
+    return a.node(pin, Nature::electrical);
+  };
+  p.register_xdevice("XFMR", [adopt](XDeviceArgs& a) {
+    if (a.pins.size() != 4) throw NetlistError(a.line, "XFMR takes 4 pins");
+    a.circuit->add<IdealTransformer>(a.name, adopt(a, a.pins[0]), adopt(a, a.pins[1]),
+                                     adopt(a, a.pins[2]), adopt(a, a.pins[3]),
+                                     require_param(a, "n"));
+  });
+  p.register_xdevice("GYR", [adopt](XDeviceArgs& a) {
+    if (a.pins.size() != 4) throw NetlistError(a.line, "GYR takes 4 pins");
+    a.circuit->add<Gyrator>(a.name, adopt(a, a.pins[0]), adopt(a, a.pins[1]),
+                            adopt(a, a.pins[2]), adopt(a, a.pins[3]),
+                            require_param(a, "g"));
+  });
+  p.register_xdevice("INTEG", [adopt](XDeviceArgs& a) {
+    if (a.pins.size() != 2) throw NetlistError(a.line, "INTEG takes 2 pins (out, in)");
+    // The probe output node inherits the input's nature (displacement probe
+    // of a mechanical node is itself mechanical).
+    const int in = adopt(a, a.pins[1]);
+    const Nature out_nature =
+        in == Circuit::kGround ? Nature::electrical : a.circuit->node_nature(in);
+    const int out = a.node(a.pins[0], out_nature);
+    a.circuit->add<StateIntegrator>(a.name, out, in, param_or(a, "x0", 0.0));
+  });
+}
+
+}  // namespace
+
+double require_param(const XDeviceArgs& args, const std::string& key) {
+  const auto it = args.params.find(key);
+  if (it == args.params.end())
+    throw NetlistError(args.line, "device '" + args.name + "': missing parameter '" + key + "'");
+  return it->second;
+}
+
+double param_or(const XDeviceArgs& args, const std::string& key, double fallback) {
+  const auto it = args.params.find(key);
+  return it == args.params.end() ? fallback : it->second;
+}
+
+NetlistParser::NetlistParser() { register_builtin_xdevices(*this); }
+
+void NetlistParser::register_xdevice(const std::string& type, XDeviceFactory factory) {
+  xdevices_[to_lower(type)] = std::move(factory);
+}
+
+Netlist NetlistParser::parse(const std::string& text) {
+  Netlist out;
+  out.circuit = std::make_unique<Circuit>();
+  Circuit& ckt = *out.circuit;
+
+  // Pass 1: .node nature declarations (so later cards see the right natures).
+  std::map<std::string, Nature> declared;
+  {
+    std::istringstream is(text);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(is, line)) {
+      ++lineno;
+      const auto t = trim(line);
+      if (!t.starts_with(".node") && !t.starts_with(".NODE")) continue;
+      const auto toks = tokenize_card(t, lineno);
+      if (toks.size() != 3) throw NetlistError(lineno, ".node needs <name> <nature>");
+      Nature n{};
+      if (!parse_nature(to_lower(toks[2]), n))
+        throw NetlistError(lineno, "unknown nature '" + toks[2] + "'");
+      declared[toks[1]] = n;
+    }
+  }
+
+  auto get_node = [&](const std::string& name, Nature fallback) -> int {
+    const auto it = declared.find(name);
+    return ckt.add_node(name, it != declared.end() ? it->second : fallback);
+  };
+
+  std::istringstream is(text);
+  std::string line;
+  int lineno = 0;
+  bool first_content_line = true;
+  TranOptions tran_defaults;  // accumulated from .options cards
+  while (std::getline(is, line)) {
+    ++lineno;
+    // Strip ';' comments, then skip blank / '*' comment lines.
+    if (const auto semi = line.find(';'); semi != std::string::npos) line.resize(semi);
+    const std::string_view t = trim(line);
+    if (t.empty() || t[0] == '*') {
+      if (first_content_line && !t.empty()) {
+        out.title = std::string(t.substr(1));
+        first_content_line = false;
+      }
+      continue;
+    }
+    first_content_line = false;
+    const auto toks = tokenize_card(t, lineno);
+    const std::string head = to_lower(toks[0]);
+
+    if (head[0] == '.') {
+      if (head == ".node") continue;  // handled in pass 1
+      if (head == ".end") break;
+      if (head == ".op") {
+        AnalysisCard card;
+        card.kind = AnalysisCard::Kind::op;
+        out.analyses.push_back(card);
+        continue;
+      }
+      if (head == ".tran") {
+        if (toks.size() < 3) throw NetlistError(lineno, ".tran needs <dtinit> <tstop>");
+        AnalysisCard card;
+        card.kind = AnalysisCard::Kind::tran;
+        card.tran = tran_defaults;
+        card.tran.dt_init = parse_num(toks[1], lineno);
+        card.tran.tstop = parse_num(toks[2], lineno);
+        out.analyses.push_back(card);
+        continue;
+      }
+      if (head == ".options") {
+        // .options [method=be|trap|gear] [dtmax=<s>] [reltol=<x>]
+        for (std::size_t i = 1; i < toks.size(); ++i) {
+          const auto eq = toks[i].find('=');
+          if (eq == std::string::npos)
+            throw NetlistError(lineno, ".options entries must be key=value");
+          const std::string key = to_lower(toks[i].substr(0, eq));
+          const std::string val = to_lower(toks[i].substr(eq + 1));
+          if (key == "method") {
+            if (val == "be") {
+              tran_defaults.method = IntegMethod::backward_euler;
+            } else if (val == "trap") {
+              tran_defaults.method = IntegMethod::trapezoidal;
+            } else if (val == "gear") {
+              tran_defaults.method = IntegMethod::gear2;
+            } else {
+              throw NetlistError(lineno, "unknown method '" + val + "' (be|trap|gear)");
+            }
+          } else if (key == "dtmax") {
+            tran_defaults.dt_max = parse_num(val, lineno);
+          } else if (key == "reltol") {
+            tran_defaults.newton.reltol = parse_num(val, lineno);
+          } else {
+            throw NetlistError(lineno, "unknown option '" + key + "'");
+          }
+        }
+        continue;
+      }
+      if (head == ".ac") {
+        if (toks.size() < 5) throw NetlistError(lineno, ".ac needs dec|lin <pts> <f0> <f1>");
+        AnalysisCard card;
+        card.kind = AnalysisCard::Kind::ac;
+        const std::string sweep = to_lower(toks[1]);
+        if (sweep == "dec") {
+          card.ac.sweep = SweepKind::decade;
+        } else if (sweep == "lin") {
+          card.ac.sweep = SweepKind::linear;
+        } else {
+          throw NetlistError(lineno, "unknown sweep kind '" + toks[1] + "'");
+        }
+        card.ac.points = static_cast<int>(parse_num(toks[2], lineno));
+        card.ac.f_start = parse_num(toks[3], lineno);
+        card.ac.f_stop = parse_num(toks[4], lineno);
+        out.analyses.push_back(card);
+        continue;
+      }
+      throw NetlistError(lineno, "unknown directive '" + toks[0] + "'");
+    }
+
+    const char kind = static_cast<char>(std::tolower(static_cast<unsigned char>(toks[0][0])));
+    const std::string& name = toks[0];
+    switch (kind) {
+      case 'r': {
+        if (toks.size() != 4) throw NetlistError(lineno, "R card: R<id> a b <ohms>");
+        ckt.add<Resistor>(name, get_node(toks[1], Nature::electrical),
+                          get_node(toks[2], Nature::electrical), parse_num(toks[3], lineno));
+        break;
+      }
+      case 'c': {
+        if (toks.size() != 4) throw NetlistError(lineno, "C card: C<id> a b <farads>");
+        ckt.add<Capacitor>(name, get_node(toks[1], Nature::electrical),
+                           get_node(toks[2], Nature::electrical), parse_num(toks[3], lineno));
+        break;
+      }
+      case 'l': {
+        if (toks.size() != 4) throw NetlistError(lineno, "L card: L<id> a b <henries>");
+        ckt.add<Inductor>(name, get_node(toks[1], Nature::electrical),
+                          get_node(toks[2], Nature::electrical), parse_num(toks[3], lineno));
+        break;
+      }
+      case 'v':
+      case 'i': {
+        if (toks.size() < 4) throw NetlistError(lineno, "source card: needs n+ n- value");
+        const int a = get_node(toks[1], Nature::electrical);
+        const int b = get_node(toks[2], Nature::electrical);
+        auto wave = parse_waveform(toks[3], lineno);
+        double ac_mag = 0.0;
+        double ac_ph = 0.0;
+        for (std::size_t i = 4; i < toks.size(); ++i) {
+          if (iequals(toks[i], "ac")) {
+            if (i + 1 >= toks.size()) throw NetlistError(lineno, "AC needs magnitude");
+            ac_mag = parse_num(toks[i + 1], lineno);
+            if (i + 2 < toks.size()) ac_ph = parse_num(toks[i + 2], lineno);
+            break;
+          }
+        }
+        const Nature nat =
+            declared.count(toks[1]) != 0U
+                ? declared[toks[1]]
+                : (declared.count(toks[2]) != 0U ? declared[toks[2]] : Nature::electrical);
+        if (kind == 'v') {
+          ckt.add<VSource>(name, a, b, std::move(wave), nat, ac_mag, ac_ph);
+        } else {
+          ckt.add<ISource>(name, a, b, std::move(wave), nat, ac_mag, ac_ph);
+        }
+        break;
+      }
+      case 'e': {
+        if (toks.size() != 6) throw NetlistError(lineno, "E card: E<id> o+ o- c+ c- <gain>");
+        ckt.add<Vcvs>(name, get_node(toks[1], Nature::electrical),
+                      get_node(toks[2], Nature::electrical),
+                      get_node(toks[3], Nature::electrical),
+                      get_node(toks[4], Nature::electrical), parse_num(toks[5], lineno));
+        break;
+      }
+      case 'g': {
+        if (toks.size() != 6) throw NetlistError(lineno, "G card: G<id> o+ o- c+ c- <gm>");
+        ckt.add<Vccs>(name, get_node(toks[1], Nature::electrical),
+                      get_node(toks[2], Nature::electrical),
+                      get_node(toks[3], Nature::electrical),
+                      get_node(toks[4], Nature::electrical), parse_num(toks[5], lineno));
+        break;
+      }
+      case 'f': {
+        if (toks.size() != 5) throw NetlistError(lineno, "F card: F<id> o+ o- <vsrc> <gain>");
+        ckt.add<Cccs>(name, get_node(toks[1], Nature::electrical),
+                      get_node(toks[2], Nature::electrical), toks[3],
+                      parse_num(toks[4], lineno), ckt);
+        break;
+      }
+      case 'h': {
+        if (toks.size() != 5) throw NetlistError(lineno, "H card: H<id> o+ o- <vsrc> <r>");
+        ckt.add<Ccvs>(name, get_node(toks[1], Nature::electrical),
+                      get_node(toks[2], Nature::electrical), toks[3],
+                      parse_num(toks[4], lineno), ckt);
+        break;
+      }
+      case 'd': {
+        if (toks.size() < 3 || toks.size() > 5)
+          throw NetlistError(lineno, "D card: D<id> a k [Is] [n]");
+        const double is = toks.size() > 3 ? parse_num(toks[3], lineno) : 1e-14;
+        const double em = toks.size() > 4 ? parse_num(toks[4], lineno) : 1.0;
+        ckt.add<Diode>(name, get_node(toks[1], Nature::electrical),
+                       get_node(toks[2], Nature::electrical), is, em);
+        break;
+      }
+      case 'x': {
+        // X<name> pin1 ... pinN TYPE [k=v ...]
+        XDeviceArgs args;
+        args.name = name;
+        args.circuit = &ckt;
+        args.line = lineno;
+        args.node = get_node;
+        std::string type;
+        for (std::size_t i = 1; i < toks.size(); ++i) {
+          const auto eq = toks[i].find('=');
+          if (eq != std::string::npos) {
+            args.params[to_lower(toks[i].substr(0, eq))] =
+                parse_num(toks[i].substr(eq + 1), lineno);
+          } else if (xdevices_.count(to_lower(toks[i])) != 0U) {
+            type = to_lower(toks[i]);
+          } else {
+            if (!type.empty())
+              throw NetlistError(lineno, "unexpected token '" + toks[i] + "' after type");
+            args.pins.push_back(toks[i]);
+          }
+        }
+        if (type.empty()) throw NetlistError(lineno, "X card without a known TYPE");
+        xdevices_[type](args);
+        break;
+      }
+      default:
+        throw NetlistError(lineno, "unknown card '" + toks[0] + "'");
+    }
+  }
+  return out;
+}
+
+}  // namespace usys::spice

@@ -1,0 +1,101 @@
+// SPICE-style netlist front end.
+//
+// The paper instantiates transducer macro-models "in a netlist with
+// electronics"; this parser provides that workflow. Grammar (one card per
+// line, '*' or ';' comments, case-insensitive keywords, SPICE engineering
+// suffixes):
+//
+//   .node <name> <nature>            declare a non-electrical node
+//   V<id> n+ n- <dc> | PULSE(...) | SIN(...) | PWL(...)  [AC <mag> [<phase>]]
+//   I<id> n+ n- <same waveforms>
+//   R<id> a b <ohms>
+//   C<id> a b <farads>
+//   L<id> a b <henries>
+//   D<id> a k [Is] [n]               junction diode
+//   E<id> o+ o- c+ c- <gain>         VCVS
+//   G<id> o+ o- c+ c- <gm>           VCCS
+//   F<id> o+ o- <vsrc> <gain>        CCCS
+//   H<id> o+ o- <vsrc> <r>           CCVS
+//   X<id> <pins...> <TYPE> [k=v ...] extension devices (registered factories):
+//       built-in types: MASS m=<kg>; SPRING k=<N/m>; DAMPER alpha=<Ns/m>;
+//       FORCE f=<N>|waveform; XFMR n=<ratio>; GYR g=<S>; INTEG [x0=<v>]
+//       (the transducers of the paper are registered by usys::core)
+//   .options [method=be|trap|gear] [dtmax=<s>] [reltol=<x>]
+//   .op | .tran <dtinit> <tstop> | .ac dec|lin <pts> <f0> <f1>
+//   .end
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "spice/analysis.hpp"
+#include "spice/circuit.hpp"
+#include "spice/waveform.hpp"
+
+namespace usys::spice {
+
+class NetlistError : public std::runtime_error {
+ public:
+  NetlistError(int line, const std::string& what)
+      : std::runtime_error("netlist line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  int line() const noexcept { return line_; }
+
+ private:
+  int line_;
+};
+
+/// A requested analysis card.
+struct AnalysisCard {
+  enum class Kind { op, tran, ac } kind = Kind::op;
+  TranOptions tran;
+  AcOptions ac;
+};
+
+/// Parse result: the built circuit plus the requested analyses.
+struct Netlist {
+  std::unique_ptr<Circuit> circuit;
+  std::vector<AnalysisCard> analyses;
+  std::string title;
+};
+
+/// Key/value parameters of an X card (keys lowercased).
+using ParamMap = std::map<std::string, double>;
+
+/// Context handed to X-device factories.
+struct XDeviceArgs {
+  std::string name;                 ///< full device name ("XT1")
+  std::vector<std::string> pins;    ///< pin node *names* in card order
+  ParamMap params;
+  Circuit* circuit = nullptr;
+  int line = 0;
+  /// Resolves a pin name to a node id, creating it with `nature` if new.
+  std::function<int(const std::string&, Nature)> node;
+};
+
+/// Factory signature: construct & add the device to args.circuit.
+using XDeviceFactory = std::function<void(XDeviceArgs&)>;
+
+class NetlistParser {
+ public:
+  NetlistParser();
+
+  /// Registers an X-card TYPE (uppercased). Later registrations override.
+  void register_xdevice(const std::string& type, XDeviceFactory factory);
+
+  /// Parses netlist text; throws NetlistError with a line number on failure.
+  Netlist parse(const std::string& text);
+
+ private:
+  std::map<std::string, XDeviceFactory> xdevices_;
+};
+
+/// Helper for factories/tests: fetch a required parameter.
+double require_param(const XDeviceArgs& args, const std::string& key);
+/// Fetch with default.
+double param_or(const XDeviceArgs& args, const std::string& key, double fallback);
+
+}  // namespace usys::spice

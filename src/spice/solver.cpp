@@ -1,0 +1,195 @@
+#include "spice/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+#include "common/strings.hpp"
+
+namespace usys::spice {
+
+NewtonSolver::NewtonSolver(Circuit& circuit, NewtonOptions opts)
+    : circuit_(circuit), opts_(opts) {
+  circuit_.bind_all();
+  const auto n = static_cast<std::size_t>(circuit_.unknown_count());
+  f_.resize(n);
+  q_.resize(n);
+  resid_.resize(n);
+  jf_.resize(n, n);
+  jq_.resize(n, n);
+  jacobian_.resize(n, n);
+}
+
+void NewtonSolver::stamp(EvalCtx ctx_proto, const DVector& x, DVector& f, DVector& q,
+                         DMatrix& jf, DMatrix& jq) {
+  const std::size_t n = x.size();
+  f.assign(n, 0.0);
+  q.assign(n, 0.0);
+  jf.resize(n, n);
+  jq.resize(n, n);
+  jf.fill(0.0);
+  jq.fill(0.0);
+  EvalCtx ctx = ctx_proto;
+  ctx.x = &x;
+  ctx.f = &f;
+  ctx.q = &q;
+  ctx.jf = &jf;
+  ctx.jq = &jq;
+  for (const auto& dev : circuit_.devices()) dev->evaluate(ctx);
+  // gmin ties every *node* row weakly to ground, keeping the Jacobian
+  // nonsingular for floating subnets (branch rows are exact constraints and
+  // must not be polluted).
+  if (opts_.gmin > 0.0) {
+    const auto nodes = static_cast<std::size_t>(circuit_.node_count());
+    for (std::size_t i = 0; i < nodes; ++i) {
+      f[i] += opts_.gmin * x[i];
+      jf(i, i) += opts_.gmin;
+    }
+  }
+}
+
+NewtonResult NewtonSolver::solve(EvalCtx ctx_proto, double a0, const DVector& hist,
+                                 DVector& x) {
+  NewtonResult result;
+  const std::size_t n = x.size();
+  const DVector& abstol = circuit_.abstol();
+
+  for (int iter = 0; iter < opts_.max_iters; ++iter) {
+    stamp(ctx_proto, x, f_, q_, jf_, jq_);
+
+    // resid = f + a0*q + hist ; jacobian = Jf + a0*Jq
+    for (std::size_t i = 0; i < n; ++i) {
+      resid_[i] = f_[i] + a0 * q_[i] + (hist.empty() ? 0.0 : hist[i]);
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        jacobian_(r, c) = jf_(r, c) + a0 * jq_(r, c);
+      }
+    }
+
+    // Solve J dx = -resid.
+    DVector dx(n);
+    for (std::size_t i = 0; i < n; ++i) dx[i] = -resid_[i];
+    DMatrix j = jacobian_;  // LU destroys its input
+    try {
+      lu_solve(j, dx);
+    } catch (const SingularMatrixError&) {
+      log_debug("newton: singular jacobian at iter " + std::to_string(iter));
+      result.converged = false;
+      result.iterations = iter + 1;
+      return result;
+    }
+
+    // Optional step limiting (helps strongly nonlinear gap-closing regions).
+    if (opts_.damping_limit > 0.0) {
+      double scale = 1.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double mag = std::abs(dx[i]);
+        if (mag > opts_.damping_limit) scale = std::min(scale, opts_.damping_limit / mag);
+      }
+      if (scale < 1.0) {
+        for (auto& d : dx) d *= scale;
+      }
+    }
+
+    double max_weighted = 0.0;
+    bool finite = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!std::isfinite(dx[i])) {
+        finite = false;
+        break;
+      }
+      const double tol = opts_.reltol * std::max(std::abs(x[i]), std::abs(x[i] + dx[i])) +
+                         abstol[i];
+      max_weighted = std::max(max_weighted, std::abs(dx[i]) / tol);
+      x[i] += dx[i];
+    }
+    result.iterations = iter + 1;
+    result.final_error = max_weighted;
+    if (!finite) {
+      result.converged = false;
+      return result;
+    }
+    if (max_weighted < 1.0) {
+      result.converged = true;
+      return result;
+    }
+  }
+  result.converged = false;
+  return result;
+}
+
+DcResult solve_dc(Circuit& circuit, const DcOptions& opts) {
+  circuit.bind_all();
+  DcResult out;
+  out.x.assign(static_cast<std::size_t>(circuit.unknown_count()), 0.0);
+
+  EvalCtx ctx;
+  ctx.mode = AnalysisMode::dc;
+  ctx.time = 0.0;
+
+  // 1. Plain Newton from the zero vector.
+  {
+    NewtonSolver solver(circuit, opts.newton);
+    DVector x = out.x;
+    const NewtonResult r = solver.solve(ctx, 0.0, {}, x);
+    out.total_newton_iters += r.iterations;
+    if (r.converged) {
+      out.converged = true;
+      out.x = std::move(x);
+      return out;
+    }
+  }
+
+  // 2. gmin stepping: start with a heavy shunt and relax it geometrically,
+  //    warm-starting each stage with the previous solution.
+  if (opts.allow_gmin_stepping) {
+    DVector x(static_cast<std::size_t>(circuit.unknown_count()), 0.0);
+    bool ok = true;
+    for (double gmin = 1e-2; gmin >= opts.newton.gmin * 0.99; gmin /= 10.0) {
+      NewtonOptions stage = opts.newton;
+      stage.gmin = gmin;
+      NewtonSolver solver(circuit, stage);
+      const NewtonResult r = solver.solve(ctx, 0.0, {}, x);
+      out.total_newton_iters += r.iterations;
+      if (!r.converged) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      out.converged = true;
+      out.used_gmin_stepping = true;
+      out.x = std::move(x);
+      return out;
+    }
+  }
+
+  // 3. Source stepping: ramp all independent sources from 0 to 100 %.
+  if (opts.allow_source_stepping) {
+    DVector x(static_cast<std::size_t>(circuit.unknown_count()), 0.0);
+    bool ok = true;
+    NewtonSolver solver(circuit, opts.newton);
+    for (double scale = 0.1; scale <= 1.0 + 1e-12; scale += 0.1) {
+      EvalCtx sctx = ctx;
+      sctx.source_scale = scale;
+      const NewtonResult r = solver.solve(sctx, 0.0, {}, x);
+      out.total_newton_iters += r.iterations;
+      if (!r.converged) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      out.converged = true;
+      out.used_source_stepping = true;
+      out.x = std::move(x);
+      return out;
+    }
+  }
+
+  log_warn("solve_dc: no convergence (plain, gmin stepping, source stepping all failed)");
+  return out;
+}
+
+}  // namespace usys::spice

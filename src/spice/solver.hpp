@@ -1,0 +1,68 @@
+// Newton-Raphson kernel shared by the DC and transient analyses.
+//
+// Solves F(x) = f(x) + a0*q(x) + hist = 0 with J = Jf + a0*Jq, where the
+// caller chooses a0/hist (a0 = 0, hist = 0 recovers DC). Robustness aids:
+// diagonal gmin on node rows, per-unknown weighted convergence (reltol +
+// nature-dependent abstol), step limiting, and — for hard DC points —
+// gmin stepping and source stepping continuation.
+#pragma once
+
+#include <functional>
+
+#include "spice/circuit.hpp"
+
+namespace usys::spice {
+
+struct NewtonOptions {
+  int max_iters = 100;
+  double reltol = 1e-6;
+  double gmin = 1e-12;        ///< always-on diagonal conductance on node rows
+  double damping_limit = 0.0; ///< max |dx| per iteration per unknown; 0 = off
+};
+
+struct NewtonResult {
+  bool converged = false;
+  int iterations = 0;
+  double final_error = 0.0;  ///< max weighted update of the last iteration
+};
+
+/// One Newton solve at fixed (a0, hist, ctx template). `ctx_proto` supplies
+/// mode/time/integ coefficients; x is the initial guess and the result.
+class NewtonSolver {
+ public:
+  NewtonSolver(Circuit& circuit, NewtonOptions opts);
+
+  /// hist may be empty (treated as zero).
+  NewtonResult solve(EvalCtx ctx_proto, double a0, const DVector& hist, DVector& x);
+
+  /// Evaluates f, q, Jf, Jq at x (single stamp pass; used by analyses to
+  /// harvest charges and by the AC path to linearize).
+  void stamp(EvalCtx ctx_proto, const DVector& x, DVector& f, DVector& q, DMatrix& jf,
+             DMatrix& jq);
+
+ private:
+  Circuit& circuit_;
+  NewtonOptions opts_;
+  // Scratch, reused across iterations to avoid reallocations.
+  DVector f_, q_, resid_;
+  DMatrix jf_, jq_, jacobian_;
+};
+
+/// Full DC operating point with gmin/source stepping fallbacks.
+struct DcOptions {
+  NewtonOptions newton;
+  bool allow_gmin_stepping = true;
+  bool allow_source_stepping = true;
+};
+
+struct DcResult {
+  bool converged = false;
+  DVector x;
+  int total_newton_iters = 0;
+  bool used_gmin_stepping = false;
+  bool used_source_stepping = false;
+};
+
+DcResult solve_dc(Circuit& circuit, const DcOptions& opts = {});
+
+}  // namespace usys::spice

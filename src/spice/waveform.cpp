@@ -1,0 +1,103 @@
+#include "spice/waveform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/constants.hpp"
+
+namespace usys::spice {
+
+PulseWave::PulseWave(double v1, double v2, double delay, double rise, double fall,
+                     double width, double period)
+    : v1_(v1), v2_(v2), td_(delay), tr_(rise), tf_(fall), pw_(width), per_(period) {
+  if (tr_ < 0 || tf_ < 0 || pw_ < 0) throw std::invalid_argument("PulseWave: negative timing");
+  // Zero rise/fall would make value(t) discontinuous and the Jacobian of a
+  // driven system rank-deficient at the corner; clamp to 1 ps like SPICE.
+  tr_ = std::max(tr_, 1e-12);
+  tf_ = std::max(tf_, 1e-12);
+}
+
+double PulseWave::value(double t) const {
+  double tl = t - td_;
+  if (tl < 0) return v1_;
+  if (per_ > 0) tl = std::fmod(tl, per_);
+  if (tl < tr_) return v1_ + (v2_ - v1_) * tl / tr_;
+  if (tl < tr_ + pw_) return v2_;
+  if (tl < tr_ + pw_ + tf_) return v2_ + (v1_ - v2_) * (tl - tr_ - pw_) / tf_;
+  return v1_;
+}
+
+void PulseWave::breakpoints(std::vector<double>& out) const {
+  const int cycles = per_ > 0 ? 4 : 1;  // enough cycles for our analyses
+  for (int c = 0; c < cycles; ++c) {
+    const double base = td_ + c * per_;
+    out.push_back(base);
+    out.push_back(base + tr_);
+    out.push_back(base + tr_ + pw_);
+    out.push_back(base + tr_ + pw_ + tf_);
+  }
+}
+
+SinWave::SinWave(double offset, double amplitude, double freq, double delay, double damping)
+    : vo_(offset), va_(amplitude), freq_(freq), td_(delay), theta_(damping) {}
+
+double SinWave::value(double t) const {
+  if (t < td_) return vo_;
+  const double tl = t - td_;
+  return vo_ + va_ * std::sin(2.0 * kPi * freq_ * tl) * std::exp(-tl * theta_);
+}
+
+PwlWave::PwlWave(std::vector<std::pair<double, double>> points) : pts_(std::move(points)) {
+  if (pts_.empty()) throw std::invalid_argument("PwlWave: empty point list");
+  for (std::size_t i = 1; i < pts_.size(); ++i) {
+    if (pts_[i].first < pts_[i - 1].first)
+      throw std::invalid_argument("PwlWave: time points must be non-decreasing");
+  }
+}
+
+double PwlWave::value(double t) const {
+  if (t <= pts_.front().first) return pts_.front().second;
+  if (t >= pts_.back().first) return pts_.back().second;
+  // Linear search is fine: waveforms have a handful of corners.
+  for (std::size_t i = 1; i < pts_.size(); ++i) {
+    if (t <= pts_[i].first) {
+      const auto& [t0, v0] = pts_[i - 1];
+      const auto& [t1, v1] = pts_[i];
+      if (t1 == t0) return v1;
+      return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+    }
+  }
+  return pts_.back().second;
+}
+
+void PwlWave::breakpoints(std::vector<double>& out) const {
+  for (const auto& [t, v] : pts_) {
+    (void)v;
+    out.push_back(t);
+  }
+}
+
+std::unique_ptr<Waveform> make_fig5_pulse_train(const std::vector<double>& levels,
+                                                double total, double rise, double fall) {
+  if (levels.empty()) throw std::invalid_argument("pulse train: no levels");
+  // Lay the pulses out evenly: each level gets an equal slot with a small
+  // leading gap so the system starts (and re-settles) at rest, matching the
+  // three separate excitations visible in the paper's Fig. 5 upper plot.
+  std::vector<std::pair<double, double>> pts;
+  const double slot = total / static_cast<double>(levels.size());
+  const double gap = 0.1 * slot;
+  pts.emplace_back(0.0, 0.0);
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const double t0 = slot * static_cast<double>(i) + gap;
+    const double t1 = slot * static_cast<double>(i + 1) - gap;
+    pts.emplace_back(t0, 0.0);
+    pts.emplace_back(t0 + rise, levels[i]);
+    pts.emplace_back(t1 - fall, levels[i]);
+    pts.emplace_back(t1, 0.0);
+  }
+  pts.emplace_back(total, 0.0);
+  return std::make_unique<PwlWave>(std::move(pts));
+}
+
+}  // namespace usys::spice

@@ -1,0 +1,77 @@
+// Time-domain source waveforms (SPICE-compatible subset).
+//
+// The Fig. 5 experiment drives the transducer with "a voltage source with a
+// finite rise and fall time" — a PULSE waveform. PWL covers arbitrary
+// piecewise-linear drives, SIN covers the harmonic benches.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+namespace usys::spice {
+
+/// Abstract waveform: value(t) plus the corner times ("breakpoints") the
+/// transient integrator must land on exactly for accuracy.
+class Waveform {
+ public:
+  virtual ~Waveform() = default;
+  virtual double value(double t) const = 0;
+  virtual void breakpoints(std::vector<double>& out) const { (void)out; }
+  virtual std::unique_ptr<Waveform> clone() const = 0;
+};
+
+/// Constant value (DC source).
+class DcWave final : public Waveform {
+ public:
+  explicit DcWave(double v) : v_(v) {}
+  double value(double) const override { return v_; }
+  std::unique_ptr<Waveform> clone() const override { return std::make_unique<DcWave>(*this); }
+
+ private:
+  double v_;
+};
+
+/// SPICE PULSE(v1 v2 td tr tf pw per). A single pulse if per <= 0.
+class PulseWave final : public Waveform {
+ public:
+  PulseWave(double v1, double v2, double delay, double rise, double fall, double width,
+            double period = 0.0);
+  double value(double t) const override;
+  void breakpoints(std::vector<double>& out) const override;
+  std::unique_ptr<Waveform> clone() const override { return std::make_unique<PulseWave>(*this); }
+
+ private:
+  double v1_, v2_, td_, tr_, tf_, pw_, per_;
+};
+
+/// SPICE SIN(vo va freq td theta): vo + va*sin(2*pi*f*(t-td))*exp(-(t-td)*theta).
+class SinWave final : public Waveform {
+ public:
+  SinWave(double offset, double amplitude, double freq, double delay = 0.0,
+          double damping = 0.0);
+  double value(double t) const override;
+  std::unique_ptr<Waveform> clone() const override { return std::make_unique<SinWave>(*this); }
+
+ private:
+  double vo_, va_, freq_, td_, theta_;
+};
+
+/// Piecewise-linear (t0,v0) (t1,v1) ...; clamps outside the range.
+class PwlWave final : public Waveform {
+ public:
+  explicit PwlWave(std::vector<std::pair<double, double>> points);
+  double value(double t) const override;
+  void breakpoints(std::vector<double>& out) const override;
+  std::unique_ptr<Waveform> clone() const override { return std::make_unique<PwlWave>(*this); }
+
+ private:
+  std::vector<std::pair<double, double>> pts_;
+};
+
+/// The paper's Fig. 5 drive: a train of pulses with finite rise/fall, one
+/// per amplitude in `levels` (5 V, 10 V, 15 V in the paper), laid out
+/// back-to-back in a window of length `total`.
+std::unique_ptr<Waveform> make_fig5_pulse_train(const std::vector<double>& levels,
+                                                double total, double rise, double fall);
+
+}  // namespace usys::spice

@@ -1,0 +1,62 @@
+#include "sym/expr.hpp"
+
+namespace usys::sym {
+
+// Textbook recursive differentiation. Local trivial folding (derivative of
+// a subtree that does not mention `v` is 0) keeps intermediate results from
+// exploding; the caller runs simplify() for presentable output.
+Expr diff(const Expr& e, const std::string& v) {
+  if (!e.depends_on(v)) return Expr(0.0);
+  switch (e.kind()) {
+    case Kind::constant:
+      return Expr(0.0);
+    case Kind::variable:
+      return e.name() == v ? Expr(1.0) : Expr(0.0);
+    case Kind::add:
+      return diff(e.args()[0], v) + diff(e.args()[1], v);
+    case Kind::sub:
+      return diff(e.args()[0], v) - diff(e.args()[1], v);
+    case Kind::mul: {
+      const Expr& a = e.args()[0];
+      const Expr& b = e.args()[1];
+      return diff(a, v) * b + a * diff(b, v);
+    }
+    case Kind::div: {
+      const Expr& a = e.args()[0];
+      const Expr& b = e.args()[1];
+      return (diff(a, v) * b - a * diff(b, v)) / (b * b);
+    }
+    case Kind::neg:
+      return -diff(e.args()[0], v);
+    case Kind::pow: {
+      const Expr& base = e.args()[0];
+      const Expr& expo = e.args()[1];
+      if (!expo.depends_on(v)) {
+        // d/dv base^n = n * base^(n-1) * base'
+        return expo * pow(base, expo - Expr(1.0)) * diff(base, v);
+      }
+      // General case: base^expo = exp(expo*log(base)).
+      return e * (diff(expo, v) * log(base) + expo * diff(base, v) / base);
+    }
+    case Kind::sin:
+      return cos(e.args()[0]) * diff(e.args()[0], v);
+    case Kind::cos:
+      return -(sin(e.args()[0]) * diff(e.args()[0], v));
+    case Kind::tan: {
+      const Expr c = cos(e.args()[0]);
+      return diff(e.args()[0], v) / (c * c);
+    }
+    case Kind::exp:
+      return e * diff(e.args()[0], v);
+    case Kind::log:
+      return diff(e.args()[0], v) / e.args()[0];
+    case Kind::sqrt:
+      return diff(e.args()[0], v) / (Expr(2.0) * e);
+    case Kind::abs:
+      // d|u|/dv = sign(u) u' ; representable as u/|u| * u'.
+      return e.args()[0] / e * diff(e.args()[0], v);
+  }
+  throw std::logic_error("sym::diff: unreachable kind");
+}
+
+}  // namespace usys::sym

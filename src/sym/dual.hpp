@@ -1,0 +1,131 @@
+// Forward-mode automatic differentiation with a dynamic gradient vector.
+//
+// The HDL-AT interpreter evaluates model expressions with Dual operands so
+// that the Newton Jacobian entries (d flow / d port-unknown) come out exact
+// in a single evaluation pass — no numeric differencing, no extra model
+// calls. Devices have a handful of pins, so gradients stay tiny.
+//
+// Header-only; value semantics.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace usys::sym {
+
+/// value + gradient w.r.t. a fixed set of seed unknowns.
+class Dual {
+ public:
+  Dual() = default;
+  /// Constant with an n-dimensional zero gradient.
+  explicit Dual(double v, std::size_t n = 0) : v_(v), g_(n, 0.0) {}
+  /// Seed: the `i`-th independent variable out of `n`.
+  static Dual seed(double v, std::size_t i, std::size_t n) {
+    Dual d(v, n);
+    d.g_[i] = 1.0;
+    return d;
+  }
+
+  double value() const noexcept { return v_; }
+  std::size_t size() const noexcept { return g_.size(); }
+  double grad(std::size_t i) const noexcept { return i < g_.size() ? g_[i] : 0.0; }
+  const std::vector<double>& grad() const noexcept { return g_; }
+
+  Dual& operator+=(const Dual& o) {
+    widen(o.size());
+    v_ += o.v_;
+    for (std::size_t i = 0; i < o.g_.size(); ++i) g_[i] += o.g_[i];
+    return *this;
+  }
+  Dual& operator-=(const Dual& o) {
+    widen(o.size());
+    v_ -= o.v_;
+    for (std::size_t i = 0; i < o.g_.size(); ++i) g_[i] -= o.g_[i];
+    return *this;
+  }
+
+  friend Dual operator+(Dual a, const Dual& b) { return a += b; }
+  friend Dual operator-(Dual a, const Dual& b) { return a -= b; }
+  friend Dual operator-(const Dual& a) {
+    Dual r(-a.v_, a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) r.g_[i] = -a.g_[i];
+    return r;
+  }
+  friend Dual operator*(const Dual& a, const Dual& b) {
+    Dual r(a.v_ * b.v_, std::max(a.size(), b.size()));
+    for (std::size_t i = 0; i < r.size(); ++i)
+      r.g_[i] = a.grad(i) * b.v_ + a.v_ * b.grad(i);
+    return r;
+  }
+  friend Dual operator/(const Dual& a, const Dual& b) {
+    const double inv = 1.0 / b.v_;
+    Dual r(a.v_ * inv, std::max(a.size(), b.size()));
+    for (std::size_t i = 0; i < r.size(); ++i)
+      r.g_[i] = (a.grad(i) - r.v_ * b.grad(i)) * inv;
+    return r;
+  }
+
+  // double interop
+  friend Dual operator+(Dual a, double b) { a.v_ += b; return a; }
+  friend Dual operator+(double a, Dual b) { b.v_ += a; return b; }
+  friend Dual operator-(Dual a, double b) { a.v_ -= b; return a; }
+  friend Dual operator-(double a, const Dual& b) { return -b + a; }
+  friend Dual operator*(Dual a, double b) {
+    a.v_ *= b;
+    for (auto& g : a.g_) g *= b;
+    return a;
+  }
+  friend Dual operator*(double a, Dual b) { return std::move(b) * a; }
+  friend Dual operator/(Dual a, double b) { return std::move(a) * (1.0 / b); }
+  friend Dual operator/(double a, const Dual& b) { return Dual(a) / b; }
+
+ private:
+  /// Applies f with derivative df to one operand (chain rule).
+  friend Dual unary(const Dual& a, double f, double df) {
+    Dual r(f, a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) r.g_[i] = df * a.g_[i];
+    return r;
+  }
+
+ public:
+  friend Dual sin(const Dual& a) { return unary(a, std::sin(a.v_), std::cos(a.v_)); }
+  friend Dual cos(const Dual& a) { return unary(a, std::cos(a.v_), -std::sin(a.v_)); }
+  friend Dual tan(const Dual& a) {
+    const double c = std::cos(a.v_);
+    return unary(a, std::tan(a.v_), 1.0 / (c * c));
+  }
+  friend Dual exp(const Dual& a) {
+    const double e = std::exp(a.v_);
+    return unary(a, e, e);
+  }
+  friend Dual log(const Dual& a) { return unary(a, std::log(a.v_), 1.0 / a.v_); }
+  friend Dual sqrt(const Dual& a) {
+    const double s = std::sqrt(a.v_);
+    return unary(a, s, 0.5 / s);
+  }
+  friend Dual abs(const Dual& a) {
+    return unary(a, std::abs(a.v_), a.v_ >= 0.0 ? 1.0 : -1.0);
+  }
+  friend Dual pow(const Dual& a, const Dual& b) {
+    // General a^b = exp(b log a); specialize constant exponent (common case).
+    const double f = std::pow(a.v_, b.v_);
+    Dual r(f, std::max(a.size(), b.size()));
+    const double dfa = b.v_ * std::pow(a.v_, b.v_ - 1.0);
+    const double dfb = (a.v_ > 0.0) ? f * std::log(a.v_) : 0.0;
+    for (std::size_t i = 0; i < r.size(); ++i)
+      r.g_[i] = dfa * a.grad(i) + dfb * b.grad(i);
+    return r;
+  }
+
+ private:
+  void widen(std::size_t n) {
+    if (g_.size() < n) g_.resize(n, 0.0);
+  }
+
+  double v_ = 0.0;
+  std::vector<double> g_;
+};
+
+}  // namespace usys::sym

@@ -1,0 +1,53 @@
+#include <cmath>
+
+#include "sym/expr.hpp"
+
+namespace usys::sym {
+
+double eval(const Expr& e, const Env& env) {
+  switch (e.kind()) {
+    case Kind::constant:
+      return e.value();
+    case Kind::variable: {
+      auto it = env.find(e.name());
+      if (it == env.end())
+        throw std::out_of_range("unbound variable in sym::eval: " + e.name());
+      return it->second;
+    }
+    case Kind::add:
+      return eval(e.args()[0], env) + eval(e.args()[1], env);
+    case Kind::sub:
+      return eval(e.args()[0], env) - eval(e.args()[1], env);
+    case Kind::mul:
+      return eval(e.args()[0], env) * eval(e.args()[1], env);
+    case Kind::div:
+      return eval(e.args()[0], env) / eval(e.args()[1], env);
+    case Kind::neg:
+      return -eval(e.args()[0], env);
+    case Kind::pow:
+      return std::pow(eval(e.args()[0], env), eval(e.args()[1], env));
+    case Kind::sin:
+      return std::sin(eval(e.args()[0], env));
+    case Kind::cos:
+      return std::cos(eval(e.args()[0], env));
+    case Kind::tan:
+      return std::tan(eval(e.args()[0], env));
+    case Kind::exp:
+      return std::exp(eval(e.args()[0], env));
+    case Kind::log: {
+      const double x = eval(e.args()[0], env);
+      if (x <= 0.0) throw std::domain_error("sym::eval: log of non-positive value");
+      return std::log(x);
+    }
+    case Kind::sqrt: {
+      const double x = eval(e.args()[0], env);
+      if (x < 0.0) throw std::domain_error("sym::eval: sqrt of negative value");
+      return std::sqrt(x);
+    }
+    case Kind::abs:
+      return std::abs(eval(e.args()[0], env));
+  }
+  throw std::logic_error("sym::eval: unreachable kind");
+}
+
+}  // namespace usys::sym

@@ -1,0 +1,138 @@
+#include "sym/expr.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace usys::sym {
+
+Expr make_node(Kind kind, double value, std::string name, std::vector<Expr> args) {
+  auto node = std::make_shared<Node>();
+  node->kind = kind;
+  node->value = value;
+  node->name = std::move(name);
+  node->args = std::move(args);
+  return Expr(NodePtr(std::move(node)));
+}
+
+Expr::Expr() : Expr(0.0) {}
+
+Expr::Expr(double v) { *this = make_node(Kind::constant, v, {}, {}); }
+
+Expr Expr::constant(double v) { return Expr(v); }
+
+Expr Expr::variable(std::string name) {
+  return make_node(Kind::variable, 0.0, std::move(name), {});
+}
+
+Expr Expr::make(Kind kind, std::vector<Expr> args) {
+  return make_node(kind, 0.0, {}, std::move(args));
+}
+
+Kind Expr::kind() const noexcept { return node_->kind; }
+
+double Expr::value() const {
+  if (node_->kind != Kind::constant) throw std::logic_error("Expr::value on non-constant");
+  return node_->value;
+}
+
+const std::string& Expr::name() const {
+  if (node_->kind != Kind::variable) throw std::logic_error("Expr::name on non-variable");
+  return node_->name;
+}
+
+const std::vector<Expr>& Expr::args() const noexcept { return node_->args; }
+
+bool Expr::is_constant(double v) const noexcept {
+  return node_->kind == Kind::constant && node_->value == v;
+}
+
+bool Expr::equals(const Expr& other) const noexcept {
+  if (node_ == other.node_) return true;
+  if (node_->kind != other.node_->kind) return false;
+  switch (node_->kind) {
+    case Kind::constant:
+      return node_->value == other.node_->value;
+    case Kind::variable:
+      return node_->name == other.node_->name;
+    default:
+      if (node_->args.size() != other.node_->args.size()) return false;
+      for (std::size_t i = 0; i < node_->args.size(); ++i) {
+        if (!node_->args[i].equals(other.node_->args[i])) return false;
+      }
+      return true;
+  }
+}
+
+namespace {
+
+void collect_vars(const Expr& e, std::set<std::string>& out) {
+  if (e.kind() == Kind::variable) {
+    out.insert(e.name());
+    return;
+  }
+  for (const auto& a : e.args()) collect_vars(a, out);
+}
+
+}  // namespace
+
+std::vector<std::string> Expr::variables() const {
+  std::set<std::string> s;
+  collect_vars(*this, s);
+  return {s.begin(), s.end()};
+}
+
+bool Expr::depends_on(const std::string& v) const noexcept {
+  if (kind() == Kind::variable) return name() == v;
+  for (const auto& a : args()) {
+    if (a.depends_on(v)) return true;
+  }
+  return false;
+}
+
+Expr operator+(const Expr& a, const Expr& b) { return Expr::make(Kind::add, {a, b}); }
+Expr operator-(const Expr& a, const Expr& b) { return Expr::make(Kind::sub, {a, b}); }
+Expr operator*(const Expr& a, const Expr& b) { return Expr::make(Kind::mul, {a, b}); }
+Expr operator/(const Expr& a, const Expr& b) { return Expr::make(Kind::div, {a, b}); }
+Expr operator-(const Expr& a) { return Expr::make(Kind::neg, {a}); }
+
+Expr pow(const Expr& base, const Expr& exponent) {
+  return Expr::make(Kind::pow, {base, exponent});
+}
+Expr sin(const Expr& x) { return Expr::make(Kind::sin, {x}); }
+Expr cos(const Expr& x) { return Expr::make(Kind::cos, {x}); }
+Expr tan(const Expr& x) { return Expr::make(Kind::tan, {x}); }
+Expr exp(const Expr& x) { return Expr::make(Kind::exp, {x}); }
+Expr log(const Expr& x) { return Expr::make(Kind::log, {x}); }
+Expr sqrt(const Expr& x) { return Expr::make(Kind::sqrt, {x}); }
+Expr abs(const Expr& x) { return Expr::make(Kind::abs, {x}); }
+
+Expr var(std::string name) { return Expr::variable(std::move(name)); }
+
+std::size_t node_count(const Expr& e) {
+  std::size_t n = 1;
+  for (const auto& a : e.args()) n += node_count(a);
+  return n;
+}
+
+Expr substitute(const Expr& e, const std::string& v, const Expr& replacement) {
+  switch (e.kind()) {
+    case Kind::constant:
+      return e;
+    case Kind::variable:
+      return e.name() == v ? replacement : e;
+    default: {
+      std::vector<Expr> args;
+      args.reserve(e.args().size());
+      bool changed = false;
+      for (const auto& a : e.args()) {
+        Expr na = substitute(a, v, replacement);
+        changed = changed || na.raw() != a.raw();
+        args.push_back(std::move(na));
+      }
+      if (!changed) return e;
+      return Expr::make(e.kind(), std::move(args));
+    }
+  }
+}
+
+}  // namespace usys::sym

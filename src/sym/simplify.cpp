@@ -1,0 +1,119 @@
+#include <cmath>
+
+#include "sym/expr.hpp"
+
+namespace usys::sym {
+namespace {
+
+bool all_constant(const std::vector<Expr>& args) {
+  for (const auto& a : args) {
+    if (!a.is_constant()) return false;
+  }
+  return true;
+}
+
+double fold(Kind kind, const std::vector<Expr>& args) {
+  switch (kind) {
+    case Kind::add: return args[0].value() + args[1].value();
+    case Kind::sub: return args[0].value() - args[1].value();
+    case Kind::mul: return args[0].value() * args[1].value();
+    case Kind::div: return args[0].value() / args[1].value();
+    case Kind::neg: return -args[0].value();
+    case Kind::pow: return std::pow(args[0].value(), args[1].value());
+    case Kind::sin: return std::sin(args[0].value());
+    case Kind::cos: return std::cos(args[0].value());
+    case Kind::tan: return std::tan(args[0].value());
+    case Kind::exp: return std::exp(args[0].value());
+    case Kind::log: return std::log(args[0].value());
+    case Kind::sqrt: return std::sqrt(args[0].value());
+    case Kind::abs: return std::abs(args[0].value());
+    default: throw std::logic_error("fold: not a foldable kind");
+  }
+}
+
+Expr simplify_once(const Expr& e);
+
+Expr simplify_node(Kind kind, std::vector<Expr> args) {
+  // Division by zero must not be folded away; keep the node so eval reports it.
+  const bool div_by_zero = kind == Kind::div && args[1].is_constant(0.0);
+  if (all_constant(args) && kind != Kind::constant && kind != Kind::variable &&
+      !div_by_zero) {
+    // log/sqrt of negative constants are domain errors at eval time; keep
+    // symbolic so the error surfaces where it is diagnosable.
+    if (!((kind == Kind::log && args[0].value() <= 0.0) ||
+          (kind == Kind::sqrt && args[0].value() < 0.0))) {
+      return Expr(fold(kind, args));
+    }
+  }
+
+  const Expr& a = args[0];
+  switch (kind) {
+    case Kind::add:
+      if (a.is_constant(0.0)) return args[1];
+      if (args[1].is_constant(0.0)) return a;
+      break;
+    case Kind::sub:
+      if (args[1].is_constant(0.0)) return a;
+      if (a.is_constant(0.0)) return simplify_once(-args[1]);
+      if (a.equals(args[1])) return Expr(0.0);
+      break;
+    case Kind::mul:
+      if (a.is_constant(0.0) || args[1].is_constant(0.0)) return Expr(0.0);
+      if (a.is_constant(1.0)) return args[1];
+      if (args[1].is_constant(1.0)) return a;
+      if (a.is_constant(-1.0)) return simplify_once(-args[1]);
+      if (args[1].is_constant(-1.0)) return simplify_once(-a);
+      // Normalize constants to the left so products print like the paper
+      // ("e0*er*A/(d+x)" rather than "A*er*e0/...").
+      if (args[1].is_constant() && !a.is_constant())
+        return Expr::make(Kind::mul, {args[1], a});
+      break;
+    case Kind::div:
+      if (a.is_constant(0.0) && !args[1].is_constant(0.0)) return Expr(0.0);
+      if (args[1].is_constant(1.0)) return a;
+      if (a.equals(args[1]) && !a.is_constant(0.0)) return Expr(1.0);
+      break;
+    case Kind::neg:
+      if (a.kind() == Kind::neg) return a.args()[0];
+      if (a.is_constant()) return Expr(-a.value());
+      break;
+    case Kind::pow:
+      if (args[1].is_constant(0.0)) return Expr(1.0);
+      if (args[1].is_constant(1.0)) return a;
+      if (a.is_constant(1.0)) return Expr(1.0);
+      break;
+    default:
+      break;
+  }
+  return Expr::make(kind, std::move(args));
+}
+
+Expr simplify_once(const Expr& e) {
+  switch (e.kind()) {
+    case Kind::constant:
+    case Kind::variable:
+      return e;
+    default: {
+      std::vector<Expr> args;
+      args.reserve(e.args().size());
+      for (const auto& a : e.args()) args.push_back(simplify_once(a));
+      return simplify_node(e.kind(), std::move(args));
+    }
+  }
+}
+
+}  // namespace
+
+Expr simplify(const Expr& e) {
+  // Iterate to a fixed point: each pass can expose new folds (e.g. a neg
+  // collapsing turns (x - -y) into (x + y) territory on the next pass).
+  Expr cur = e;
+  for (int pass = 0; pass < 8; ++pass) {
+    Expr next = simplify_once(cur);
+    if (next.equals(cur)) return next;
+    cur = next;
+  }
+  return cur;
+}
+
+}  // namespace usys::sym

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/matrix.hpp"
+
+namespace usys {
+namespace {
+
+TEST(Matrix, LuSolves2x2) {
+  DMatrix a(2, 2);
+  a(0, 0) = 2.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 3.0;
+  DVector b = {5.0, 10.0};
+  lu_solve(a, b);
+  EXPECT_NEAR(b[0], 1.0, 1e-12);
+  EXPECT_NEAR(b[1], 3.0, 1e-12);
+}
+
+TEST(Matrix, LuRequiresPivoting) {
+  // Zero on the initial diagonal forces a row swap.
+  DMatrix a(2, 2);
+  a(0, 0) = 0.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 0.0;
+  DVector b = {2.0, 3.0};
+  lu_solve(a, b);
+  EXPECT_NEAR(b[0], 3.0, 1e-12);
+  EXPECT_NEAR(b[1], 2.0, 1e-12);
+}
+
+TEST(Matrix, LuSingularThrows) {
+  DMatrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;
+  DVector b = {1.0, 2.0};
+  EXPECT_THROW(lu_solve(a, b), SingularMatrixError);
+}
+
+TEST(Matrix, LuRandomRoundTrip) {
+  // x -> b = A x -> solve -> x for a deterministic pseudo-random matrix.
+  const std::size_t n = 12;
+  DMatrix a(n, n);
+  unsigned seed = 12345;
+  auto rnd = [&seed]() {
+    seed = seed * 1664525u + 1013904223u;
+    return static_cast<double>(seed % 1000) / 500.0 - 1.0;
+  };
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rnd();
+    a(r, r) += 4.0;  // diagonally dominant => nonsingular
+  }
+  DVector x_true(n);
+  for (std::size_t i = 0; i < n; ++i) x_true[i] = rnd();
+  DVector b(n, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) b[r] += a(r, c) * x_true[c];
+  }
+  DMatrix a_copy = a;
+  lu_solve(a_copy, b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(b[i], x_true[i], 1e-10);
+}
+
+TEST(Matrix, ComplexLu) {
+  ZMatrix a(2, 2);
+  a(0, 0) = {1.0, 1.0};
+  a(0, 1) = {0.0, 0.0};
+  a(1, 0) = {0.0, 0.0};
+  a(1, 1) = {0.0, 2.0};
+  ZVector b = {{2.0, 0.0}, {4.0, 0.0}};
+  lu_solve(a, b);
+  EXPECT_NEAR(b[0].real(), 1.0, 1e-12);
+  EXPECT_NEAR(b[0].imag(), -1.0, 1e-12);
+  EXPECT_NEAR(b[1].real(), 0.0, 1e-12);
+  EXPECT_NEAR(b[1].imag(), -2.0, 1e-12);
+}
+
+TEST(Matrix, LeastSquaresLine) {
+  // Fit y = 2x + 1 through exact samples.
+  DMatrix a(4, 2);
+  DVector b(4);
+  const double xs[] = {0.0, 1.0, 2.0, 3.0};
+  for (std::size_t i = 0; i < 4; ++i) {
+    a(i, 0) = 1.0;
+    a(i, 1) = xs[i];
+    b[i] = 2.0 * xs[i] + 1.0;
+  }
+  const DVector c = least_squares(a, b);
+  EXPECT_NEAR(c[0], 1.0, 1e-10);
+  EXPECT_NEAR(c[1], 2.0, 1e-10);
+}
+
+TEST(Matrix, LeastSquaresOverdeterminedNoise) {
+  // Residual-minimizing solution of an inconsistent system lies between.
+  DMatrix a(2, 1);
+  a(0, 0) = 1.0;
+  a(1, 0) = 1.0;
+  DVector b = {1.0, 3.0};
+  const DVector c = least_squares(a, b);
+  EXPECT_NEAR(c[0], 2.0, 1e-12);
+}
+
+TEST(Matrix, Norms) {
+  const DVector v = {3.0, -4.0};
+  EXPECT_DOUBLE_EQ(norm2(v), 5.0);
+  EXPECT_DOUBLE_EQ(norm_inf(v), 4.0);
+  EXPECT_DOUBLE_EQ(dot(v, v), 25.0);
+  const DVector d = subtract(v, {1.0, -1.0});
+  EXPECT_DOUBLE_EQ(d[0], 2.0);
+  EXPECT_DOUBLE_EQ(d[1], -3.0);
+}
+
+TEST(Matrix, FillAndResize) {
+  DMatrix m(2, 3, 1.0);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.0);
+  m.fill(0.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+  m.resize(4, 4);
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_DOUBLE_EQ(m(3, 3), 0.0);
+}
+
+}  // namespace
+}  // namespace usys

@@ -1,0 +1,75 @@
+// Table 1 of the paper: generalized variables per physical domain.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/nature.hpp"
+
+namespace usys {
+namespace {
+
+TEST(Nature, Table1Rows) {
+  const auto& elec = nature_info(Nature::electrical);
+  EXPECT_EQ(elec.effort_name, "voltage");
+  EXPECT_EQ(elec.flow_name, "current");
+  EXPECT_EQ(elec.state_name, "charge");
+  EXPECT_EQ(elec.momentum_name, "flux linkage");
+
+  const auto& mech = nature_info(Nature::mechanical_translation);
+  EXPECT_EQ(mech.effort_name, "velocity");  // FI analogy: velocity is across
+  EXPECT_EQ(mech.flow_name, "force");
+  EXPECT_EQ(mech.state_name, "displacement");
+
+  const auto& rot = nature_info(Nature::mechanical_rotation);
+  EXPECT_EQ(rot.flow_name, "torque");
+
+  const auto& hyd = nature_info(Nature::hydraulic);
+  EXPECT_EQ(hyd.effort_name, "pressure");
+  EXPECT_EQ(hyd.flow_name, "volume flow rate");
+}
+
+TEST(Nature, ParseCanonicalNames) {
+  Nature n{};
+  EXPECT_TRUE(parse_nature("electrical", n));
+  EXPECT_EQ(n, Nature::electrical);
+  EXPECT_TRUE(parse_nature("mechanical1", n));
+  EXPECT_EQ(n, Nature::mechanical_translation);
+  EXPECT_TRUE(parse_nature("rotational", n));
+  EXPECT_EQ(n, Nature::mechanical_rotation);
+  EXPECT_TRUE(parse_nature("hydraulic", n));
+  EXPECT_EQ(n, Nature::hydraulic);
+  EXPECT_TRUE(parse_nature("thermal", n));
+  EXPECT_EQ(n, Nature::thermal);
+}
+
+TEST(Nature, ParseAliases) {
+  Nature n{};
+  EXPECT_TRUE(parse_nature("mechanical", n));
+  EXPECT_EQ(n, Nature::mechanical_translation);
+  EXPECT_TRUE(parse_nature("fluidic", n));
+  EXPECT_EQ(n, Nature::hydraulic);
+}
+
+TEST(Nature, ParseRejectsUnknown) {
+  Nature n{};
+  EXPECT_FALSE(parse_nature("quantum", n));
+}
+
+TEST(Nature, IterationCoversAll) {
+  for (int i = 0; i < kNatureCount; ++i) {
+    const Nature n = nature_at(i);
+    EXPECT_FALSE(to_string(n).empty());
+    Nature round_trip{};
+    EXPECT_TRUE(parse_nature(to_string(n), round_trip));
+    EXPECT_EQ(round_trip, n);
+  }
+}
+
+TEST(Nature, StreamOutput) {
+  std::ostringstream os;
+  os << Nature::hydraulic;
+  EXPECT_EQ(os.str(), "hydraulic");
+}
+
+}  // namespace
+}  // namespace usys

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "common/strings.hpp"
+
+namespace usys {
+namespace {
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  abc \t"), "abc");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, Split) {
+  const auto parts = split("a b\tc", " \t");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+  EXPECT_TRUE(split("", " ").empty());
+  EXPECT_EQ(split("  a  ", " ").size(), 1u);
+}
+
+TEST(Strings, CaseHelpers) {
+  EXPECT_EQ(to_lower("AbC"), "abc");
+  EXPECT_TRUE(iequals("PULSE", "pulse"));
+  EXPECT_FALSE(iequals("puls", "pulse"));
+}
+
+TEST(Strings, SpiceNumbersPlain) {
+  EXPECT_DOUBLE_EQ(*parse_spice_number("42"), 42.0);
+  EXPECT_DOUBLE_EQ(*parse_spice_number("-1.5e-3"), -1.5e-3);
+}
+
+TEST(Strings, SpiceNumberSuffixes) {
+  EXPECT_DOUBLE_EQ(*parse_spice_number("1k"), 1e3);
+  EXPECT_DOUBLE_EQ(*parse_spice_number("4.7MEG"), 4.7e6);
+  EXPECT_DOUBLE_EQ(*parse_spice_number("0.15m"), 0.15e-3);
+  EXPECT_DOUBLE_EQ(*parse_spice_number("10u"), 1e-5);
+  EXPECT_DOUBLE_EQ(*parse_spice_number("5p"), 5e-12);
+  EXPECT_DOUBLE_EQ(*parse_spice_number("2n"), 2e-9);
+  EXPECT_DOUBLE_EQ(*parse_spice_number("3f"), 3e-15);
+  EXPECT_DOUBLE_EQ(*parse_spice_number("1g"), 1e9);
+  EXPECT_DOUBLE_EQ(*parse_spice_number("1t"), 1e12);
+}
+
+TEST(Strings, SpiceNumberUnitLetters) {
+  EXPECT_DOUBLE_EQ(*parse_spice_number("10V"), 10.0);
+  EXPECT_DOUBLE_EQ(*parse_spice_number("10uF"), 1e-5);
+}
+
+TEST(Strings, SpiceNumberRejectsGarbage) {
+  EXPECT_FALSE(parse_spice_number("abc").has_value());
+  EXPECT_FALSE(parse_spice_number("").has_value());
+  EXPECT_FALSE(parse_spice_number("1.2.3x!").has_value());
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(str_format("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(str_format("%.3f", 1.5), "1.500");
+}
+
+}  // namespace
+}  // namespace usys

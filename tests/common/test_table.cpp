@@ -1,0 +1,47 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace usys {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  AsciiTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "2.5"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("| name   |"), std::string::npos);
+  EXPECT_NE(s.find("| longer |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(fmt_num(1.5), "1.5");
+  EXPECT_EQ(fmt_num(3.34675e-9), "3.34675e-09");
+  EXPECT_EQ(fmt_sci(1.0, 2), "1.00e+00");
+}
+
+TEST(Table, CsvRoundTrip) {
+  const std::string path = "/tmp/usys_test_table.csv";
+  ASSERT_TRUE(write_csv(path, {"t", "v"}, {{0.0, 1.0}, {0.5, 2.0}}));
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "t,v");
+  std::getline(f, line);
+  EXPECT_EQ(line, "0,1");
+  std::remove(path.c_str());
+}
+
+TEST(Table, CsvBadPathFails) {
+  EXPECT_FALSE(write_csv("/nonexistent_dir_xyz/file.csv", {"a"}, {{1.0}}));
+}
+
+}  // namespace
+}  // namespace usys

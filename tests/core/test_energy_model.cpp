@@ -1,0 +1,139 @@
+// The mechanized energy-method (paper steps 1-4): symbolic derivation of
+// Table 3 from Table 2, reciprocity, and HDL generation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "core/energy_model.hpp"
+#include "core/reference.hpp"
+#include "hdl/elaborate.hpp"
+#include "hdl/parser.hpp"
+
+namespace usys::core {
+namespace {
+
+sym::Env transverse_env(double v, double x) {
+  // q = C(x) V translates the V-form test point into the state form.
+  TransducerGeometry g;
+  const double q = capacitance_transverse(g, x) * v;
+  return {{"q", q},      {"x", x},          {"d", g.gap}, {"A", g.area},
+          {"er", g.eps_r}, {"e0", g.eps0}};
+}
+
+TEST(EnergyModel, TransverseVoltageMatchesTable3) {
+  const EnergyModel m = make_transverse_energy_model();
+  // dW/dq must equal V at the test point (definition of the state form).
+  for (double v : {1.0, 5.0, 10.0, 15.0}) {
+    for (double x : {-2e-5, 0.0, 4e-5}) {
+      EXPECT_NEAR(m.eval_port("elec", transverse_env(v, x)), v, std::abs(v) * 1e-12);
+    }
+  }
+}
+
+TEST(EnergyModel, TransverseForceMatchesTable3) {
+  const EnergyModel m = make_transverse_energy_model();
+  TransducerGeometry g;
+  for (double v : {5.0, 10.0, 15.0}) {
+    for (double x : {-2e-5, 0.0, 4e-5}) {
+      // Absorbed mechanical flow = dW/dx = -force_on_plate.
+      const double absorbed = m.eval_port("mech", transverse_env(v, x));
+      EXPECT_NEAR(absorbed, -force_transverse(g, v, x), std::abs(absorbed) * 1e-10);
+    }
+  }
+}
+
+TEST(EnergyModel, ParallelForceMatchesTable3) {
+  const EnergyModel m = make_parallel_energy_model();
+  TransducerGeometry g;
+  g.depth = 1e-3;
+  g.length = 2e-3;
+  g.gap = 1e-5;
+  const double v = 10.0;
+  const double x = 2e-4;
+  const double q = capacitance_parallel(g, x) * v;
+  const sym::Env env{{"q", q},  {"x", x},        {"d", g.gap},  {"h", g.depth},
+                     {"l", g.length}, {"er", g.eps_r}, {"e0", g.eps0}};
+  EXPECT_NEAR(m.eval_port("elec", env), v, 1e-9);
+  EXPECT_NEAR(m.eval_port("mech", env), -force_parallel(g, v),
+              std::abs(force_parallel(g, v)) * 1e-10);
+}
+
+TEST(EnergyModel, ElectromagneticFlowAndForceMatchTable3) {
+  const EnergyModel m = make_electromagnetic_energy_model();
+  TransducerGeometry g;
+  g.area = 1e-4;
+  g.gap = 1e-3;
+  g.turns = 100;
+  const double i = 0.5;
+  const double x = 1e-4;
+  const double lambda = inductance_electromagnetic(g, x) * i;
+  const sym::Env env{{"lambda", lambda}, {"x", x},
+                     {"d", g.gap},       {"A", g.area},
+                     {"N", static_cast<double>(g.turns)}, {"mu0", g.mu0}};
+  // dW/dlambda = i (momentum-port flow).
+  EXPECT_NEAR(m.eval_port("elec", env), i, std::abs(i) * 1e-10);
+  EXPECT_NEAR(m.eval_port("mech", env), -force_electromagnetic(g, i, x),
+              std::abs(force_electromagnetic(g, i, x)) * 1e-10);
+}
+
+TEST(EnergyModel, ElectrodynamicForceMatchesTable3) {
+  const EnergyModel m = make_electrodynamic_energy_model();
+  TransducerGeometry g;
+  g.turns = 100;
+  g.radius = 5e-3;
+  g.b_field = 1.0;
+  const double i = 0.3;
+  const double x = 2e-3;
+  const double t_fac = transduction_electrodynamic(g);
+  const double lambda = inductance_electrodynamic(g) * i + t_fac * x;
+  const sym::Env env{{"lambda", lambda}, {"x", x},
+                     {"N", static_cast<double>(g.turns)}, {"r", g.radius},
+                     {"B", g.b_field},   {"mu0", g.mu0}};
+  EXPECT_NEAR(m.eval_port("elec", env), i, std::abs(i) * 1e-9);
+  // Absorbed mech flow = -T i; delivered Lorentz force = +T i.
+  EXPECT_NEAR(m.eval_port("mech", env), -force_electrodynamic(g, i),
+              std::abs(force_electrodynamic(g, i)) * 1e-9);
+}
+
+TEST(EnergyModel, ReciprocityHoldsForAllModels) {
+  const sym::Env probe{{"q", 1e-10},  {"lambda", 1e-4}, {"x", 1e-5},
+                       {"d", 1.5e-4}, {"A", 1e-4},      {"er", 1.0},
+                       {"e0", kEps0Paper}, {"h", 1e-3}, {"l", 2e-3},
+                       {"N", 100.0},  {"r", 5e-3},      {"B", 1.0},
+                       {"mu0", kMu0Classic}};
+  EXPECT_LT(make_transverse_energy_model().reciprocity_residual(probe), 1e-12);
+  EXPECT_LT(make_parallel_energy_model().reciprocity_residual(probe), 1e-12);
+  EXPECT_LT(make_electromagnetic_energy_model().reciprocity_residual(probe), 1e-12);
+  EXPECT_LT(make_electrodynamic_energy_model().reciprocity_residual(probe), 1e-12);
+}
+
+TEST(EnergyModel, GeneratedHdlParsesAndElaborates) {
+  const EnergyModel m = make_transverse_energy_model();
+  const std::string src = m.generate_hdl({"A", "d", "er", "e0"});
+  EXPECT_NE(src.find("ENTITY etransverse"), std::string::npos);
+  EXPECT_NE(src.find("integ(S)"), std::string::npos);
+  EXPECT_NE(src.find("ddt(V)"), std::string::npos);
+  hdl::DesignUnit unit = hdl::parse(src);
+  EXPECT_NO_THROW(hdl::elaborate(
+      std::move(unit), "etransverse",
+      {{"A", 1e-4}, {"d", 1.5e-4}, {"er", 1.0}, {"e0", kEps0Paper}}));
+}
+
+TEST(EnergyModel, GeneratedHdlForMomentumPort) {
+  const EnergyModel m = make_electromagnetic_energy_model();
+  const std::string src = m.generate_hdl({"A", "d", "N", "mu0"});
+  EXPECT_NE(src.find(".v %= ddt("), std::string::npos);
+  hdl::DesignUnit unit = hdl::parse(src);
+  EXPECT_NO_THROW(hdl::elaborate(
+      std::move(unit), "emagnetic",
+      {{"A", 1e-4}, {"d", 1e-3}, {"N", 100.0}, {"mu0", kMu0Classic}}));
+}
+
+TEST(EnergyModel, UnknownPortThrows) {
+  const EnergyModel m = make_transverse_energy_model();
+  EXPECT_THROW((void)m.derived_for("acoustic"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace usys::core

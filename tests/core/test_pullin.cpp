@@ -1,0 +1,90 @@
+// Pull-in of the transverse electrostatic transducer: the classic MEMS
+// instability at V_pi = sqrt(8 k d^3/(27 eps A)), x_pi = -d/3 — a behavioral
+// discontinuity only the non-linear model captures.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/resonator_system.hpp"
+#include "spice/analysis.hpp"
+
+namespace usys::core {
+namespace {
+
+TEST(PullIn, AnalyticVoltageForTable4) {
+  ResonatorParams p;
+  // V_pi = sqrt(8*200*(1.5e-4)^3/(27*8.8542e-12*1e-4)) ~ 475 V.
+  const double v_pi = pull_in_voltage(p);
+  EXPECT_NEAR(v_pi, 475.0, 5.0);
+  EXPECT_DOUBLE_EQ(pull_in_displacement(p), -0.15e-3 / 3.0);
+}
+
+TEST(PullIn, StaticSolverDivergesAbovePullIn) {
+  ResonatorParams p;
+  const double v_pi = pull_in_voltage(p);
+  // Below pull-in: solvable, |x| < d/3.
+  const double x_below = static_displacement_transverse(p, 0.95 * v_pi);
+  EXPECT_GT(x_below, -p.geom.gap / 3.0);
+  // Above: no equilibrium.
+  EXPECT_THROW(static_displacement_transverse(p, 1.1 * v_pi), std::domain_error);
+}
+
+TEST(PullIn, DisplacementApproachesOneThirdGap) {
+  // At V -> V_pi the stable equilibrium approaches x = -d/3.
+  ResonatorParams p;
+  const double v_pi = pull_in_voltage(p);
+  const double x99 = static_displacement_transverse(p, 0.999 * v_pi);
+  EXPECT_LT(x99, -0.25 * p.geom.gap);
+  EXPECT_GT(x99, -p.geom.gap / 3.0 - 1e-9);
+}
+
+class PullInSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PullInSweep, TransientSnapsOnlyAbovePullIn) {
+  // Drive the resonator system with a slow ramp to fraction*V_pi; the plate
+  // must snap in (hit the clamp region) iff fraction > 1.
+  ResonatorParams p;
+  p.damping = 2.0;  // heavy damping: quasi-static approach, no dynamic pull-in
+  const double frac = GetParam();
+  const double v_target = frac * pull_in_voltage(p);
+  auto sys = build_resonator_system(
+      p, TransducerModelKind::behavioral,
+      std::make_unique<spice::PwlWave>(std::vector<std::pair<double, double>>{
+          {0.0, 0.0}, {80e-3, v_target}, {1.0, v_target}}));
+  spice::TranOptions opts;
+  opts.tstop = 120e-3;
+  opts.dt_max = 2e-4;
+  const auto res = spice::transient(*sys.circuit, opts);
+  ASSERT_TRUE(res.ok) << res.error;
+  const double x_end = res.sample(120e-3, sys.node_disp);
+  if (frac < 1.0) {
+    EXPECT_GT(x_end, -p.geom.gap / 3.0 - 2e-6) << "snapped below pull-in";
+  } else {
+    EXPECT_LT(x_end, -0.5 * p.geom.gap) << "failed to snap above pull-in";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, PullInSweep, ::testing::Values(0.8, 0.95, 1.15));
+
+TEST(PullIn, LinearizedModelNeverSnaps) {
+  // The equivalent-circuit model deflects proportionally at any voltage —
+  // qualitatively wrong near the instability (the paper's core argument).
+  ResonatorParams p;
+  p.damping = 2.0;
+  const double v_target = 1.3 * pull_in_voltage(p);
+  auto sys = build_resonator_system(
+      p, TransducerModelKind::linearized,
+      std::make_unique<spice::PwlWave>(std::vector<std::pair<double, double>>{
+          {0.0, 0.0}, {80e-3, v_target}, {1.0, v_target}}));
+  spice::TranOptions opts;
+  opts.tstop = 120e-3;
+  const auto res = spice::transient(*sys.circuit, opts);
+  ASSERT_TRUE(res.ok) << res.error;
+  const double x_end = res.sample(120e-3, sys.node_disp);
+  // Gamma_sec * V / k: finite, linear in V.
+  const double x_expected = -gamma_secant(p) * v_target / p.stiffness;
+  EXPECT_NEAR(x_end, x_expected, std::abs(x_expected) * 0.05);
+}
+
+}  // namespace
+}  // namespace usys::core

@@ -1,0 +1,145 @@
+// Closed-form oracle (Tables 2-4): impedances, energies, forces, and the
+// Table 4 operating point quantities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "core/reference.hpp"
+
+namespace usys::core {
+namespace {
+
+TransducerGeometry paper_geometry() {
+  TransducerGeometry g;
+  g.area = 1e-4;
+  g.gap = 0.15e-3;
+  g.eps_r = 1.0;
+  return g;
+}
+
+TEST(Reference, Table2TransverseCapacitance) {
+  const auto g = paper_geometry();
+  EXPECT_NEAR(capacitance_transverse(g, 0.0), 8.8542e-12 * 1e-4 / 0.15e-3, 1e-18);
+  // C shrinks as the gap opens.
+  EXPECT_LT(capacitance_transverse(g, 1e-5), capacitance_transverse(g, 0.0));
+}
+
+TEST(Reference, Table2ParallelCapacitance) {
+  TransducerGeometry g;
+  g.depth = 1e-3;
+  g.length = 2e-3;
+  g.gap = 1e-5;
+  EXPECT_NEAR(capacitance_parallel(g, 0.0), 8.8542e-12 * 1e-3 * 2e-3 / 1e-5, 1e-18);
+  EXPECT_LT(capacitance_parallel(g, 1e-4), capacitance_parallel(g, 0.0));
+}
+
+TEST(Reference, Table2ElectromagneticInductance) {
+  TransducerGeometry g;
+  g.area = 1e-4;
+  g.gap = 1e-3;
+  g.turns = 100;
+  EXPECT_NEAR(inductance_electromagnetic(g, 0.0),
+              kMu0Classic * 1e-4 * 1e4 / (2.0 * 1e-3), 1e-12);
+}
+
+TEST(Reference, Table2EnergiesMatchHalfCV2) {
+  const auto g = paper_geometry();
+  for (double x : {-2e-5, 0.0, 3e-5}) {
+    EXPECT_NEAR(energy_transverse(g, 10.0, x),
+                0.5 * capacitance_transverse(g, x) * 100.0, 1e-18);
+  }
+  TransducerGeometry gm;
+  gm.turns = 50;
+  for (double i : {0.1, 1.0}) {
+    EXPECT_NEAR(energy_electromagnetic(gm, i, 0.0),
+                0.5 * inductance_electromagnetic(gm, 0.0) * i * i, 1e-15);
+    EXPECT_NEAR(energy_electrodynamic(gm, i),
+                0.5 * inductance_electrodynamic(gm) * i * i, 1e-15);
+  }
+}
+
+TEST(Reference, Table3ForceIsEnergyGradient) {
+  // F = -dW/dx at constant V for the transverse device (numeric check).
+  const auto g = paper_geometry();
+  const double v = 12.0;
+  const double x = 1e-5;
+  const double h = 1e-9;
+  const double dw_dx = (energy_transverse(g, v, x + h) - energy_transverse(g, v, x - h)) /
+                       (2.0 * h);
+  // Constant-voltage co-energy theorem: F = +dW'/dx with W' = W here.
+  EXPECT_NEAR(force_transverse(g, v, x), dw_dx, std::abs(dw_dx) * 1e-5);
+}
+
+TEST(Reference, Table3ParallelForceIndependentOfX) {
+  TransducerGeometry g;
+  g.depth = 1e-3;
+  g.length = 2e-3;
+  g.gap = 1e-5;
+  EXPECT_DOUBLE_EQ(force_parallel(g, 10.0), force_parallel(g, 10.0));
+  EXPECT_NEAR(force_parallel(g, 10.0), -8.8542e-12 * 1e-3 * 100.0 / (2.0 * 1e-5), 1e-12);
+}
+
+TEST(Reference, Table3ElectrodynamicLinearInCurrent) {
+  TransducerGeometry g;
+  g.turns = 100;
+  g.radius = 5e-3;
+  g.b_field = 1.2;
+  const double t = 2.0 * kPi * 100.0 * 5e-3 * 1.2;
+  EXPECT_NEAR(transduction_electrodynamic(g), t, 1e-12);
+  EXPECT_NEAR(force_electrodynamic(g, 0.5), 0.5 * t, 1e-12);
+  EXPECT_NEAR(force_electrodynamic(g, -0.5), -0.5 * t, 1e-12);
+}
+
+TEST(Reference, Table4StaticDisplacement) {
+  // x0 at 10 V with Table 4 parameters: the paper quotes 1.0e-8 m.
+  ResonatorParams p;
+  const double x0 = static_displacement_transverse(p, 10.0);
+  EXPECT_NEAR(std::abs(x0), 9.84e-9, 0.2e-9);
+  EXPECT_LT(x0, 0.0);  // attraction closes the gap
+}
+
+TEST(Reference, Table4BiasCapacitanceNearPaperValue) {
+  ResonatorParams p;
+  // Paper: C0 = 5.8637e-12 F (quoted); self-consistent value with the
+  // printed A, d: eps0*A/(d+x0) ~ 5.9035e-12. Accept the self-consistent
+  // one and stay within 1% of the paper's.
+  EXPECT_NEAR(bias_capacitance(p), 5.9035e-12, 0.01e-12);
+  EXPECT_NEAR(bias_capacitance(p) / 5.8637e-12, 1.0, 0.02);
+}
+
+TEST(Reference, GammaTangentIsTwiceSecant) {
+  // F ~ V^2: tangent slope at V0 is exactly twice the secant F0/V0.
+  ResonatorParams p;
+  EXPECT_NEAR(gamma_tangent(p) / gamma_secant(p), 2.0, 1e-9);
+}
+
+TEST(Reference, ResonatorDynamics) {
+  ResonatorParams p;
+  EXPECT_NEAR(omega0(p), std::sqrt(200.0 / 1e-4), 1e-9);
+  EXPECT_NEAR(damping_ratio(p), 40e-3 / (2.0 * std::sqrt(200.0 * 1e-4)), 1e-12);
+  EXPECT_LT(damping_ratio(p), 1.0);  // under-critical, as the paper states
+}
+
+TEST(Reference, PullInGuard) {
+  // Far beyond pull-in the static solve must fail loudly, not wander.
+  ResonatorParams p;
+  p.stiffness = 1e-3;
+  EXPECT_THROW(static_displacement_transverse(p, 500.0), std::domain_error);
+}
+
+class ForceSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ForceSweep, TransverseForceQuadraticInVoltage) {
+  const auto g = paper_geometry();
+  const double v = GetParam();
+  const double f1 = force_transverse(g, v, 0.0);
+  const double f2 = force_transverse(g, 2.0 * v, 0.0);
+  EXPECT_NEAR(f2 / f1, 4.0, 1e-9);
+  EXPECT_LT(f1, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Voltages, ForceSweep, ::testing::Values(1.0, 5.0, 10.0, 15.0));
+
+}  // namespace
+}  // namespace usys::core

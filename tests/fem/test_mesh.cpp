@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fem/mesh.hpp"
+
+namespace usys::fem {
+namespace {
+
+TEST(Mesh, PlateMeshCounts) {
+  PlateMeshSpec spec;
+  spec.nx = 4;
+  spec.ny = 3;
+  const Mesh m = make_plate_mesh(spec);
+  EXPECT_EQ(m.node_count(), 5 * 4);
+  EXPECT_EQ(m.element_count(), 4 * 3 * 2);
+}
+
+TEST(Mesh, AllElementsPositivelyOriented) {
+  PlateMeshSpec spec;
+  spec.nx = 8;
+  spec.ny = 8;
+  const Mesh m = make_plate_mesh(spec);
+  for (int e = 0; e < m.element_count(); ++e) EXPECT_GT(m.twice_area(e), 0.0) << e;
+}
+
+TEST(Mesh, TotalAreaMatchesDomain) {
+  PlateMeshSpec spec;
+  spec.width = 2e-3;
+  spec.gap = 1e-4;
+  spec.nx = 7;
+  spec.ny = 5;
+  const Mesh m = make_plate_mesh(spec);
+  double area = 0.0;
+  for (int e = 0; e < m.element_count(); ++e) area += 0.5 * m.twice_area(e);
+  EXPECT_NEAR(area, 2e-3 * 1e-4, 1e-12);
+}
+
+TEST(Mesh, ElectrodeTagsCoverRows) {
+  PlateMeshSpec spec;
+  spec.nx = 6;
+  spec.ny = 4;
+  const Mesh m = make_plate_mesh(spec);
+  EXPECT_EQ(m.nodes_with_tag(BoundaryTag::bottom).size(), 7u);
+  EXPECT_EQ(m.nodes_with_tag(BoundaryTag::top).size(), 7u);
+}
+
+TEST(Mesh, MarginAddsFringeRegion) {
+  PlateMeshSpec spec;
+  spec.nx = 4;
+  spec.ny = 2;
+  spec.side_margin = 0.5e-3;
+  spec.margin_cells = 2;
+  const Mesh m = make_plate_mesh(spec);
+  int margin_elems = 0;
+  for (const auto& t : m.triangles()) {
+    if (t.region == 1) ++margin_elems;
+  }
+  EXPECT_EQ(margin_elems, 2 * 2 * 2 * 2);  // two margins * 2 cells * ny * 2 tris
+  // Electrode rows must still span only the electrode width.
+  EXPECT_EQ(m.nodes_with_tag(BoundaryTag::bottom).size(), 5u);
+}
+
+TEST(Mesh, RejectsBadSpecs) {
+  PlateMeshSpec bad;
+  bad.nx = 0;
+  EXPECT_THROW(make_plate_mesh(bad), std::invalid_argument);
+  PlateMeshSpec neg;
+  neg.gap = -1.0;
+  EXPECT_THROW(make_plate_mesh(neg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace usys::fem

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fem/sparse.hpp"
+
+namespace usys::fem {
+namespace {
+
+TEST(Sparse, TripletsWithDuplicatesSum) {
+  const CsrMatrix m = CsrMatrix::from_triplets(2, {0, 0, 1, 0}, {0, 1, 1, 0},
+                                               {1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(m.size(), 2);
+  EXPECT_EQ(m.nonzeros(), 3u);  // (0,0) merged
+  EXPECT_DOUBLE_EQ(m.diagonal(0), 5.0);
+  EXPECT_DOUBLE_EQ(m.diagonal(1), 3.0);
+}
+
+TEST(Sparse, MultiplyMatchesDense) {
+  // [2 1; 1 3] * [1; 2] = [4; 7]
+  const CsrMatrix m =
+      CsrMatrix::from_triplets(2, {0, 0, 1, 1}, {0, 1, 0, 1}, {2.0, 1.0, 1.0, 3.0});
+  std::vector<double> y;
+  m.multiply({1.0, 2.0}, y);
+  EXPECT_DOUBLE_EQ(y[0], 4.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Sparse, CgSolvesSpdSystem) {
+  const CsrMatrix m =
+      CsrMatrix::from_triplets(2, {0, 0, 1, 1}, {0, 1, 0, 1}, {4.0, 1.0, 1.0, 3.0});
+  std::vector<double> x(2, 0.0);
+  const CgResult r = cg_solve(m, {1.0, 2.0}, x);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(4.0 * x[0] + x[1], 1.0, 1e-10);
+  EXPECT_NEAR(x[0] + 3.0 * x[1], 2.0, 1e-10);
+}
+
+TEST(Sparse, CgOnLaplacian1d) {
+  // Tridiagonal Poisson: u'' = -1 on [0,1], u(0)=u(1)=0, h=1/(n+1).
+  const int n = 50;
+  std::vector<int> rows, cols;
+  std::vector<double> vals;
+  const double h = 1.0 / (n + 1);
+  for (int i = 0; i < n; ++i) {
+    rows.push_back(i);
+    cols.push_back(i);
+    vals.push_back(2.0 / (h * h));
+    if (i > 0) {
+      rows.push_back(i);
+      cols.push_back(i - 1);
+      vals.push_back(-1.0 / (h * h));
+    }
+    if (i < n - 1) {
+      rows.push_back(i);
+      cols.push_back(i + 1);
+      vals.push_back(-1.0 / (h * h));
+    }
+  }
+  const CsrMatrix m = CsrMatrix::from_triplets(n, rows, cols, vals);
+  std::vector<double> b(static_cast<std::size_t>(n), 1.0);
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  const CgResult r = cg_solve(m, b, x);
+  ASSERT_TRUE(r.converged);
+  // Analytic: u(t) = t(1-t)/2; check mid-point.
+  const double t_mid = (n / 2 + 1) * h;
+  EXPECT_NEAR(x[static_cast<std::size_t>(n) / 2], t_mid * (1.0 - t_mid) / 2.0, 1e-4);
+}
+
+TEST(Sparse, CgSizeMismatchThrows) {
+  const CsrMatrix m = CsrMatrix::from_triplets(2, {0, 1}, {0, 1}, {1.0, 1.0});
+  std::vector<double> x(3, 0.0);
+  EXPECT_THROW(cg_solve(m, {1.0, 2.0}, x), std::invalid_argument);
+}
+
+TEST(Sparse, CgWarmStartConvergesFaster) {
+  const CsrMatrix m =
+      CsrMatrix::from_triplets(2, {0, 0, 1, 1}, {0, 1, 0, 1}, {4.0, 1.0, 1.0, 3.0});
+  std::vector<double> cold(2, 0.0);
+  const CgResult rc = cg_solve(m, {1.0, 2.0}, cold);
+  std::vector<double> warm = cold;  // exact solution as the start
+  const CgResult rw = cg_solve(m, {1.0, 2.0}, warm);
+  EXPECT_LE(rw.iterations, rc.iterations);
+}
+
+}  // namespace
+}  // namespace usys::fem

@@ -1,0 +1,185 @@
+// HDL-AT runtime boundary-condition checks (ASSERT) and the piecewise
+// functions min/max/limit — the paper: "the validity of boundary conditions
+// may be verified in these models during run-time".
+#include <gtest/gtest.h>
+
+#include "hdl/elaborate.hpp"
+#include "hdl/interpreter.hpp"
+#include "hdl/parser.hpp"
+#include "spice/analysis.hpp"
+#include "spice/devices_controlled.hpp"
+#include "spice/devices_passive.hpp"
+#include "spice/devices_source.hpp"
+
+namespace usys::hdl {
+namespace {
+
+using spice::Circuit;
+
+const char* kGuardedModel = R"(
+-- transverse electrostatic transducer with a run-time gap guard and a
+-- limited capacitance (boundary-condition verification per the paper).
+ENTITY eguard IS
+  GENERIC (A, d, er : analog);
+  PIN (a, b : electrical; c, f : mechanical1);
+END ENTITY eguard;
+
+ARCHITECTURE g OF eguard IS
+  VARIABLE e0, x, gap : analog;
+  STATE V, S : analog;
+BEGIN
+  RELATION
+    PROCEDURAL FOR init =>
+      e0 := 8.8542e-12;
+    PROCEDURAL FOR ac, transient =>
+      V := [a, b].v;
+      S := [c, f].tv;
+      x := integ(S);
+      ASSERT d + x;
+      gap := max(d + x, 0.05*d);
+      [a, b].i %= e0*er*A/gap*ddt(V);
+      [c, f].f %= e0*er*A*V*V/(2.0*gap*gap);
+  END RELATION;
+END ARCHITECTURE g;
+)";
+
+TEST(HdlAssert, ParsesAndElaborates) {
+  DesignUnit unit = parse(kGuardedModel);
+  EXPECT_NO_THROW(elaborate(std::move(unit), "eguard",
+                            {{"A", 1e-4}, {"d", 0.15e-3}, {"er", 1.0}}));
+}
+
+TEST(HdlAssert, QuietWhenConditionHolds) {
+  // Normal drive: gap never collapses, the assert stays silent and results
+  // match the unguarded model.
+  Circuit ckt;
+  const int drive = ckt.add_node("drive", Nature::electrical);
+  const int vel = ckt.add_node("vel", Nature::mechanical_translation);
+  const int disp = ckt.add_node("disp", Nature::mechanical_translation);
+  ckt.add<spice::VSource>(
+      "V1", drive, Circuit::kGround,
+      std::make_unique<spice::PwlWave>(std::vector<std::pair<double, double>>{
+          {0.0, 0.0}, {5e-3, 10.0}, {1.0, 10.0}}));
+  ckt.add_device(instantiate("XT", kGuardedModel, "eguard",
+                             {{"A", 1e-4}, {"d", 0.15e-3}, {"er", 1.0}},
+                             {drive, Circuit::kGround, vel, Circuit::kGround}));
+  ckt.add<spice::Mass>("M1", vel, 1e-4);
+  ckt.add<spice::Spring>("K1", vel, Circuit::kGround, 200.0);
+  ckt.add<spice::Damper>("D1", vel, Circuit::kGround, 40e-3);
+  ckt.add<spice::StateIntegrator>("XD", disp, vel);
+  spice::TranOptions opts;
+  opts.tstop = 60e-3;
+  const auto res = spice::transient(ckt, opts);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_NEAR(res.sample(60e-3, disp), -9.84e-9, 0.5e-9);
+}
+
+TEST(HdlAssert, SurvivesGapCollapse) {
+  // Soft spring + strong drive: pull-in collapses the gap. The limited
+  // capacitance keeps the solve alive; displacement stays finite.
+  Circuit ckt;
+  const int drive = ckt.add_node("drive", Nature::electrical);
+  const int vel = ckt.add_node("vel", Nature::mechanical_translation);
+  const int disp = ckt.add_node("disp", Nature::mechanical_translation);
+  ckt.add<spice::VSource>(
+      "V1", drive, Circuit::kGround,
+      std::make_unique<spice::PwlWave>(std::vector<std::pair<double, double>>{
+          {0.0, 0.0}, {1e-3, 60.0}, {1.0, 60.0}}));
+  ckt.add_device(instantiate("XT", kGuardedModel, "eguard",
+                             {{"A", 1e-4}, {"d", 0.15e-3}, {"er", 1.0}},
+                             {drive, Circuit::kGround, vel, Circuit::kGround}));
+  ckt.add<spice::Mass>("M1", vel, 1e-4);
+  ckt.add<spice::Spring>("K1", vel, Circuit::kGround, 0.5);
+  ckt.add<spice::Damper>("D1", vel, Circuit::kGround, 40e-3);
+  ckt.add<spice::StateIntegrator>("XD", disp, vel);
+  spice::TranOptions opts;
+  opts.tstop = 30e-3;
+  const auto res = spice::transient(ckt, opts);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_GT(res.sample(30e-3, disp), -1e-2);       // finite (no blow-up)
+  EXPECT_LT(res.sample(30e-3, disp), -0.15e-3 / 3.0);  // past pull-in x = -d/3
+}
+
+TEST(HdlFunctions, MinMaxLimitEvaluate) {
+  const char* src = R"(
+ENTITY fns IS
+  GENERIC (k : analog);
+  PIN (a, b : electrical);
+END ENTITY fns;
+ARCHITECTURE x OF fns IS
+  VARIABLE y : analog;
+BEGIN
+  RELATION
+    PROCEDURAL FOR transient =>
+      y := min(k, 2.0) + max(k, 4.0) + limit(k, 0.0, 1.0);
+      [a, b].i %= y*[a, b].v;
+  END RELATION;
+END ARCHITECTURE x;
+)";
+  // k = 3: min = 2, max = 4, limit = 1 -> y = 7: conductance 7 S.
+  Circuit ckt;
+  const int n = ckt.add_node("n", Nature::electrical);
+  ckt.add<spice::ISource>("I1", Circuit::kGround, n, 14.0);
+  ckt.add_device(instantiate("XF", src, "fns", {{"k", 3.0}}, {n, Circuit::kGround}));
+  const auto op = spice::operating_point(ckt);
+  ASSERT_TRUE(op.converged);
+  EXPECT_NEAR(op.at(n), 2.0, 1e-6);  // 14 A / 7 S
+}
+
+TEST(HdlFunctions, ArityErrorsDiagnosed) {
+  const char* bad_min = R"(
+ENTITY m IS
+  PIN (a, b : electrical);
+END ENTITY m;
+ARCHITECTURE x OF m IS
+BEGIN
+  RELATION
+    PROCEDURAL FOR transient =>
+      [a, b].i %= min(1.0);
+  END RELATION;
+END ARCHITECTURE x;
+)";
+  EXPECT_THROW(elaborate(parse(bad_min), "m", {}), ElabError);
+  const char* bad_limit = R"(
+ENTITY m IS
+  PIN (a, b : electrical);
+END ENTITY m;
+ARCHITECTURE x OF m IS
+BEGIN
+  RELATION
+    PROCEDURAL FOR transient =>
+      [a, b].i %= limit(1.0, 2.0);
+  END RELATION;
+END ARCHITECTURE x;
+)";
+  EXPECT_THROW(elaborate(parse(bad_limit), "m", {}), ElabError);
+}
+
+TEST(HdlFunctions, LimitInInitBlock) {
+  const char* src = R"(
+ENTITY ini IS
+  PIN (a, b : electrical);
+END ENTITY ini;
+ARCHITECTURE x OF ini IS
+  VARIABLE g : analog;
+BEGIN
+  RELATION
+    PROCEDURAL FOR init =>
+      g := limit(10.0, 0.0, 2.0) + min(1.0, 5.0) + max(-1.0, 0.0);
+    PROCEDURAL FOR transient =>
+      [a, b].i %= g*[a, b].v;
+  END RELATION;
+END ARCHITECTURE x;
+)";
+  // g = 2 + 1 + 0 = 3 S.
+  Circuit ckt;
+  const int n = ckt.add_node("n", Nature::electrical);
+  ckt.add<spice::ISource>("I1", Circuit::kGround, n, 6.0);
+  ckt.add_device(instantiate("XI", src, "ini", {}, {n, Circuit::kGround}));
+  const auto op = spice::operating_point(ckt);
+  ASSERT_TRUE(op.converged);
+  EXPECT_NEAR(op.at(n), 2.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace usys::hdl

@@ -1,0 +1,182 @@
+// The HDL interpreter as a circuit device: Listing 1 in the Fig. 3 system,
+// agreement with the native C++ transducer, effort ports, and DC semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/reference.hpp"
+#include "core/resonator_system.hpp"
+#include "core/transducers.hpp"
+#include "hdl/interpreter.hpp"
+#include "hdl/stdlib.hpp"
+#include "spice/analysis.hpp"
+#include "spice/devices_controlled.hpp"
+#include "spice/devices_passive.hpp"
+#include "spice/devices_source.hpp"
+
+namespace usys::hdl {
+namespace {
+
+using spice::Circuit;
+using spice::TranOptions;
+
+std::map<std::string, double> paper_generics() {
+  return {{"A", 1e-4}, {"d", 0.15e-3}, {"er", 1.0}};
+}
+
+/// Fig. 3 system with an HDL transducer instance.
+struct HdlSystem {
+  std::unique_ptr<Circuit> ckt;
+  int drive = -1;
+  int vel = -1;
+  int disp = -1;
+};
+
+HdlSystem build_hdl_system(const std::string& source, const std::string& entity,
+                           std::unique_ptr<spice::Waveform> wave) {
+  HdlSystem sys;
+  sys.ckt = std::make_unique<Circuit>();
+  sys.drive = sys.ckt->add_node("drive", Nature::electrical);
+  sys.vel = sys.ckt->add_node("vel", Nature::mechanical_translation);
+  sys.disp = sys.ckt->add_node("disp", Nature::mechanical_translation);
+  sys.ckt->add<spice::VSource>("V1", sys.drive, Circuit::kGround, std::move(wave));
+  sys.ckt->add_device(instantiate(
+      "XT", source, entity, paper_generics(),
+      {sys.drive, Circuit::kGround, sys.vel, Circuit::kGround}));
+  sys.ckt->add<spice::Mass>("M1", sys.vel, 1e-4);
+  sys.ckt->add<spice::Spring>("K1", sys.vel, Circuit::kGround, 200.0);
+  sys.ckt->add<spice::Damper>("D1", sys.vel, Circuit::kGround, 40e-3);
+  sys.ckt->add<spice::StateIntegrator>("XD", sys.disp, sys.vel);
+  return sys;
+}
+
+std::unique_ptr<spice::Waveform> step_to(double v) {
+  return std::make_unique<spice::PwlWave>(
+      std::vector<std::pair<double, double>>{{0.0, 0.0}, {5e-3, v}, {1.0, v}});
+}
+
+TEST(Interpreter, Listing1StaticDeflection) {
+  auto sys = build_hdl_system(stdlib::paper_listing1(), "eletran", step_to(10.0));
+  TranOptions opts;
+  opts.tstop = 80e-3;
+  const auto res = spice::transient(*sys.ckt, opts);
+  ASSERT_TRUE(res.ok) << res.error;
+  core::ResonatorParams p;
+  const double x_expected = core::static_displacement_transverse(p, 10.0);
+  EXPECT_NEAR(res.sample(80e-3, sys.disp), x_expected, std::abs(x_expected) * 0.02);
+}
+
+TEST(Interpreter, Listing1MatchesNativeDeviceOverTime) {
+  auto hdl_sys = build_hdl_system(stdlib::transverse_energy(), "etransverse",
+                                  step_to(12.0));
+  TranOptions opts;
+  opts.tstop = 40e-3;
+  opts.dt_max = 5e-5;
+  const auto rh = spice::transient(*hdl_sys.ckt, opts);
+  ASSERT_TRUE(rh.ok) << rh.error;
+
+  core::ResonatorParams p;
+  auto native = core::build_resonator_system(p, core::TransducerModelKind::behavioral,
+                                             step_to(12.0));
+  const auto rn = spice::transient(*native.circuit, opts);
+  ASSERT_TRUE(rn.ok) << rn.error;
+
+  for (double t : {5e-3, 10e-3, 20e-3, 40e-3}) {
+    const double xh = rh.sample(t, hdl_sys.disp);
+    const double xn = rn.sample(t, native.node_disp);
+    EXPECT_NEAR(xh, xn, std::abs(xn) * 0.02 + 1e-12) << "t=" << t;
+  }
+}
+
+TEST(Interpreter, DcPinsIntegAtInitialValue) {
+  // At DC the HDL model's displacement state must read its initial value
+  // (HDL-A semantics), so the DC force equals F(V, x=0).
+  auto sys = build_hdl_system(stdlib::paper_listing1(), "eletran",
+                              std::make_unique<spice::DcWave>(10.0));
+  const auto op = spice::operating_point(*sys.ckt);
+  ASSERT_TRUE(op.converged);
+  EXPECT_NEAR(op.at(sys.vel), 0.0, 1e-9);
+}
+
+TEST(Interpreter, EffortPortElectromagneticDc) {
+  // emagnetic has a '.v %=' electrical port: at DC, ddt() = 0 so the coil is
+  // a short; current = V/R and the armature force matches Table 3.
+  Circuit ckt;
+  const int drive = ckt.add_node("drive", Nature::electrical);
+  const int coil = ckt.add_node("coil", Nature::electrical);
+  const int vel = ckt.add_node("vel", Nature::mechanical_translation);
+  ckt.add<spice::VSource>("V1", drive, Circuit::kGround, 5.0);
+  ckt.add<spice::Resistor>("R1", drive, coil, 50.0);
+  ckt.add_device(instantiate("XM", stdlib::electromagnetic(), "emagnetic",
+                             {{"A", 1e-4}, {"d", 1e-3}, {"N", 100.0}},
+                             {coil, Circuit::kGround, vel, Circuit::kGround}));
+  auto& spring = ckt.add<spice::Spring>("K1", vel, Circuit::kGround, 1000.0);
+  const auto op = spice::operating_point(ckt);
+  ASSERT_TRUE(op.converged);
+  EXPECT_NEAR(op.at(coil), 0.0, 1e-6);
+
+  core::TransducerGeometry g;
+  g.area = 1e-4;
+  g.gap = 1e-3;
+  g.turns = 100;
+  g.mu0 = 1.2566370614e-6;  // the stdlib model's init constant
+  const double f_expected = core::force_electromagnetic(g, 0.1, 0.0);
+  EXPECT_NEAR(spring.displacement(op.x) * 1000.0, f_expected,
+              std::abs(f_expected) * 1e-3);
+}
+
+TEST(Interpreter, ElectrodynamicGyratorDc) {
+  Circuit ckt;
+  const int drive = ckt.add_node("drive", Nature::electrical);
+  const int coil = ckt.add_node("coil", Nature::electrical);
+  const int vel = ckt.add_node("vel", Nature::mechanical_translation);
+  ckt.add<spice::VSource>("V1", drive, Circuit::kGround, 1.0);
+  ckt.add<spice::Resistor>("R1", drive, coil, 100.0);
+  ckt.add_device(instantiate("XD", stdlib::electrodynamic(), "edynamic",
+                             {{"N", 100.0}, {"r", 5e-3}, {"B", 1.0}},
+                             {coil, Circuit::kGround, vel, Circuit::kGround}));
+  ckt.add<spice::Damper>("DM", vel, Circuit::kGround, 2.0);
+  const auto op = spice::operating_point(ckt);
+  ASSERT_TRUE(op.converged);
+  core::TransducerGeometry g;
+  g.turns = 100;
+  g.radius = 5e-3;
+  g.b_field = 1.0;
+  const double t_fac = core::transduction_electrodynamic(g);
+  const double u_expected = t_fac * 1.0 / (2.0 * 100.0 + t_fac * t_fac);
+  EXPECT_NEAR(op.at(vel), u_expected, std::abs(u_expected) * 1e-4);
+}
+
+TEST(Interpreter, PinCountMismatchThrows) {
+  EXPECT_THROW(instantiate("X", stdlib::paper_listing1(), "eletran", paper_generics(),
+                           {0, 1}),
+               spice::CircuitError);
+}
+
+TEST(Interpreter, NatureMismatchAtBindThrows) {
+  Circuit ckt;
+  const int e1 = ckt.add_node("e1", Nature::electrical);
+  const int e2 = ckt.add_node("e2", Nature::electrical);
+  const int e3 = ckt.add_node("e3", Nature::electrical);
+  const int e4 = ckt.add_node("e4", Nature::electrical);
+  ckt.add_device(
+      instantiate("X", stdlib::paper_listing1(), "eletran", paper_generics(),
+                  {e1, e2, e3, e4}));
+  EXPECT_THROW(ckt.bind_all(), spice::CircuitError);
+}
+
+TEST(Interpreter, IntegStateAccessor) {
+  auto sys = build_hdl_system(stdlib::paper_listing1(), "eletran", step_to(10.0));
+  TranOptions opts;
+  opts.tstop = 60e-3;
+  const auto res = spice::transient(*sys.ckt, opts);
+  ASSERT_TRUE(res.ok);
+  auto* dev = dynamic_cast<HdlDevice*>(sys.ckt->find_device("XT"));
+  ASSERT_NE(dev, nullptr);
+  // Site 0 is x = integ(S); it must track the probe node.
+  EXPECT_NEAR(dev->integ_state(0), res.sample(60e-3, sys.disp),
+              std::abs(res.sample(60e-3, sys.disp)) * 1e-6 + 1e-15);
+}
+
+}  // namespace
+}  // namespace usys::hdl

@@ -1,0 +1,128 @@
+// The headline experiment (Fig. 5): behavioral vs linearized transducer in
+// the pulse-train system. Asserts the paper's three qualitative results:
+// perfect convergence at the 10 V linearization point, overshoot of the
+// linear model at 5 V, undershoot at 15 V.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/resonator_system.hpp"
+#include "spice/analysis.hpp"
+
+namespace usys::core {
+namespace {
+
+struct PulseWindows {
+  // Sample times late in each pulse plateau (quasi-static response).
+  double at_5v;
+  double at_10v;
+  double at_15v;
+};
+
+constexpr double kTotal = 0.18;
+constexpr double kRise = 2e-3;
+
+PulseWindows windows() {
+  // Slot i spans [i, i+1]*kTotal/3 with 10% gaps; plateau end ~ 0.9 of slot.
+  const double slot = kTotal / 3.0;
+  return {0.85 * slot, 1.85 * slot, 2.85 * slot};
+}
+
+Fig5Trace run(TransducerModelKind kind) {
+  ResonatorParams p;
+  spice::TranOptions opts;
+  opts.dt_max = 2e-4;
+  return run_fig5(p, kind, {5.0, 10.0, 15.0}, kTotal, kRise, opts);
+}
+
+TEST(Fig5, BothModelsSimulate) {
+  const Fig5Trace behav = run(TransducerModelKind::behavioral);
+  const Fig5Trace lin = run(TransducerModelKind::linearized);
+  ASSERT_TRUE(behav.raw.ok) << behav.raw.error;
+  ASSERT_TRUE(lin.raw.ok) << lin.raw.error;
+  EXPECT_GT(behav.time.size(), 100u);
+}
+
+TEST(Fig5, ConvergenceAtLinearizationPoint) {
+  const Fig5Trace behav = run(TransducerModelKind::behavioral);
+  const Fig5Trace lin = run(TransducerModelKind::linearized);
+  ASSERT_TRUE(behav.raw.ok && lin.raw.ok);
+  const double t = windows().at_10v;
+  const double xb = behav.raw.sample(t, 2);  // node_disp = 2 in build order
+  const double xl = lin.raw.sample(t, 2);
+  ASSERT_NE(xb, 0.0);
+  EXPECT_NEAR(xl / xb, 1.0, 0.02);
+}
+
+TEST(Fig5, LinearOvershootsAt5V) {
+  const Fig5Trace behav = run(TransducerModelKind::behavioral);
+  const Fig5Trace lin = run(TransducerModelKind::linearized);
+  ASSERT_TRUE(behav.raw.ok && lin.raw.ok);
+  const double t = windows().at_5v;
+  const double xb = std::abs(behav.raw.sample(t, 2));
+  const double xl = std::abs(lin.raw.sample(t, 2));
+  EXPECT_GT(xl, 1.5 * xb);          // overshoot...
+  EXPECT_NEAR(xl / xb, 2.0, 0.15);  // ...by the secant ratio V0/V = 2
+}
+
+TEST(Fig5, LinearUndershootsAt15V) {
+  const Fig5Trace behav = run(TransducerModelKind::behavioral);
+  const Fig5Trace lin = run(TransducerModelKind::linearized);
+  ASSERT_TRUE(behav.raw.ok && lin.raw.ok);
+  const double t = windows().at_15v;
+  const double xb = std::abs(behav.raw.sample(t, 2));
+  const double xl = std::abs(lin.raw.sample(t, 2));
+  EXPECT_LT(xl, 0.8 * xb);                   // undershoot...
+  EXPECT_NEAR(xl / xb, 10.0 / 15.0, 0.07);   // ...by V0/V = 2/3
+}
+
+TEST(Fig5, QuadraticStaticsAcrossPulses) {
+  // The behavioral model's quasi-static deflections scale as V^2.
+  const Fig5Trace behav = run(TransducerModelKind::behavioral);
+  ASSERT_TRUE(behav.raw.ok);
+  const PulseWindows w = windows();
+  const double x5 = std::abs(behav.raw.sample(w.at_5v, 2));
+  const double x10 = std::abs(behav.raw.sample(w.at_10v, 2));
+  const double x15 = std::abs(behav.raw.sample(w.at_15v, 2));
+  EXPECT_NEAR(x10 / x5, 4.0, 0.2);
+  EXPECT_NEAR(x15 / x5, 9.0, 0.5);
+}
+
+TEST(Fig5, UnderCriticalRinging) {
+  // The dynamic behavior is "primarily defined by the under-critical
+  // damping": each pulse edge must overshoot its plateau value.
+  const Fig5Trace behav = run(TransducerModelKind::behavioral);
+  ASSERT_TRUE(behav.raw.ok);
+  const double slot = kTotal / 3.0;
+  // Peak |x| in the first third of the 10 V slot vs the plateau value.
+  double peak = 0.0;
+  for (std::size_t k = 0; k < behav.time.size(); ++k) {
+    const double t = behav.time[k];
+    if (t > slot && t < slot + 0.4 * slot)
+      peak = std::max(peak, std::abs(behav.displacement[k]));
+  }
+  const double plateau = std::abs(behav.raw.sample(windows().at_10v, 2));
+  EXPECT_GT(peak, 1.2 * plateau);
+  // zeta ~ 0.1414 -> first overshoot ~ 1 + exp(-pi zeta/sqrt(1-zeta^2)) ~ 1.64.
+  EXPECT_LT(peak, 1.9 * plateau);
+}
+
+TEST(Fig5, TangentGammaDoublesDeflectionEverywhere) {
+  // Ablation: with Tilmans' tangent Gamma the linear model overshoots by
+  // ~2x even at the bias voltage (why the secant reading matches Fig. 5).
+  ResonatorParams p;
+  spice::TranOptions opts;
+  opts.dt_max = 2e-4;
+  LinearizationOptions tangent;
+  tangent.gamma = GammaKind::tangent;
+  const Fig5Trace lin_t =
+      run_fig5(p, TransducerModelKind::linearized, {5.0, 10.0, 15.0}, kTotal, kRise,
+               opts, tangent);
+  const Fig5Trace behav = run(TransducerModelKind::behavioral);
+  ASSERT_TRUE(lin_t.raw.ok && behav.raw.ok);
+  const double t = windows().at_10v;
+  EXPECT_NEAR(lin_t.raw.sample(t, 2) / behav.raw.sample(t, 2), 2.0, 0.1);
+}
+
+}  // namespace
+}  // namespace usys::core

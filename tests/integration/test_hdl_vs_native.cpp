@@ -1,0 +1,172 @@
+// Cross-validation: the interpreted HDL-AT models against the native C++
+// devices over the full Fig. 5 run, plus netlist-built vs API-built systems.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/netlist_ext.hpp"
+#include "core/resonator_system.hpp"
+#include "hdl/interpreter.hpp"
+#include "hdl/stdlib.hpp"
+#include "spice/analysis.hpp"
+#include "spice/devices_controlled.hpp"
+#include "spice/devices_passive.hpp"
+#include "spice/devices_source.hpp"
+
+namespace usys {
+namespace {
+
+using spice::Circuit;
+
+spice::TranOptions fig5_opts() {
+  spice::TranOptions o;
+  o.tstop = 0.18;
+  o.dt_max = 2e-4;
+  return o;
+}
+
+TEST(HdlVsNative, Fig5TrajectoriesAgree) {
+  core::ResonatorParams p;
+  // Native run.
+  auto native = core::build_resonator_system(
+      p, core::TransducerModelKind::behavioral,
+      spice::make_fig5_pulse_train({5.0, 10.0, 15.0}, 0.18, 2e-3, 2e-3));
+  const auto rn = spice::transient(*native.circuit, fig5_opts());
+  ASSERT_TRUE(rn.ok) << rn.error;
+
+  // HDL run (energy-complete model, same parameters).
+  Circuit ckt;
+  const int drive = ckt.add_node("drive", Nature::electrical);
+  const int vel = ckt.add_node("vel", Nature::mechanical_translation);
+  const int disp = ckt.add_node("disp", Nature::mechanical_translation);
+  ckt.add<spice::VSource>("V1", drive, Circuit::kGround,
+                          spice::make_fig5_pulse_train({5.0, 10.0, 15.0}, 0.18, 2e-3,
+                                                       2e-3));
+  ckt.add_device(hdl::instantiate("XT", hdl::stdlib::transverse_energy(), "etransverse",
+                                  {{"A", 1e-4}, {"d", 0.15e-3}, {"er", 1.0}},
+                                  {drive, Circuit::kGround, vel, Circuit::kGround}));
+  ckt.add<spice::Mass>("M1", vel, p.mass);
+  ckt.add<spice::Spring>("K1", vel, Circuit::kGround, p.stiffness);
+  ckt.add<spice::Damper>("D1", vel, Circuit::kGround, p.damping);
+  ckt.add<spice::StateIntegrator>("XD", disp, vel);
+  const auto rh = spice::transient(ckt, fig5_opts());
+  ASSERT_TRUE(rh.ok) << rh.error;
+
+  double worst_rel = 0.0;
+  double xmax = 0.0;
+  for (double t = 0.01; t < 0.18; t += 0.005) {
+    const double xn = rn.sample(t, native.node_disp);
+    const double xh = rh.sample(t, disp);
+    xmax = std::max(xmax, std::abs(xn));
+    worst_rel = std::max(worst_rel, std::abs(xh - xn));
+  }
+  ASSERT_GT(xmax, 1e-9);
+  EXPECT_LT(worst_rel / xmax, 0.03);
+}
+
+TEST(HdlVsNative, Listing1CloseToEnergyCompleteAtPaperScales) {
+  // The missing motional-current term is negligible for x << d, so Listing 1
+  // and the complete model coincide at Table 4 scales.
+  Circuit a;
+  Circuit b;
+  auto build = [](Circuit& ckt, const std::string& src, const std::string& entity) {
+    const int drive = ckt.add_node("drive", Nature::electrical);
+    const int vel = ckt.add_node("vel", Nature::mechanical_translation);
+    const int disp = ckt.add_node("disp", Nature::mechanical_translation);
+    ckt.add<spice::VSource>(
+        "V1", drive, Circuit::kGround,
+        spice::make_fig5_pulse_train({10.0}, 0.06, 2e-3, 2e-3));
+    ckt.add_device(hdl::instantiate("XT", src, entity,
+                                    {{"A", 1e-4}, {"d", 0.15e-3}, {"er", 1.0}},
+                                    {drive, Circuit::kGround, vel, Circuit::kGround}));
+    ckt.add<spice::Mass>("M1", vel, 1e-4);
+    ckt.add<spice::Spring>("K1", vel, Circuit::kGround, 200.0);
+    ckt.add<spice::Damper>("D1", vel, Circuit::kGround, 40e-3);
+    ckt.add<spice::StateIntegrator>("XD", disp, vel);
+    return disp;
+  };
+  const int da = build(a, hdl::stdlib::paper_listing1(), "eletran");
+  const int db = build(b, hdl::stdlib::transverse_energy(), "etransverse");
+  spice::TranOptions opts;
+  opts.tstop = 0.06;
+  opts.dt_max = 1e-4;
+  const auto ra = spice::transient(a, opts);
+  const auto rb = spice::transient(b, opts);
+  ASSERT_TRUE(ra.ok && rb.ok);
+  for (double t = 0.01; t < 0.06; t += 0.01) {
+    EXPECT_NEAR(ra.sample(t, da), rb.sample(t, db),
+                std::abs(rb.sample(t, db)) * 0.01 + 1e-13);
+  }
+}
+
+TEST(HdlVsNative, NetlistBuildMatchesApiBuild) {
+  auto parser = core::make_full_parser();
+  const auto net = parser.parse(R"(* Fig. 3 via netlist
+V1 drive 0 PWL(0 0 5m 10 1 10)
+XT drive 0 vel 0 ETRANSV a=1e-4 d=0.15m er=1
+Xm vel MASS m=1e-4
+Xk vel 0 SPRING k=200
+Xd vel 0 DAMPER alpha=40m
+Xi disp vel INTEG
+)");
+  spice::TranOptions opts;
+  opts.tstop = 80e-3;
+  const auto rn = spice::transient(*net.circuit, opts);
+  ASSERT_TRUE(rn.ok) << rn.error;
+
+  core::ResonatorParams p;
+  auto api = core::build_resonator_system(
+      p, core::TransducerModelKind::behavioral,
+      std::make_unique<spice::PwlWave>(std::vector<std::pair<double, double>>{
+          {0.0, 0.0}, {5e-3, 10.0}, {1.0, 10.0}}));
+  const auto ra = spice::transient(*api.circuit, opts);
+  ASSERT_TRUE(ra.ok);
+
+  const double xn = rn.sample(80e-3, net.circuit->node("disp"));
+  const double xa = ra.sample(80e-3, api.node_disp);
+  EXPECT_NEAR(xn, xa, std::abs(xa) * 1e-3);
+}
+
+TEST(HdlVsNative, ParallelElectrostaticHdlMatchesNative) {
+  core::TransducerGeometry g;
+  g.depth = 1e-3;
+  g.length = 2e-3;
+  g.gap = 1e-5;
+  g.eps0 = 8.8542e-12;
+
+  auto run = [&](bool use_hdl) {
+    Circuit ckt;
+    const int drive = ckt.add_node("drive", Nature::electrical);
+    const int vel = ckt.add_node("vel", Nature::mechanical_translation);
+    const int disp = ckt.add_node("disp", Nature::mechanical_translation);
+    ckt.add<spice::VSource>(
+        "V1", drive, Circuit::kGround,
+        std::make_unique<spice::PwlWave>(std::vector<std::pair<double, double>>{
+            {0.0, 0.0}, {1e-3, 10.0}, {1.0, 10.0}}));
+    if (use_hdl) {
+      ckt.add_device(hdl::instantiate(
+          "XT", hdl::stdlib::parallel_electrostatic(), "eparallel",
+          {{"h", g.depth}, {"l", g.length}, {"d", g.gap}, {"er", 1.0}},
+          {drive, Circuit::kGround, vel, Circuit::kGround}));
+    } else {
+      ckt.add<core::ParallelElectrostatic>("XT", drive, Circuit::kGround, vel,
+                                           Circuit::kGround, g);
+    }
+    ckt.add<spice::Mass>("M1", vel, 1e-5);
+    ckt.add<spice::Spring>("K1", vel, Circuit::kGround, 50.0);
+    ckt.add<spice::Damper>("D1", vel, Circuit::kGround, 5e-3);
+    ckt.add<spice::StateIntegrator>("XD", disp, vel);
+    spice::TranOptions opts;
+    opts.tstop = 30e-3;
+    opts.dt_max = 5e-5;
+    const auto res = spice::transient(ckt, opts);
+    return std::make_pair(res.ok, res.ok ? res.sample(30e-3, disp) : 0.0);
+  };
+  const auto [ok_h, x_h] = run(true);
+  const auto [ok_n, x_n] = run(false);
+  ASSERT_TRUE(ok_h && ok_n);
+  EXPECT_NEAR(x_h, x_n, std::abs(x_n) * 0.01);
+}
+
+}  // namespace
+}  // namespace usys

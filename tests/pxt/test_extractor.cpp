@@ -1,0 +1,78 @@
+// PXT static extraction vs analytic parallel-plate quantities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pxt/extractor.hpp"
+
+namespace usys::pxt {
+namespace {
+
+ExtractionSetup small_setup() {
+  ExtractionSetup s;
+  s.width = 0.1;
+  s.depth = 1e-3;
+  s.gap0 = 0.15e-3;
+  s.nx = 4;
+  s.ny = 8;
+  return s;
+}
+
+TEST(Extractor, PointMatchesAnalytic) {
+  const auto setup = small_setup();
+  const ExtractionSample s = extract_point(setup, 0.0, 10.0);
+  EXPECT_NEAR(s.capacitance, analytic_capacitance(setup, 0.0),
+              analytic_capacitance(setup, 0.0) * 1e-6);
+  EXPECT_NEAR(s.force_mst, analytic_force(setup, 0.0, 10.0),
+              std::abs(analytic_force(setup, 0.0, 10.0)) * 1e-6);
+  EXPECT_NEAR(s.force_vw, s.force_mst, std::abs(s.force_mst) * 1e-3);
+}
+
+TEST(Extractor, PaperFig6Point) {
+  // The paper's Fig. 6 check: Table 4 parameters at x = 0, V = 10 V must
+  // reproduce the Table 3 force. Width*depth = A = 1e-4 m^2.
+  ExtractionSetup setup;
+  setup.width = 0.1;
+  setup.depth = 1e-3;
+  setup.gap0 = 0.15e-3;
+  setup.nx = 4;
+  setup.ny = 8;
+  const ExtractionSample s = extract_point(setup, 0.0, 10.0);
+  // Table 3/paper text: F = eps A V^2/(2 d^2) ~ 1.967e-6 N (attraction).
+  EXPECT_NEAR(std::abs(s.force_mst), 1.967e-6, 0.01e-6);
+}
+
+TEST(Extractor, SweepGridShape) {
+  const auto setup = small_setup();
+  const auto table = extract_sweep(setup, {-2e-5, 0.0, 2e-5}, {5.0, 10.0}, false);
+  EXPECT_EQ(table.samples.size(), 6u);
+  EXPECT_DOUBLE_EQ(table.at(0, 0).voltage, 5.0);
+  EXPECT_DOUBLE_EQ(table.at(2, 1).displacement, 2e-5);
+}
+
+TEST(Extractor, ForceScalesWithVSquared) {
+  const auto setup = small_setup();
+  const auto s5 = extract_point(setup, 0.0, 5.0, false);
+  const auto s10 = extract_point(setup, 0.0, 10.0, false);
+  EXPECT_NEAR(s10.force_mst / s5.force_mst, 4.0, 1e-6);
+}
+
+TEST(Extractor, CapacitanceDropsWithGap) {
+  const auto setup = small_setup();
+  const auto near = extract_point(setup, -3e-5, 10.0, false);
+  const auto far = extract_point(setup, +3e-5, 10.0, false);
+  EXPECT_GT(near.capacitance, far.capacitance);
+  // 1/(d+x) shape: C(x)*(d+x) constant.
+  EXPECT_NEAR(near.capacitance * (setup.gap0 - 3e-5),
+              far.capacitance * (setup.gap0 + 3e-5),
+              near.capacitance * setup.gap0 * 1e-6);
+}
+
+TEST(Extractor, EnergyConsistentWithCapacitance) {
+  const auto setup = small_setup();
+  const auto s = extract_point(setup, 1e-5, 8.0, false);
+  EXPECT_NEAR(s.energy, 0.5 * s.capacitance * 64.0, s.energy * 1e-9);
+}
+
+}  // namespace
+}  // namespace usys::pxt

@@ -1,0 +1,123 @@
+// Harmonic macromodeling: Levy rational fits of the resonator response and
+// the transfer-function device realization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "pxt/harmonic.hpp"
+#include "spice/analysis.hpp"
+#include "spice/devices_source.hpp"
+
+namespace usys::pxt {
+namespace {
+
+std::vector<double> log_freqs(double f0, double f1, int n) {
+  std::vector<double> out;
+  for (int i = 0; i < n; ++i)
+    out.push_back(f0 * std::pow(f1 / f0, static_cast<double>(i) / (n - 1)));
+  return out;
+}
+
+TEST(Harmonic, ResonatorResponseShape) {
+  const auto samples = resonator_response(1e-4, 200.0, 40e-3, log_freqs(1.0, 1e4, 200));
+  // DC asymptote: 1/k.
+  EXPECT_NEAR(std::abs(samples.front().h), 1.0 / 200.0, 1e-6);
+  // Peak near f0 = 225 Hz.
+  double peak = 0.0;
+  double f_peak = 0.0;
+  for (const auto& s : samples) {
+    if (std::abs(s.h) > peak) {
+      peak = std::abs(s.h);
+      f_peak = s.freq_hz;
+    }
+  }
+  const double f0 = std::sqrt(200.0 / 1e-4) / (2.0 * kPi);
+  EXPECT_NEAR(f_peak, f0, 0.1 * f0);
+  EXPECT_GT(peak, 1.0 / 200.0);
+}
+
+TEST(Harmonic, LevyFitRecoversSecondOrderSystem) {
+  // The resonator is exactly order (0,2): the fit must be near-perfect.
+  const auto samples = resonator_response(1e-4, 200.0, 40e-3, log_freqs(1.0, 5e3, 60));
+  const RationalFit fit = levy_fit(samples, 0, 2);
+  EXPECT_LT(fit_error(fit, samples), 1e-6);
+  // Recover physical parameters from the fit: H = (1/k)/(1 + (alpha/k)s' + (m/k)s'^2)
+  // with s' = s/scale.
+  // In normalized s' = s/scale: H = (1/k)/(1 + (alpha/k) scale s' +
+  // (m/k) scale^2 s'^2).
+  EXPECT_NEAR(fit.num[0], 1.0 / 200.0, 1e-6 / 200.0);
+  const double a1_expected = 40e-3 / 200.0 * fit.scale;
+  const double a2_expected = 1e-4 / 200.0 * fit.scale * fit.scale;
+  EXPECT_NEAR(fit.den[1], a1_expected, std::abs(a1_expected) * 1e-4);
+  EXPECT_NEAR(fit.den[2], a2_expected, std::abs(a2_expected) * 1e-4);
+}
+
+TEST(Harmonic, FitOrderValidation) {
+  const auto samples = resonator_response(1e-4, 200.0, 40e-3, log_freqs(1.0, 1e3, 10));
+  EXPECT_THROW(levy_fit(samples, 3, 2), std::invalid_argument);
+  EXPECT_THROW(levy_fit(samples, 0, 0), std::invalid_argument);
+  EXPECT_THROW(levy_fit({samples[0]}, 2, 2), std::invalid_argument);
+}
+
+TEST(Harmonic, FitEvaluatesOffGrid) {
+  const auto samples = resonator_response(1e-4, 200.0, 40e-3, log_freqs(1.0, 5e3, 60));
+  const RationalFit fit = levy_fit(samples, 0, 2);
+  const auto probe = resonator_response(1e-4, 200.0, 40e-3, {137.0, 225.0, 941.0});
+  for (const auto& s : probe) {
+    EXPECT_NEAR(std::abs(fit.eval(s.freq_hz) - s.h) / std::abs(s.h), 0.0, 1e-5)
+        << s.freq_hz;
+  }
+}
+
+TEST(Harmonic, DeviceMatchesFitInAcSweep) {
+  // Realize the fitted TF as a device and AC-sweep it: |v(out)| must track
+  // |H| across the resonance.
+  const auto samples = resonator_response(1e-4, 200.0, 40e-3, log_freqs(1.0, 5e3, 60));
+  const RationalFit fit = levy_fit(samples, 0, 2);
+
+  spice::Circuit ckt;
+  const int in = ckt.add_node("in", Nature::electrical);
+  const int out = ckt.add_node("out", Nature::electrical);
+  ckt.add<spice::VSource>("V1", in, spice::Circuit::kGround,
+                          std::make_unique<spice::DcWave>(0.0), Nature::electrical, 1.0,
+                          0.0);
+  ckt.add<TransferFunctionDevice>("H1", in, spice::Circuit::kGround, out,
+                                  spice::Circuit::kGround, fit);
+  spice::AcOptions opts;
+  opts.f_start = 1.0;
+  opts.f_stop = 5e3;
+  opts.points = 30;
+  const auto res = spice::ac_sweep(ckt, opts);
+  ASSERT_TRUE(res.ok) << res.error;
+  for (std::size_t k = 0; k < res.freq.size(); ++k) {
+    const std::complex<double> expected = fit.eval(res.freq[k]);
+    const std::complex<double> got = res.at(k, out);
+    EXPECT_NEAR(std::abs(got - expected), 0.0, std::abs(expected) * 1e-6 + 1e-12)
+        << "f=" << res.freq[k];
+  }
+}
+
+TEST(Harmonic, DeviceDcGainIsB0) {
+  const auto samples = resonator_response(1e-4, 200.0, 40e-3, log_freqs(1.0, 5e3, 60));
+  const RationalFit fit = levy_fit(samples, 0, 2);
+  spice::Circuit ckt;
+  const int in = ckt.add_node("in", Nature::electrical);
+  const int out = ckt.add_node("out", Nature::electrical);
+  ckt.add<spice::VSource>("V1", in, spice::Circuit::kGround, 2.0);
+  ckt.add<TransferFunctionDevice>("H1", in, spice::Circuit::kGround, out,
+                                  spice::Circuit::kGround, fit);
+  const auto op = spice::operating_point(ckt);
+  ASSERT_TRUE(op.converged);
+  EXPECT_NEAR(op.at(out), 2.0 * fit.num[0], std::abs(2.0 * fit.num[0]) * 1e-6);
+}
+
+TEST(Harmonic, ImproperTfRejected) {
+  RationalFit bad;
+  bad.num = {1.0, 1.0, 1.0};
+  bad.den = {1.0, 1.0};
+  EXPECT_THROW(TransferFunctionDevice("H", 0, -1, 1, -1, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace usys::pxt

@@ -1,0 +1,143 @@
+// Bilinear F(x, V) macromodel and the force-table transducer device.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/reference.hpp"
+#include "pxt/pwl.hpp"
+#include "spice/analysis.hpp"
+#include "spice/devices_controlled.hpp"
+#include "spice/devices_passive.hpp"
+#include "spice/devices_source.hpp"
+
+namespace usys::pxt {
+namespace {
+
+TEST(Pwl2, ExactOnBilinearFunction) {
+  // f(x, v) = 2 + 3x + 4v + 5xv is reproduced exactly by bilinear interp.
+  const std::vector<double> xs{0.0, 1.0, 2.0};
+  const std::vector<double> vs{0.0, 2.0};
+  std::vector<double> vals;
+  for (double x : xs) {
+    for (double v : vs) vals.push_back(2.0 + 3.0 * x + 4.0 * v + 5.0 * x * v);
+  }
+  const Pwl2 f(xs, vs, vals);
+  for (double x : {0.25, 0.9, 1.5}) {
+    for (double v : {0.5, 1.9}) {
+      EXPECT_NEAR(f(x, v), 2.0 + 3.0 * x + 4.0 * v + 5.0 * x * v, 1e-12);
+      EXPECT_NEAR(f.d_dx(x, v), 3.0 + 5.0 * v, 1e-12);
+      EXPECT_NEAR(f.d_dv(x, v), 4.0 + 5.0 * x, 1e-12);
+    }
+  }
+}
+
+TEST(Pwl2, ClampsOutsideGrid) {
+  const Pwl2 f({0.0, 1.0}, {0.0, 1.0}, {0.0, 0.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(f(-5.0, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(f(5.0, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(f.d_dx(5.0, 0.5), 0.0);
+}
+
+TEST(Pwl2, Validation) {
+  EXPECT_THROW(Pwl2({0.0}, {0.0, 1.0}, {0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(Pwl2({1.0, 0.0}, {0.0, 1.0}, {0.0, 0.0, 0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(Pwl2({0.0, 1.0}, {0.0, 1.0}, {0.0}), std::invalid_argument);
+}
+
+ExtractionTable analytic_table2d() {
+  ExtractionSetup setup;
+  setup.width = 0.1;
+  setup.depth = 1e-3;
+  setup.gap0 = 0.15e-3;
+  ExtractionTable t;
+  t.setup = setup;
+  for (int i = -6; i <= 6; ++i) t.displacements.push_back(static_cast<double>(i) * 5e-6);
+  for (double v = 0.0; v <= 16.0; v += 1.0) t.voltages.push_back(v);
+  for (double x : t.displacements) {
+    for (double v : t.voltages) {
+      ExtractionSample s;
+      s.displacement = x;
+      s.voltage = v;
+      s.capacitance = analytic_capacitance(setup, x);
+      s.force_mst = analytic_force(setup, x, v);
+      t.samples.push_back(s);
+    }
+  }
+  return t;
+}
+
+TEST(Pwl2, ForceModelTracksAnalytic) {
+  const auto table = analytic_table2d();
+  const Pwl2 f = force_model(table);
+  for (double x : {-2.2e-5, 0.0, 1.3e-5}) {
+    for (double v : {3.5, 9.5, 14.5}) {
+      // Linear interp of the V^2 axis has midpoint error (h/2)^2 = h^2/4,
+      // i.e. 0.25/12.25 = 2.04 % at v = 3.5 on the 1 V grid, shrinking
+      // quadratically toward higher voltages.
+      const double ref = analytic_force(table.setup, x, v);
+      EXPECT_NEAR(f(x, v), ref, std::abs(ref) * 0.03 + 1e-10) << x << "," << v;
+    }
+  }
+}
+
+TEST(Pwl2, ForceTransducerStaticDeflection) {
+  // Full table-driven device in the Fig. 3 system: static deflection within
+  // the table resolution of the analytic value.
+  const auto table = analytic_table2d();
+  spice::Circuit ckt;
+  const int drive = ckt.add_node("drive", Nature::electrical);
+  const int vel = ckt.add_node("vel", Nature::mechanical_translation);
+  const int disp = ckt.add_node("disp", Nature::mechanical_translation);
+  ckt.add<spice::VSource>(
+      "V1", drive, spice::Circuit::kGround,
+      std::make_unique<spice::PwlWave>(std::vector<std::pair<double, double>>{
+          {0.0, 0.0}, {5e-3, 10.0}, {1.0, 10.0}}));
+  ckt.add<PwlForceTransducer>("XT", drive, spice::Circuit::kGround, vel,
+                              spice::Circuit::kGround, capacitance_model(table),
+                              force_model(table));
+  ckt.add<spice::Mass>("M1", vel, 1e-4);
+  ckt.add<spice::Spring>("K1", vel, spice::Circuit::kGround, 200.0);
+  ckt.add<spice::Damper>("D1", vel, spice::Circuit::kGround, 40e-3);
+  ckt.add<spice::StateIntegrator>("XD", disp, vel);
+
+  spice::TranOptions opts;
+  opts.tstop = 80e-3;
+  const auto res = spice::transient(ckt, opts);
+  ASSERT_TRUE(res.ok) << res.error;
+  core::ResonatorParams p;
+  const double x_expected = core::static_displacement_transverse(p, 10.0);
+  EXPECT_NEAR(res.sample(80e-3, disp), x_expected, std::abs(x_expected) * 0.06);
+}
+
+TEST(Pwl2, ForceTransducerEvenInVoltage) {
+  // Electrostatic attraction is even in V: negative drive must deflect the
+  // same way (the |V| mapping in the device).
+  const auto table = analytic_table2d();
+  auto run = [&](double v) {
+    spice::Circuit ckt;
+    const int drive = ckt.add_node("drive", Nature::electrical);
+    const int vel = ckt.add_node("vel", Nature::mechanical_translation);
+    const int disp = ckt.add_node("disp", Nature::mechanical_translation);
+    ckt.add<spice::VSource>(
+        "V1", drive, spice::Circuit::kGround,
+        std::make_unique<spice::PwlWave>(std::vector<std::pair<double, double>>{
+            {0.0, 0.0}, {5e-3, v}, {1.0, v}}));
+    ckt.add<PwlForceTransducer>("XT", drive, spice::Circuit::kGround, vel,
+                                spice::Circuit::kGround, capacitance_model(table),
+                                force_model(table));
+    ckt.add<spice::Mass>("M1", vel, 1e-4);
+    ckt.add<spice::Spring>("K1", vel, spice::Circuit::kGround, 200.0);
+    ckt.add<spice::Damper>("D1", vel, spice::Circuit::kGround, 40e-3);
+    ckt.add<spice::StateIntegrator>("XD", disp, vel);
+    spice::TranOptions opts;
+    opts.tstop = 60e-3;
+    const auto res = spice::transient(ckt, opts);
+    EXPECT_TRUE(res.ok);
+    return res.sample(60e-3, disp);
+  };
+  EXPECT_NEAR(run(10.0), run(-10.0), std::abs(run(10.0)) * 1e-3);
+}
+
+}  // namespace
+}  // namespace usys::pxt

@@ -1,0 +1,90 @@
+// Circuit graph bookkeeping: nodes, natures, devices, binding.
+#include <gtest/gtest.h>
+
+#include "spice/devices_passive.hpp"
+#include "spice/devices_source.hpp"
+
+namespace usys::spice {
+namespace {
+
+TEST(Circuit, GroundAliases) {
+  Circuit ckt;
+  EXPECT_EQ(ckt.add_node("0", Nature::electrical), Circuit::kGround);
+  EXPECT_EQ(ckt.add_node("gnd", Nature::electrical), Circuit::kGround);
+  EXPECT_EQ(ckt.node("0"), Circuit::kGround);
+}
+
+TEST(Circuit, NodeReuseSameNature) {
+  Circuit ckt;
+  const int a = ckt.add_node("a", Nature::electrical);
+  EXPECT_EQ(ckt.add_node("a", Nature::electrical), a);
+  EXPECT_EQ(ckt.node("a"), a);
+}
+
+TEST(Circuit, NodeNatureConflictThrows) {
+  Circuit ckt;
+  ckt.add_node("a", Nature::electrical);
+  EXPECT_THROW(ckt.add_node("a", Nature::mechanical_translation), CircuitError);
+}
+
+TEST(Circuit, UnknownNodeLookupThrows) {
+  Circuit ckt;
+  EXPECT_THROW((void)ckt.node("missing"), CircuitError);
+}
+
+TEST(Circuit, DuplicateDeviceNameThrows) {
+  Circuit ckt;
+  const int a = ckt.add_node("a", Nature::electrical);
+  ckt.add<Resistor>("R1", a, Circuit::kGround, 1.0);
+  EXPECT_THROW(ckt.add<Resistor>("R1", a, Circuit::kGround, 2.0), CircuitError);
+}
+
+TEST(Circuit, BranchUnknownsAppendAfterNodes) {
+  Circuit ckt;
+  const int a = ckt.add_node("a", Nature::electrical);
+  const int b = ckt.add_node("b", Nature::electrical);
+  auto& vs = ckt.add<VSource>("V1", a, Circuit::kGround, 1.0);
+  auto& ind = ckt.add<Inductor>("L1", b, Circuit::kGround, 1e-3);
+  ckt.bind_all();
+  EXPECT_EQ(ckt.node_count(), 2);
+  EXPECT_EQ(ckt.unknown_count(), 4);
+  EXPECT_EQ(vs.branch(), 2);
+  EXPECT_EQ(ind.branch(), 3);
+}
+
+TEST(Circuit, AbstolSizedByNature) {
+  Circuit ckt;
+  ckt.add_node("e", Nature::electrical);
+  ckt.add_node("m", Nature::mechanical_translation);
+  ckt.bind_all();
+  EXPECT_DOUBLE_EQ(ckt.abstol()[0], effort_abstol(Nature::electrical));
+  EXPECT_DOUBLE_EQ(ckt.abstol()[1], effort_abstol(Nature::mechanical_translation));
+}
+
+TEST(Circuit, AddAfterBindThrows) {
+  Circuit ckt;
+  const int a = ckt.add_node("a", Nature::electrical);
+  ckt.add<Resistor>("R1", a, Circuit::kGround, 1.0);
+  ckt.bind_all();
+  EXPECT_THROW(ckt.add_node("late", Nature::electrical), CircuitError);
+  EXPECT_THROW(ckt.add<Resistor>("R2", a, Circuit::kGround, 1.0), CircuitError);
+}
+
+TEST(Circuit, FindDevice) {
+  Circuit ckt;
+  const int a = ckt.add_node("a", Nature::electrical);
+  ckt.add<Resistor>("R1", a, Circuit::kGround, 1.0);
+  EXPECT_NE(ckt.find_device("R1"), nullptr);
+  EXPECT_EQ(ckt.find_device("R2"), nullptr);
+}
+
+TEST(Circuit, InvalidElementValuesThrow) {
+  Circuit ckt;
+  const int a = ckt.add_node("a", Nature::electrical);
+  EXPECT_THROW(ckt.add<Resistor>("R1", a, Circuit::kGround, 0.0), std::invalid_argument);
+  EXPECT_THROW(ckt.add<Capacitor>("C1", a, Circuit::kGround, -1.0), std::invalid_argument);
+  EXPECT_THROW(ckt.add<Inductor>("L1", a, Circuit::kGround, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace usys::spice

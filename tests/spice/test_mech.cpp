@@ -1,0 +1,143 @@
+// Mechanical elements under the FI analogy: statics, resonance, damping —
+// plus nature checking across domains (Table 1 of the paper).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "spice/analysis.hpp"
+#include "spice/devices_controlled.hpp"
+#include "spice/devices_passive.hpp"
+#include "spice/devices_source.hpp"
+
+namespace usys::spice {
+namespace {
+
+TEST(Mech, StaticForceBalanceSpring) {
+  // Constant force into spring: at DC the velocity is 0 and the spring
+  // branch carries the applied force.
+  Circuit ckt;
+  const int vel = ckt.add_node("vel", Nature::mechanical_translation);
+  ckt.add<ForceSource>("F1", vel, 1e-3);
+  auto& spring = ckt.add<Spring>("K1", vel, Circuit::kGround, 200.0);
+  const OpResult op = operating_point(ckt);
+  ASSERT_TRUE(op.converged);
+  EXPECT_NEAR(op.at(vel), 0.0, 1e-9);
+  EXPECT_NEAR(spring.displacement(op.x), 1e-3 / 200.0, 1e-12);
+}
+
+TEST(Mech, ResonatorNaturalFrequency) {
+  // m-k-alpha resonator kicked by a force pulse: ring-down at
+  // f = sqrt(k/m)/(2 pi) (Table 4 parameters: ~225 Hz).
+  Circuit ckt;
+  const int vel = ckt.add_node("vel", Nature::mechanical_translation);
+  ckt.add<ForceSource>("F1", vel,
+                       std::make_unique<PulseWave>(0.0, 1e-3, 0.0, 1e-5, 1e-5, 2e-4));
+  ckt.add<Mass>("M1", vel, 1e-4);
+  ckt.add<Spring>("K1", vel, Circuit::kGround, 200.0);
+  ckt.add<Damper>("D1", vel, Circuit::kGround, 40e-3);
+
+  TranOptions opts;
+  opts.tstop = 50e-3;
+  opts.dt_max = 5e-5;
+  const TranResult res = transient(ckt, opts);
+  ASSERT_TRUE(res.ok) << res.error;
+
+  const auto v = res.signal(vel);
+  int crossings = 0;
+  double first = -1.0;
+  double last = -1.0;
+  for (std::size_t k = 1; k < v.size(); ++k) {
+    if (v[k - 1] < 0.0 && v[k] >= 0.0 && res.time[k] > 1e-3) {
+      ++crossings;
+      if (first < 0) first = res.time[k];
+      last = res.time[k];
+    }
+  }
+  ASSERT_GE(crossings, 3);
+  const double period = (last - first) / (crossings - 1);
+  const double f_meas = 1.0 / period;
+  const double f0 = std::sqrt(200.0 / 1e-4) / (2.0 * kPi);
+  // Damped frequency fd = f0 sqrt(1-zeta^2), zeta ~ 0.1414 -> ~1% below f0.
+  const double zeta = 40e-3 / (2.0 * std::sqrt(200.0 * 1e-4));
+  const double fd = f0 * std::sqrt(1.0 - zeta * zeta);
+  EXPECT_NEAR(f_meas, fd, 0.03 * fd);
+}
+
+TEST(Mech, DamperDissipatesSteadyVelocity) {
+  // Imposed velocity across a damper: force = alpha * v.
+  Circuit ckt;
+  const int vel = ckt.add_node("vel", Nature::mechanical_translation);
+  auto& src = ckt.add<VelocitySource>("U1", vel, std::make_unique<DcWave>(0.2));
+  ckt.add<Damper>("D1", vel, Circuit::kGround, 0.5);
+  const OpResult op = operating_point(ckt);
+  ASSERT_TRUE(op.converged);
+  // Source branch carries -alpha*v (force flowing back into the source).
+  EXPECT_NEAR(op.x[static_cast<std::size_t>(src.branch())], -0.1, 1e-12);
+}
+
+TEST(Mech, NatureMismatchIsDiagnosed) {
+  Circuit ckt;
+  const int e = ckt.add_node("e", Nature::electrical);
+  const int m = ckt.add_node("m", Nature::mechanical_translation);
+  ckt.add<Resistor>("R1", e, m, 1e3);  // illegal: crosses domains
+  EXPECT_THROW(ckt.bind_all(), CircuitError);
+}
+
+TEST(Mech, GroundConnectsAllDomains) {
+  Circuit ckt;
+  const int e = ckt.add_node("e", Nature::electrical);
+  const int m = ckt.add_node("m", Nature::mechanical_translation);
+  ckt.add<Resistor>("R1", e, Circuit::kGround, 1e3);
+  ckt.add<Damper>("D1", m, Circuit::kGround, 1.0);
+  EXPECT_NO_THROW(ckt.bind_all());
+}
+
+TEST(Mech, RotationalAndHydraulicNodesSupported) {
+  Circuit ckt;
+  const int rot = ckt.add_node("rot", Nature::mechanical_rotation);
+  const int hyd = ckt.add_node("hyd", Nature::hydraulic);
+  ckt.add<Resistor>("RR", rot, Circuit::kGround, 10.0, Nature::mechanical_rotation);
+  ckt.add<Resistor>("RH", hyd, Circuit::kGround, 10.0, Nature::hydraulic);
+  ckt.add<ISource>("TQ", Circuit::kGround, rot, 0.5, Nature::mechanical_rotation);
+  ckt.add<ISource>("FL", Circuit::kGround, hyd, 0.1, Nature::hydraulic);
+  const OpResult op = operating_point(ckt);
+  ASSERT_TRUE(op.converged);
+  EXPECT_NEAR(op.at(rot), 5.0, 1e-9);   // angular velocity = torque * R
+  EXPECT_NEAR(op.at(hyd), 1.0, 1e-9);   // pressure = flow * R
+}
+
+TEST(Mech, MassSpringEnergyConservesWithoutDamping) {
+  // Kick an undamped m-k oscillator and check the energy
+  // E = 1/2 m v^2 + 1/2 k x^2 stays constant (trapezoidal is symplectic-ish
+  // on linear problems; tolerance allows LTE-level drift).
+  Circuit ckt;
+  const int vel = ckt.add_node("vel", Nature::mechanical_translation);
+  const int disp = ckt.add_node("disp", Nature::mechanical_translation);
+  ckt.add<ForceSource>("F1", vel,
+                       std::make_unique<PulseWave>(0.0, 1e-3, 0.0, 1e-6, 1e-6, 1e-4));
+  ckt.add<Mass>("M1", vel, 1e-4);
+  ckt.add<Spring>("K1", vel, Circuit::kGround, 200.0);
+  ckt.add<StateIntegrator>("XD", disp, vel);
+
+  TranOptions opts;
+  opts.tstop = 30e-3;
+  opts.dt_max = 2e-5;
+  const TranResult res = transient(ckt, opts);
+  ASSERT_TRUE(res.ok) << res.error;
+
+  double e_at_5ms = 0.0;
+  double e_at_25ms = 0.0;
+  auto energy = [&](double t) {
+    const double v = res.sample(t, vel);
+    const double x = res.sample(t, disp);
+    return 0.5 * 1e-4 * v * v + 0.5 * 200.0 * x * x;
+  };
+  e_at_5ms = energy(5e-3);
+  e_at_25ms = energy(25e-3);
+  ASSERT_GT(e_at_5ms, 0.0);
+  EXPECT_NEAR(e_at_25ms / e_at_5ms, 1.0, 0.02);
+}
+
+}  // namespace
+}  // namespace usys::spice

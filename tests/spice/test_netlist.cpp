@@ -1,0 +1,183 @@
+// Netlist front-end: tokenization, devices, natures, analyses, diagnostics,
+// and the transducer extension cards registered by usys::core.
+#include <gtest/gtest.h>
+
+#include "core/netlist_ext.hpp"
+#include "spice/analysis.hpp"
+#include "spice/devices_passive.hpp"
+#include "spice/netlist.hpp"
+
+namespace usys::spice {
+namespace {
+
+TEST(Netlist, DividerEndToEnd) {
+  NetlistParser parser;
+  const auto net = parser.parse(R"(* divider
+V1 in 0 10
+R1 in mid 1k
+R2 mid 0 1k
+.op
+.end
+)");
+  ASSERT_EQ(net.analyses.size(), 1u);
+  EXPECT_EQ(net.analyses[0].kind, AnalysisCard::Kind::op);
+  const OpResult op = operating_point(*net.circuit);
+  ASSERT_TRUE(op.converged);
+  EXPECT_NEAR(op.at(net.circuit->node("mid")), 5.0, 1e-7);  // gmin loading
+}
+
+TEST(Netlist, TitleLine) {
+  NetlistParser parser;
+  const auto net = parser.parse("* my title\nR1 a 0 1k\n");
+  EXPECT_EQ(net.title, " my title");
+}
+
+TEST(Netlist, EngineeringSuffixes) {
+  NetlistParser parser;
+  const auto net = parser.parse(R"(
+V1 a 0 1
+R1 a b 4.7k
+R2 b 0 2meg
+C1 b 0 10u
+L1 b 0 1m
+)");
+  auto* r1 = dynamic_cast<Resistor*>(net.circuit->find_device("R1"));
+  ASSERT_NE(r1, nullptr);
+  EXPECT_DOUBLE_EQ(r1->resistance(), 4.7e3);
+  auto* c1 = dynamic_cast<Capacitor*>(net.circuit->find_device("C1"));
+  ASSERT_NE(c1, nullptr);
+  EXPECT_DOUBLE_EQ(c1->capacitance(), 1e-5);
+}
+
+TEST(Netlist, PulseWaveformAndTranCard) {
+  NetlistParser parser;
+  const auto net = parser.parse(R"(
+V1 in 0 PULSE(0 5 1m 0.1m 0.1m 2m)
+R1 in 0 1k
+.tran 0.01m 6m
+)");
+  ASSERT_EQ(net.analyses.size(), 1u);
+  EXPECT_EQ(net.analyses[0].kind, AnalysisCard::Kind::tran);
+  EXPECT_NEAR(net.analyses[0].tran.tstop, 6e-3, 1e-12);
+  const TranResult res = transient(*net.circuit, net.analyses[0].tran);
+  ASSERT_TRUE(res.ok);
+  EXPECT_NEAR(res.sample(2e-3, net.circuit->node("in")), 5.0, 1e-6);
+}
+
+TEST(Netlist, AcCardAndSource) {
+  NetlistParser parser;
+  const auto net = parser.parse(R"(
+V1 in 0 0 AC 1
+R1 in out 1k
+C1 out 0 1u
+.ac dec 10 1 100k
+)");
+  ASSERT_EQ(net.analyses.size(), 1u);
+  const AcResult res = ac_sweep(*net.circuit, net.analyses[0].ac);
+  ASSERT_TRUE(res.ok);
+  EXPECT_GT(res.freq.size(), 10u);
+}
+
+TEST(Netlist, MechanicalCardsAndNatureDeclaration) {
+  NetlistParser parser;
+  const auto net = parser.parse(R"(
+.node vel mechanical1
+Xm vel MASS m=1e-4
+Xk vel 0 SPRING k=200
+Xd vel 0 DAMPER alpha=40m
+Xf vel FORCE f=1m
+.op
+)");
+  const OpResult op = operating_point(*net.circuit);
+  ASSERT_TRUE(op.converged);
+  EXPECT_NEAR(op.at(net.circuit->node("vel")), 0.0, 1e-9);
+}
+
+TEST(Netlist, TransducerCardBuildsFig3System) {
+  auto parser = core::make_full_parser();
+  const auto net = parser.parse(R"(* Fig. 3 system
+V1 drive 0 PWL(0 0 5m 10 0.1 10)
+XT drive 0 vel 0 ETRANSV a=1e-4 d=0.15m er=1
+Xm vel MASS m=1e-4
+Xk vel 0 SPRING k=200
+Xd vel 0 DAMPER alpha=40m
+Xi disp vel INTEG
+.tran 0.1m 60m
+)");
+  const TranResult res = transient(*net.circuit, net.analyses[0].tran);
+  ASSERT_TRUE(res.ok) << res.error;
+  // Static deflection at 10 V ~ -9.84 nm (attraction closes the gap).
+  const double x_final = res.sample(60e-3, net.circuit->node("disp"));
+  EXPECT_NEAR(x_final, -9.84e-9, 0.5e-9);
+}
+
+TEST(Netlist, ErrorsCarryLineNumbers) {
+  NetlistParser parser;
+  try {
+    parser.parse("R1 a 0 1k\nbogus card here\n");
+    FAIL() << "expected NetlistError";
+  } catch (const NetlistError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+}
+
+TEST(Netlist, UnknownDirectiveThrows) {
+  NetlistParser parser;
+  EXPECT_THROW(parser.parse(".nonsense 1 2\n"), NetlistError);
+}
+
+TEST(Netlist, MissingXTypeThrows) {
+  NetlistParser parser;
+  EXPECT_THROW(parser.parse("X1 a b NOTATYPE k=1\n"), NetlistError);
+}
+
+TEST(Netlist, MissingParameterThrows) {
+  NetlistParser parser;
+  EXPECT_THROW(parser.parse(".node v mechanical1\nX1 v 0 SPRING\n"), NetlistError);
+}
+
+TEST(Netlist, OptionsCardSetsMethodAndSteps) {
+  NetlistParser parser;
+  const auto net = parser.parse(R"(
+V1 in 0 1
+R1 in 0 1k
+.options method=gear dtmax=1u reltol=1e-5
+.tran 0.1u 10u
+)");
+  ASSERT_EQ(net.analyses.size(), 1u);
+  EXPECT_EQ(net.analyses[0].tran.method, IntegMethod::gear2);
+  EXPECT_NEAR(net.analyses[0].tran.dt_max, 1e-6, 1e-15);
+  EXPECT_NEAR(net.analyses[0].tran.newton.reltol, 1e-5, 1e-12);
+  const TranResult res = transient(*net.circuit, net.analyses[0].tran);
+  EXPECT_TRUE(res.ok);
+}
+
+TEST(Netlist, OptionsCardRejectsUnknownKeysAndMethods) {
+  NetlistParser parser;
+  EXPECT_THROW(parser.parse(".options bogus=1\n"), NetlistError);
+  EXPECT_THROW(parser.parse(".options method=rk4\n"), NetlistError);
+  EXPECT_THROW(parser.parse(".options method\n"), NetlistError);
+}
+
+TEST(Netlist, DiodeCard) {
+  NetlistParser parser;
+  const auto net = parser.parse(R"(
+V1 in 0 5
+R1 in d 1k
+D1 d 0
+.op
+)");
+  const OpResult op = operating_point(*net.circuit);
+  ASSERT_TRUE(op.converged);
+  EXPECT_GT(op.at(net.circuit->node("d")), 0.5);
+  EXPECT_LT(op.at(net.circuit->node("d")), 0.8);
+}
+
+TEST(Netlist, SemicolonComments) {
+  NetlistParser parser;
+  const auto net = parser.parse("V1 a 0 1 ; the source\nR1 a 0 1k\n");
+  EXPECT_NE(net.circuit->find_device("R1"), nullptr);
+}
+
+}  // namespace
+}  // namespace usys::spice

@@ -1,0 +1,131 @@
+// Nonlinear devices and the Newton solver's robustness aids: diode statics,
+// clipper circuits, and the gmin/source-stepping fallbacks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/analysis.hpp"
+#include "spice/devices_nonlinear.hpp"
+#include "spice/devices_passive.hpp"
+#include "spice/devices_source.hpp"
+
+namespace usys::spice {
+namespace {
+
+TEST(Diode, ForwardDropAboutSixHundredMillivolts) {
+  Circuit ckt;
+  const int in = ckt.add_node("in", Nature::electrical);
+  const int d = ckt.add_node("d", Nature::electrical);
+  ckt.add<VSource>("V1", in, Circuit::kGround, 5.0);
+  ckt.add<Resistor>("R1", in, d, 1e3);
+  ckt.add<Diode>("D1", d, Circuit::kGround);
+  const OpResult op = operating_point(ckt);
+  ASSERT_TRUE(op.converged);
+  EXPECT_GT(op.at(d), 0.5);
+  EXPECT_LT(op.at(d), 0.8);
+  // Check the diode equation holds: i_R = i_D.
+  const double i_r = (5.0 - op.at(d)) / 1e3;
+  const double i_d = 1e-14 * (std::exp(op.at(d) / 0.02585) - 1.0);
+  EXPECT_NEAR(i_r, i_d, i_r * 1e-4);
+}
+
+TEST(Diode, ReverseBiasLeaksOnlyIs) {
+  Circuit ckt;
+  const int in = ckt.add_node("in", Nature::electrical);
+  const int d = ckt.add_node("d", Nature::electrical);
+  ckt.add<VSource>("V1", in, Circuit::kGround, -5.0);
+  ckt.add<Resistor>("R1", in, d, 1e3);
+  ckt.add<Diode>("D1", d, Circuit::kGround);
+  const OpResult op = operating_point(ckt);
+  ASSERT_TRUE(op.converged);
+  EXPECT_NEAR(op.at(d), -5.0, 1e-4);  // whole drive across the diode
+}
+
+TEST(Diode, EmissionCoefficientShiftsDrop) {
+  auto drop_for = [](double n) {
+    Circuit ckt;
+    const int in = ckt.add_node("in", Nature::electrical);
+    const int d = ckt.add_node("d", Nature::electrical);
+    ckt.add<VSource>("V1", in, Circuit::kGround, 5.0);
+    ckt.add<Resistor>("R1", in, d, 1e3);
+    ckt.add<Diode>("D1", d, Circuit::kGround, 1e-14, n);
+    const OpResult op = operating_point(ckt);
+    return op.converged ? op.at(d) : -1.0;
+  };
+  EXPECT_GT(drop_for(2.0), drop_for(1.0));
+}
+
+TEST(Diode, HighBiasUsesLinearContinuation) {
+  // Drive hard enough that exp() alone would overflow; the continuation
+  // must keep Newton finite and the current consistent with the resistor.
+  Circuit ckt;
+  const int in = ckt.add_node("in", Nature::electrical);
+  const int d = ckt.add_node("d", Nature::electrical);
+  ckt.add<VSource>("V1", in, Circuit::kGround, 100.0);
+  ckt.add<Resistor>("R1", in, d, 10.0);
+  ckt.add<Diode>("D1", d, Circuit::kGround);
+  const OpResult op = operating_point(ckt);
+  ASSERT_TRUE(op.converged);
+  // The continuation region has slope g0 = Is*e^(v_crit/nVt)/nVt ~ 0.39 S,
+  // so at ~8 A the junction drops ~21 V - large but finite and consistent.
+  EXPECT_GT(op.at(d), 0.7);
+  EXPECT_LT(op.at(d), 30.0);
+  const double i_r = (100.0 - op.at(d)) / 10.0;
+  EXPECT_GT(i_r, 5.0);
+}
+
+TEST(Diode, RectifierTransient) {
+  // Half-wave rectifier: output follows positive half-cycles minus the
+  // drop, holds on the capacitor through negative ones.
+  Circuit ckt;
+  const int in = ckt.add_node("in", Nature::electrical);
+  const int out = ckt.add_node("out", Nature::electrical);
+  ckt.add<VSource>("V1", in, Circuit::kGround,
+                   std::make_unique<SinWave>(0.0, 5.0, 100.0));
+  ckt.add<Diode>("D1", in, out);
+  ckt.add<Capacitor>("C1", out, Circuit::kGround, 10e-6);
+  ckt.add<Resistor>("RL", out, Circuit::kGround, 10e3);
+  TranOptions opts;
+  opts.tstop = 30e-3;
+  opts.dt_max = 5e-5;
+  const TranResult res = transient(ckt, opts);
+  ASSERT_TRUE(res.ok) << res.error;
+  // After a few cycles the output rides near the peak minus the drop.
+  const double v_late = res.sample(28e-3, out);
+  EXPECT_GT(v_late, 3.5);
+  EXPECT_LT(v_late, 5.0);
+  // And never goes significantly negative.
+  for (std::size_t k = 0; k < res.time.size(); ++k)
+    EXPECT_GT(res.at(k, out), -0.1);
+}
+
+TEST(Diode, InvalidParametersRejected) {
+  Circuit ckt;
+  const int a = ckt.add_node("a", Nature::electrical);
+  EXPECT_THROW(ckt.add<Diode>("D1", a, Circuit::kGround, -1.0), std::invalid_argument);
+  EXPECT_THROW(ckt.add<Diode>("D2", a, Circuit::kGround, 1e-14, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Diode, BridgeNeedsSteppingFallbacks) {
+  // A full-wave bridge with stiff coupling from a cold start is a decent
+  // stress test for the gmin/source stepping paths (plain Newton from zero
+  // often walks into exp overflow territory).
+  Circuit ckt;
+  const int p = ckt.add_node("p", Nature::electrical);
+  const int q = ckt.add_node("q", Nature::electrical);
+  const int out = ckt.add_node("out", Nature::electrical);
+  ckt.add<VSource>("V1", p, q, 10.0);
+  ckt.add<Diode>("D1", p, out);
+  ckt.add<Diode>("D2", q, out);
+  ckt.add<Diode>("D3", Circuit::kGround, p);
+  ckt.add<Diode>("D4", Circuit::kGround, q);
+  ckt.add<Resistor>("RL", out, Circuit::kGround, 1e3);
+  const OpResult op = operating_point(ckt);
+  ASSERT_TRUE(op.converged);
+  EXPECT_GT(op.at(out), 8.0);  // 10 V minus two drops
+  EXPECT_LT(op.at(out), 9.5);
+}
+
+}  // namespace
+}  // namespace usys::spice

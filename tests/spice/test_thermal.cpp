@@ -1,0 +1,106 @@
+// Electro-thermal coupling: Joule self-heating with two-way feedback
+// (the fifth Table 1 domain in action).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/analysis.hpp"
+#include "spice/devices_nonlinear.hpp"
+#include "spice/devices_passive.hpp"
+#include "spice/devices_source.hpp"
+
+namespace usys::spice {
+namespace {
+
+TEST(Thermal, SelfHeatingEquilibriumNoTc) {
+  // Constant-R heater through a thermal resistance to ambient:
+  // T = P * Rth = (V^2/R) * Rth.
+  Circuit ckt;
+  const int e = ckt.add_node("e", Nature::electrical);
+  const int t = ckt.add_node("t", Nature::thermal);
+  ckt.add<VSource>("V1", e, Circuit::kGround, 5.0);
+  ckt.add<JouleHeater>("H1", e, Circuit::kGround, t, 100.0);
+  ckt.add<Resistor>("RTH", t, Circuit::kGround, 40.0, Nature::thermal);  // K/W
+  const OpResult op = operating_point(ckt);
+  ASSERT_TRUE(op.converged);
+  EXPECT_NEAR(op.at(t), 25.0 / 100.0 * 40.0, 1e-6);  // 10 K rise
+}
+
+TEST(Thermal, PositiveTcReducesPowerAndTemperature) {
+  auto temp_for = [](double tc) {
+    Circuit ckt;
+    const int e = ckt.add_node("e", Nature::electrical);
+    const int t = ckt.add_node("t", Nature::thermal);
+    ckt.add<VSource>("V1", e, Circuit::kGround, 10.0);
+    ckt.add<JouleHeater>("H1", e, Circuit::kGround, t, 50.0, tc);
+    ckt.add<Resistor>("RTH", t, Circuit::kGround, 30.0, Nature::thermal);
+    const OpResult op = operating_point(ckt);
+    EXPECT_TRUE(op.converged);
+    return op.at(t);
+  };
+  const double t_flat = temp_for(0.0);
+  const double t_ptc = temp_for(5e-3);
+  EXPECT_LT(t_ptc, t_flat);
+  // Self-consistent check for tc = 5e-3: T = V^2 Rth / (R0 (1 + tc T)):
+  // solve the quadratic and compare.
+  const double v2rth = 100.0 * 30.0 / 50.0;  // = 60
+  const double tc = 5e-3;
+  const double t_exact = (-1.0 + std::sqrt(1.0 + 4.0 * tc * v2rth)) / (2.0 * tc);
+  EXPECT_NEAR(t_ptc, t_exact, 1e-6 * t_exact);
+}
+
+TEST(Thermal, TransientHeatingTimeConstant) {
+  // Heat capacity (thermal capacitor) + thermal resistance: first-order
+  // rise with tau = Rth * Cth.
+  Circuit ckt;
+  const int e = ckt.add_node("e", Nature::electrical);
+  const int t = ckt.add_node("t", Nature::thermal);
+  ckt.add<VSource>("V1", e, Circuit::kGround,
+                   std::make_unique<PulseWave>(0.0, 5.0, 0.0, 1e-6, 1e-6, 10.0));
+  ckt.add<JouleHeater>("H1", e, Circuit::kGround, t, 100.0);
+  ckt.add<Resistor>("RTH", t, Circuit::kGround, 40.0, Nature::thermal);
+  ckt.add<Capacitor>("CTH", t, Circuit::kGround, 2.5e-3, Nature::thermal);  // J/K
+  TranOptions opts;
+  opts.tstop = 0.5;
+  const TranResult res = transient(ckt, opts);
+  ASSERT_TRUE(res.ok) << res.error;
+  const double tau = 40.0 * 2.5e-3;  // 0.1 s
+  const double t_final = 10.0;
+  EXPECT_NEAR(res.sample(tau, t), t_final * (1.0 - std::exp(-1.0)), 0.05);
+  EXPECT_NEAR(res.sample(0.5, t), t_final * (1.0 - std::exp(-0.5 / tau)), 0.05);
+}
+
+TEST(Thermal, HeaterRequiresThermalNode) {
+  Circuit ckt;
+  const int e = ckt.add_node("e", Nature::electrical);
+  const int wrong = ckt.add_node("wrong", Nature::electrical);
+  ckt.add<JouleHeater>("H1", e, Circuit::kGround, wrong, 100.0);
+  EXPECT_THROW(ckt.bind_all(), CircuitError);
+}
+
+TEST(Thermal, InvalidResistanceRejected) {
+  Circuit ckt;
+  const int e = ckt.add_node("e", Nature::electrical);
+  const int t = ckt.add_node("t", Nature::thermal);
+  EXPECT_THROW(ckt.add<JouleHeater>("H1", e, Circuit::kGround, t, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Thermal, EnergyAccounting) {
+  // Steady state: electrical power in equals heat flow out through Rth.
+  Circuit ckt;
+  const int e = ckt.add_node("e", Nature::electrical);
+  const int t = ckt.add_node("t", Nature::thermal);
+  auto& vs = ckt.add<VSource>("V1", e, Circuit::kGround, 8.0);
+  ckt.add<JouleHeater>("H1", e, Circuit::kGround, t, 64.0);
+  ckt.add<Resistor>("RTH", t, Circuit::kGround, 25.0, Nature::thermal);
+  const OpResult op = operating_point(ckt);
+  ASSERT_TRUE(op.converged);
+  const double p_elec = -8.0 * op.x[static_cast<std::size_t>(vs.branch())];
+  const double p_thermal = op.at(t) / 25.0;  // heat through Rth
+  EXPECT_NEAR(p_elec, 1.0, 1e-9);  // 8^2/64
+  EXPECT_NEAR(p_thermal, p_elec, 1e-9);
+}
+
+}  // namespace
+}  // namespace usys::spice

@@ -1,0 +1,89 @@
+// Waveform value/breakpoint semantics (SPICE-compatible subset).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "spice/waveform.hpp"
+
+namespace usys::spice {
+namespace {
+
+TEST(Waveform, DcIsConstant) {
+  DcWave w(3.3);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 3.3);
+  EXPECT_DOUBLE_EQ(w.value(1e9), 3.3);
+}
+
+TEST(Waveform, PulseShape) {
+  PulseWave w(0.0, 5.0, 1e-3, 1e-4, 2e-4, 1e-3);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.value(0.5e-3), 0.0);          // before delay
+  EXPECT_NEAR(w.value(1.05e-3), 2.5, 1e-9);        // mid rise
+  EXPECT_DOUBLE_EQ(w.value(1.5e-3), 5.0);          // plateau
+  EXPECT_NEAR(w.value(2.2e-3), 2.5, 1e-9);         // mid fall
+  EXPECT_DOUBLE_EQ(w.value(3e-3), 0.0);            // after
+}
+
+TEST(Waveform, PulsePeriodic) {
+  PulseWave w(0.0, 1.0, 0.0, 1e-4, 1e-4, 3e-4, 1e-3);
+  EXPECT_DOUBLE_EQ(w.value(2e-4), 1.0);
+  EXPECT_DOUBLE_EQ(w.value(1.2e-3), 1.0);  // second cycle plateau
+}
+
+TEST(Waveform, PulseZeroEdgeClamped) {
+  // Zero rise/fall is clamped to a tiny slope instead of a discontinuity.
+  PulseWave w(0.0, 1.0, 0.0, 0.0, 0.0, 1e-3);
+  EXPECT_NEAR(w.value(0.5e-3), 1.0, 1e-9);
+}
+
+TEST(Waveform, NegativeTimingRejected) {
+  EXPECT_THROW(PulseWave(0, 1, 0, -1e-3, 0, 1e-3), std::invalid_argument);
+}
+
+TEST(Waveform, SinValue) {
+  SinWave w(1.0, 2.0, 100.0);
+  EXPECT_NEAR(w.value(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(w.value(2.5e-3), 3.0, 1e-9);  // quarter period: sin = 1
+}
+
+TEST(Waveform, SinDelayAndDamping) {
+  SinWave w(0.0, 1.0, 100.0, 1e-3, 50.0);
+  EXPECT_DOUBLE_EQ(w.value(0.5e-3), 0.0);  // before delay
+  const double t = 1e-3 + 2.5e-3;
+  EXPECT_NEAR(w.value(t), std::exp(-2.5e-3 * 50.0), 1e-9);
+}
+
+TEST(Waveform, PwlInterpolatesAndClamps) {
+  PwlWave w({{0.0, 0.0}, {1.0, 10.0}, {2.0, -10.0}});
+  EXPECT_DOUBLE_EQ(w.value(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.value(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(w.value(1.5), 0.0);
+  EXPECT_DOUBLE_EQ(w.value(3.0), -10.0);
+}
+
+TEST(Waveform, PwlRejectsNonMonotonicTime) {
+  EXPECT_THROW(PwlWave({{1.0, 0.0}, {0.5, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(PwlWave({}), std::invalid_argument);
+}
+
+TEST(Waveform, PwlBreakpoints) {
+  PwlWave w({{0.0, 0.0}, {1.0, 1.0}, {2.0, 0.0}});
+  std::vector<double> bp;
+  w.breakpoints(bp);
+  EXPECT_EQ(bp.size(), 3u);
+}
+
+TEST(Waveform, Fig5PulseTrainLevels) {
+  const auto w = make_fig5_pulse_train({5.0, 10.0, 15.0}, 0.18, 2e-3, 2e-3);
+  // Mid-plateau samples of the three slots.
+  EXPECT_NEAR(w->value(0.03), 5.0, 1e-9);
+  EXPECT_NEAR(w->value(0.09), 10.0, 1e-9);
+  EXPECT_NEAR(w->value(0.15), 15.0, 1e-9);
+  // Gaps between pulses return to zero.
+  EXPECT_NEAR(w->value(0.0601), 0.0, 1e-9);
+  EXPECT_NEAR(w->value(0.1201), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace usys::spice

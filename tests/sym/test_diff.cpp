@@ -1,0 +1,92 @@
+// Differentiation: rules, chain rule, and numeric cross-checks against
+// central differences on random points (property-style sweep).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sym/expr.hpp"
+
+namespace usys::sym {
+namespace {
+
+double numeric_diff(const Expr& e, const std::string& v, Env env, double h = 1e-6) {
+  env[v] += h;
+  const double up = eval(e, env);
+  env[v] -= 2.0 * h;
+  const double down = eval(e, env);
+  return (up - down) / (2.0 * h);
+}
+
+TEST(Diff, Basics) {
+  const Expr x = var("x");
+  EXPECT_DOUBLE_EQ(eval(diff(x * x, "x"), {{"x", 3.0}}), 6.0);
+  EXPECT_DOUBLE_EQ(eval(diff(Expr(5.0), "x"), {{"x", 1.0}}), 0.0);
+  EXPECT_DOUBLE_EQ(eval(diff(x, "x"), {}), 1.0);
+  EXPECT_DOUBLE_EQ(eval(diff(var("y"), "x"), {{"y", 2.0}}), 0.0);
+}
+
+TEST(Diff, QuotientRule) {
+  // d/dx [1/(d+x)] = -1/(d+x)^2 — the capacitance derivative of Table 2a.
+  const Expr c = Expr(1.0) / (var("d") + var("x"));
+  const Expr dc = simplify(diff(c, "x"));
+  const Env env{{"d", 2.0}, {"x", 1.0}};
+  EXPECT_NEAR(eval(dc, env), -1.0 / 9.0, 1e-12);
+}
+
+TEST(Diff, PowerConstExponent) {
+  const Expr e = pow(var("x"), Expr(3.0));
+  EXPECT_NEAR(eval(diff(e, "x"), {{"x", 2.0}}), 12.0, 1e-12);
+}
+
+TEST(Diff, PowerGeneralExponent) {
+  const Expr e = pow(var("x"), var("y"));
+  const Env env{{"x", 2.0}, {"y", 3.0}};
+  EXPECT_NEAR(eval(diff(e, "x"), env), numeric_diff(e, "x", env), 1e-5);
+  EXPECT_NEAR(eval(diff(e, "y"), env), numeric_diff(e, "y", env), 1e-5);
+}
+
+TEST(Diff, Transcendentals) {
+  const Env env{{"x", 0.7}};
+  for (const Expr e : {sin(var("x")), cos(var("x")), tan(var("x")), exp(var("x")),
+                       log(var("x")), sqrt(var("x"))}) {
+    EXPECT_NEAR(eval(diff(e, "x"), env), numeric_diff(e, "x", env), 1e-5);
+  }
+}
+
+TEST(Diff, ChainRule) {
+  const Expr e = sin(exp(var("x") * var("x")));
+  const Env env{{"x", 0.3}};
+  EXPECT_NEAR(eval(diff(e, "x"), env), numeric_diff(e, "x", env), 1e-5);
+}
+
+TEST(Diff, AbsAwayFromZero) {
+  const Expr e = abs(var("x") * var("x") - Expr(2.0));
+  for (double x0 : {-2.0, 0.5, 3.0}) {
+    const Env env{{"x", x0}};
+    EXPECT_NEAR(eval(diff(e, "x"), env), numeric_diff(e, "x", env), 1e-5) << x0;
+  }
+}
+
+// Property sweep: random expression evaluations vs numeric differences.
+class DiffProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(DiffProperty, Table2EnergyDerivativesMatchNumeric) {
+  // The paper's step 3 on the transverse energy W(q,x) = q^2 (d+x)/(2 e A):
+  // voltage = dW/dq and absorbed force = dW/dx, checked numerically.
+  const double x0 = GetParam();
+  const Expr w = var("q") * var("q") * (var("d") + var("x")) /
+                 (Expr(2.0) * var("e") * var("A"));
+  const Env env{{"q", 3e-11}, {"d", 1.5e-4}, {"x", x0}, {"e", 8.8542e-12}, {"A", 1e-4}};
+  const Expr dv = diff(w, "q");
+  const Expr df = diff(w, "x");
+  EXPECT_NEAR(eval(dv, env), numeric_diff(w, "q", env, 1e-15),
+              std::abs(eval(dv, env)) * 1e-3);
+  EXPECT_NEAR(eval(df, env), numeric_diff(w, "x", env, 1e-9),
+              std::abs(eval(df, env)) * 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(GapSweep, DiffProperty,
+                         ::testing::Values(-5e-5, -1e-5, 0.0, 1e-5, 5e-5));
+
+}  // namespace
+}  // namespace usys::sym

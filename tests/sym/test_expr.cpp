@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sym/expr.hpp"
+
+namespace usys::sym {
+namespace {
+
+TEST(Expr, ConstantsAndVariables) {
+  const Expr c = 2.5;
+  EXPECT_TRUE(c.is_constant());
+  EXPECT_DOUBLE_EQ(c.value(), 2.5);
+  const Expr x = var("x");
+  EXPECT_TRUE(x.is_variable());
+  EXPECT_EQ(x.name(), "x");
+  EXPECT_THROW((void)c.name(), std::logic_error);
+  EXPECT_THROW((void)x.value(), std::logic_error);
+}
+
+TEST(Expr, DefaultIsZero) {
+  const Expr e;
+  EXPECT_TRUE(e.is_constant(0.0));
+}
+
+TEST(Expr, EvalArithmetic) {
+  const Expr e = (var("x") + 2.0) * (var("y") - 1.0) / 2.0;
+  EXPECT_DOUBLE_EQ(eval(e, {{"x", 4.0}, {"y", 3.0}}), 6.0);
+}
+
+TEST(Expr, EvalFunctions) {
+  EXPECT_NEAR(eval(sin(var("x")), {{"x", 0.5}}), std::sin(0.5), 1e-15);
+  EXPECT_NEAR(eval(exp(log(var("x"))), {{"x", 2.7}}), 2.7, 1e-12);
+  EXPECT_NEAR(eval(sqrt(var("x")), {{"x", 9.0}}), 3.0, 1e-15);
+  EXPECT_NEAR(eval(pow(var("x"), Expr(3.0)), {{"x", 2.0}}), 8.0, 1e-15);
+  EXPECT_NEAR(eval(abs(var("x")), {{"x", -4.0}}), 4.0, 1e-15);
+}
+
+TEST(Expr, EvalUnboundVariableThrows) {
+  EXPECT_THROW(eval(var("nope"), {}), std::out_of_range);
+}
+
+TEST(Expr, EvalDomainErrors) {
+  EXPECT_THROW(eval(log(var("x")), {{"x", -1.0}}), std::domain_error);
+  EXPECT_THROW(eval(sqrt(var("x")), {{"x", -1.0}}), std::domain_error);
+}
+
+TEST(Expr, StructuralEquality) {
+  const Expr a = var("x") + 1.0;
+  const Expr b = var("x") + 1.0;
+  const Expr c = var("x") + 2.0;
+  EXPECT_TRUE(a.equals(b));
+  EXPECT_FALSE(a.equals(c));
+  EXPECT_FALSE(a.equals(var("x")));
+}
+
+TEST(Expr, VariablesCollected) {
+  const Expr e = var("b") * var("a") + sin(var("c")) - var("a");
+  const auto vars = e.variables();
+  ASSERT_EQ(vars.size(), 3u);
+  EXPECT_EQ(vars[0], "a");  // sorted
+  EXPECT_EQ(vars[1], "b");
+  EXPECT_EQ(vars[2], "c");
+}
+
+TEST(Expr, DependsOn) {
+  const Expr e = var("x") / (var("y") + 1.0);
+  EXPECT_TRUE(e.depends_on("x"));
+  EXPECT_TRUE(e.depends_on("y"));
+  EXPECT_FALSE(e.depends_on("z"));
+}
+
+TEST(Expr, Substitute) {
+  const Expr e = var("x") * var("x") + var("y");
+  const Expr s = substitute(e, "x", var("y") + 1.0);
+  EXPECT_DOUBLE_EQ(eval(s, {{"y", 2.0}}), 11.0);
+  // Untouched expressions share structure.
+  const Expr t = substitute(e, "z", Expr(5.0));
+  EXPECT_EQ(t.raw(), e.raw());
+}
+
+TEST(Expr, NodeCount) {
+  EXPECT_EQ(node_count(Expr(1.0)), 1u);
+  EXPECT_EQ(node_count(var("x") + 1.0), 3u);
+}
+
+TEST(Expr, PrinterPrecedence) {
+  EXPECT_EQ(to_text(var("a") * (var("b") + var("c"))), "a*(b + c)");
+  EXPECT_EQ(to_text(var("a") + var("b") * var("c")), "a + b*c");
+  EXPECT_EQ(to_text(-(var("a") + var("b"))), "-(a + b)");
+  EXPECT_EQ(to_text(var("a") / (var("b") / var("c"))), "a/(b/c)");
+  EXPECT_EQ(to_text(var("a") - (var("b") - var("c"))), "a - (b - c)");
+}
+
+TEST(Expr, HdlPowerExpansion) {
+  // HDL rendering expands small integer powers into products (Listing 1
+  // writes (d+x)*(d+x)).
+  const Expr e = pow(var("d") + var("x"), Expr(2.0));
+  EXPECT_EQ(to_hdl(e), "(d + x)*(d + x)");
+  EXPECT_EQ(to_text(e), "(d + x)^2.0");
+}
+
+}  // namespace
+}  // namespace usys::sym

@@ -1,0 +1,54 @@
+// LaTeX rendering of symbolic expressions (documentation generation from
+// derived models).
+#include <gtest/gtest.h>
+
+#include "sym/expr.hpp"
+
+namespace usys::sym {
+namespace {
+
+TEST(Latex, FractionsAndProducts) {
+  const Expr e = var("q") * var("q") / (Expr(2.0) * var("A"));
+  EXPECT_EQ(to_latex(e), "\\frac{q \\, q}{2 \\, A}");
+}
+
+TEST(Latex, GreekParameterNames) {
+  const Expr e = var("e0") * var("er") * var("mu0") * var("lambda");
+  const std::string s = to_latex(e);
+  EXPECT_NE(s.find("\\varepsilon_0"), std::string::npos);
+  EXPECT_NE(s.find("\\varepsilon_r"), std::string::npos);
+  EXPECT_NE(s.find("\\mu_0"), std::string::npos);
+  EXPECT_NE(s.find("\\lambda"), std::string::npos);
+}
+
+TEST(Latex, PowersAndFunctions) {
+  EXPECT_EQ(to_latex(pow(var("x"), Expr(2.0))), "x^{2}");
+  EXPECT_EQ(to_latex(sqrt(var("x"))), "\\sqrt{x}");
+  EXPECT_EQ(to_latex(sin(var("x"))), "\\sin\\left(x\\right)");
+  EXPECT_EQ(to_latex(exp(var("x"))), "e^{x}");
+  EXPECT_EQ(to_latex(abs(var("x"))), "\\left|x\\right|");
+}
+
+TEST(Latex, ScientificConstants) {
+  const std::string s = to_latex(Expr(8.8542e-12));
+  EXPECT_NE(s.find("\\times 10^{-12}"), std::string::npos);
+}
+
+TEST(Latex, ParenthesizationMatchesPrecedence) {
+  const Expr e = var("a") * (var("b") + var("c"));
+  EXPECT_EQ(to_latex(e), "a \\, \\left(b + c\\right)");
+  const Expr f = -(var("a") + var("b"));
+  EXPECT_EQ(to_latex(f), "-\\left(a + b\\right)");
+}
+
+TEST(Latex, DerivedTable3ForceRendersCompactly) {
+  // dW/dx of the transverse energy: the Table 3 quantity, LaTeX-ready.
+  const Expr w = var("q") * var("q") * (var("d") + var("x")) /
+                 (Expr(2.0) * var("e0") * var("er") * var("A"));
+  const std::string s = to_latex(simplify(diff(w, "x")));
+  EXPECT_NE(s.find("\\frac"), std::string::npos);
+  EXPECT_NE(s.find("\\varepsilon_0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace usys::sym

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "sym/expr.hpp"
+
+namespace usys::sym {
+namespace {
+
+TEST(Simplify, ConstantFolding) {
+  EXPECT_TRUE(simplify(Expr(2.0) + Expr(3.0)).is_constant(5.0));
+  EXPECT_TRUE(simplify(Expr(2.0) * Expr(3.0) - Expr(1.0)).is_constant(5.0));
+  EXPECT_TRUE(simplify(pow(Expr(2.0), Expr(10.0))).is_constant(1024.0));
+}
+
+TEST(Simplify, Identities) {
+  const Expr x = var("x");
+  EXPECT_TRUE(simplify(x + 0.0).equals(x));
+  EXPECT_TRUE(simplify(Expr(0.0) + x).equals(x));
+  EXPECT_TRUE(simplify(x * 1.0).equals(x));
+  EXPECT_TRUE(simplify(x * 0.0).is_constant(0.0));
+  EXPECT_TRUE(simplify(x / 1.0).equals(x));
+  EXPECT_TRUE(simplify(x - 0.0).equals(x));
+  EXPECT_TRUE(simplify(pow(x, Expr(1.0))).equals(x));
+  EXPECT_TRUE(simplify(pow(x, Expr(0.0))).is_constant(1.0));
+}
+
+TEST(Simplify, SelfCancellation) {
+  const Expr x = var("x");
+  EXPECT_TRUE(simplify(x - x).is_constant(0.0));
+  EXPECT_TRUE(simplify(x / x).is_constant(1.0));
+}
+
+TEST(Simplify, DoubleNegation) {
+  const Expr x = var("x");
+  EXPECT_TRUE(simplify(-(-x)).equals(x));
+}
+
+TEST(Simplify, MinusOneFactor) {
+  const Expr x = var("x");
+  EXPECT_TRUE(simplify(x * Expr(-1.0)).equals(simplify(-x)));
+}
+
+TEST(Simplify, DivisionByZeroKeptSymbolic) {
+  const Expr e = Expr(1.0) / Expr(0.0);
+  EXPECT_FALSE(simplify(e).is_constant());
+}
+
+TEST(Simplify, DomainErrorsKeptSymbolic) {
+  EXPECT_FALSE(simplify(log(Expr(-1.0))).is_constant());
+  EXPECT_FALSE(simplify(sqrt(Expr(-4.0))).is_constant());
+}
+
+TEST(Simplify, Idempotent) {
+  const Expr e = diff(var("q") * var("q") * (var("d") + var("x")) /
+                          (Expr(2.0) * var("e") * var("A")),
+                      "x");
+  const Expr s1 = simplify(e);
+  const Expr s2 = simplify(s1);
+  EXPECT_TRUE(s1.equals(s2));
+}
+
+TEST(Simplify, PreservesValue) {
+  const Expr e =
+      (var("x") + 0.0) * 1.0 - (-(-var("y"))) + pow(var("x"), Expr(1.0)) * Expr(2.0);
+  const Env env{{"x", 1.5}, {"y", -0.5}};
+  EXPECT_NEAR(eval(simplify(e), env), eval(e, env), 1e-14);
+}
+
+TEST(Simplify, ConstantsMoveLeftInProducts) {
+  const Expr e = var("x") * Expr(3.0);
+  EXPECT_EQ(to_text(simplify(e)), "3.0*x");
+}
+
+TEST(Simplify, ShrinksDerivativeOfTable2Energy) {
+  const Expr w = var("q") * var("q") * (var("d") + var("x")) /
+                 (Expr(2.0) * var("e") * var("A"));
+  const Expr raw = diff(w, "x");
+  const Expr slim = simplify(raw);
+  EXPECT_LT(node_count(slim), node_count(raw));
+}
+
+}  // namespace
+}  // namespace usys::sym

@@ -1,0 +1,150 @@
+// usim — command-line netlist simulator (the "SPICE" of this repository).
+//
+//   usim <netlist.cir> [--csv=<path>] [--quiet]
+//
+// Reads a SPICE-style netlist (including the transducer X-cards registered
+// by usys::core), runs every analysis card in order, and prints results:
+//   .op    node efforts and branch count
+//   .tran  decimated node-effort table (full resolution to --csv)
+//   .ac    |H| dB / phase table for every node
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/table.hpp"
+#include "core/netlist_ext.hpp"
+#include "spice/analysis.hpp"
+
+using namespace usys;
+
+namespace {
+
+int run_op(spice::Circuit& ckt) {
+  const auto op = spice::operating_point(ckt);
+  if (!op.converged) {
+    std::cerr << "error: operating point did not converge\n";
+    return 1;
+  }
+  std::cout << "\n=== .op ===\n";
+  AsciiTable t({"node", "nature", "effort"});
+  for (int i = 0; i < ckt.node_count(); ++i) {
+    t.add_row({ckt.node_name(i), std::string(to_string(ckt.node_nature(i))),
+               fmt_sci(op.at(i), 6)});
+  }
+  t.print(std::cout);
+  std::cout << "(" << ckt.branch_count() << " branch unknowns, "
+            << op.newton_iterations << " Newton iterations)\n";
+  return 0;
+}
+
+int run_tran(spice::Circuit& ckt, const spice::TranOptions& opts,
+             const std::string& csv) {
+  const auto res = spice::transient(ckt, opts);
+  if (!res.ok) {
+    std::cerr << "error: transient failed: " << res.error << "\n";
+    return 1;
+  }
+  std::cout << "\n=== .tran to " << opts.tstop << " s (" << res.time.size()
+            << " points, " << res.total_newton_iters << " Newton iters, "
+            << res.rejected_steps << " rejected steps) ===\n";
+  std::vector<std::string> headers{"t [s]"};
+  for (int i = 0; i < ckt.node_count(); ++i) headers.push_back(ckt.node_name(i));
+  AsciiTable t(headers);
+  const int rows = 20;
+  for (int r = 0; r <= rows; ++r) {
+    const double time = opts.tstop * static_cast<double>(r) / rows;
+    std::vector<std::string> cells{fmt_num(time, 5)};
+    for (int i = 0; i < ckt.node_count(); ++i) cells.push_back(fmt_sci(res.sample(time, i), 4));
+    t.add_row(std::move(cells));
+  }
+  t.print(std::cout);
+  if (!csv.empty()) {
+    std::vector<std::vector<double>> data;
+    for (std::size_t k = 0; k < res.time.size(); ++k) {
+      std::vector<double> row{res.time[k]};
+      for (int i = 0; i < ckt.node_count(); ++i) row.push_back(res.at(k, i));
+      data.push_back(std::move(row));
+    }
+    std::vector<std::string> ch{"t"};
+    for (int i = 0; i < ckt.node_count(); ++i) ch.push_back(ckt.node_name(i));
+    if (write_csv(csv, ch, data)) std::cout << "full series -> " << csv << "\n";
+  }
+  return 0;
+}
+
+int run_ac(spice::Circuit& ckt, const spice::AcOptions& opts) {
+  const auto res = spice::ac_sweep(ckt, opts);
+  if (!res.ok) {
+    std::cerr << "error: ac failed: " << res.error << "\n";
+    return 1;
+  }
+  std::cout << "\n=== .ac " << opts.f_start << " .. " << opts.f_stop << " Hz ===\n";
+  std::vector<std::string> headers{"f [Hz]"};
+  for (int i = 0; i < ckt.node_count(); ++i) {
+    headers.push_back(ckt.node_name(i) + " dB");
+    headers.push_back(ckt.node_name(i) + " deg");
+  }
+  AsciiTable t(headers);
+  const std::size_t step = std::max<std::size_t>(1, res.freq.size() / 20);
+  for (std::size_t k = 0; k < res.freq.size(); k += step) {
+    std::vector<std::string> cells{fmt_num(res.freq[k], 5)};
+    for (int i = 0; i < ckt.node_count(); ++i) {
+      cells.push_back(fmt_num(res.magnitude_db(k, i), 4));
+      cells.push_back(fmt_num(res.phase_deg(k, i), 4));
+    }
+    t.add_row(std::move(cells));
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: usim <netlist.cir> [--csv=<path>]\n";
+    return 2;
+  }
+  std::string csv;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--csv=", 6) == 0) csv = argv[i] + 6;
+  }
+
+  std::ifstream file(argv[1]);
+  if (!file) {
+    std::cerr << "error: cannot open '" << argv[1] << "'\n";
+    return 2;
+  }
+  std::stringstream buf;
+  buf << file.rdbuf();
+
+  try {
+    auto parser = core::make_full_parser();
+    spice::Netlist net = parser.parse(buf.str());
+    if (!net.title.empty()) std::cout << "*" << net.title << "\n";
+    if (net.analyses.empty()) {
+      std::cout << "(no analysis cards; running .op)\n";
+      return run_op(*net.circuit);
+    }
+    for (const auto& card : net.analyses) {
+      int rc = 0;
+      switch (card.kind) {
+        case spice::AnalysisCard::Kind::op:
+          rc = run_op(*net.circuit);
+          break;
+        case spice::AnalysisCard::Kind::tran:
+          rc = run_tran(*net.circuit, card.tran, csv);
+          break;
+        case spice::AnalysisCard::Kind::ac:
+          rc = run_ac(*net.circuit, card.ac);
+          break;
+      }
+      if (rc != 0) return rc;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
