@@ -1,0 +1,173 @@
+// Dense vs sparse MNA scaling: time per Newton iteration (stamp + combine
+// + factor + solve) on two topology families, swept from tens to thousands
+// of unknowns:
+//   * rc_ladder      — V source driving a chain of R/C sections
+//   * resonator_array — chain of mass-spring-damper resonators coupled by
+//     springs (mechanical banded system with branch unknowns)
+// The dense path zero-fills n x n Jacobians and runs O(n^3) LU every
+// iteration; the sparse path scatters into a pattern-cached CSR layout and
+// reuses one symbolic factorization, so the gap widens cubically. A
+// summary table with the measured speedups prints at exit.
+//
+// CI smoke mode: --benchmark_min_time=0.02s --benchmark_format=json
+//                --benchmark_out=BENCH_solver_scaling.json
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "spice/analysis.hpp"
+#include "spice/devices_passive.hpp"
+#include "spice/devices_source.hpp"
+
+using namespace usys;
+
+namespace {
+
+std::unique_ptr<spice::Circuit> rc_ladder(int sections) {
+  auto ckt = std::make_unique<spice::Circuit>();
+  int prev = ckt->add_node("in", Nature::electrical);
+  ckt->add<spice::VSource>("V1", prev, spice::Circuit::kGround, 1.0);
+  for (int k = 0; k < sections; ++k) {
+    const int node = ckt->add_node("n" + std::to_string(k), Nature::electrical);
+    ckt->add<spice::Resistor>("R" + std::to_string(k), prev, node, 1e3);
+    ckt->add<spice::Capacitor>("C" + std::to_string(k), node, spice::Circuit::kGround,
+                               1e-9);
+    prev = node;
+  }
+  return ckt;
+}
+
+std::unique_ptr<spice::Circuit> resonator_array(int count) {
+  auto ckt = std::make_unique<spice::Circuit>();
+  const int first = ckt->add_node("m0", Nature::mechanical_translation);
+  ckt->add<spice::ForceSource>("F1", first, 1e-3);
+  int prev = first;
+  for (int k = 0; k < count; ++k) {
+    const int node =
+        k == 0 ? first : ckt->add_node("m" + std::to_string(k), Nature::mechanical_translation);
+    ckt->add<spice::Mass>("M" + std::to_string(k), node, 1e-4);
+    ckt->add<spice::Damper>("D" + std::to_string(k), node, spice::Circuit::kGround, 1e-2);
+    if (k > 0)
+      ckt->add<spice::Spring>("K" + std::to_string(k), prev, node, 250.0);
+    ckt->add<spice::Spring>("Kg" + std::to_string(k), node, spice::Circuit::kGround, 400.0);
+    prev = node;
+  }
+  return ckt;
+}
+
+/// One transient-like Newton iteration per call: max_iters = 1 makes
+/// solve() do exactly stamp + combine + factor + solve once.
+struct IterationHarness {
+  std::unique_ptr<spice::Circuit> ckt;
+  std::unique_ptr<spice::NewtonSolver> solver;
+  DVector x0, hist;
+  spice::EvalCtx ctx;
+  double a0 = 0.0;
+
+  IterationHarness(std::unique_ptr<spice::Circuit> circuit, spice::MatrixBackend backend)
+      : ckt(std::move(circuit)) {
+    spice::NewtonOptions opts;
+    opts.max_iters = 1;
+    opts.backend = backend;
+    ckt->bind_all();
+    solver = std::make_unique<spice::NewtonSolver>(*ckt, opts);
+    const auto n = static_cast<std::size_t>(ckt->unknown_count());
+    x0.assign(n, 0.0);
+    hist.assign(n, 0.0);
+    ctx.mode = spice::AnalysisMode::transient;
+    ctx.time = 1e-6;
+    ctx.integ_c0 = 0.0;
+    ctx.integ_c1 = 1e-6;
+    a0 = 1e6;  // backward Euler at dt = 1 us: exercises Jf + a0*Jq
+  }
+
+  void run_one() {
+    DVector x = x0;
+    benchmark::DoNotOptimize(solver->solve(ctx, a0, hist, x));
+  }
+};
+
+std::unique_ptr<spice::Circuit> build(const std::string& family, int n_target) {
+  // Both families are sized by unknown count: ladder n ~ sections + 2,
+  // resonator n ~ 2*count + 1.
+  if (family == "rc_ladder") return rc_ladder(n_target - 2);
+  return resonator_array((n_target - 1) / 2);
+}
+
+void run_family(benchmark::State& state, const std::string& family,
+                spice::MatrixBackend backend) {
+  IterationHarness harness(build(family, static_cast<int>(state.range(0))),
+                           backend);
+  if ((backend == spice::MatrixBackend::sparse) != harness.solver->sparse_active()) {
+    state.SkipWithError("backend selection failed");
+    return;
+  }
+  for (auto _ : state) harness.run_one();
+  state.counters["unknowns"] = static_cast<double>(harness.ckt->unknown_count());
+}
+
+void BM_RcLadderDense(benchmark::State& state) {
+  run_family(state, "rc_ladder", spice::MatrixBackend::dense);
+}
+void BM_RcLadderSparse(benchmark::State& state) {
+  run_family(state, "rc_ladder", spice::MatrixBackend::sparse);
+}
+void BM_ResonatorArrayDense(benchmark::State& state) {
+  run_family(state, "resonator_array", spice::MatrixBackend::dense);
+}
+void BM_ResonatorArraySparse(benchmark::State& state) {
+  run_family(state, "resonator_array", spice::MatrixBackend::sparse);
+}
+
+// Dense stops at 1000 unknowns (a single O(n^3) iteration at 2000 takes
+// seconds); sparse continues to 2000.
+BENCHMARK(BM_RcLadderDense)->Arg(20)->Arg(50)->Arg(100)->Arg(200)->Arg(500)->Arg(1000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_RcLadderSparse)->Arg(20)->Arg(50)->Arg(100)->Arg(200)->Arg(500)->Arg(1000)
+    ->Arg(2000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ResonatorArrayDense)->Arg(20)->Arg(50)->Arg(100)->Arg(200)->Arg(500)
+    ->Arg(1000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ResonatorArraySparse)->Arg(20)->Arg(50)->Arg(100)->Arg(200)->Arg(500)
+    ->Arg(1000)->Arg(2000)->Unit(benchmark::kMicrosecond);
+
+/// Direct wall-clock summary (independent of google-benchmark's repetition
+/// policy) — this is the table the acceptance criterion reads.
+void print_summary() {
+  using clock = std::chrono::steady_clock;
+  std::puts("\n=== dense vs sparse: time per Newton iteration ===");
+  std::printf("%-16s %8s %14s %14s %10s\n", "family", "n", "dense [ms]", "sparse [ms]",
+              "speedup");
+  for (const std::string family : {"rc_ladder", "resonator_array"}) {
+    for (int n : {100, 250, 500, 1000, 2000}) {
+      IterationHarness dense(build(family, n), spice::MatrixBackend::dense);
+      IterationHarness sparse(build(family, n), spice::MatrixBackend::sparse);
+      auto time_one = [&](IterationHarness& h, int reps) {
+        h.run_one();  // warm-up (sparse: the one-time symbolic factorization)
+        const auto t0 = clock::now();
+        for (int r = 0; r < reps; ++r) h.run_one();
+        return std::chrono::duration<double, std::milli>(clock::now() - t0).count() /
+               reps;
+      };
+      const double td = time_one(dense, n >= 1000 ? 1 : 5);
+      const double ts = time_one(sparse, 20);
+      std::printf("%-16s %8d %14.3f %14.3f %9.1fx\n", family.c_str(),
+                  dense.ckt->unknown_count(), td, ts, td / ts);
+    }
+  }
+  std::puts("\nsparse time grows ~linearly on these banded topologies; the dense\n"
+            "path pays the n^2 zero-fill + n^3 LU every iteration.");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_summary();
+  return 0;
+}

@@ -1,0 +1,366 @@
+#include "common/sparse_lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace usys {
+namespace {
+
+/// Below this magnitude a pivot counts as numerically zero (matches the
+/// dense lu_solve threshold for SingularMatrixError parity).
+constexpr double kAbsPivotFloor = 1e-300;
+
+/// Refactorization guard: partial pivoting bounds |L| by 1, so a reused
+/// pivot order producing multipliers beyond this limit has degraded enough
+/// to warrant a fresh pivot search (KLU uses the same reciprocal, 1e-3, as
+/// its refactorization pivot tolerance). Newton and timestep loops change
+/// values smoothly and rarely trip this; wholesale value changes do.
+constexpr double kPivotGrowthLimit = 1e3;
+
+}  // namespace
+
+template <typename T>
+void SparseLu<T>::analyze(int n, const std::vector<int>& row_ptr,
+                          const std::vector<int>& col_idx) {
+  if (n < 0 || row_ptr.size() != static_cast<std::size_t>(n) + 1)
+    throw std::invalid_argument("SparseLu::analyze: bad pattern dimensions");
+  n_ = n;
+  const std::size_t nnz = col_idx.size();
+
+  // Column counts -> CSC pointers.
+  col_ptr_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (int c : col_idx) col_ptr_[static_cast<std::size_t>(c) + 1]++;
+  for (int j = 0; j < n; ++j) col_ptr_[j + 1] += col_ptr_[j];
+
+  // Fill CSC row indices and the CSR-slot -> CSC-slot mapping.
+  row_idx_.assign(nnz, 0);
+  csc_of_csr_.assign(nnz, 0);
+  std::vector<int> next(col_ptr_.begin(), col_ptr_.end() - 1);
+  for (int r = 0; r < n; ++r) {
+    for (int s = row_ptr[r]; s < row_ptr[r + 1]; ++s) {
+      const int c = col_idx[static_cast<std::size_t>(s)];
+      const int p = next[static_cast<std::size_t>(c)]++;
+      row_idx_[static_cast<std::size_t>(p)] = r;
+      csc_of_csr_[static_cast<std::size_t>(s)] = p;
+    }
+  }
+  csc_vals_.assign(nnz, T{});
+
+  min_degree_order();
+
+  factored_ = false;
+  symbolic_count_ = 0;
+
+  x_.assign(static_cast<std::size_t>(n), T{});
+  xi_.assign(static_cast<std::size_t>(n), 0);
+  stack_.assign(static_cast<std::size_t>(n), 0);
+  pstack_.assign(static_cast<std::size_t>(n), 0);
+  visited_.assign(static_cast<std::size_t>(n), 0);
+}
+
+template <typename T>
+void SparseLu<T>::factor(const std::vector<T>& csr_vals) {
+  if (!analyzed()) throw std::logic_error("SparseLu::factor before analyze");
+  if (csr_vals.size() != csc_of_csr_.size())
+    throw std::invalid_argument("SparseLu::factor: value count != pattern nonzeros");
+  for (std::size_t s = 0; s < csr_vals.size(); ++s)
+    csc_vals_[static_cast<std::size_t>(csc_of_csr_[s])] = csr_vals[s];
+  // Row max-scaling: factor (R A) instead of A so pivot comparisons are
+  // scale-free across natures and across large value drifts within a row.
+  rscale_.assign(static_cast<std::size_t>(n_), 0.0);
+  for (std::size_t p = 0; p < csc_vals_.size(); ++p) {
+    const auto r = static_cast<std::size_t>(row_idx_[p]);
+    rscale_[r] = std::max(rscale_[r], std::abs(csc_vals_[p]));
+  }
+  for (auto& s : rscale_) s = (s > 0.0) ? 1.0 / s : 1.0;
+  for (std::size_t p = 0; p < csc_vals_.size(); ++p)
+    csc_vals_[p] *= rscale_[static_cast<std::size_t>(row_idx_[p])];
+  if (factored_ && refactor()) return;
+  factor_full();
+}
+
+/// Greedy minimum-degree elimination order on the symmetrized pattern
+/// (explicit clique merging). Partial pivoting later permutes rows freely,
+/// so only the column order is fixed here; for the structurally symmetric
+/// MNA patterns this keeps branch unknowns next to their nodes and fill
+/// near the band minimum.
+template <typename T>
+void SparseLu<T>::min_degree_order() {
+  const int n = n_;
+  q_.resize(static_cast<std::size_t>(n));
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    for (int p = col_ptr_[static_cast<std::size_t>(j)];
+         p < col_ptr_[static_cast<std::size_t>(j) + 1]; ++p) {
+      const int i = row_idx_[static_cast<std::size_t>(p)];
+      if (i != j) {
+        adj[static_cast<std::size_t>(i)].push_back(j);
+        adj[static_cast<std::size_t>(j)].push_back(i);
+      }
+    }
+  }
+  for (auto& a : adj) {
+    std::sort(a.begin(), a.end());
+    a.erase(std::unique(a.begin(), a.end()), a.end());
+  }
+
+  std::vector<char> eliminated(static_cast<std::size_t>(n), 0);
+  std::vector<int> nbrs;
+  for (int step = 0; step < n; ++step) {
+    int best = -1;
+    std::size_t best_deg = static_cast<std::size_t>(-1);
+    for (int v = 0; v < n; ++v) {
+      if (!eliminated[static_cast<std::size_t>(v)] &&
+          adj[static_cast<std::size_t>(v)].size() < best_deg) {
+        best_deg = adj[static_cast<std::size_t>(v)].size();
+        best = v;
+      }
+    }
+    q_[static_cast<std::size_t>(step)] = best;
+    eliminated[static_cast<std::size_t>(best)] = 1;
+    // Connect the eliminated node's surviving neighbors into a clique.
+    nbrs.clear();
+    for (int u : adj[static_cast<std::size_t>(best)])
+      if (!eliminated[static_cast<std::size_t>(u)]) nbrs.push_back(u);
+    for (int u : nbrs) {
+      auto& a = adj[static_cast<std::size_t>(u)];
+      a.insert(a.end(), nbrs.begin(), nbrs.end());
+      std::sort(a.begin(), a.end());
+      a.erase(std::unique(a.begin(), a.end()), a.end());
+      a.erase(std::remove_if(a.begin(), a.end(),
+                             [&](int w) {
+                               return w == u || eliminated[static_cast<std::size_t>(w)];
+                             }),
+              a.end());
+    }
+    adj[static_cast<std::size_t>(best)].clear();
+    adj[static_cast<std::size_t>(best)].shrink_to_fit();
+  }
+}
+
+/// DFS over the partial-L graph: node i's children are the sub-diagonal
+/// entries of L's column pinv_[i] (not-yet-pivotal nodes are leaves).
+/// Finished nodes land in xi_[top-1 .. ] in topological order.
+template <typename T>
+int SparseLu<T>::dfs_reach(int start, int top) {
+  int head = 0;
+  stack_[0] = start;
+  while (head >= 0) {
+    const int i = stack_[static_cast<std::size_t>(head)];
+    const int col = pinv_[static_cast<std::size_t>(i)];
+    if (!visited_[static_cast<std::size_t>(i)]) {
+      visited_[static_cast<std::size_t>(i)] = 1;
+      pstack_[static_cast<std::size_t>(head)] = (col < 0) ? 0 : lp_[static_cast<std::size_t>(col)] + 1;
+    }
+    bool descended = false;
+    if (col >= 0) {
+      const int end = lp_[static_cast<std::size_t>(col) + 1];
+      for (int p = pstack_[static_cast<std::size_t>(head)]; p < end; ++p) {
+        const int child = li_[static_cast<std::size_t>(p)];
+        if (!visited_[static_cast<std::size_t>(child)]) {
+          pstack_[static_cast<std::size_t>(head)] = p + 1;
+          stack_[static_cast<std::size_t>(++head)] = child;
+          descended = true;
+          break;
+        }
+      }
+    }
+    if (!descended) {
+      --head;
+      xi_[static_cast<std::size_t>(--top)] = i;
+    }
+  }
+  return top;
+}
+
+template <typename T>
+void SparseLu<T>::factor_full() {
+  const int n = n_;
+  pinv_.assign(static_cast<std::size_t>(n), -1);
+  lp_.assign(static_cast<std::size_t>(n) + 1, 0);
+  up_.assign(static_cast<std::size_t>(n) + 1, 0);
+  li_.clear();
+  lx_.clear();
+  ui_.clear();
+  ux_.clear();
+  factored_ = false;
+
+  for (int jj = 0; jj < n; ++jj) {
+    const int j = q_[static_cast<std::size_t>(jj)];  // column eliminated at position jj
+    lp_[static_cast<std::size_t>(jj)] = static_cast<int>(li_.size());
+    up_[static_cast<std::size_t>(jj)] = static_cast<int>(ui_.size());
+
+    // Reach of A(:,j) in the partial-L graph (original row space).
+    int top = n;
+    for (int p = col_ptr_[static_cast<std::size_t>(j)];
+         p < col_ptr_[static_cast<std::size_t>(j) + 1]; ++p) {
+      const int i = row_idx_[static_cast<std::size_t>(p)];
+      if (!visited_[static_cast<std::size_t>(i)]) top = dfs_reach(i, top);
+    }
+
+    // Numeric sparse triangular solve x = L \ A(:,j).
+    for (int p = top; p < n; ++p) x_[static_cast<std::size_t>(xi_[static_cast<std::size_t>(p)])] = T{};
+    for (int p = col_ptr_[static_cast<std::size_t>(j)];
+         p < col_ptr_[static_cast<std::size_t>(j) + 1]; ++p)
+      x_[static_cast<std::size_t>(row_idx_[static_cast<std::size_t>(p)])] =
+          csc_vals_[static_cast<std::size_t>(p)];
+    for (int px = top; px < n; ++px) {
+      const int i = xi_[static_cast<std::size_t>(px)];
+      const int col = pinv_[static_cast<std::size_t>(i)];
+      if (col < 0) continue;  // not yet pivotal: stays an L candidate
+      const T xv = x_[static_cast<std::size_t>(i)];
+      if (xv != T{}) {
+        const int end = lp_[static_cast<std::size_t>(col) + 1];
+        for (int p = lp_[static_cast<std::size_t>(col)] + 1; p < end; ++p)
+          x_[static_cast<std::size_t>(li_[static_cast<std::size_t>(p)])] -=
+              lx_[static_cast<std::size_t>(p)] * xv;
+      }
+    }
+
+    // Harvest U entries (already-pivotal rows, topological order) and find
+    // the partial pivot among the rest.
+    int ipiv = -1;
+    double amax = -1.0;
+    for (int px = top; px < n; ++px) {
+      const int i = xi_[static_cast<std::size_t>(px)];
+      const int pos = pinv_[static_cast<std::size_t>(i)];
+      if (pos >= 0) {
+        ui_.push_back(pos);
+        ux_.push_back(x_[static_cast<std::size_t>(i)]);
+      } else {
+        const double m = std::abs(x_[static_cast<std::size_t>(i)]);
+        if (m > amax) {
+          amax = m;
+          ipiv = i;
+        }
+      }
+    }
+    if (ipiv < 0 || amax < kAbsPivotFloor) {
+      // Clean scratch before reporting the singular column.
+      for (int px = top; px < n; ++px) {
+        const int i = xi_[static_cast<std::size_t>(px)];
+        visited_[static_cast<std::size_t>(i)] = 0;
+        x_[static_cast<std::size_t>(i)] = T{};
+      }
+      throw SingularMatrixError(static_cast<std::size_t>(j));
+    }
+    const T pivot = x_[static_cast<std::size_t>(ipiv)];
+    ui_.push_back(jj);  // diagonal stored last within the column
+    ux_.push_back(pivot);
+    pinv_[static_cast<std::size_t>(ipiv)] = jj;
+    li_.push_back(ipiv);  // unit diagonal of L stored first
+    lx_.push_back(T(1));
+    for (int px = top; px < n; ++px) {
+      const int i = xi_[static_cast<std::size_t>(px)];
+      if (pinv_[static_cast<std::size_t>(i)] < 0) {
+        li_.push_back(i);
+        lx_.push_back(x_[static_cast<std::size_t>(i)] / pivot);
+      }
+      visited_[static_cast<std::size_t>(i)] = 0;
+      x_[static_cast<std::size_t>(i)] = T{};
+    }
+  }
+  lp_[static_cast<std::size_t>(n)] = static_cast<int>(li_.size());
+  up_[static_cast<std::size_t>(n)] = static_cast<int>(ui_.size());
+
+  // Remap L's row indices from original to pivotal space; from here on the
+  // whole factorization lives in pivotal coordinates.
+  for (auto& i : li_) i = pinv_[static_cast<std::size_t>(i)];
+
+  factored_ = true;
+  ++symbolic_count_;
+}
+
+template <typename T>
+bool SparseLu<T>::refactor() {
+  const int n = n_;
+  for (int jj = 0; jj < n; ++jj) {
+    const int j = q_[static_cast<std::size_t>(jj)];
+    // Scatter A(:,j) into pivotal space. The reach of the recorded symbolic
+    // factorization is a superset of A's pattern, so the clears below cover
+    // every scattered slot.
+    for (int p = col_ptr_[static_cast<std::size_t>(j)];
+         p < col_ptr_[static_cast<std::size_t>(j) + 1]; ++p)
+      x_[static_cast<std::size_t>(pinv_[static_cast<std::size_t>(
+          row_idx_[static_cast<std::size_t>(p)])])] = csc_vals_[static_cast<std::size_t>(p)];
+
+    // Replay the column's U entries in their recorded (topological) order.
+    const int u_end = up_[static_cast<std::size_t>(jj) + 1] - 1;  // diagonal excluded
+    for (int p = up_[static_cast<std::size_t>(jj)]; p < u_end; ++p) {
+      const int k = ui_[static_cast<std::size_t>(p)];
+      const T ukj = x_[static_cast<std::size_t>(k)];
+      ux_[static_cast<std::size_t>(p)] = ukj;
+      x_[static_cast<std::size_t>(k)] = T{};
+      if (ukj != T{}) {
+        const int end = lp_[static_cast<std::size_t>(k) + 1];
+        for (int q = lp_[static_cast<std::size_t>(k)] + 1; q < end; ++q)
+          x_[static_cast<std::size_t>(li_[static_cast<std::size_t>(q)])] -=
+              lx_[static_cast<std::size_t>(q)] * ukj;
+      }
+    }
+
+    const T pivot = x_[static_cast<std::size_t>(jj)];
+    x_[static_cast<std::size_t>(jj)] = T{};
+    const double apiv = std::abs(pivot);
+    if (apiv < kAbsPivotFloor) {
+      x_.assign(static_cast<std::size_t>(n), T{});
+      return false;  // pivot order no longer viable; re-run full pivoting
+    }
+    ux_[static_cast<std::size_t>(u_end)] = pivot;
+    const int l_end = lp_[static_cast<std::size_t>(jj) + 1];
+    for (int q = lp_[static_cast<std::size_t>(jj)] + 1; q < l_end; ++q) {
+      const int i = li_[static_cast<std::size_t>(q)];
+      const T v = x_[static_cast<std::size_t>(i)];
+      x_[static_cast<std::size_t>(i)] = T{};
+      if (std::abs(v) > kPivotGrowthLimit * apiv) {
+        x_.assign(static_cast<std::size_t>(n), T{});
+        return false;  // multiplier blow-up: pivot degraded
+      }
+      lx_[static_cast<std::size_t>(q)] = v / pivot;
+    }
+  }
+  return true;
+}
+
+template <typename T>
+void SparseLu<T>::solve(std::vector<T>& b) const {
+  if (!factored_) throw std::logic_error("SparseLu::solve before factor");
+  if (b.size() != static_cast<std::size_t>(n_))
+    throw std::invalid_argument("SparseLu::solve: rhs size mismatch");
+  const int n = n_;
+  tmp_.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    tmp_[static_cast<std::size_t>(pinv_[static_cast<std::size_t>(i)])] =
+        b[static_cast<std::size_t>(i)] * rscale_[static_cast<std::size_t>(i)];
+  // Forward: L y = P b (unit diagonal stored first in each column).
+  for (int j = 0; j < n; ++j) {
+    const T yj = tmp_[static_cast<std::size_t>(j)];
+    if (yj != T{}) {
+      const int end = lp_[static_cast<std::size_t>(j) + 1];
+      for (int q = lp_[static_cast<std::size_t>(j)] + 1; q < end; ++q)
+        tmp_[static_cast<std::size_t>(li_[static_cast<std::size_t>(q)])] -=
+            lx_[static_cast<std::size_t>(q)] * yj;
+    }
+  }
+  // Backward: U x = y (diagonal stored last in each column).
+  for (int j = n; j-- > 0;) {
+    const int diag = up_[static_cast<std::size_t>(j) + 1] - 1;
+    const T xj = tmp_[static_cast<std::size_t>(j)] / ux_[static_cast<std::size_t>(diag)];
+    tmp_[static_cast<std::size_t>(j)] = xj;
+    if (xj != T{}) {
+      for (int q = up_[static_cast<std::size_t>(j)]; q < diag; ++q)
+        tmp_[static_cast<std::size_t>(ui_[static_cast<std::size_t>(q)])] -=
+            ux_[static_cast<std::size_t>(q)] * xj;
+    }
+  }
+  // Undo the fill-reducing column permutation: position j solved unknown q_[j].
+  for (int j = 0; j < n; ++j)
+    b[static_cast<std::size_t>(q_[static_cast<std::size_t>(j)])] =
+        tmp_[static_cast<std::size_t>(j)];
+}
+
+template class SparseLu<double>;
+template class SparseLu<std::complex<double>>;
+
+}  // namespace usys

@@ -1,0 +1,95 @@
+// General (non-SPD) sparse LU: Gilbert–Peierls left-looking factorization
+// with partial pivoting, plus pattern-reusing numeric refactorization.
+//
+// Built for Newton / transient loops where the matrix PATTERN is fixed while
+// the VALUES change every iteration:
+//   * analyze()  — once per pattern: records the CSR layout and the
+//     CSR-to-CSC slot mapping.
+//   * factor()   — the first call runs the full pivoting factorization and
+//     records the pivot order and the L/U patterns (the "symbolic"
+//     factorization); later calls replay those patterns as pure numeric
+//     refactorizations (no search, no allocation) and fall back to a fresh
+//     pivoting factorization only if a reused pivot degrades.
+//   * solve()    — forward/back substitution, in place.
+//
+// The FEM module's CsrMatrix + CG (fem/sparse.hpp) covers the SPD case;
+// this solver covers the unsymmetric MNA systems of the circuit solver.
+// Real and complex instantiations back DC/transient and AC respectively.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.hpp"  // SingularMatrixError
+
+namespace usys {
+
+template <typename T>
+class SparseLu {
+ public:
+  /// Registers the (square, n x n) pattern in CSR form. Column indices must
+  /// be sorted and unique within each row. Also computes a fill-reducing
+  /// (minimum-degree on the symmetrized pattern) column elimination order —
+  /// essential for MNA systems, whose branch unknowns sit far from their
+  /// nodes in the natural layout. Resets any previous factorization and the
+  /// symbolic counter.
+  void analyze(int n, const std::vector<int>& row_ptr, const std::vector<int>& col_idx);
+
+  bool analyzed() const noexcept { return n_ >= 0; }
+  int size() const noexcept { return n_ < 0 ? 0 : n_; }
+  std::size_t nonzeros() const noexcept { return csc_of_csr_.size(); }
+
+  /// Numeric factorization of values laid out per the CSR pattern given to
+  /// analyze(). Rows are max-scaled first (MNA systems mix natures whose
+  /// magnitudes differ by many orders; scaling keeps pivot viability — and
+  /// the refactorization degradation check — scale-free). Throws
+  /// SingularMatrixError when no acceptable pivot exists.
+  void factor(const std::vector<T>& csr_vals);
+
+  bool factored() const noexcept { return factored_; }
+
+  /// Solves A x = b in place (b holds x on return). Requires factor().
+  void solve(std::vector<T>& b) const;
+
+  /// Number of full (pivot-searching) factorizations since analyze().
+  /// Steady-state Newton/transient/AC loops should hold this at 1.
+  int symbolic_factorizations() const noexcept { return symbolic_count_; }
+
+ private:
+  void factor_full();
+  bool refactor();  ///< false = reused pivot degraded; caller re-runs full
+  int dfs_reach(int start, int top);
+  void min_degree_order();
+
+  int n_ = -1;
+
+  // Pattern: CSC copy of the analyze()d CSR pattern plus the slot mapping.
+  std::vector<int> col_ptr_, row_idx_;
+  std::vector<int> csc_of_csr_;  ///< CSR slot -> CSC slot
+  std::vector<T> csc_vals_;
+  std::vector<int> q_;  ///< fill-reducing column order: pivotal j eliminates column q_[j]
+  std::vector<double> rscale_;  ///< per-row 1/max applied to the factored values
+
+  // Factorization (row indices in pivotal space once factored_ is set).
+  // L is unit-lower with the diagonal stored explicitly as each column's
+  // first entry; U stores each column's diagonal (the pivot) last.
+  std::vector<int> pinv_;      ///< original row -> pivotal position
+  std::vector<int> lp_, li_;   ///< L: col ptr / row idx
+  std::vector<T> lx_;
+  std::vector<int> up_, ui_;   ///< U: col ptr / row idx
+  std::vector<T> ux_;
+  bool factored_ = false;
+  int symbolic_count_ = 0;
+
+  // Scratch reused across factorizations/solves (no per-iteration allocs).
+  std::vector<T> x_;
+  std::vector<int> xi_, stack_, pstack_;
+  std::vector<char> visited_;
+  mutable std::vector<T> tmp_;
+};
+
+using DSparseLu = SparseLu<double>;
+using ZSparseLu = SparseLu<std::complex<double>>;
+
+}  // namespace usys

@@ -41,6 +41,11 @@ void LinearizedTransverseElectrostatic::accept(const spice::AcceptCtx& ctx) {
   xstate_.accept(ctx.v(c_) - ctx.v(d_), ctx);
 }
 
+bool LinearizedTransverseElectrostatic::stamp_footprint(std::vector<int>& out) const {
+  out.insert(out.end(), {a_, b_, c_, d_});
+  return true;
+}
+
 void LinearizedTransverseElectrostatic::evaluate(spice::EvalCtx& ctx) {
   const double volt = ctx.v(a_) - ctx.v(b_);
   const double u = ctx.v(c_) - ctx.v(d_);

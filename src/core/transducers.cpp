@@ -24,6 +24,11 @@ void TransducerBase::bind(Binder& binder) {
   binder.require_nature(d_, Nature::mechanical_translation, name());
 }
 
+bool TransducerBase::stamp_footprint(std::vector<int>& out) const {
+  out.insert(out.end(), {a_, b_, c_, d_});
+  return true;
+}
+
 void TransducerBase::start_transient(const DVector& x_dc) {
   const double uc = c_ < 0 ? 0.0 : x_dc[static_cast<std::size_t>(c_)];
   const double ud = d_ < 0 ? 0.0 : x_dc[static_cast<std::size_t>(d_)];
@@ -170,6 +175,12 @@ void ElectromagneticTransducer::bind(Binder& binder) {
   br_ = binder.alloc_branch(Nature::electrical);
 }
 
+bool ElectromagneticTransducer::stamp_footprint(std::vector<int>& out) const {
+  TransducerBase::stamp_footprint(out);
+  out.push_back(br_);
+  return true;
+}
+
 void ElectromagneticTransducer::evaluate(EvalCtx& ctx) {
   const double i = ctx.v(br_);
   const double x = disp(ctx);
@@ -220,6 +231,12 @@ void ElectromagneticTransducer::evaluate(EvalCtx& ctx) {
 void ElectrodynamicTransducer::bind(Binder& binder) {
   TransducerBase::bind(binder);
   br_ = binder.alloc_branch(Nature::electrical);
+}
+
+bool ElectrodynamicTransducer::stamp_footprint(std::vector<int>& out) const {
+  TransducerBase::stamp_footprint(out);
+  out.push_back(br_);
+  return true;
 }
 
 void ElectrodynamicTransducer::evaluate(EvalCtx& ctx) {

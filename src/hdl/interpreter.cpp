@@ -282,6 +282,13 @@ void HdlDevice::run(spice::EvalCtx* ctx, Pass pass, const DVector& x) {
   }
 }
 
+bool HdlDevice::stamp_footprint(std::vector<int>& out) const {
+  out.insert(out.end(), nodes_.begin(), nodes_.end());
+  out.insert(out.end(), branch_of_pair_.begin(), branch_of_pair_.end());
+  out.insert(out.end(), seed_unknowns_.begin(), seed_unknowns_.end());
+  return true;
+}
+
 void HdlDevice::evaluate(spice::EvalCtx& ctx) {
   if (ctx.mode == spice::AnalysisMode::transient) {
     run(&ctx, Pass::transient, *ctx.x);
@@ -289,7 +296,7 @@ void HdlDevice::evaluate(spice::EvalCtx& ctx) {
   }
   run(&ctx, Pass::dc, *ctx.x);
   // jq extraction (for AC sweeps): difference the dc_ddt and dc passes.
-  if (ctx.jq == nullptr || model_.ddt_site_count == 0) return;
+  if (!ctx.wants_jq() || model_.ddt_site_count == 0) return;
   const std::size_t n = ctx.x->size();
   DVector f_scratch(n, 0.0), q_scratch(n, 0.0);
   DMatrix jf_a(n, n), jf_b(n, n), jq_scratch(n, n);
@@ -298,6 +305,7 @@ void HdlDevice::evaluate(spice::EvalCtx& ctx) {
   ca.q = &q_scratch;
   ca.jf = &jf_a;
   ca.jq = &jq_scratch;
+  ca.sparse = nullptr;  // the scratch passes accumulate into dense matrices
   run(&ca, Pass::dc, *ctx.x);
   spice::EvalCtx cb = ca;
   cb.jf = &jf_b;

@@ -113,6 +113,12 @@ void TransferFunctionDevice::bind(spice::Binder& binder) {
   out_branch_ = binder.alloc_branch(Nature::electrical);
 }
 
+bool TransferFunctionDevice::stamp_footprint(std::vector<int>& out) const {
+  out.insert(out.end(), {in_p_, in_n_, out_p_, out_n_, out_branch_});
+  out.insert(out.end(), z_.begin(), z_.end());
+  return true;
+}
+
 void TransferFunctionDevice::evaluate(spice::EvalCtx& ctx) {
   const int n = static_cast<int>(z_.size());
   const double tau = 1.0 / fit_.scale;  // s = tau * d/dt

@@ -66,6 +66,11 @@ void PwlTransducer::accept(const spice::AcceptCtx& ctx) {
   xstate_.accept(ctx.v(c_) - ctx.v(d_), ctx);
 }
 
+bool PwlTransducer::stamp_footprint(std::vector<int>& out) const {
+  out.insert(out.end(), {a_, b_, c_, d_});
+  return true;
+}
+
 void PwlTransducer::evaluate(spice::EvalCtx& ctx) {
   const double volt = ctx.v(a_) - ctx.v(b_);
   const double u = ctx.v(c_) - ctx.v(d_);
@@ -190,6 +195,11 @@ void PwlForceTransducer::start_transient(const DVector& x_dc) {
 
 void PwlForceTransducer::accept(const spice::AcceptCtx& ctx) {
   xstate_.accept(ctx.v(c_) - ctx.v(d_), ctx);
+}
+
+bool PwlForceTransducer::stamp_footprint(std::vector<int>& out) const {
+  out.insert(out.end(), {a_, b_, c_, d_});
+  return true;
 }
 
 void PwlForceTransducer::evaluate(spice::EvalCtx& ctx) {

@@ -15,6 +15,8 @@ OpResult operating_point(Circuit& circuit, const DcOptions& opts) {
   out.converged = dc.converged;
   out.x = dc.x;
   out.newton_iterations = dc.total_newton_iters;
+  out.used_sparse = dc.used_sparse;
+  out.symbolic_factorizations = dc.symbolic_factorizations;
   return out;
 }
 
@@ -106,13 +108,13 @@ TranResult transient(Circuit& circuit, const TranOptions& opts) {
 
   NewtonSolver solver(circuit, opts.newton);
 
-  // Harvest q at the DC point so the first step's history is consistent.
+  // Harvest q at the DC point so the first step's history is consistent
+  // (value-only stamp: the Jacobians are not needed between steps).
   DVector f(n), q(n);
-  DMatrix jf(n, n), jq(n, n);
   {
     EvalCtx ctx;
     ctx.mode = AnalysisMode::dc;
-    solver.stamp(ctx, x, f, q, jf, jq);
+    solver.stamp_values(ctx, x, f, q);
   }
   DVector q_prev = q;
   DVector q_prev2 = q;  // q at t_{n-1}, for gear2
@@ -215,7 +217,7 @@ TranResult transient(Circuit& circuit, const TranOptions& opts) {
     }
 
     // Commit: harvest q(x_new), update integrator history, device states.
-    solver.stamp(ctx, x_new, f, q, jf, jq);
+    solver.stamp_values(ctx, x_new, f, q);
     DVector qdot(n);
     for (std::size_t i = 0; i < n; ++i) qdot[i] = sc.a0 * q[i] + hist[i];
     q_prev2 = q_prev;
@@ -263,6 +265,8 @@ TranResult transient(Circuit& circuit, const TranOptions& opts) {
   }
 
   out.ok = true;
+  out.used_sparse = solver.sparse_active();
+  out.symbolic_factorizations = solver.symbolic_factorizations();
   return out;
 }
 
@@ -289,10 +293,14 @@ AcResult ac_sweep(Circuit& circuit, const AcOptions& opts) {
   // Linearize once at the operating point.
   NewtonSolver solver(circuit, opts.dc.newton);
   DVector f(n), q(n);
-  DMatrix jf(n, n), jq(n, n);
+  DMatrix jf, jq;
   EvalCtx ctx;
   ctx.mode = AnalysisMode::dc;
-  solver.stamp(ctx, op.x, f, q, jf, jq);
+  if (solver.sparse_active()) {
+    solver.assemble_sparse(ctx, op.x, f, q);
+  } else {
+    solver.stamp(ctx, op.x, f, q, jf, jq);
+  }
 
   // Complex excitation vector from the devices' AC sources.
   ZVector rhs(n, {0.0, 0.0});
@@ -313,24 +321,54 @@ AcResult ac_sweep(Circuit& circuit, const AcOptions& opts) {
                       std::pow(10.0, decades * static_cast<double>(i) / (total - 1)));
   }
 
-  for (double fr : freqs) {
-    const std::complex<double> jw(0.0, 2.0 * kPi * fr);
-    ZMatrix a(n, n);
-    for (std::size_t r = 0; r < n; ++r) {
-      for (std::size_t c = 0; c < n; ++c) {
-        a(r, c) = std::complex<double>(jf(r, c), 0.0) + jw * jq(r, c);
+  if (solver.sparse_active()) {
+    // Sparse sweep: (Jf + jw Jq) shares the real pattern, so the complex LU
+    // runs its symbolic factorization once and numerically refactors per
+    // frequency point.
+    const MnaPattern& pattern = *solver.pattern();
+    const std::vector<double>& jfv = solver.sparse_jf();
+    const std::vector<double>& jqv = solver.sparse_jq();
+    ZSparseLu zlu;
+    zlu.analyze(pattern.size(), pattern.row_ptr(), pattern.col_idx());
+    std::vector<std::complex<double>> avals(pattern.nonzeros());
+    for (double fr : freqs) {
+      const std::complex<double> jw(0.0, 2.0 * kPi * fr);
+      for (std::size_t k = 0; k < avals.size(); ++k)
+        avals[k] = std::complex<double>(jfv[k], 0.0) + jw * jqv[k];
+      ZVector b = rhs;
+      try {
+        zlu.factor(avals);
+        zlu.solve(b);
+      } catch (const SingularMatrixError&) {
+        out.error = str_format("ac: singular system at f=%.6e Hz", fr);
+        log_warn(out.error);
+        return out;
       }
+      out.freq.push_back(fr);
+      out.x.push_back(std::move(b));
     }
-    ZVector b = rhs;
-    try {
-      lu_solve(a, b);
-    } catch (const SingularMatrixError&) {
-      out.error = str_format("ac: singular system at f=%.6e Hz", fr);
-      log_warn(out.error);
-      return out;
+    out.used_sparse = true;
+    out.symbolic_factorizations = zlu.symbolic_factorizations();
+  } else {
+    for (double fr : freqs) {
+      const std::complex<double> jw(0.0, 2.0 * kPi * fr);
+      ZMatrix a(n, n);
+      for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c) {
+          a(r, c) = std::complex<double>(jf(r, c), 0.0) + jw * jq(r, c);
+        }
+      }
+      ZVector b = rhs;
+      try {
+        lu_solve(a, b);
+      } catch (const SingularMatrixError&) {
+        out.error = str_format("ac: singular system at f=%.6e Hz", fr);
+        log_warn(out.error);
+        return out;
+      }
+      out.freq.push_back(fr);
+      out.x.push_back(std::move(b));
     }
-    out.freq.push_back(fr);
-    out.x.push_back(std::move(b));
   }
   out.ok = true;
   return out;

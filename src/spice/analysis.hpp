@@ -21,6 +21,8 @@ struct OpResult {
   bool converged = false;
   DVector x;
   int newton_iterations = 0;
+  bool used_sparse = false;
+  int symbolic_factorizations = 0;  ///< see NewtonResult
 
   /// Effort at a node id (ground reads 0).
   double at(int node) const { return node < 0 ? 0.0 : x.at(static_cast<std::size_t>(node)); }
@@ -51,6 +53,11 @@ struct TranResult {
   std::vector<DVector> x;          ///< accepted solutions, one per time point
   int total_newton_iters = 0;
   int rejected_steps = 0;
+  bool used_sparse = false;
+  /// Full (pivot-searching) sparse factorizations of the transient's own
+  /// Newton solver across ALL timesteps — 1 in the steady state, since the
+  /// pattern (and normally the pivot order) is fixed for the whole run.
+  int symbolic_factorizations = 0;
 
   /// Time series of one unknown (node effort or branch flow).
   std::vector<double> signal(int unknown) const;
@@ -83,6 +90,10 @@ struct AcResult {
   std::string error;
   std::vector<double> freq;
   std::vector<ZVector> x;  ///< complex solution per frequency
+  bool used_sparse = false;
+  /// Full complex symbolic factorizations across the whole sweep; the
+  /// frequency loop refactors numerically on the fixed pattern.
+  int symbolic_factorizations = 0;
 
   std::complex<double> at(std::size_t k, int unknown) const {
     return unknown < 0 ? std::complex<double>(0.0) : x[k][static_cast<std::size_t>(unknown)];

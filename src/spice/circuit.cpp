@@ -3,8 +3,18 @@
 #include <algorithm>
 
 #include "common/strings.hpp"
+#include "spice/mna.hpp"
 
 namespace usys::spice {
+
+Circuit::Circuit() = default;
+Circuit::~Circuit() = default;
+
+const MnaPattern& Circuit::mna_pattern() {
+  bind_all();
+  if (!mna_pattern_) mna_pattern_ = std::make_unique<MnaPattern>(*this);
+  return *mna_pattern_;
+}
 
 double effort_abstol(Nature n) noexcept {
   switch (n) {

@@ -24,6 +24,7 @@
 namespace usys::spice {
 
 class Circuit;
+class MnaPattern;
 
 /// Raised on malformed circuits: nature mismatches, unknown nodes,
 /// duplicate device names.
@@ -71,6 +72,19 @@ class Device {
   /// of times per step (Newton re-evaluates).
   virtual void evaluate(EvalCtx& ctx) = 0;
 
+  /// Sparse-MNA registration, called once after bind: append every unknown
+  /// index (node or branch; ground -1 entries are ignored) that evaluate()
+  /// may reference as a stamp row or column in *any* analysis mode, and
+  /// return true. The pattern compiler reserves the full footprint x
+  /// footprint Jacobian block, so a conservative superset is fine — but a
+  /// stamp landing outside the declared pattern is a hard error at
+  /// assembly time. Returning false (the default) marks the footprint
+  /// unknown and keeps the whole circuit on the dense path.
+  virtual bool stamp_footprint(std::vector<int>& out) const {
+    (void)out;
+    return false;
+  }
+
   /// Complex AC excitation (small-signal sources). Row indexing matches the
   /// real unknown vector. Default: no AC contribution.
   virtual void ac_rhs(ZVector& rhs) const { (void)rhs; }
@@ -92,7 +106,8 @@ class Device {
 /// The circuit under construction / simulation.
 class Circuit {
  public:
-  Circuit() = default;
+  Circuit();
+  ~Circuit();
 
   /// The ground / reference pseudo-index.
   static constexpr int kGround = -1;
@@ -147,6 +162,11 @@ class Circuit {
   /// Nature of unknown i (node effort nature, or branch through-nature).
   Nature unknown_nature(int i) const { return unknown_natures_.at(static_cast<std::size_t>(i)); }
 
+  /// The compiled sparse stamp pattern (spice/mna.hpp), built lazily from
+  /// the devices' stamp_footprint() registrations. Calls bind_all() first;
+  /// stable afterwards because devices cannot be added once bound.
+  const MnaPattern& mna_pattern();
+
  private:
   friend class Binder;
   int alloc_branch_unknown(Nature through_nature);
@@ -162,6 +182,7 @@ class Circuit {
   DVector abstol_;
   int unknown_count_ = 0;
   bool bound_ = false;
+  std::unique_ptr<MnaPattern> mna_pattern_;
 };
 
 /// Absolute tolerance used for unknowns of a nature's effort variable.

@@ -9,6 +9,11 @@ Vcvs::Vcvs(std::string name, int out_p, int out_n, int ctl_p, int ctl_n, double 
 
 void Vcvs::bind(Binder& binder) { br_ = binder.alloc_branch(binder.node_nature(a_)); }
 
+bool Vcvs::stamp_footprint(std::vector<int>& out) const {
+  out.insert(out.end(), {a_, b_, c_, d_, br_});
+  return true;
+}
+
 void Vcvs::evaluate(EvalCtx& ctx) {
   const double i = ctx.v(br_);
   ctx.f_add(a_, i);
@@ -26,6 +31,11 @@ Vccs::Vccs(std::string name, int out_p, int out_n, int ctl_p, int ctl_n, double 
     : Device(std::move(name)), a_(out_p), b_(out_n), c_(ctl_p), d_(ctl_n), gm_(gm) {}
 
 void Vccs::bind(Binder&) {}
+
+bool Vccs::stamp_footprint(std::vector<int>& out) const {
+  out.insert(out.end(), {a_, b_, c_, d_});
+  return true;
+}
 
 void Vccs::evaluate(EvalCtx& ctx) {
   const double i = gm_ * (ctx.v(c_) - ctx.v(d_));
@@ -58,6 +68,11 @@ void Cccs::bind(Binder&) {
                        sensed_ + "' before this device");
 }
 
+bool Cccs::stamp_footprint(std::vector<int>& out) const {
+  out.insert(out.end(), {a_, b_, sense_branch_});
+  return true;
+}
+
 void Cccs::evaluate(EvalCtx& ctx) {
   const double i = gain_ * ctx.v(sense_branch_);
   ctx.f_add(a_, i);
@@ -87,6 +102,11 @@ void Ccvs::bind(Binder& binder) {
   br_ = binder.alloc_branch(binder.node_nature(a_));
 }
 
+bool Ccvs::stamp_footprint(std::vector<int>& out) const {
+  out.insert(out.end(), {a_, b_, sense_branch_, br_});
+  return true;
+}
+
 void Ccvs::evaluate(EvalCtx& ctx) {
   const double i = ctx.v(br_);
   ctx.f_add(a_, i);
@@ -105,6 +125,11 @@ IdealTransformer::IdealTransformer(std::string name, int a, int b, int c, int d,
 
 void IdealTransformer::bind(Binder& binder) {
   br_ = binder.alloc_branch(binder.node_nature(a_));
+}
+
+bool IdealTransformer::stamp_footprint(std::vector<int>& out) const {
+  out.insert(out.end(), {a_, b_, c_, d_, br_});
+  return true;
 }
 
 void IdealTransformer::evaluate(EvalCtx& ctx) {
@@ -132,6 +157,11 @@ Gyrator::Gyrator(std::string name, int a, int b, int c, int d, double g)
 
 void Gyrator::bind(Binder&) {}
 
+bool Gyrator::stamp_footprint(std::vector<int>& out) const {
+  out.insert(out.end(), {a_, b_, c_, d_});
+  return true;
+}
+
 void Gyrator::evaluate(EvalCtx& ctx) {
   // i1 = g*v2 into port 1; i2 = -g*v1 into port 2 (power conserving).
   const double v1 = ctx.v(a_) - ctx.v(b_);
@@ -158,6 +188,11 @@ StateIntegrator::StateIntegrator(std::string name, int out, int in, double initi
 void StateIntegrator::bind(Binder& binder) {
   if (out_ < 0) throw CircuitError("StateIntegrator '" + name() + "': output at ground");
   br_ = binder.alloc_branch(binder.node_nature(out_));
+}
+
+bool StateIntegrator::stamp_footprint(std::vector<int>& out) const {
+  out.insert(out.end(), {out_, in_, br_});
+  return true;
 }
 
 void StateIntegrator::evaluate(EvalCtx& ctx) {

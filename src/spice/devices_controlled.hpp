@@ -18,6 +18,7 @@ class Vcvs : public Device {
   Vcvs(std::string name, int out_p, int out_n, int ctl_p, int ctl_n, double gain);
   void bind(Binder& binder) override;
   void evaluate(EvalCtx& ctx) override;
+  bool stamp_footprint(std::vector<int>& out) const override;
   int branch() const noexcept { return br_; }
 
  private:
@@ -33,6 +34,7 @@ class Vccs : public Device {
   Vccs(std::string name, int out_p, int out_n, int ctl_p, int ctl_n, double gm);
   void bind(Binder& binder) override;
   void evaluate(EvalCtx& ctx) override;
+  bool stamp_footprint(std::vector<int>& out) const override;
   double gm() const noexcept { return gm_; }
 
  private:
@@ -48,6 +50,7 @@ class Cccs : public Device {
        Circuit& circuit);
   void bind(Binder& binder) override;
   void evaluate(EvalCtx& ctx) override;
+  bool stamp_footprint(std::vector<int>& out) const override;
 
  private:
   int a_, b_;
@@ -64,6 +67,7 @@ class Ccvs : public Device {
        Circuit& circuit);
   void bind(Binder& binder) override;
   void evaluate(EvalCtx& ctx) override;
+  bool stamp_footprint(std::vector<int>& out) const override;
 
  private:
   int a_, b_;
@@ -81,6 +85,7 @@ class IdealTransformer : public Device {
   IdealTransformer(std::string name, int a, int b, int c, int d, double ratio);
   void bind(Binder& binder) override;
   void evaluate(EvalCtx& ctx) override;
+  bool stamp_footprint(std::vector<int>& out) const override;
 
  private:
   int a_, b_, c_, d_;
@@ -96,6 +101,7 @@ class Gyrator : public Device {
   Gyrator(std::string name, int a, int b, int c, int d, double g);
   void bind(Binder& binder) override;
   void evaluate(EvalCtx& ctx) override;
+  bool stamp_footprint(std::vector<int>& out) const override;
 
  private:
   int a_, b_, c_, d_;
@@ -111,6 +117,7 @@ class StateIntegrator : public Device {
   StateIntegrator(std::string name, int out, int in, double initial = 0.0);
   void bind(Binder& binder) override;
   void evaluate(EvalCtx& ctx) override;
+  bool stamp_footprint(std::vector<int>& out) const override;
 
  private:
   int out_, in_;

@@ -24,6 +24,11 @@ void JouleHeater::bind(Binder& binder) {
   binder.require_nature(t_, Nature::thermal, name());
 }
 
+bool JouleHeater::stamp_footprint(std::vector<int>& out) const {
+  out.insert(out.end(), {a_, b_, t_});
+  return true;
+}
+
 void JouleHeater::evaluate(EvalCtx& ctx) {
   const double v = ctx.v(a_) - ctx.v(b_);
   const double temp = ctx.v(t_);
@@ -70,6 +75,11 @@ Diode::Diode(std::string name, int a, int b, double i_sat, double emission,
 void Diode::bind(Binder& binder) {
   binder.require_nature(a_, Nature::electrical, name());
   binder.require_nature(b_, Nature::electrical, name());
+}
+
+bool Diode::stamp_footprint(std::vector<int>& out) const {
+  out.insert(out.end(), {a_, b_});
+  return true;
 }
 
 void Diode::evaluate(EvalCtx& ctx) {

@@ -14,6 +14,11 @@ void Resistor::bind(Binder& binder) {
   binder.require_nature(b_, nature_, name());
 }
 
+bool Resistor::stamp_footprint(std::vector<int>& out) const {
+  out.insert(out.end(), {a_, b_});
+  return true;
+}
+
 void Resistor::evaluate(EvalCtx& ctx) {
   const double g = 1.0 / r_;
   const double i = g * (ctx.v(a_) - ctx.v(b_));
@@ -36,6 +41,11 @@ void Capacitor::bind(Binder& binder) {
   binder.require_nature(b_, nature_, name());
 }
 
+bool Capacitor::stamp_footprint(std::vector<int>& out) const {
+  out.insert(out.end(), {a_, b_});
+  return true;
+}
+
 void Capacitor::evaluate(EvalCtx& ctx) {
   const double q = c_ * (ctx.v(a_) - ctx.v(b_));
   ctx.q_add(a_, q);
@@ -56,6 +66,11 @@ void Inductor::bind(Binder& binder) {
   binder.require_nature(a_, nature_, name());
   binder.require_nature(b_, nature_, name());
   br_ = binder.alloc_branch(nature_);
+}
+
+bool Inductor::stamp_footprint(std::vector<int>& out) const {
+  out.insert(out.end(), {a_, b_, br_});
+  return true;
 }
 
 void Inductor::evaluate(EvalCtx& ctx) {

@@ -18,6 +18,7 @@ class Resistor : public Device {
            Nature nature = Nature::electrical);
   void bind(Binder& binder) override;
   void evaluate(EvalCtx& ctx) override;
+  bool stamp_footprint(std::vector<int>& out) const override;
   double resistance() const noexcept { return r_; }
 
  private:
@@ -33,6 +34,7 @@ class Capacitor : public Device {
             Nature nature = Nature::electrical);
   void bind(Binder& binder) override;
   void evaluate(EvalCtx& ctx) override;
+  bool stamp_footprint(std::vector<int>& out) const override;
   double capacitance() const noexcept { return c_; }
 
  private:
@@ -48,6 +50,7 @@ class Inductor : public Device {
            Nature nature = Nature::electrical);
   void bind(Binder& binder) override;
   void evaluate(EvalCtx& ctx) override;
+  bool stamp_footprint(std::vector<int>& out) const override;
   double inductance() const noexcept { return l_; }
   /// Unknown index of the branch current (valid after bind).
   int branch() const noexcept { return br_; }

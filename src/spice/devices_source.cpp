@@ -25,6 +25,11 @@ void VSource::bind(Binder& binder) {
   br_ = binder.alloc_branch(nature_);
 }
 
+bool VSource::stamp_footprint(std::vector<int>& out) const {
+  out.insert(out.end(), {a_, b_, br_});
+  return true;
+}
+
 void VSource::evaluate(EvalCtx& ctx) {
   const double i = ctx.v(br_);
   ctx.f_add(a_, i);
@@ -64,6 +69,11 @@ ISource::ISource(std::string name, int a, int b, double dc_value, Nature nature)
 void ISource::bind(Binder& binder) {
   binder.require_nature(a_, nature_, name());
   binder.require_nature(b_, nature_, name());
+}
+
+bool ISource::stamp_footprint(std::vector<int>& out) const {
+  out.insert(out.end(), {a_, b_});
+  return true;
 }
 
 void ISource::evaluate(EvalCtx& ctx) {

@@ -15,9 +15,25 @@ NewtonSolver::NewtonSolver(Circuit& circuit, NewtonOptions opts)
   f_.resize(n);
   q_.resize(n);
   resid_.resize(n);
-  jf_.resize(n, n);
-  jq_.resize(n, n);
-  jacobian_.resize(n, n);
+  dx_.resize(n);
+
+  bool want_sparse = opts_.backend == MatrixBackend::sparse;
+  if (opts_.backend == MatrixBackend::auto_select)
+    want_sparse = static_cast<int>(n) >= opts_.sparse_threshold;
+  if (want_sparse) {
+    const MnaPattern& pattern = circuit_.mna_pattern();
+    if (pattern.complete()) {
+      assembler_ = std::make_unique<MnaAssembler>(circuit_, pattern);
+      lu_.analyze(pattern.size(), pattern.row_ptr(), pattern.col_idx());
+      jac_vals_.resize(pattern.nonzeros());
+    }
+  }
+  if (!assembler_) {
+    // Dense fallback: the n x n scratch lives only on this path.
+    jf_.resize(n, n);
+    jq_.resize(n, n);
+    jacobian_.resize(n, n);
+  }
 }
 
 void NewtonSolver::stamp(EvalCtx ctx_proto, const DVector& x, DVector& f, DVector& q,
@@ -25,16 +41,23 @@ void NewtonSolver::stamp(EvalCtx ctx_proto, const DVector& x, DVector& f, DVecto
   const std::size_t n = x.size();
   f.assign(n, 0.0);
   q.assign(n, 0.0);
-  jf.resize(n, n);
-  jq.resize(n, n);
-  jf.fill(0.0);
-  jq.fill(0.0);
+  if (jf.rows() != n || jf.cols() != n) {
+    jf.resize(n, n);
+  } else {
+    jf.fill(0.0);
+  }
+  if (jq.rows() != n || jq.cols() != n) {
+    jq.resize(n, n);
+  } else {
+    jq.fill(0.0);
+  }
   EvalCtx ctx = ctx_proto;
   ctx.x = &x;
   ctx.f = &f;
   ctx.q = &q;
   ctx.jf = &jf;
   ctx.jq = &jq;
+  ctx.sparse = nullptr;
   for (const auto& dev : circuit_.devices()) dev->evaluate(ctx);
   // gmin ties every *node* row weakly to ground, keeping the Jacobian
   // nonsingular for floating subnets (branch rows are exact constraints and
@@ -48,32 +71,86 @@ void NewtonSolver::stamp(EvalCtx ctx_proto, const DVector& x, DVector& f, DVecto
   }
 }
 
+void NewtonSolver::stamp_values(EvalCtx ctx_proto, const DVector& x, DVector& f,
+                                DVector& q) {
+  const std::size_t n = x.size();
+  f.assign(n, 0.0);
+  q.assign(n, 0.0);
+  EvalCtx ctx = ctx_proto;
+  ctx.x = &x;
+  ctx.f = &f;
+  ctx.q = &q;
+  ctx.jf = nullptr;  // Jacobian stamps are discarded (see EvalCtx::jf_add)
+  ctx.jq = nullptr;
+  ctx.sparse = nullptr;
+  for (const auto& dev : circuit_.devices()) dev->evaluate(ctx);
+  if (opts_.gmin > 0.0) {
+    const auto nodes = static_cast<std::size_t>(circuit_.node_count());
+    for (std::size_t i = 0; i < nodes; ++i) f[i] += opts_.gmin * x[i];
+  }
+}
+
+void NewtonSolver::assemble_sparse(EvalCtx ctx_proto, const DVector& x, DVector& f,
+                                   DVector& q) {
+  assembler_->assemble(ctx_proto, x, f, q);
+  if (opts_.gmin > 0.0) {
+    const auto nodes = static_cast<std::size_t>(circuit_.node_count());
+    for (std::size_t i = 0; i < nodes; ++i) {
+      f[i] += opts_.gmin * x[i];
+      assembler_->add_diag_jf(static_cast<int>(i), opts_.gmin);
+    }
+  }
+}
+
 NewtonResult NewtonSolver::solve(EvalCtx ctx_proto, double a0, const DVector& hist,
                                  DVector& x) {
   NewtonResult result;
+  result.used_sparse = sparse_active();
   const std::size_t n = x.size();
   const DVector& abstol = circuit_.abstol();
 
   for (int iter = 0; iter < opts_.max_iters; ++iter) {
-    stamp(ctx_proto, x, f_, q_, jf_, jq_);
-
-    // resid = f + a0*q + hist ; jacobian = Jf + a0*Jq
-    for (std::size_t i = 0; i < n; ++i) {
-      resid_[i] = f_[i] + a0 * q_[i] + (hist.empty() ? 0.0 : hist[i]);
-    }
-    for (std::size_t r = 0; r < n; ++r) {
-      for (std::size_t c = 0; c < n; ++c) {
-        jacobian_(r, c) = jf_(r, c) + a0 * jq_(r, c);
+    bool singular = false;
+    if (sparse_active()) {
+      assemble_sparse(ctx_proto, x, f_, q_);
+      // Combined Newton matrix Jf + a0*Jq: one O(nnz) fuse over the flat
+      // value arrays (they share the pattern's CSR layout).
+      const std::vector<double>& jfv = assembler_->jf_values();
+      const std::vector<double>& jqv = assembler_->jq_values();
+      for (std::size_t k = 0; k < jac_vals_.size(); ++k)
+        jac_vals_[k] = jfv[k] + a0 * jqv[k];
+      for (std::size_t i = 0; i < n; ++i) {
+        resid_[i] = f_[i] + a0 * q_[i] + (hist.empty() ? 0.0 : hist[i]);
+        dx_[i] = -resid_[i];
+      }
+      try {
+        lu_.factor(jac_vals_);  // symbolic reused; numeric refactorization
+        lu_.solve(dx_);
+      } catch (const SingularMatrixError&) {
+        singular = true;
+      }
+    } else {
+      stamp(ctx_proto, x, f_, q_, jf_, jq_);
+      // resid = f + a0*q + hist ; jacobian = Jf + a0*Jq. The combine writes
+      // straight into the factorization scratch — LU may destroy it, it is
+      // rebuilt next iteration anyway (no deep copy).
+      for (std::size_t i = 0; i < n; ++i) {
+        resid_[i] = f_[i] + a0 * q_[i] + (hist.empty() ? 0.0 : hist[i]);
+        dx_[i] = -resid_[i];
+      }
+      for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c) {
+          jacobian_(r, c) = jf_(r, c) + a0 * jq_(r, c);
+        }
+      }
+      try {
+        lu_solve(jacobian_, dx_);
+      } catch (const SingularMatrixError&) {
+        singular = true;
       }
     }
-
-    // Solve J dx = -resid.
-    DVector dx(n);
-    for (std::size_t i = 0; i < n; ++i) dx[i] = -resid_[i];
-    DMatrix j = jacobian_;  // LU destroys its input
-    try {
-      lu_solve(j, dx);
-    } catch (const SingularMatrixError&) {
+    result.symbolic_factorizations = lu_.symbolic_factorizations();
+    if (singular) {
       log_debug("newton: singular jacobian at iter " + std::to_string(iter));
       result.converged = false;
       result.iterations = iter + 1;
@@ -84,25 +161,25 @@ NewtonResult NewtonSolver::solve(EvalCtx ctx_proto, double a0, const DVector& hi
     if (opts_.damping_limit > 0.0) {
       double scale = 1.0;
       for (std::size_t i = 0; i < n; ++i) {
-        const double mag = std::abs(dx[i]);
+        const double mag = std::abs(dx_[i]);
         if (mag > opts_.damping_limit) scale = std::min(scale, opts_.damping_limit / mag);
       }
       if (scale < 1.0) {
-        for (auto& d : dx) d *= scale;
+        for (auto& d : dx_) d *= scale;
       }
     }
 
     double max_weighted = 0.0;
     bool finite = true;
     for (std::size_t i = 0; i < n; ++i) {
-      if (!std::isfinite(dx[i])) {
+      if (!std::isfinite(dx_[i])) {
         finite = false;
         break;
       }
-      const double tol = opts_.reltol * std::max(std::abs(x[i]), std::abs(x[i] + dx[i])) +
+      const double tol = opts_.reltol * std::max(std::abs(x[i]), std::abs(x[i] + dx_[i])) +
                          abstol[i];
-      max_weighted = std::max(max_weighted, std::abs(dx[i]) / tol);
-      x[i] += dx[i];
+      max_weighted = std::max(max_weighted, std::abs(dx_[i]) / tol);
+      x[i] += dx_[i];
     }
     result.iterations = iter + 1;
     result.final_error = max_weighted;
@@ -128,15 +205,23 @@ DcResult solve_dc(Circuit& circuit, const DcOptions& opts) {
   ctx.mode = AnalysisMode::dc;
   ctx.time = 0.0;
 
+  // One solver serves every stage below, so the sparse symbolic
+  // factorization is computed once for the whole analysis.
+  NewtonSolver solver(circuit, opts.newton);
+  const auto harvest_stats = [&] {
+    out.used_sparse = solver.sparse_active();
+    out.symbolic_factorizations = solver.symbolic_factorizations();
+  };
+
   // 1. Plain Newton from the zero vector.
   {
-    NewtonSolver solver(circuit, opts.newton);
     DVector x = out.x;
     const NewtonResult r = solver.solve(ctx, 0.0, {}, x);
     out.total_newton_iters += r.iterations;
     if (r.converged) {
       out.converged = true;
       out.x = std::move(x);
+      harvest_stats();
       return out;
     }
   }
@@ -146,10 +231,11 @@ DcResult solve_dc(Circuit& circuit, const DcOptions& opts) {
   if (opts.allow_gmin_stepping) {
     DVector x(static_cast<std::size_t>(circuit.unknown_count()), 0.0);
     bool ok = true;
-    for (double gmin = 1e-2; gmin >= opts.newton.gmin * 0.99; gmin /= 10.0) {
-      NewtonOptions stage = opts.newton;
-      stage.gmin = gmin;
-      NewtonSolver solver(circuit, stage);
+    // The floor keeps the loop finite when the user disables the shunt
+    // entirely (gmin = 0 would otherwise never fall below 0 * 0.99).
+    const double gmin_floor = std::max(opts.newton.gmin * 0.99, 1e-15);
+    for (double gmin = 1e-2; gmin >= gmin_floor; gmin /= 10.0) {
+      solver.set_gmin(gmin);
       const NewtonResult r = solver.solve(ctx, 0.0, {}, x);
       out.total_newton_iters += r.iterations;
       if (!r.converged) {
@@ -157,10 +243,12 @@ DcResult solve_dc(Circuit& circuit, const DcOptions& opts) {
         break;
       }
     }
+    solver.set_gmin(opts.newton.gmin);
     if (ok) {
       out.converged = true;
       out.used_gmin_stepping = true;
       out.x = std::move(x);
+      harvest_stats();
       return out;
     }
   }
@@ -169,7 +257,6 @@ DcResult solve_dc(Circuit& circuit, const DcOptions& opts) {
   if (opts.allow_source_stepping) {
     DVector x(static_cast<std::size_t>(circuit.unknown_count()), 0.0);
     bool ok = true;
-    NewtonSolver solver(circuit, opts.newton);
     for (double scale = 0.1; scale <= 1.0 + 1e-12; scale += 0.1) {
       EvalCtx sctx = ctx;
       sctx.source_scale = scale;
@@ -184,10 +271,12 @@ DcResult solve_dc(Circuit& circuit, const DcOptions& opts) {
       out.converged = true;
       out.used_source_stepping = true;
       out.x = std::move(x);
+      harvest_stats();
       return out;
     }
   }
 
+  harvest_stats();
   log_warn("solve_dc: no convergence (plain, gmin stepping, source stepping all failed)");
   return out;
 }

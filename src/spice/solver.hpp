@@ -5,25 +5,50 @@
 // diagonal gmin on node rows, per-unknown weighted convergence (reltol +
 // nature-dependent abstol), step limiting, and — for hard DC points —
 // gmin stepping and source stepping continuation.
+//
+// Two matrix backends share the stamp contract:
+//   * sparse (default above a crossover size): pattern-cached MNA assembly
+//     (spice/mna.hpp) into flat CSR value arrays + SparseLu whose symbolic
+//     factorization is computed once and reused across all iterations and
+//     timesteps (the pattern is fixed after bind).
+//   * dense: the original n x n path, kept for small systems (lower
+//     constant factors) and as the oracle the sparse path is tested
+//     against.
 #pragma once
 
-#include <functional>
+#include <memory>
 
+#include "common/sparse_lu.hpp"
 #include "spice/circuit.hpp"
+#include "spice/mna.hpp"
 
 namespace usys::spice {
+
+/// Jacobian storage / factorization backend selection.
+enum class MatrixBackend {
+  auto_select,  ///< sparse when the pattern is complete and n >= sparse_threshold
+  dense,        ///< force the dense path
+  sparse,       ///< force sparse (falls back to dense on incomplete patterns)
+};
 
 struct NewtonOptions {
   int max_iters = 100;
   double reltol = 1e-6;
   double gmin = 1e-12;        ///< always-on diagonal conductance on node rows
   double damping_limit = 0.0; ///< max |dx| per iteration per unknown; 0 = off
+  MatrixBackend backend = MatrixBackend::auto_select;
+  int sparse_threshold = 64;  ///< auto_select crossover (unknown count)
 };
 
 struct NewtonResult {
   bool converged = false;
   int iterations = 0;
   double final_error = 0.0;  ///< max weighted update of the last iteration
+  bool used_sparse = false;
+  /// Full (pivot-searching) sparse factorizations this solver has run in
+  /// total — stays at 1 across all iterations/timesteps of an analysis
+  /// while the pattern and pivot order hold. 0 on the dense path.
+  int symbolic_factorizations = 0;
 };
 
 /// One Newton solve at fixed (a0, hist, ctx template). `ctx_proto` supplies
@@ -35,17 +60,45 @@ class NewtonSolver {
   /// hist may be empty (treated as zero).
   NewtonResult solve(EvalCtx ctx_proto, double a0, const DVector& hist, DVector& x);
 
-  /// Evaluates f, q, Jf, Jq at x (single stamp pass; used by analyses to
-  /// harvest charges and by the AC path to linearize).
+  /// Evaluates f, q, Jf, Jq at x into dense matrices (single stamp pass;
+  /// the AC dense path linearizes through this, and tests use it as the
+  /// oracle). Includes the gmin contribution on node rows.
   void stamp(EvalCtx ctx_proto, const DVector& x, DVector& f, DVector& q, DMatrix& jf,
              DMatrix& jq);
+
+  /// Evaluates f and q only; all Jacobian stamps are discarded. This is the
+  /// cheap q-harvest the transient uses between steps — no n x n storage.
+  void stamp_values(EvalCtx ctx_proto, const DVector& x, DVector& f, DVector& q);
+
+  /// True when this solver assembles and factors sparsely.
+  bool sparse_active() const noexcept { return assembler_ != nullptr; }
+
+  /// Sparse assembly at x (f, q, and the flat Jf/Jq values retrievable via
+  /// sparse_jf/sparse_jq), including gmin. Requires sparse_active(); the AC
+  /// path linearizes through this.
+  void assemble_sparse(EvalCtx ctx_proto, const DVector& x, DVector& f, DVector& q);
+  const MnaPattern* pattern() const noexcept {
+    return assembler_ ? &assembler_->pattern() : nullptr;
+  }
+  const std::vector<double>& sparse_jf() const { return assembler_->jf_values(); }
+  const std::vector<double>& sparse_jq() const { return assembler_->jq_values(); }
+
+  int symbolic_factorizations() const noexcept { return lu_.symbolic_factorizations(); }
+
+  /// Adjusts the diagonal gmin in place, so one solver — and its single
+  /// symbolic factorization — serves every stage of the gmin-stepping
+  /// continuation.
+  void set_gmin(double gmin) noexcept { opts_.gmin = gmin; }
 
  private:
   Circuit& circuit_;
   NewtonOptions opts_;
   // Scratch, reused across iterations to avoid reallocations.
-  DVector f_, q_, resid_;
-  DMatrix jf_, jq_, jacobian_;
+  DVector f_, q_, resid_, dx_;
+  DMatrix jf_, jq_, jacobian_;          // dense backend only
+  std::unique_ptr<MnaAssembler> assembler_;  // sparse backend only
+  DSparseLu lu_;
+  std::vector<double> jac_vals_;
 };
 
 /// Full DC operating point with gmin/source stepping fallbacks.
@@ -61,6 +114,8 @@ struct DcResult {
   int total_newton_iters = 0;
   bool used_gmin_stepping = false;
   bool used_source_stepping = false;
+  bool used_sparse = false;
+  int symbolic_factorizations = 0;  ///< see NewtonResult
 };
 
 DcResult solve_dc(Circuit& circuit, const DcOptions& opts = {});

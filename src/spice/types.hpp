@@ -28,6 +28,50 @@ enum class IntegMethod {
                    ///< (device-internal integ() states fall back to order 1)
 };
 
+/// Sparse accumulation target, wired by the MNA assembler (spice/mna.hpp)
+/// before each device's evaluate(). Holds only raw pointers into the
+/// assembler's compiled pattern so this header stays dependency-free; the
+/// fast path is a pure indexed write into a flat values array via the
+/// active device's precomputed slot table, with a CSR binary search backing
+/// up writes that cross device footprints (e.g. the HDL jq extraction).
+struct SparseStampSink {
+  const int* local_of = nullptr;  ///< global unknown -> active device's local index (-1 = outside)
+  const int* slots = nullptr;     ///< k*k local (row, col) -> flat value slot
+  int k = 0;
+  double* jf_vals = nullptr;
+  double* jq_vals = nullptr;
+  const int* row_ptr = nullptr;   ///< union pattern in CSR (fallback lookup)
+  const int* col_idx = nullptr;
+  long missed = 0;                ///< stamps outside the pattern (fatal; checked per pass)
+
+  void add(double* vals, int r, int c, double v) noexcept {
+    if (local_of != nullptr) {
+      const int li = local_of[r];
+      const int lj = local_of[c];
+      if (li >= 0 && lj >= 0) {
+        vals[slots[li * k + lj]] += v;
+        return;
+      }
+    }
+    // Binary search the CSR row for writes outside the active footprint.
+    int lo = row_ptr[r];
+    int hi = row_ptr[r + 1];
+    while (lo < hi) {
+      const int mid = lo + (hi - lo) / 2;
+      if (col_idx[mid] < c) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo < row_ptr[r + 1] && col_idx[lo] == c) {
+      vals[lo] += v;
+      return;
+    }
+    ++missed;
+  }
+};
+
 /// Everything a Device::evaluate needs to read and write for one stamp pass.
 struct EvalCtx {
   AnalysisMode mode = AnalysisMode::dc;
@@ -43,11 +87,17 @@ struct EvalCtx {
   const DVector* x = nullptr;  ///< current Newton iterate
   DVector* f = nullptr;        ///< algebraic residual accumulator
   DVector* q = nullptr;        ///< stored-quantity accumulator
-  DMatrix* jf = nullptr;       ///< d f / d x
-  DMatrix* jq = nullptr;       ///< d q / d x
+  DMatrix* jf = nullptr;       ///< d f / d x (dense path; null = sparse or discarded)
+  DMatrix* jq = nullptr;       ///< d q / d x (dense path; null = sparse or discarded)
+  SparseStampSink* sparse = nullptr;  ///< sparse path (takes precedence over jf/jq)
 
   /// Value of unknown `idx`; ground (-1) reads as 0.
   double v(int idx) const noexcept { return idx < 0 ? 0.0 : (*x)[static_cast<std::size_t>(idx)]; }
+
+  /// True when this pass accumulates Jq (devices deriving Jq indirectly,
+  /// like the HDL interpreter's two-pass extraction, gate on it). False on
+  /// value-only passes where all Jacobian stamps are discarded.
+  bool wants_jq() const noexcept { return sparse != nullptr || jq != nullptr; }
 
   void f_add(int row, double val) noexcept {
     if (row >= 0) (*f)[static_cast<std::size_t>(row)] += val;
@@ -56,12 +106,20 @@ struct EvalCtx {
     if (row >= 0) (*q)[static_cast<std::size_t>(row)] += val;
   }
   void jf_add(int row, int col, double val) noexcept {
-    if (row >= 0 && col >= 0)
+    if (row < 0 || col < 0) return;
+    if (sparse != nullptr) {
+      sparse->add(sparse->jf_vals, row, col, val);
+    } else if (jf != nullptr) {
       (*jf)(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) += val;
+    }
   }
   void jq_add(int row, int col, double val) noexcept {
-    if (row >= 0 && col >= 0)
+    if (row < 0 || col < 0) return;
+    if (sparse != nullptr) {
+      sparse->add(sparse->jq_vals, row, col, val);
+    } else if (jq != nullptr) {
       (*jq)(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) += val;
+    }
   }
 };
 

@@ -1,0 +1,223 @@
+// SparseLu (Gilbert–Peierls with partial pivoting + refactorization)
+// against the dense lu_solve oracle: random round-trips, pivoting-required
+// cases, singular detection, complex solves, and pattern reuse.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <random>
+
+#include "common/matrix.hpp"
+#include "common/sparse_lu.hpp"
+
+namespace usys {
+namespace {
+
+struct Pattern {
+  int n = 0;
+  std::vector<int> row_ptr, col_idx;
+};
+
+/// Band of half-width 2 plus ~9 % random off-band entries.
+Pattern random_pattern(int n, std::mt19937& rng) {
+  Pattern p;
+  p.n = n;
+  p.row_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      if (std::abs(r - c) <= 2 || rng() % 11 == 0) p.col_idx.push_back(c);
+    }
+    p.row_ptr[static_cast<std::size_t>(r) + 1] = static_cast<int>(p.col_idx.size());
+  }
+  return p;
+}
+
+/// Random values on the pattern, made diagonally dominant (keeps the
+/// condition number low so sparse and dense solutions agree tightly).
+std::vector<double> make_dominant(const Pattern& p, std::mt19937& rng) {
+  std::uniform_real_distribution<double> ud(-1.0, 1.0);
+  std::vector<double> vals(p.col_idx.size());
+  for (int r = 0; r < p.n; ++r) {
+    double off = 0.0;
+    int diag = -1;
+    for (int s = p.row_ptr[r]; s < p.row_ptr[r + 1]; ++s) {
+      vals[static_cast<std::size_t>(s)] = ud(rng);
+      if (p.col_idx[static_cast<std::size_t>(s)] == r) {
+        diag = s;
+      } else {
+        off += std::abs(vals[static_cast<std::size_t>(s)]);
+      }
+    }
+    vals[static_cast<std::size_t>(diag)] = off + 1.0;
+  }
+  return vals;
+}
+
+DMatrix to_dense(const Pattern& p, const std::vector<double>& vals) {
+  DMatrix a(static_cast<std::size_t>(p.n), static_cast<std::size_t>(p.n));
+  for (int r = 0; r < p.n; ++r)
+    for (int s = p.row_ptr[r]; s < p.row_ptr[r + 1]; ++s)
+      a(static_cast<std::size_t>(r), static_cast<std::size_t>(p.col_idx[s])) =
+          vals[static_cast<std::size_t>(s)];
+  return a;
+}
+
+TEST(SparseLu, RandomRoundTripsMatchDenseLu) {
+  std::mt19937 rng(1234);
+  std::uniform_real_distribution<double> ud(-1.0, 1.0);
+  for (int n : {1, 2, 5, 23, 80}) {
+    const Pattern p = random_pattern(n, rng);
+    SparseLu<double> lu;
+    lu.analyze(p.n, p.row_ptr, p.col_idx);
+    const auto vals = make_dominant(p, rng);
+    DMatrix a = to_dense(p, vals);
+    DVector b(static_cast<std::size_t>(n));
+    for (auto& v : b) v = ud(rng);
+    DVector bd = b;
+    lu.factor(vals);
+    lu.solve(b);
+    lu_solve(a, bd);
+    for (int i = 0; i < n; ++i)
+      EXPECT_NEAR(b[static_cast<std::size_t>(i)], bd[static_cast<std::size_t>(i)],
+                  1e-10 * std::max(1.0, std::abs(bd[static_cast<std::size_t>(i)])))
+          << "n=" << n << " i=" << i;
+  }
+}
+
+TEST(SparseLu, PivotingRequiredZeroDiagonal) {
+  // [[0 2 0], [1 0 0], [4 0 3]] — column 0 must pivot off the diagonal.
+  const std::vector<int> rp{0, 2, 4, 6};
+  const std::vector<int> ci{0, 1, 0, 2, 0, 2};
+  const std::vector<double> vals{0.0, 2.0, 1.0, 0.0, 4.0, 3.0};
+  SparseLu<double> lu;
+  lu.analyze(3, rp, ci);
+  lu.factor(vals);
+  // Solve for x = (1, 2, 3): b = A x.
+  DVector b{4.0, 1.0, 13.0};
+  lu.solve(b);
+  EXPECT_NEAR(b[0], 1.0, 1e-12);
+  EXPECT_NEAR(b[1], 2.0, 1e-12);
+  EXPECT_NEAR(b[2], 3.0, 1e-12);
+}
+
+TEST(SparseLu, SingularMatrixThrowsLikeDense) {
+  // Two identical rows: rank deficient.
+  const std::vector<int> rp{0, 2, 4, 6};
+  const std::vector<int> ci{0, 1, 0, 1, 1, 2};
+  const std::vector<double> vals{1.0, 2.0, 1.0, 2.0, 1.0, 1.0};
+  SparseLu<double> lu;
+  lu.analyze(3, rp, ci);
+  EXPECT_THROW(lu.factor(vals), SingularMatrixError);
+
+  DMatrix a = to_dense({3, rp, ci}, vals);
+  DVector b{1.0, 1.0, 1.0};
+  EXPECT_THROW(lu_solve(a, b), SingularMatrixError);
+}
+
+TEST(SparseLu, StructurallyEmptyColumnThrows) {
+  // Column 1 never appears: structurally singular.
+  const std::vector<int> rp{0, 1, 2};
+  const std::vector<int> ci{0, 0};
+  const std::vector<double> vals{1.0, 2.0};
+  SparseLu<double> lu;
+  lu.analyze(2, rp, ci);
+  EXPECT_THROW(lu.factor(vals), SingularMatrixError);
+}
+
+TEST(SparseLu, ComplexRoundTripMatchesDense) {
+  std::mt19937 rng(99);
+  std::uniform_real_distribution<double> ud(-1.0, 1.0);
+  const int n = 40;
+  const Pattern p = random_pattern(n, rng);
+  std::vector<std::complex<double>> vals(p.col_idx.size());
+  ZMatrix a(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    double off = 0.0;
+    int diag = -1;
+    for (int s = p.row_ptr[r]; s < p.row_ptr[r + 1]; ++s) {
+      vals[static_cast<std::size_t>(s)] = {ud(rng), ud(rng)};
+      if (p.col_idx[static_cast<std::size_t>(s)] == r) {
+        diag = s;
+      } else {
+        off += std::abs(vals[static_cast<std::size_t>(s)]);
+      }
+    }
+    vals[static_cast<std::size_t>(diag)] += off + 1.0;
+    for (int s = p.row_ptr[r]; s < p.row_ptr[r + 1]; ++s)
+      a(static_cast<std::size_t>(r), static_cast<std::size_t>(p.col_idx[s])) =
+          vals[static_cast<std::size_t>(s)];
+  }
+  ZVector b(static_cast<std::size_t>(n));
+  for (auto& v : b) v = {ud(rng), ud(rng)};
+  ZVector bd = b;
+  ZSparseLu lu;
+  lu.analyze(p.n, p.row_ptr, p.col_idx);
+  lu.factor(vals);
+  lu.solve(b);
+  lu_solve(a, bd);
+  for (int i = 0; i < n; ++i)
+    EXPECT_LT(std::abs(b[static_cast<std::size_t>(i)] - bd[static_cast<std::size_t>(i)]),
+              1e-10);
+}
+
+TEST(SparseLu, PatternReuseWithChangedValuesKeepsSymbolicAtOne) {
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> ud(-1.0, 1.0);
+  const int n = 60;
+  const Pattern p = random_pattern(n, rng);
+  SparseLu<double> lu;
+  lu.analyze(p.n, p.row_ptr, p.col_idx);
+  auto vals = make_dominant(p, rng);
+
+  // 20 smooth value updates (Newton-iteration-like): the pivot order must
+  // hold, so exactly one symbolic factorization serves them all.
+  for (int iter = 0; iter < 20; ++iter) {
+    DMatrix a = to_dense(p, vals);
+    DVector b(static_cast<std::size_t>(n));
+    for (auto& v : b) v = ud(rng);
+    DVector bd = b;
+    lu.factor(vals);
+    lu.solve(b);
+    lu_solve(a, bd);
+    for (int i = 0; i < n; ++i)
+      EXPECT_NEAR(b[static_cast<std::size_t>(i)], bd[static_cast<std::size_t>(i)],
+                  1e-9 * std::max(1.0, std::abs(bd[static_cast<std::size_t>(i)])));
+    for (auto& v : vals) v *= 1.0 + 0.01 * ud(rng);  // smooth perturbation
+  }
+  EXPECT_EQ(lu.symbolic_factorizations(), 1);
+}
+
+TEST(SparseLu, RepivotsWhenReusedPivotDegrades) {
+  // Start with a matrix whose pivots sit on the diagonal, then swap the
+  // dominance to the off-diagonal: the reused pivot order degrades and the
+  // solver must transparently re-run the full pivoting factorization.
+  const std::vector<int> rp{0, 2, 4};
+  const std::vector<int> ci{0, 1, 0, 1};
+  SparseLu<double> lu;
+  lu.analyze(2, rp, ci);
+  lu.factor({10.0, 1.0, 1.0, 10.0});
+  DVector b{12.0, 21.0};  // x = (1, 2)
+  lu.solve(b);
+  EXPECT_NEAR(b[0], 1.0, 1e-12);
+  EXPECT_NEAR(b[1], 2.0, 1e-12);
+  EXPECT_EQ(lu.symbolic_factorizations(), 1);
+
+  lu.factor({1e-9, 1.0, 1.0, 1e-9});  // anti-diagonal dominance
+  DVector b2{2.0 + 1e-9, 1.0 + 2e-9};  // x = (1, 2)
+  lu.solve(b2);
+  EXPECT_NEAR(b2[0], 1.0, 1e-9);
+  EXPECT_NEAR(b2[1], 2.0, 1e-9);
+  EXPECT_EQ(lu.symbolic_factorizations(), 2);
+}
+
+TEST(SparseLu, UsageErrors) {
+  SparseLu<double> lu;
+  EXPECT_THROW(lu.factor({1.0}), std::logic_error);
+  DVector b{1.0};
+  EXPECT_THROW(lu.solve(b), std::logic_error);
+  lu.analyze(1, {0, 1}, {0});
+  EXPECT_THROW(lu.factor({1.0, 2.0}), std::invalid_argument);  // wrong nnz
+}
+
+}  // namespace
+}  // namespace usys
