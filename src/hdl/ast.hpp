@@ -48,9 +48,13 @@ struct Stmt {
   StmtKind kind;
   int line = 0;
   std::string target;        // assign: variable name
-  std::string pin1, pin2;    // contribution pins
+  std::string pin1, pin2;    // contribution pins (source names, for diagnostics)
   std::string field;         // contribution field: "i", "f" (flow) or "v" (effort)
   ExprPtr expr;
+
+  // Resolved at elaboration (no string parsing on the hot path):
+  int slot = -1;             // assign: frame slot of `target`; assertion: site id
+  int p1 = -1, p2 = -1;      // contribution: pin indices
 };
 
 // --- Declarations ---------------------------------------------------------------

@@ -14,6 +14,21 @@ int ElaboratedModel::pin_index(const std::string& name) const {
   return -1;
 }
 
+int ElaboratedModel::effort_pair_index(int p1, int p2, bool* forward) const {
+  for (std::size_t k = 0; k < effort_pairs.size(); ++k) {
+    const auto& [a, b] = effort_pairs[k];
+    if (a == p1 && b == p2) {
+      if (forward != nullptr) *forward = true;
+      return static_cast<int>(k);
+    }
+    if (a == p2 && b == p1) {
+      if (forward != nullptr) *forward = false;
+      return static_cast<int>(k);
+    }
+  }
+  return -1;
+}
+
 namespace {
 
 bool is_across_field(const std::string& f) { return f == "v" || f == "tv"; }
@@ -23,26 +38,26 @@ class Elaborator {
  public:
   Elaborator(ElaboratedModel& model) : m_(model) {}
 
+  /// Diagnostic prefix: every resolution error names the entity and line.
+  std::string where(int line) const {
+    return "entity '" + m_.entity_name + "' line " + std::to_string(line) + ": ";
+  }
+
   int slot_of(const std::string& name, int line) const {
     for (std::size_t i = 0; i < m_.slot_names.size(); ++i) {
       if (iequals(m_.slot_names[i], name)) return static_cast<int>(i);
     }
-    throw ElabError("line " + std::to_string(line) + ": unknown identifier '" + name + "'");
+    throw ElabError(where(line) + "unknown identifier '" + name + "'");
   }
 
   int pin_of(const std::string& name, int line) const {
     const int idx = m_.pin_index(name);
     if (idx < 0)
-      throw ElabError("line " + std::to_string(line) + ": unknown pin '" + name + "'");
+      throw ElabError(where(line) + "unknown pin '" + name + "'");
     return idx;
   }
 
-  bool effort_pair(int p1, int p2) const {
-    for (const auto& [a, b] : m_.effort_pairs) {
-      if ((a == p1 && b == p2) || (a == p2 && b == p1)) return true;
-    }
-    return false;
-  }
+  bool effort_pair(int p1, int p2) const { return m_.effort_pair_index(p1, p2) >= 0; }
 
   void resolve_expr(ExprNode& e) {
     switch (e.kind) {
@@ -58,16 +73,14 @@ class Elaborator {
         if (is_across_field(e.name)) {
           if (e.name == "tv" &&
               m_.pins[static_cast<std::size_t>(p1)].nature != Nature::mechanical_translation)
-            throw ElabError("line " + std::to_string(e.line) +
-                            ": '.tv' read requires mechanical pins");
+            throw ElabError(where(e.line) + "'.tv' read requires mechanical pins");
         } else if (is_through_field(e.name)) {
           if (!effort_pair(p1, p2))
-            throw ElabError("line " + std::to_string(e.line) + ": '." + e.name +
-                            "' read on [" + e.pin1 + "," + e.pin2 +
+            throw ElabError(where(e.line) + "'." + e.name + "' read on [" + e.pin1 +
+                            "," + e.pin2 +
                             "] requires a '.v %=' contribution on that pin pair");
         } else {
-          throw ElabError("line " + std::to_string(e.line) + ": unknown port field '." +
-                          e.name + "'");
+          throw ElabError(where(e.line) + "unknown port field '." + e.name + "'");
         }
         // Encode resolved pin indices: reuse site_id as p1*256+p2.
         e.site_id = p1 * 256 + p2;
@@ -76,39 +89,40 @@ class Elaborator {
       case ExprKind::unary_neg:
         resolve_expr(*e.args[0]);
         return;
-      case ExprKind::binary:
+      case ExprKind::binary: {
+        // Reject unrecognized operators here rather than letting the
+        // executors silently evaluate them to 0 (the old fallthrough).
+        if (e.name.size() != 1 || std::string("+-*/^").find(e.name[0]) == std::string::npos)
+          throw ElabError(where(e.line) + "unknown binary operator '" + e.name + "'");
         resolve_expr(*e.args[0]);
         resolve_expr(*e.args[1]);
         return;
+      }
       case ExprKind::call: {
         if (e.name == "ddt") {
           if (e.args.size() != 1)
-            throw ElabError("line " + std::to_string(e.line) + ": ddt takes one argument");
+            throw ElabError(where(e.line) + "ddt takes one argument");
           e.site_id = m_.ddt_site_count++;
         } else if (e.name == "integ") {
           if (e.args.size() != 1)
-            throw ElabError("line " + std::to_string(e.line) + ": integ takes one argument");
+            throw ElabError(where(e.line) + "integ takes one argument");
           e.site_id = m_.integ_site_count++;
         } else if (e.name == "pow") {
           if (e.args.size() != 2)
-            throw ElabError("line " + std::to_string(e.line) + ": pow takes two arguments");
+            throw ElabError(where(e.line) + "pow takes two arguments");
         } else if (e.name == "sin" || e.name == "cos" || e.name == "tan" ||
                    e.name == "exp" || e.name == "log" || e.name == "sqrt" ||
                    e.name == "abs") {
           if (e.args.size() != 1)
-            throw ElabError("line " + std::to_string(e.line) + ": " + e.name +
-                            " takes one argument");
+            throw ElabError(where(e.line) + e.name + " takes one argument");
         } else if (e.name == "min" || e.name == "max") {
           if (e.args.size() != 2)
-            throw ElabError("line " + std::to_string(e.line) + ": " + e.name +
-                            " takes two arguments");
+            throw ElabError(where(e.line) + e.name + " takes two arguments");
         } else if (e.name == "limit") {
           if (e.args.size() != 3)
-            throw ElabError("line " + std::to_string(e.line) +
-                            ": limit takes three arguments (x, lo, hi)");
+            throw ElabError(where(e.line) + "limit takes three arguments (x, lo, hi)");
         } else {
-          throw ElabError("line " + std::to_string(e.line) + ": unknown function '" +
-                          e.name + "'");
+          throw ElabError(where(e.line) + "unknown function '" + e.name + "'");
         }
         for (auto& a : e.args) resolve_expr(*a);
         return;
@@ -118,14 +132,12 @@ class Elaborator {
 
   void resolve_stmt(Stmt& s) {
     if (s.kind == StmtKind::assertion) {
+      s.slot = m_.assert_site_count++;
       resolve_expr(*s.expr);
       return;
     }
     if (s.kind == StmtKind::assign) {
-      s.line = s.line;
-      // Encode the target slot in `target` position via side table lookup at
-      // runtime-free cost: reuse the pin fields (unused for assigns).
-      s.pin1 = std::to_string(slot_of(s.target, s.line));
+      s.slot = slot_of(s.target, s.line);
       resolve_expr(*s.expr);
       return;
     }
@@ -133,18 +145,18 @@ class Elaborator {
     const int p2 = pin_of(s.pin2, s.line);
     const Nature nat = m_.pins[static_cast<std::size_t>(p1)].nature;
     if (m_.pins[static_cast<std::size_t>(p2)].nature != nat)
-      throw ElabError("line " + std::to_string(s.line) +
-                      ": contribution pins must share a nature");
+      throw ElabError(where(s.line) + "contribution pins must share a nature");
     if (s.field == "i" && nat != Nature::electrical)
-      throw ElabError("line " + std::to_string(s.line) + ": '.i %=' requires electrical pins");
+      throw ElabError(where(s.line) + "'.i %=' requires electrical pins");
     if (s.field == "f" && nat != Nature::mechanical_translation)
-      throw ElabError("line " + std::to_string(s.line) + ": '.f %=' requires mechanical pins");
+      throw ElabError(where(s.line) + "'.f %=' requires mechanical pins");
     if (s.field == "tv")
-      throw ElabError("line " + std::to_string(s.line) +
-                      ": '.tv' is a read field; use '.v %=' for effort contributions");
-    // Encode resolved pins numerically for the interpreter.
-    s.pin1 = std::to_string(p1);
-    s.pin2 = std::to_string(p2);
+      throw ElabError(where(s.line) +
+                      "'.tv' is a read field; use '.v %=' for effort contributions");
+    // Resolved pin indices for the executors (pin1/pin2 keep the source
+    // names for diagnostics).
+    s.p1 = p1;
+    s.p2 = p2;
     resolve_expr(*s.expr);
   }
 
@@ -281,8 +293,7 @@ ElaboratedModel elaborate(DesignUnit unit, const std::string& entity,
         if (s.kind != StmtKind::assign)
           throw ElabError("line " + std::to_string(s.line) +
                           ": only assignments allowed in init blocks");
-        const int slot = std::stoi(s.pin1);
-        m.init_frame[static_cast<std::size_t>(slot)] = eval_const(*s.expr, m.init_frame);
+        m.init_frame[static_cast<std::size_t>(s.slot)] = eval_const(*s.expr, m.init_frame);
       }
       continue;  // init blocks are consumed at elaboration
     }

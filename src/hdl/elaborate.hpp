@@ -26,12 +26,16 @@
 #include <vector>
 
 #include "hdl/ast.hpp"
+#include "spice/circuit.hpp"
 
 namespace usys::hdl {
 
-class ElabError : public std::runtime_error {
+/// Elaboration diagnostics are circuit errors: a model that fails semantic
+/// analysis can never produce a valid device, so callers that guard device
+/// construction with `catch (spice::CircuitError&)` see these too.
+class ElabError : public spice::CircuitError {
  public:
-  explicit ElabError(const std::string& what) : std::runtime_error("HDL elaboration: " + what) {}
+  explicit ElabError(const std::string& what) : spice::CircuitError("HDL elaboration: " + what) {}
 };
 
 /// A fully resolved, instance-ready model.
@@ -51,11 +55,17 @@ struct ElaboratedModel {
 
   int ddt_site_count = 0;
   int integ_site_count = 0;
+  int assert_site_count = 0;  ///< ASSERT statements (ids stored in Stmt::slot)
 
   /// Pin-index pairs carrying an effort contribution (branch unknowns).
   std::vector<std::pair<int, int>> effort_pairs;
 
   int pin_index(const std::string& name) const;  ///< -1 if absent
+
+  /// Index into effort_pairs matching (p1, p2) in either orientation; -1 if
+  /// absent. `forward` (optional) reports whether (p1, p2) matches the
+  /// registered orientation — the sign convention every executor shares.
+  int effort_pair_index(int p1, int p2, bool* forward = nullptr) const;
 };
 
 /// Elaborates `entity` from `unit` with the given generic bindings.

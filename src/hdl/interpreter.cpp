@@ -20,8 +20,9 @@ struct HdlDevice::Frame {
 };
 
 HdlDevice::HdlDevice(std::string name, ElaboratedModel model,
-                     std::vector<int> node_per_pin)
-    : Device(std::move(name)), model_(std::move(model)), nodes_(std::move(node_per_pin)) {
+                     std::vector<int> node_per_pin, HdlExecMode exec_mode)
+    : Device(std::move(name)), model_(std::move(model)), nodes_(std::move(node_per_pin)),
+      exec_mode_(exec_mode) {
   if (nodes_.size() != model_.pins.size())
     throw spice::CircuitError("HdlDevice '" + this->name() + "': pin count mismatch (" +
                               std::to_string(nodes_.size()) + " nodes for " +
@@ -56,6 +57,21 @@ void HdlDevice::bind(spice::Binder& binder) {
     if (n >= 0 && seed_of(n) < 0) seed_unknowns_.push_back(n);
   }
   for (int b : branch_of_pair_) seed_unknowns_.push_back(b);
+
+  // Compile the instance-bound bytecode program (the AST walker stays
+  // available as the oracle regardless of the active exec mode).
+  program_ = compile(model_, nodes_, branch_of_pair_, seed_unknowns_);
+  vm_.reset(&program_);
+  const std::size_t k = seed_unknowns_.size();
+  cap_a_.reserve(k * k);
+  cap_b_.reserve(k * k);
+}
+
+void HdlDevice::report_assert(int site, int line, double value) {
+  if (!asserted_.insert(site).second) return;
+  log_warn("HDL model '" + name() + "' (entity " + model_.entity_name +
+           "): ASSERT at line " + std::to_string(line) + " violated (value " +
+           std::to_string(value) + ")");
 }
 
 sym::Dual HdlDevice::eval_expr(const ExprNode& e, Frame& fr) {
@@ -68,16 +84,19 @@ sym::Dual HdlDevice::eval_expr(const ExprNode& e, Frame& fr) {
       const int p1 = e.site_id / 256;
       const int p2 = e.site_id % 256;
       if (e.name == "i" || e.name == "f") {
-        for (std::size_t k = 0; k < model_.effort_pairs.size(); ++k) {
-          const auto& [a, b] = model_.effort_pairs[k];
-          if ((a == p1 && b == p2) || (a == p2 && b == p1)) {
-            const int br = branch_of_pair_[k];
-            Dual d = Dual::seed((*fr.x)[static_cast<std::size_t>(br)],
-                                static_cast<std::size_t>(seed_of(br)), fr.seeds);
-            return (a == p1) ? d : -d;
-          }
+        bool forward = false;
+        const int k = model_.effort_pair_index(p1, p2, &forward);
+        if (k >= 0) {
+          const int br = branch_of_pair_[static_cast<std::size_t>(k)];
+          Dual d = Dual::seed((*fr.x)[static_cast<std::size_t>(br)],
+                              static_cast<std::size_t>(seed_of(br)), fr.seeds);
+          return forward ? d : -d;
         }
-        return Dual(0.0, fr.seeds);  // unreachable: validated at elaboration
+        throw spice::CircuitError(
+            "HDL model '" + name() + "' (entity " + model_.entity_name + "), line " +
+            std::to_string(e.line) +
+            ": flow read on a pin pair without a '.v %=' contribution "
+            "(missed at elaboration)");
       }
       const int n1 = nodes_[static_cast<std::size_t>(p1)];
       const int n2 = nodes_[static_cast<std::size_t>(p2)];
@@ -95,19 +114,25 @@ sym::Dual HdlDevice::eval_expr(const ExprNode& e, Frame& fr) {
     case ExprKind::binary: {
       const Dual a = eval_expr(*e.args[0], fr);
       const Dual b = eval_expr(*e.args[1], fr);
-      switch (e.name[0]) {
+      switch (e.name.empty() ? '\0' : e.name[0]) {
         case '+': return a + b;
         case '-': return a - b;
         case '*': return a * b;
         case '/': return a / b;
         case '^': return pow(a, b);
-        default: return Dual(0.0, fr.seeds);
+        default:
+          // Elaboration rejects unknown operators; never evaluate to 0.
+          throw spice::CircuitError("HDL model '" + name() + "' (entity " +
+                                    model_.entity_name + "), line " +
+                                    std::to_string(e.line) +
+                                    ": unknown binary operator '" + e.name +
+                                    "' (missed at elaboration)");
       }
     }
     case ExprKind::call: {
       if (e.name == "ddt") {
         const Dual u = eval_expr(*e.args[0], fr);
-        DdtSite& site = ddt_[static_cast<std::size_t>(e.site_id)];
+        DdtSiteState& site = ddt_[static_cast<std::size_t>(e.site_id)];
         switch (fr.pass) {
           case Pass::dc:
             return Dual(0.0, fr.seeds);
@@ -134,7 +159,7 @@ sym::Dual HdlDevice::eval_expr(const ExprNode& e, Frame& fr) {
       }
       if (e.name == "integ") {
         const Dual u = eval_expr(*e.args[0], fr);
-        IntegSite& site = integ_[static_cast<std::size_t>(e.site_id)];
+        IntegSiteState& site = integ_[static_cast<std::size_t>(e.site_id)];
         switch (fr.pass) {
           case Pass::dc:
           case Pass::dc_ddt:
@@ -178,13 +203,47 @@ sym::Dual HdlDevice::eval_expr(const ExprNode& e, Frame& fr) {
       if (e.name == "log") return log(a);
       if (e.name == "sqrt") return sqrt(a);
       if (e.name == "abs") return abs(a);
-      return Dual(0.0, fr.seeds);
+      throw spice::CircuitError("HDL model '" + name() + "' (entity " +
+                                model_.entity_name + "), line " +
+                                std::to_string(e.line) + ": unknown function '" +
+                                e.name + "' (missed at elaboration)");
     }
   }
-  return Dual(0.0, 0);
+  throw spice::CircuitError("HDL model '" + name() +
+                            "': unreachable expression kind");
 }
 
-void HdlDevice::run(spice::EvalCtx* ctx, Pass pass, const DVector& x) {
+void HdlDevice::run(spice::EvalCtx* ctx, Pass pass, const DVector& x,
+                    double* jf_capture) {
+  if (exec_mode_ == HdlExecMode::bytecode) {
+    BytecodeVm::RunIo io;
+    io.ctx = ctx;
+    io.x = &x;
+    io.pass = pass;
+    if (pass == Pass::transient || pass == Pass::commit) {
+      io.c0 = ctx != nullptr ? ctx->integ_c0 : 0.0;
+      io.c1 = ctx != nullptr ? ctx->integ_c1 : 1.0;
+    }
+    io.ddt = &ddt_;
+    io.integ = &integ_;
+    io.jf_capture = jf_capture;
+    if (pass == Pass::commit && model_.assert_site_count > 0) {
+      fired_asserts_.clear();
+      io.fired_asserts = &fired_asserts_;
+      vm_.run(io);
+      for (const auto& [site, value] : fired_asserts_)
+        report_assert(site, program_.assert_lines[static_cast<std::size_t>(site)],
+                      value);
+      return;
+    }
+    vm_.run(io);
+    return;
+  }
+  run_ast(ctx, pass, x, jf_capture);
+}
+
+void HdlDevice::run_ast(spice::EvalCtx* ctx, Pass pass, const DVector& x,
+                        double* jf_capture) {
   Frame fr;
   fr.ctx = ctx;
   fr.x = &x;
@@ -198,10 +257,12 @@ void HdlDevice::run(spice::EvalCtx* ctx, Pass pass, const DVector& x) {
   fr.slots.reserve(model_.init_frame.size());
   for (double v : model_.init_frame) fr.slots.emplace_back(v, fr.seeds);
 
-  const bool stamping = (ctx != nullptr) && (pass != Pass::commit);
+  const bool capture = jf_capture != nullptr;
+  const bool stamping = !capture && (ctx != nullptr) && (pass != Pass::commit);
 
   // Effort-pair plumbing: KCL for the branch flow and the across part of the
   // branch equation, stamped once per pair; contributions subtract below.
+  // (Pass-independent, so the capture difference cancels it — skipped there.)
   if (stamping) {
     for (std::size_t k = 0; k < model_.effort_pairs.size(); ++k) {
       const auto& [pa, pb] = model_.effort_pairs[k];
@@ -232,8 +293,7 @@ void HdlDevice::run(spice::EvalCtx* ctx, Pass pass, const DVector& x) {
     if (!selected) continue;
     for (const auto& s : b.stmts) {
       if (s.kind == StmtKind::assign) {
-        const int slot = std::stoi(s.pin1);
-        fr.slots[static_cast<std::size_t>(slot)] = eval_expr(*s.expr, fr);
+        fr.slots[static_cast<std::size_t>(s.slot)] = eval_expr(*s.expr, fr);
         continue;
       }
       if (s.kind == StmtKind::assertion) {
@@ -241,20 +301,21 @@ void HdlDevice::run(spice::EvalCtx* ctx, Pass pass, const DVector& x) {
         // only (commit pass) so Newton excursions don't trip it.
         if (pass == Pass::commit) {
           const Dual cond = eval_expr(*s.expr, fr);
-          if (cond.value() <= 0.0 && asserted_.insert(&s).second) {
-            log_warn("HDL model '" + name() + "' (entity " + model_.entity_name +
-                     "): ASSERT at line " + std::to_string(s.line) +
-                     " violated (value " + std::to_string(cond.value()) + ")");
-          }
+          if (cond.value() <= 0.0) report_assert(s.slot, s.line, cond.value());
         }
         continue;
       }
       const Dual val = eval_expr(*s.expr, fr);
-      if (!stamping) continue;
-      const int p1 = std::stoi(s.pin1);
-      const int p2 = std::stoi(s.pin2);
+      if (!stamping && !capture) continue;
       auto stamp_row = [&](int row, double sign) {
         if (row < 0) return;
+        if (capture) {
+          double* out =
+              jf_capture + static_cast<std::size_t>(seed_of(row)) * fr.seeds;
+          for (std::size_t sidx = 0; sidx < fr.seeds; ++sidx)
+            out[sidx] += sign * val.grad(sidx);
+          return;
+        }
         ctx->f_add(row, sign * val.value());
         for (std::size_t sidx = 0; sidx < fr.seeds; ++sidx) {
           const double g = val.grad(sidx);
@@ -262,22 +323,15 @@ void HdlDevice::run(spice::EvalCtx* ctx, Pass pass, const DVector& x) {
         }
       };
       if (s.field == "v") {
-        for (std::size_t k = 0; k < model_.effort_pairs.size(); ++k) {
-          const auto& [a, b] = model_.effort_pairs[k];
-          if (a == p1 && b == p2) {
-            stamp_row(branch_of_pair_[k], -1.0);
-            break;
-          }
-          if (a == p2 && b == p1) {
-            stamp_row(branch_of_pair_[k], +1.0);
-            break;
-          }
-        }
+        bool forward = false;
+        const int k = model_.effort_pair_index(s.p1, s.p2, &forward);
+        if (k >= 0)
+          stamp_row(branch_of_pair_[static_cast<std::size_t>(k)], forward ? -1.0 : +1.0);
         continue;
       }
       // Flow contribution: absorbed at p1, released at p2.
-      stamp_row(nodes_[static_cast<std::size_t>(p1)], +1.0);
-      stamp_row(nodes_[static_cast<std::size_t>(p2)], -1.0);
+      stamp_row(nodes_[static_cast<std::size_t>(s.p1)], +1.0);
+      stamp_row(nodes_[static_cast<std::size_t>(s.p2)], -1.0);
     }
   }
 }
@@ -296,24 +350,18 @@ void HdlDevice::evaluate(spice::EvalCtx& ctx) {
   }
   run(&ctx, Pass::dc, *ctx.x);
   // jq extraction (for AC sweeps): difference the dc_ddt and dc passes.
+  // Every stamp row and gradient column is one of the device's seed
+  // unknowns, so a seeds x seeds capture block suffices — no n x n scratch.
   if (!ctx.wants_jq() || model_.ddt_site_count == 0) return;
-  const std::size_t n = ctx.x->size();
-  DVector f_scratch(n, 0.0), q_scratch(n, 0.0);
-  DMatrix jf_a(n, n), jf_b(n, n), jq_scratch(n, n);
-  spice::EvalCtx ca = ctx;
-  ca.f = &f_scratch;
-  ca.q = &q_scratch;
-  ca.jf = &jf_a;
-  ca.jq = &jq_scratch;
-  ca.sparse = nullptr;  // the scratch passes accumulate into dense matrices
-  run(&ca, Pass::dc, *ctx.x);
-  spice::EvalCtx cb = ca;
-  cb.jf = &jf_b;
-  run(&cb, Pass::dc_ddt, *ctx.x);
-  for (std::size_t r = 0; r < n; ++r) {
-    for (std::size_t c = 0; c < n; ++c) {
-      const double d = jf_b(r, c) - jf_a(r, c);
-      if (d != 0.0) ctx.jq_add(static_cast<int>(r), static_cast<int>(c), d);
+  const std::size_t k = seed_unknowns_.size();
+  cap_a_.assign(k * k, 0.0);
+  cap_b_.assign(k * k, 0.0);
+  run(nullptr, Pass::dc, *ctx.x, cap_a_.data());
+  run(nullptr, Pass::dc_ddt, *ctx.x, cap_b_.data());
+  for (std::size_t r = 0; r < k; ++r) {
+    for (std::size_t c = 0; c < k; ++c) {
+      const double d = cap_b_[r * k + c] - cap_a_[r * k + c];
+      if (d != 0.0) ctx.jq_add(seed_unknowns_[r], seed_unknowns_[c], d);
     }
   }
 }
@@ -347,10 +395,12 @@ std::unique_ptr<HdlDevice> instantiate(const std::string& device_name,
                                        const std::string& source,
                                        const std::string& entity,
                                        const std::map<std::string, double>& generics,
-                                       const std::vector<int>& node_per_pin) {
+                                       const std::vector<int>& node_per_pin,
+                                       HdlExecMode exec_mode) {
   DesignUnit unit = parse(source);
   ElaboratedModel model = elaborate(std::move(unit), entity, generics);
-  return std::make_unique<HdlDevice>(device_name, std::move(model), node_per_pin);
+  return std::make_unique<HdlDevice>(device_name, std::move(model), node_per_pin,
+                                     exec_mode);
 }
 
 }  // namespace usys::hdl

@@ -1,4 +1,4 @@
-// The HDL-AT interpreter: wraps an ElaboratedModel as a spice::Device.
+// The HDL-AT execution engine: wraps an ElaboratedModel as a spice::Device.
 //
 // Each Newton iteration re-executes the model's procedural blocks with
 // forward-mode AD duals seeded on the instance's unknowns (pin node efforts
@@ -15,13 +15,18 @@
 //
 // AC: the device is linearized with internal integ() states frozen (the
 // same convention the native transducers use — see DESIGN.md); ddt() terms
-// are separated into the jq matrix by a two-pass gradient extraction so
-// (Jf + jw Jq) sees the correct capacitive terms.
+// are separated into the jq matrix by a two-pass gradient extraction whose
+// scratch is seed-local (seeds x seeds), never n x n.
 //
-// This interpretation path is intentionally *not* compiled: the paper
-// reports a ~10x simulation-performance penalty for HDL-A models versus
-// native SPICE primitives and attributes it to the model compiler;
-// bench_perf_hdl_overhead measures our equivalent figure.
+// Two executors share the pass semantics and the per-site state:
+//  * HdlExecMode::bytecode (default) — the model is compiled once at bind
+//    into a flat register-slot program run by BytecodeVm (hdl/bytecode.hpp).
+//    This closes most of the ~10x interpreted-model penalty the paper
+//    reports; bench_perf_hdl_overhead tracks the remaining gap.
+//  * HdlExecMode::ast — the original recursive tree walk over the
+//    ElaboratedModel, kept as the reproduction of the paper's interpreted
+//    path and as the oracle the bytecode VM is tested against
+//    (tests/hdl/test_bytecode.cpp asserts parity at 1e-12).
 #pragma once
 
 #include <memory>
@@ -29,17 +34,26 @@
 #include <string>
 #include <vector>
 
+#include "hdl/bytecode.hpp"
 #include "hdl/elaborate.hpp"
 #include "spice/circuit.hpp"
 #include "sym/dual.hpp"
 
 namespace usys::hdl {
 
+/// Which executor HdlDevice::evaluate runs. Switchable at any time; both
+/// executors share the ddt/integ site state, so results stay consistent.
+enum class HdlExecMode {
+  bytecode,  ///< compiled register-slot program (fast path, default)
+  ast,       ///< recursive tree walk (paper-faithful oracle)
+};
+
 class HdlDevice final : public spice::Device {
  public:
   /// `node_per_pin` maps each model pin (declaration order) to a circuit
   /// node id (ground = -1 allowed).
-  HdlDevice(std::string name, ElaboratedModel model, std::vector<int> node_per_pin);
+  HdlDevice(std::string name, ElaboratedModel model, std::vector<int> node_per_pin,
+            HdlExecMode exec_mode = HdlExecMode::bytecode);
 
   void bind(spice::Binder& binder) override;
   void evaluate(spice::EvalCtx& ctx) override;
@@ -49,39 +63,46 @@ class HdlDevice final : public spice::Device {
 
   const ElaboratedModel& model() const noexcept { return model_; }
 
+  HdlExecMode exec_mode() const noexcept { return exec_mode_; }
+  void set_exec_mode(HdlExecMode mode) noexcept { exec_mode_ = mode; }
+
+  /// The compiled program (valid after bind; for tests and benchmarks).
+  const BytecodeProgram& program() const noexcept { return program_; }
+
   /// Committed value of an integ() call site (e.g. the displacement state
   /// of the paper's Listing 1), indexed in source order.
   double integ_state(int site) const;
 
- private:
-  struct DdtSite {
-    double u_prev = 0.0;
-    double udot_prev = 0.0;
-  };
-  struct IntegSite {
-    double s0 = 0.0;
-    double s_prev = 0.0;
-    double e_prev = 0.0;
-  };
+  /// Distinct ASSERT sites that have fired so far (each site warns once).
+  int assert_violations() const noexcept { return static_cast<int>(asserted_.size()); }
 
-  enum class Pass {
-    dc,          ///< ddt = 0, integ = initial
-    dc_ddt,      ///< like dc but ddt passes gradients through (jq extraction)
-    transient,   ///< full integrator substitution
-    commit,      ///< transient formulas + state commit (post-acceptance)
-  };
+ private:
+  using Pass = HdlPass;
 
   struct Frame;
   sym::Dual eval_expr(const ExprNode& e, Frame& fr);
-  void run(spice::EvalCtx* ctx, Pass pass, const DVector& x);
+
+  /// One pass over the model. `jf_capture` (seeds x seeds, row-major by seed
+  /// slot) switches both executors into gradient-capture mode for the jq
+  /// extraction; `ctx` must then be null.
+  void run(spice::EvalCtx* ctx, Pass pass, const DVector& x,
+           double* jf_capture = nullptr);
+  void run_ast(spice::EvalCtx* ctx, Pass pass, const DVector& x, double* jf_capture);
+  void report_assert(int site, int line, double value);
 
   ElaboratedModel model_;
   std::vector<int> nodes_;           ///< node id per pin
   std::vector<int> branch_of_pair_;  ///< branch unknown per effort pair
   std::vector<int> seed_unknowns_;   ///< global unknown per AD seed slot
-  std::vector<DdtSite> ddt_;
-  std::vector<IntegSite> integ_;
-  std::set<const Stmt*> asserted_;   ///< ASSERT sites already reported
+  std::vector<DdtSiteState> ddt_;
+  std::vector<IntegSiteState> integ_;
+  std::set<int> asserted_;           ///< ASSERT sites already reported
+  HdlExecMode exec_mode_;
+
+  BytecodeProgram program_;          ///< compiled at bind
+  BytecodeVm vm_;
+  std::vector<std::pair<int, double>> fired_asserts_;  ///< VM scratch
+  std::vector<double> cap_a_, cap_b_;                  ///< jq capture scratch
 
   int seed_of(int global) const;     ///< -1 if not seeded (ground)
 };
@@ -92,6 +113,7 @@ std::unique_ptr<HdlDevice> instantiate(const std::string& device_name,
                                        const std::string& source,
                                        const std::string& entity,
                                        const std::map<std::string, double>& generics,
-                                       const std::vector<int>& node_per_pin);
+                                       const std::vector<int>& node_per_pin,
+                                       HdlExecMode exec_mode = HdlExecMode::bytecode);
 
 }  // namespace usys::hdl

@@ -37,7 +37,13 @@ struct NewtonOptions {
   double gmin = 1e-12;        ///< always-on diagonal conductance on node rows
   double damping_limit = 0.0; ///< max |dx| per iteration per unknown; 0 = off
   MatrixBackend backend = MatrixBackend::auto_select;
-  int sparse_threshold = 64;  ///< auto_select crossover (unknown count)
+  /// auto_select crossover (unknown count). Measured with
+  /// `bench_solver_scaling --benchmark_filter='/(8|12|20)$'` on both bench
+  /// topologies: dense still wins at n=8 (lower constant factors), the two
+  /// backends break even around n~10-14, and sparse is ahead by ~1.6x at
+  /// n=20 — so the default sits at the middle of the measured break-even
+  /// band. Re-measure per platform when tuning.
+  int sparse_threshold = 12;
 };
 
 struct NewtonResult {

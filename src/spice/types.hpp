@@ -33,7 +33,9 @@ enum class IntegMethod {
 /// assembler's compiled pattern so this header stays dependency-free; the
 /// fast path is a pure indexed write into a flat values array via the
 /// active device's precomputed slot table, with a CSR binary search backing
-/// up writes that cross device footprints (e.g. the HDL jq extraction).
+/// up writes that cross device footprints. (Since the HDL jq extraction
+/// went seed-local, every in-tree device stays inside its footprint and the
+/// fallback is purely a safety net for out-of-tree devices.)
 struct SparseStampSink {
   const int* local_of = nullptr;  ///< global unknown -> active device's local index (-1 = outside)
   const int* slots = nullptr;     ///< k*k local (row, col) -> flat value slot

@@ -174,6 +174,82 @@ END ARCHITECTURE x;
   EXPECT_THROW(elaborate(std::move(unit), "m", {}), ElabError);
 }
 
+TEST(Elaborate, UnknownFunctionNamesEntityAndLine) {
+  auto unit = parse(R"(
+ENTITY m IS
+  PIN (a, b : electrical);
+END ENTITY m;
+ARCHITECTURE x OF m IS
+BEGIN
+  RELATION
+    PROCEDURAL FOR transient =>
+      [a, b].i %= frobnicate(1.0);
+  END RELATION;
+END ARCHITECTURE x;
+)");
+  try {
+    elaborate(std::move(unit), "m", {});
+    FAIL() << "unknown function must be rejected at elaboration";
+  } catch (const ElabError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("entity 'm'"), std::string::npos) << what;
+    EXPECT_NE(what.find("frobnicate"), std::string::npos) << what;
+    EXPECT_NE(what.find("line"), std::string::npos) << what;
+  }
+}
+
+TEST(Elaborate, UnknownBinaryOperatorRejected) {
+  // The parser only produces the five arithmetic operators, so a foreign
+  // operator has to be injected into the AST directly — exactly the path
+  // that used to fall through to a silent Dual(0.0) in the executors.
+  auto unit = parse(R"(
+ENTITY m IS
+  PIN (a, b : electrical);
+END ENTITY m;
+ARCHITECTURE x OF m IS
+BEGIN
+  RELATION
+    PROCEDURAL FOR transient =>
+      [a, b].i %= 1.0 + 2.0;
+  END RELATION;
+END ARCHITECTURE x;
+)");
+  unit.architectures.at(0).blocks.at(0).stmts.at(0).expr->name = "%";
+  try {
+    elaborate(std::move(unit), "m", {});
+    FAIL() << "unknown binary operator must be rejected at elaboration";
+  } catch (const ElabError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown binary operator"), std::string::npos) << what;
+    EXPECT_NE(what.find("entity 'm'"), std::string::npos) << what;
+  }
+}
+
+TEST(Elaborate, ElabErrorIsACircuitError) {
+  // Elaboration failures must be catchable at the circuit boundary.
+  EXPECT_THROW(elaborate(parse(stdlib::paper_listing1()), "nope", {}),
+               spice::CircuitError);
+}
+
+TEST(Elaborate, ResolvedIndicesStoredInStatements) {
+  const ElaboratedModel m = elab_listing1();
+  for (const auto& b : m.blocks) {
+    for (const auto& s : b.stmts) {
+      if (s.kind == StmtKind::assign) {
+        EXPECT_GE(s.slot, 0);
+        EXPECT_LT(s.slot, static_cast<int>(m.slot_names.size()));
+      } else if (s.kind == StmtKind::contribution) {
+        EXPECT_GE(s.p1, 0);
+        EXPECT_GE(s.p2, 0);
+        EXPECT_LT(s.p1, static_cast<int>(m.pins.size()));
+        EXPECT_LT(s.p2, static_cast<int>(m.pins.size()));
+        // Source pin names survive for diagnostics.
+        EXPECT_FALSE(s.pin1.empty());
+      }
+    }
+  }
+}
+
 TEST(Elaborate, AllStdlibModelsElaborate) {
   EXPECT_NO_THROW(elaborate(parse(stdlib::transverse_energy()), "etransverse",
                             {{"A", 1e-4}, {"d", 1.5e-4}, {"er", 1.0}}));
