@@ -49,6 +49,13 @@ class SparseLu {
 
   bool factored() const noexcept { return factored_; }
 
+  /// Forgets the recorded pivot order (keeps the analyzed pattern), so the
+  /// next factor() runs a fresh pivot-searching factorization. Callers use
+  /// this at analysis-phase boundaries where the matrix values change
+  /// regime (e.g. DC -> transient) and a stale pivot order would either
+  /// degrade or make results depend on solver history.
+  void invalidate_pivot_order() noexcept { factored_ = false; }
+
   /// Solves A x = b in place (b holds x on return). Requires factor().
   void solve(std::vector<T>& b) const;
 

@@ -1,7 +1,10 @@
 #include "core/netlist_ext.hpp"
 
+#include <cmath>
+
 #include "core/linearized.hpp"
 #include "core/transducers.hpp"
+#include "spice/devices_passive.hpp"
 
 namespace usys::core {
 
@@ -66,6 +69,46 @@ void register_transducer_devices(spice::NetlistParser& parser) {
     g.radius = require_param(a, "r");
     g.b_field = require_param(a, "b");
     a.circuit->add<ElectrodynamicTransducer>(a.name, p.ea, p.eb, p.mc, p.md, g);
+  });
+
+  parser.register_xdevice("TRANSARRAY", [](XDeviceArgs& a) {
+    if (a.pins.size() != 2)
+      throw NetlistError(a.line, "TRANSARRAY takes 2 pins: e+ e- (shared bus)");
+    const double nv = require_param(a, "n");
+    const int count = static_cast<int>(nv);
+    if (nv != count || count < 1 || count > 10'000'000)
+      throw NetlistError(a.line, "TRANSARRAY n must be an integer in [1, 1e7]");
+    const int ea = a.node(a.pins[0], Nature::electrical);
+    const int eb = a.node(a.pins[1], Nature::electrical);
+    TransducerGeometry g;
+    g.area = require_param(a, "a");
+    g.gap = require_param(a, "d");
+    g.eps_r = param_or(a, "er", 1.0);
+    const double mass = require_param(a, "m");
+    const double stiffness = require_param(a, "k");
+    const double alpha = param_or(a, "alpha", 0.0);
+    const double dspread = param_or(a, "dspread", 0.0);
+    if (!(std::abs(dspread) < 1.0))
+      throw NetlistError(a.line,
+                         "TRANSARRAY dspread must satisfy |dspread| < 1 (the gap "
+                         "gradient must keep every element's gap positive)");
+    const double x0 = param_or(a, "x0", 0.0);
+    const double base_gap = g.gap;
+    for (int i = 0; i < count; ++i) {
+      const std::string tag = a.name + "_" + std::to_string(i);
+      const int mech =
+          a.node(a.name + "_v" + std::to_string(i), Nature::mechanical_translation);
+      // Linear fabrication gradient: gap varies by +-dspread across the array.
+      const double lever = count > 1 ? 2.0 * i / (count - 1) - 1.0 : 0.0;
+      g.gap = base_gap * (1.0 + dspread * lever);
+      auto& dev = a.circuit->add<TransverseElectrostatic>(tag + "_xd", ea, eb, mech,
+                                                          spice::Circuit::kGround, g);
+      dev.set_initial_displacement(x0);
+      a.circuit->add<spice::Mass>(tag + "_m", mech, mass);
+      a.circuit->add<spice::Spring>(tag + "_k", mech, spice::Circuit::kGround, stiffness);
+      if (alpha > 0.0)
+        a.circuit->add<spice::Damper>(tag + "_b", mech, spice::Circuit::kGround, alpha);
+    }
   });
 
   parser.register_xdevice("LINTRANSV", [](XDeviceArgs& a) {

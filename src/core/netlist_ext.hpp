@@ -9,6 +9,16 @@
 //
 // Pin order: electrical +, electrical -, mechanical free plate, mechanical
 // reference.
+//
+// Array macro (the paper's thousand-transducer MEMS workload in one card):
+//
+//   X<id> ea eb TRANSARRAY n=<elements> a=<m^2> d=<m> [er=<1>] m=<kg>
+//                          k=<N/m> [alpha=<Ns/m>] [dspread=<frac>] [x0=<m>]
+//
+// expands to n transverse electrostatic transducers sharing the ea/eb
+// electrical bus, each with its own mechanical node "<id>_v<i>" carrying a
+// Mass/Spring/Damper suspension against the fixed frame. dspread varies the
+// gap linearly across elements by +-frac (fabrication-gradient scenarios).
 #pragma once
 
 #include "spice/netlist.hpp"

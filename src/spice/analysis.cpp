@@ -2,34 +2,53 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 
 #include "common/constants.hpp"
-#include "common/log.hpp"
-#include "common/strings.hpp"
+#include "spice/engine.hpp"
 
 namespace usys::spice {
 
+// The analysis algorithms live in AnalysisEngine (spice/engine.hpp); these
+// free functions are compatibility wrappers that run a fresh engine per
+// call, which reproduces the historical behavior exactly (fresh solver,
+// fresh pivot order, per-analysis statistics).
+
 OpResult operating_point(Circuit& circuit, const DcOptions& opts) {
-  const DcResult dc = solve_dc(circuit, opts);
-  OpResult out;
-  out.converged = dc.converged;
-  out.x = dc.x;
-  out.newton_iterations = dc.total_newton_iters;
-  out.used_sparse = dc.used_sparse;
-  out.symbolic_factorizations = dc.symbolic_factorizations;
-  return out;
+  AnalysisEngine engine(circuit);
+  return engine.run_op(opts);
 }
+
+TranResult transient(Circuit& circuit, const TranOptions& opts) {
+  AnalysisEngine engine(circuit);
+  return engine.run_tran(opts);
+}
+
+AcResult ac_sweep(Circuit& circuit, const AcOptions& opts) {
+  AnalysisEngine engine(circuit);
+  return engine.run_ac(opts);
+}
+
+// ---------------------------------------------------------------------------
+// Result accessors
+// ---------------------------------------------------------------------------
 
 std::vector<double> TranResult::signal(int unknown) const {
   std::vector<double> out;
   out.reserve(x.size());
-  for (const auto& xi : x)
-    out.push_back(unknown < 0 ? 0.0 : xi[static_cast<std::size_t>(unknown)]);
+  for (std::size_t k = 0; k < x.size(); ++k) out.push_back(at(k, unknown));
   return out;
+}
+
+double TranResult::at(std::size_t k, int unknown) const {
+  if (unknown < 0) return 0.0;  // ground reads 0 at any accepted point
+  return x.at(k).at(static_cast<std::size_t>(unknown));
 }
 
 double TranResult::sample(double t, int unknown) const {
   if (time.empty()) return 0.0;
+  if (std::isnan(t)) return std::numeric_limits<double>::quiet_NaN();
   if (t <= time.front()) return at(0, unknown);
   if (t >= time.back()) return at(time.size() - 1, unknown);
   const auto it = std::lower_bound(time.begin(), time.end(), t);
@@ -40,338 +59,12 @@ double TranResult::sample(double t, int unknown) const {
   return (1.0 - w) * at(k - 1, unknown) + w * at(k, unknown);
 }
 
-namespace {
-
-/// Integrator coefficients for d q / d t ~= a0*q(x_{n+1}) + hist and for
-/// device-internal integrals s = s_prev + c0*e_prev + c1*e. For gear2 the
-/// history is two-deep: hist = a1*q_n + a2*q_{n-1} (variable-step BDF2).
-struct StepCoeffs {
-  double a0;
-  double a1 = 0.0;  ///< gear2 only
-  double a2 = 0.0;  ///< gear2 only
-  double c0;
-  double c1;
-};
-
-StepCoeffs coeffs(IntegMethod m, double h, double h_prev) {
-  switch (m) {
-    case IntegMethod::backward_euler:
-      return {1.0 / h, 0.0, 0.0, 0.0, h};
-    case IntegMethod::trapezoidal:
-      return {2.0 / h, 0.0, 0.0, h / 2.0, h / 2.0};
-    case IntegMethod::gear2: {
-      // Variable-step BDF2 from the Lagrange derivative at t_{n+1} over
-      // {t_{n+1}, t_n = t_{n+1}-h, t_{n-1} = t_{n+1}-h-h_prev}.
-      const double hp = h_prev > 0.0 ? h_prev : h;
-      const double a0 = (2.0 * h + hp) / (h * (h + hp));
-      const double a1 = -(h + hp) / (h * hp);
-      const double a2 = h / (hp * (h + hp));
-      // Device-internal integ() states get the BE formula (order 1): their
-      // two-deep history lives in the analysis, not in the devices.
-      return {a0, a1, a2, 0.0, h};
-    }
-  }
-  return {1.0 / h, 0.0, 0.0, 0.0, h};
-}
-
-}  // namespace
-
-TranResult transient(Circuit& circuit, const TranOptions& opts) {
-  TranResult out;
-  circuit.bind_all();
-  const std::size_t n = static_cast<std::size_t>(circuit.unknown_count());
-
-  // --- Initial operating point --------------------------------------------
-  const OpResult op = operating_point(circuit, opts.dc);
-  if (!op.converged) {
-    out.error = "transient: initial operating point did not converge";
-    log_warn(out.error);
-    return out;
-  }
-  out.total_newton_iters += op.newton_iterations;
-
-  DVector x = op.x;
-  for (const auto& dev : circuit.devices()) dev->start_transient(x);
-
-  // --- Breakpoints ----------------------------------------------------------
-  std::vector<double> breaks;
-  for (const auto& dev : circuit.devices()) dev->breakpoints(breaks);
-  breaks.push_back(opts.tstop);
-  std::sort(breaks.begin(), breaks.end());
-  breaks.erase(std::unique(breaks.begin(), breaks.end(),
-                           [](double a, double b) { return std::abs(a - b) < 1e-15; }),
-               breaks.end());
-
-  const double dt_init = opts.dt_init > 0 ? opts.dt_init : opts.tstop / 1000.0;
-  const double dt_min = opts.dt_min > 0 ? opts.dt_min : opts.tstop * 1e-12;
-  const double dt_max = opts.dt_max > 0 ? opts.dt_max : opts.tstop / 50.0;
-
-  NewtonSolver solver(circuit, opts.newton);
-
-  // Harvest q at the DC point so the first step's history is consistent
-  // (value-only stamp: the Jacobians are not needed between steps).
-  DVector f(n), q(n);
-  {
-    EvalCtx ctx;
-    ctx.mode = AnalysisMode::dc;
-    solver.stamp_values(ctx, x, f, q);
-  }
-  DVector q_prev = q;
-  DVector q_prev2 = q;  // q at t_{n-1}, for gear2
-  DVector qdot_prev(n, 0.0);
-
-  out.time.push_back(0.0);
-  out.x.push_back(x);
-
-  double t = 0.0;
-  double h = dt_init;
-  DVector x_prev = x;        // solution at t_{n-1} (for the predictor)
-  double h_prev = 0.0;
-  bool have_two_points = false;
-
-  const DVector& abstol = circuit.abstol();
-
-  int safety = 0;
-  const int max_steps = 20'000'000;
-
-  while (t < opts.tstop - 1e-15 && safety++ < max_steps) {
-    h = std::min(h, dt_max);
-    h = std::max(h, dt_min);
-    // Land exactly on the next breakpoint (waveform corner or tstop).
-    for (double b : breaks) {
-      if (b > t + 1e-15) {
-        if (t + h > b - 1e-15) h = b - t;
-        break;
-      }
-    }
-    const double t_new = t + h;
-
-    // First step after DC (or after a breakpoint) uses backward Euler: the
-    // multistep history (qdot_prev / q_prev2) is unknown or discontinuous.
-    IntegMethod method = opts.method;
-    if (!have_two_points && method != IntegMethod::backward_euler)
-      method = IntegMethod::backward_euler;
-
-    const StepCoeffs sc = coeffs(method, h, h_prev);
-    DVector hist(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      switch (method) {
-        case IntegMethod::trapezoidal:
-          hist[i] = -sc.a0 * q_prev[i] - qdot_prev[i];
-          break;
-        case IntegMethod::gear2:
-          hist[i] = sc.a1 * q_prev[i] + sc.a2 * q_prev2[i];
-          break;
-        case IntegMethod::backward_euler:
-          hist[i] = -sc.a0 * q_prev[i];
-          break;
-      }
-    }
-
-    EvalCtx ctx;
-    ctx.mode = AnalysisMode::transient;
-    ctx.time = t_new;
-    ctx.integ_c0 = sc.c0;
-    ctx.integ_c1 = sc.c1;
-
-    // Predictor: linear extrapolation (also the reference for LTE).
-    DVector x_new = x;
-    if (have_two_points && h_prev > 0.0) {
-      const double r = h / h_prev;
-      for (std::size_t i = 0; i < n; ++i) x_new[i] = x[i] + (x[i] - x_prev[i]) * r;
-    }
-
-    const NewtonResult nr = solver.solve(ctx, sc.a0, hist, x_new);
-    out.total_newton_iters += nr.iterations;
-
-    bool accept = nr.converged;
-    double lte_ratio = 0.0;
-    if (accept && opts.adaptive && have_two_points) {
-      // LTE proxy: corrector-vs-predictor distance, weighted per unknown.
-      // Branch flows are excluded: they are algebraic outputs and ring
-      // harmlessly under trapezoidal integration (A-stable, not L-stable),
-      // which would otherwise put a floor under the ratio and jam the
-      // controller.
-      const std::size_t n_lte = static_cast<std::size_t>(circuit.node_count());
-      for (std::size_t i = 0; i < n_lte; ++i) {
-        const double pred = x[i] + (h_prev > 0 ? (x[i] - x_prev[i]) * (h / h_prev) : 0.0);
-        const double tol =
-            opts.lte_reltol * std::max(std::abs(x_new[i]), std::abs(x[i])) + abstol[i];
-        lte_ratio = std::max(lte_ratio, std::abs(x_new[i] - pred) / tol);
-      }
-      if (lte_ratio > 10.0) accept = false;  // gross violation: redo smaller
-    }
-
-    if (!accept) {
-      ++out.rejected_steps;
-      log_debug(str_format("transient: reject at t=%.6e h=%.3e (%s, lte=%.3g, newton_iters=%d)",
-                           t, h, nr.converged ? "lte" : "newton", lte_ratio,
-                           nr.iterations));
-      h *= 0.5;
-      if (h < dt_min) {
-        out.error = str_format("transient: step underflow at t=%.6e", t);
-        log_warn(out.error);
-        return out;
-      }
-      continue;
-    }
-
-    // Commit: harvest q(x_new), update integrator history, device states.
-    solver.stamp_values(ctx, x_new, f, q);
-    DVector qdot(n);
-    for (std::size_t i = 0; i < n; ++i) qdot[i] = sc.a0 * q[i] + hist[i];
-    q_prev2 = q_prev;
-    q_prev = q;
-    qdot_prev = qdot;
-
-    AcceptCtx actx;
-    actx.time = t_new;
-    actx.integ_c0 = sc.c0;
-    actx.integ_c1 = sc.c1;
-    actx.x = &x_new;
-    for (const auto& dev : circuit.devices()) dev->accept(actx);
-
-    x_prev = x;
-    h_prev = h;
-    x = x_new;
-    t = t_new;
-    have_two_points = true;
-
-    // Integration restart at waveform corners: the trapezoidal history
-    // derivative (qdot_prev) is discontinuous there, so the next step must
-    // fall back to backward Euler with a fresh predictor (matches SPICE's
-    // breakpoint handling). Without this the corner step rejects forever.
-    for (double b : breaks) {
-      if (std::abs(t - b) < 1e-13) {
-        have_two_points = false;
-        qdot_prev.assign(n, 0.0);
-        h = std::min(h, dt_init);
-        break;
-      }
-    }
-
-    out.time.push_back(t);
-    out.x.push_back(x);
-
-    if (opts.adaptive) {
-      // Step-size controller: target lte_ratio ~ 0.5, second-order method.
-      double grow = 2.0;
-      if (lte_ratio > 1e-12) grow = 0.9 * std::pow(0.5 / lte_ratio, 1.0 / 3.0);
-      grow = std::clamp(grow, 0.2, 2.0);
-      h *= grow;
-    } else {
-      h = dt_init;
-    }
-  }
-
-  out.ok = true;
-  out.used_sparse = solver.sparse_active();
-  out.symbolic_factorizations = solver.symbolic_factorizations();
-  return out;
-}
-
 double AcResult::magnitude_db(std::size_t k, int unknown) const {
   return 20.0 * std::log10(std::abs(at(k, unknown)));
 }
 
 double AcResult::phase_deg(std::size_t k, int unknown) const {
   return std::arg(at(k, unknown)) * 180.0 / kPi;
-}
-
-AcResult ac_sweep(Circuit& circuit, const AcOptions& opts) {
-  AcResult out;
-  circuit.bind_all();
-  const std::size_t n = static_cast<std::size_t>(circuit.unknown_count());
-
-  const OpResult op = operating_point(circuit, opts.dc);
-  if (!op.converged) {
-    out.error = "ac: operating point did not converge";
-    log_warn(out.error);
-    return out;
-  }
-
-  // Linearize once at the operating point.
-  NewtonSolver solver(circuit, opts.dc.newton);
-  DVector f(n), q(n);
-  DMatrix jf, jq;
-  EvalCtx ctx;
-  ctx.mode = AnalysisMode::dc;
-  if (solver.sparse_active()) {
-    solver.assemble_sparse(ctx, op.x, f, q);
-  } else {
-    solver.stamp(ctx, op.x, f, q, jf, jq);
-  }
-
-  // Complex excitation vector from the devices' AC sources.
-  ZVector rhs(n, {0.0, 0.0});
-  for (const auto& dev : circuit.devices()) dev->ac_rhs(rhs);
-
-  // Frequency grid.
-  std::vector<double> freqs;
-  if (opts.sweep == SweepKind::linear) {
-    const int m = std::max(2, opts.points);
-    for (int i = 0; i < m; ++i)
-      freqs.push_back(opts.f_start +
-                      (opts.f_stop - opts.f_start) * static_cast<double>(i) / (m - 1));
-  } else {
-    const double decades = std::log10(opts.f_stop / opts.f_start);
-    const int total = std::max(2, static_cast<int>(std::ceil(decades * opts.points)) + 1);
-    for (int i = 0; i < total; ++i)
-      freqs.push_back(opts.f_start *
-                      std::pow(10.0, decades * static_cast<double>(i) / (total - 1)));
-  }
-
-  if (solver.sparse_active()) {
-    // Sparse sweep: (Jf + jw Jq) shares the real pattern, so the complex LU
-    // runs its symbolic factorization once and numerically refactors per
-    // frequency point.
-    const MnaPattern& pattern = *solver.pattern();
-    const std::vector<double>& jfv = solver.sparse_jf();
-    const std::vector<double>& jqv = solver.sparse_jq();
-    ZSparseLu zlu;
-    zlu.analyze(pattern.size(), pattern.row_ptr(), pattern.col_idx());
-    std::vector<std::complex<double>> avals(pattern.nonzeros());
-    for (double fr : freqs) {
-      const std::complex<double> jw(0.0, 2.0 * kPi * fr);
-      for (std::size_t k = 0; k < avals.size(); ++k)
-        avals[k] = std::complex<double>(jfv[k], 0.0) + jw * jqv[k];
-      ZVector b = rhs;
-      try {
-        zlu.factor(avals);
-        zlu.solve(b);
-      } catch (const SingularMatrixError&) {
-        out.error = str_format("ac: singular system at f=%.6e Hz", fr);
-        log_warn(out.error);
-        return out;
-      }
-      out.freq.push_back(fr);
-      out.x.push_back(std::move(b));
-    }
-    out.used_sparse = true;
-    out.symbolic_factorizations = zlu.symbolic_factorizations();
-  } else {
-    for (double fr : freqs) {
-      const std::complex<double> jw(0.0, 2.0 * kPi * fr);
-      ZMatrix a(n, n);
-      for (std::size_t r = 0; r < n; ++r) {
-        for (std::size_t c = 0; c < n; ++c) {
-          a(r, c) = std::complex<double>(jf(r, c), 0.0) + jw * jq(r, c);
-        }
-      }
-      ZVector b = rhs;
-      try {
-        lu_solve(a, b);
-      } catch (const SingularMatrixError&) {
-        out.error = str_format("ac: singular system at f=%.6e Hz", fr);
-        log_warn(out.error);
-        return out;
-      }
-      out.freq.push_back(fr);
-      out.x.push_back(std::move(b));
-    }
-  }
-  out.ok = true;
-  return out;
 }
 
 }  // namespace usys::spice

@@ -3,6 +3,10 @@
 // These mirror the SPICE analysis domains the paper relies on ("FE and SPICE
 // simulators present analogies concerning the analysis types they can
 // perform: static-dc, harmonic-ac, transient-transient").
+//
+// The free functions below are compatibility wrappers over AnalysisEngine
+// (spice/engine.hpp), which owns the shared bind/assemble/solve plumbing;
+// prefer the engine for repeated runs on one circuit (sweeps, batches).
 #pragma once
 
 #include <complex>
@@ -55,17 +59,25 @@ struct TranResult {
   int rejected_steps = 0;
   bool used_sparse = false;
   /// Full (pivot-searching) sparse factorizations of the transient's own
-  /// Newton solver across ALL timesteps — 1 in the steady state, since the
-  /// pattern (and normally the pivot order) is fixed for the whole run.
+  /// Newton iterations across ALL timesteps (the initial operating point
+  /// counts separately) — 1 in the steady state, since the pattern (and
+  /// normally the pivot order) is fixed for the whole run.
   int symbolic_factorizations = 0;
 
-  /// Time series of one unknown (node effort or branch flow).
+  // Accessor contract (all three): a negative `unknown` is the ground
+  // reference and reads 0.0; an `unknown` at or beyond the circuit's
+  // unknown count throws std::out_of_range (as does an out-of-range point
+  // index k). These are hard guarantees, not incidental clamping.
+
+  /// Time series of one unknown (node effort or branch flow), one value per
+  /// accepted point.
   std::vector<double> signal(int unknown) const;
   /// Value of an unknown at the k-th accepted point.
-  double at(std::size_t k, int unknown) const {
-    return unknown < 0 ? 0.0 : x[k][static_cast<std::size_t>(unknown)];
-  }
-  /// Linear interpolation of an unknown at arbitrary time t.
+  double at(std::size_t k, int unknown) const;
+  /// Linear interpolation of an unknown at arbitrary time t. Out-of-range
+  /// times clamp to the nearest accepted point: t at or before the first
+  /// point returns the first value, t at or after the last returns the last
+  /// value. With no accepted points the result is 0.0; a NaN t returns NaN.
   double sample(double t, int unknown) const;
 };
 

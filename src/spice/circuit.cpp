@@ -61,50 +61,46 @@ void Binder::require_nature(int node, Nature expected, const std::string& device
 int Circuit::add_node(std::string_view name, Nature nature) {
   if (bound_) throw CircuitError("add_node after bind_all");
   if (name == "0" || name == "gnd" || name == "GND") return kGround;
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    if (nodes_[i].name == name) {
-      if (nodes_[i].nature != nature) {
-        throw CircuitError("node '" + std::string(name) + "' redeclared with nature '" +
-                           std::string(to_string(nature)) + "' (was '" +
-                           std::string(to_string(nodes_[i].nature)) + "')");
-      }
-      return static_cast<int>(i);
+  if (const auto it = node_index_.find(name); it != node_index_.end()) {
+    const NodeRec& rec = nodes_[static_cast<std::size_t>(it->second)];
+    if (rec.nature != nature) {
+      throw CircuitError("node '" + std::string(name) + "' redeclared with nature '" +
+                         std::string(to_string(nature)) + "' (was '" +
+                         std::string(to_string(rec.nature)) + "')");
     }
+    return it->second;
   }
   nodes_.push_back({std::string(name), nature});
-  return static_cast<int>(nodes_.size()) - 1;
+  const int id = static_cast<int>(nodes_.size()) - 1;
+  node_index_.emplace(nodes_.back().name, id);
+  return id;
 }
 
 std::optional<int> Circuit::find_node(std::string_view name) const noexcept {
   if (name == "0" || name == "gnd" || name == "GND") return kGround;
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    if (nodes_[i].name == name) return static_cast<int>(i);
-  }
-  return std::nullopt;
+  const auto it = node_index_.find(name);
+  if (it == node_index_.end()) return std::nullopt;
+  return it->second;
 }
 
 int Circuit::node(std::string_view name) const {
-  if (name == "0" || name == "gnd" || name == "GND") return kGround;
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    if (nodes_[i].name == name) return static_cast<int>(i);
-  }
-  throw CircuitError("unknown node '" + std::string(name) + "'");
+  const auto id = find_node(name);
+  if (!id) throw CircuitError("unknown node '" + std::string(name) + "'");
+  return *id;
 }
 
 void Circuit::add_device(std::unique_ptr<Device> dev) {
   if (bound_) throw CircuitError("add_device after bind_all");
-  for (const auto& d : devices_) {
-    if (d->name() == dev->name())
-      throw CircuitError("duplicate device name '" + dev->name() + "'");
-  }
+  if (device_index_.count(dev->name()) != 0U)
+    throw CircuitError("duplicate device name '" + dev->name() + "'");
+  device_index_.emplace(dev->name(), static_cast<int>(devices_.size()));
   devices_.push_back(std::move(dev));
 }
 
 Device* Circuit::find_device(std::string_view name) noexcept {
-  for (auto& d : devices_) {
-    if (d->name() == name) return d.get();
-  }
-  return nullptr;
+  const auto it = device_index_.find(name);
+  if (it == device_index_.end()) return nullptr;
+  return devices_[static_cast<std::size_t>(it->second)].get();
 }
 
 int Circuit::alloc_branch_unknown(Nature through_nature) {

@@ -16,6 +16,7 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/nature.hpp"
@@ -178,6 +179,18 @@ class Circuit {
 
   std::vector<NodeRec> nodes_;
   std::vector<std::unique_ptr<Device>> devices_;
+  // Name -> index maps so array-scale netlists (thousands of nodes/devices)
+  // build in linear time instead of quadratic name scans. Transparent
+  // hashing keeps string_view lookups allocation-free.
+  struct NameHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  using NameIndex = std::unordered_map<std::string, int, NameHash, std::equal_to<>>;
+  NameIndex node_index_;
+  NameIndex device_index_;
   std::vector<Nature> unknown_natures_;
   DVector abstol_;
   int unknown_count_ = 0;

@@ -1,0 +1,82 @@
+// AnalysisEngine — the shared simulation core behind DC, transient, and AC.
+//
+// The paper's central analogy ("FE and SPICE simulators present analogies
+// concerning the analysis types they can perform: static-dc, harmonic-ac,
+// transient-transient") used to be realized as three free functions that
+// each rebuilt their own bind/assemble/solve plumbing. The engine owns that
+// plumbing ONCE per circuit:
+//
+//   * the bound unknown layout and compiled CSR stamp pattern
+//     (Circuit::mna_pattern — built lazily, cached for the circuit's life);
+//   * one NewtonSolver — sparse/dense backend selection, the flat Jf/Jq
+//     value arrays, the sparse LU with its symbolic factorization, and the
+//     (optional) parallel-assembly thread pool — reused across run_op /
+//     run_tran / run_ac calls instead of being rebuilt per analysis;
+//   * the integrator machinery of the transient loop.
+//
+// The legacy free functions (operating_point / transient / ac_sweep /
+// solve_dc) remain as thin compatibility wrappers that construct a fresh
+// engine per call, so their results are unchanged; batch workloads
+// (spice/sweep.hpp, usim --sweep) construct one engine per worker and run
+// many analyses against it.
+//
+// Reuse semantics: the solver backend is (re)built only when an analysis
+// asks for a different backend configuration (MatrixBackend /
+// sparse_threshold / assembly_threads); convergence controls are re-tuned
+// in place. Per-run statistics (symbolic_factorizations) are reported as
+// deltas, so a reused engine reports 0 extra symbolic factorizations once
+// its pivot order is warm. After changing device PARAMETERS (values, not
+// circuit structure — structure is frozen at bind), call rebind() to drop
+// the warm solver state while keeping the compiled pattern.
+#pragma once
+
+#include <memory>
+
+#include "spice/analysis.hpp"
+
+namespace usys::spice {
+
+class AnalysisEngine {
+ public:
+  /// Binds the circuit (idempotent). The circuit must outlive the engine.
+  explicit AnalysisEngine(Circuit& circuit);
+  ~AnalysisEngine();
+
+  AnalysisEngine(const AnalysisEngine&) = delete;
+  AnalysisEngine& operator=(const AnalysisEngine&) = delete;
+
+  Circuit& circuit() noexcept { return circuit_; }
+
+  /// DC operating point (plain Newton, then gmin / source stepping).
+  DcResult run_dc(const DcOptions& opts = {});
+  /// run_dc repackaged as the analysis-level result.
+  OpResult run_op(const DcOptions& opts = {});
+  /// Adaptive transient from a fresh operating point.
+  TranResult run_tran(const TranOptions& opts);
+  /// Small-signal sweep linearized at a fresh operating point.
+  AcResult run_ac(const AcOptions& opts);
+
+  /// Re-arms the engine after external device-parameter changes: drops the
+  /// warm solver (pivot order, value arrays) so the next run restamps and
+  /// refactors from scratch, while the circuit's compiled MNA pattern —
+  /// which depends only on structure — is reused as-is.
+  void rebind();
+
+ private:
+  /// The engine's one solver, (re)built only on backend-config changes and
+  /// re-tuned in place otherwise.
+  NewtonSolver& solver_for(const NewtonOptions& opts);
+
+  /// Which numerical regime the shared solver's recorded pivot order came
+  /// from. Crossing regimes (DC <-> transient) drops the pivot order so
+  /// results never depend on what ran before — same-regime reruns keep it.
+  enum class FactorRegime { none, dc, transient };
+  void enter_regime(NewtonSolver& solver, FactorRegime regime);
+
+  Circuit& circuit_;
+  std::unique_ptr<NewtonSolver> solver_;
+  NewtonOptions solver_opts_;  ///< options solver_ was built with
+  FactorRegime regime_ = FactorRegime::none;
+};
+
+}  // namespace usys::spice

@@ -140,6 +140,43 @@ void register_builtin_xdevices(NetlistParser& p) {
   });
 }
 
+/// Expands .array placeholders in one token for element index `i`: every
+/// `{i}`, `{i+N}`, or `{i-N}` group becomes the decimal element number.
+std::string expand_array_token(const std::string& tok, int i, int lineno) {
+  std::string out;
+  out.reserve(tok.size());
+  for (std::size_t p = 0; p < tok.size();) {
+    if (tok[p] != '{') {
+      out += tok[p++];
+      continue;
+    }
+    const auto close = tok.find('}', p);
+    if (close == std::string::npos)
+      throw NetlistError(lineno, "unbalanced '{' in .array card token '" + tok + "'");
+    const std::string expr(trim(tok.substr(p + 1, close - p - 1)));
+    long val = i;
+    bool ok = !expr.empty() && expr[0] == 'i';
+    if (ok && expr.size() > 1) {
+      const char op = expr[1];
+      std::size_t digits = 0;
+      long n = 0;
+      try {
+        n = std::stol(expr.substr(2), &digits);
+      } catch (const std::exception&) {
+        ok = false;
+      }
+      ok = ok && digits == expr.size() - 2 && n >= 0 && (op == '+' || op == '-');
+      if (ok) val += op == '+' ? n : -n;
+    }
+    if (!ok)
+      throw NetlistError(lineno, "array placeholder '{" + expr +
+                                     "}' must be {i}, {i+N}, or {i-N}");
+    out += std::to_string(val);
+    p = close + 1;
+  }
+  return out;
+}
+
 }  // namespace
 
 double require_param(const XDeviceArgs& args, const std::string& key) {
@@ -189,95 +226,9 @@ Netlist NetlistParser::parse(const std::string& text) {
     return ckt.add_node(name, it != declared.end() ? it->second : fallback);
   };
 
-  std::istringstream is(text);
-  std::string line;
-  int lineno = 0;
-  bool first_content_line = true;
-  TranOptions tran_defaults;  // accumulated from .options cards
-  while (std::getline(is, line)) {
-    ++lineno;
-    // Strip ';' comments, then skip blank / '*' comment lines.
-    if (const auto semi = line.find(';'); semi != std::string::npos) line.resize(semi);
-    const std::string_view t = trim(line);
-    if (t.empty() || t[0] == '*') {
-      if (first_content_line && !t.empty()) {
-        out.title = std::string(t.substr(1));
-        first_content_line = false;
-      }
-      continue;
-    }
-    first_content_line = false;
-    const auto toks = tokenize_card(t, lineno);
-    const std::string head = to_lower(toks[0]);
-
-    if (head[0] == '.') {
-      if (head == ".node") continue;  // handled in pass 1
-      if (head == ".end") break;
-      if (head == ".op") {
-        AnalysisCard card;
-        card.kind = AnalysisCard::Kind::op;
-        out.analyses.push_back(card);
-        continue;
-      }
-      if (head == ".tran") {
-        if (toks.size() < 3) throw NetlistError(lineno, ".tran needs <dtinit> <tstop>");
-        AnalysisCard card;
-        card.kind = AnalysisCard::Kind::tran;
-        card.tran = tran_defaults;
-        card.tran.dt_init = parse_num(toks[1], lineno);
-        card.tran.tstop = parse_num(toks[2], lineno);
-        out.analyses.push_back(card);
-        continue;
-      }
-      if (head == ".options") {
-        // .options [method=be|trap|gear] [dtmax=<s>] [reltol=<x>]
-        for (std::size_t i = 1; i < toks.size(); ++i) {
-          const auto eq = toks[i].find('=');
-          if (eq == std::string::npos)
-            throw NetlistError(lineno, ".options entries must be key=value");
-          const std::string key = to_lower(toks[i].substr(0, eq));
-          const std::string val = to_lower(toks[i].substr(eq + 1));
-          if (key == "method") {
-            if (val == "be") {
-              tran_defaults.method = IntegMethod::backward_euler;
-            } else if (val == "trap") {
-              tran_defaults.method = IntegMethod::trapezoidal;
-            } else if (val == "gear") {
-              tran_defaults.method = IntegMethod::gear2;
-            } else {
-              throw NetlistError(lineno, "unknown method '" + val + "' (be|trap|gear)");
-            }
-          } else if (key == "dtmax") {
-            tran_defaults.dt_max = parse_num(val, lineno);
-          } else if (key == "reltol") {
-            tran_defaults.newton.reltol = parse_num(val, lineno);
-          } else {
-            throw NetlistError(lineno, "unknown option '" + key + "'");
-          }
-        }
-        continue;
-      }
-      if (head == ".ac") {
-        if (toks.size() < 5) throw NetlistError(lineno, ".ac needs dec|lin <pts> <f0> <f1>");
-        AnalysisCard card;
-        card.kind = AnalysisCard::Kind::ac;
-        const std::string sweep = to_lower(toks[1]);
-        if (sweep == "dec") {
-          card.ac.sweep = SweepKind::decade;
-        } else if (sweep == "lin") {
-          card.ac.sweep = SweepKind::linear;
-        } else {
-          throw NetlistError(lineno, "unknown sweep kind '" + toks[1] + "'");
-        }
-        card.ac.points = static_cast<int>(parse_num(toks[2], lineno));
-        card.ac.f_start = parse_num(toks[3], lineno);
-        card.ac.f_stop = parse_num(toks[4], lineno);
-        out.analyses.push_back(card);
-        continue;
-      }
-      throw NetlistError(lineno, "unknown directive '" + toks[0] + "'");
-    }
-
+  // One device card (anything that is not a '.' directive). Factored out so
+  // .array can re-dispatch expanded card instances through the same path.
+  auto process_card = [&](const std::vector<std::string>& toks, int lineno) {
     const char kind = static_cast<char>(std::tolower(static_cast<unsigned char>(toks[0][0])));
     const std::string& name = toks[0];
     switch (kind) {
@@ -392,6 +343,128 @@ Netlist NetlistParser::parse(const std::string& text) {
       }
       default:
         throw NetlistError(lineno, "unknown card '" + toks[0] + "'");
+    }
+  };
+
+  std::istringstream is(text);
+  std::string line;
+  int lineno = 0;
+  bool first_content_line = true;
+  TranOptions tran_defaults;  // accumulated from .options cards
+  while (std::getline(is, line)) {
+    ++lineno;
+    // Strip ';' comments, then skip blank / '*' comment lines.
+    if (const auto semi = line.find(';'); semi != std::string::npos) line.resize(semi);
+    const std::string_view t = trim(line);
+    if (t.empty() || t[0] == '*') {
+      if (first_content_line && !t.empty()) {
+        out.title = std::string(t.substr(1));
+        first_content_line = false;
+      }
+      continue;
+    }
+    first_content_line = false;
+    const auto toks = tokenize_card(t, lineno);
+    const std::string head = to_lower(toks[0]);
+
+    if (head[0] == '.') {
+      if (head == ".node") continue;  // handled in pass 1
+      if (head == ".end") break;
+      if (head == ".op") {
+        AnalysisCard card;
+        card.kind = AnalysisCard::Kind::op;
+        out.analyses.push_back(card);
+        continue;
+      }
+      if (head == ".tran") {
+        if (toks.size() < 3) throw NetlistError(lineno, ".tran needs <dtinit> <tstop>");
+        AnalysisCard card;
+        card.kind = AnalysisCard::Kind::tran;
+        card.tran = tran_defaults;
+        card.tran.dt_init = parse_num(toks[1], lineno);
+        card.tran.tstop = parse_num(toks[2], lineno);
+        out.analyses.push_back(card);
+        continue;
+      }
+      if (head == ".options") {
+        // .options [method=be|trap|gear] [dtmax=<s>] [reltol=<x>]
+        for (std::size_t i = 1; i < toks.size(); ++i) {
+          const auto eq = toks[i].find('=');
+          if (eq == std::string::npos)
+            throw NetlistError(lineno, ".options entries must be key=value");
+          const std::string key = to_lower(toks[i].substr(0, eq));
+          const std::string val = to_lower(toks[i].substr(eq + 1));
+          if (key == "method") {
+            if (val == "be") {
+              tran_defaults.method = IntegMethod::backward_euler;
+            } else if (val == "trap") {
+              tran_defaults.method = IntegMethod::trapezoidal;
+            } else if (val == "gear") {
+              tran_defaults.method = IntegMethod::gear2;
+            } else {
+              throw NetlistError(lineno, "unknown method '" + val + "' (be|trap|gear)");
+            }
+          } else if (key == "dtmax") {
+            tran_defaults.dt_max = parse_num(val, lineno);
+          } else if (key == "reltol") {
+            tran_defaults.newton.reltol = parse_num(val, lineno);
+          } else {
+            throw NetlistError(lineno, "unknown option '" + key + "'");
+          }
+        }
+        continue;
+      }
+      if (head == ".ac") {
+        if (toks.size() < 5) throw NetlistError(lineno, ".ac needs dec|lin <pts> <f0> <f1>");
+        AnalysisCard card;
+        card.kind = AnalysisCard::Kind::ac;
+        const std::string sweep = to_lower(toks[1]);
+        if (sweep == "dec") {
+          card.ac.sweep = SweepKind::decade;
+        } else if (sweep == "lin") {
+          card.ac.sweep = SweepKind::linear;
+        } else {
+          throw NetlistError(lineno, "unknown sweep kind '" + toks[1] + "'");
+        }
+        card.ac.points = static_cast<int>(parse_num(toks[2], lineno));
+        card.ac.f_start = parse_num(toks[3], lineno);
+        card.ac.f_stop = parse_num(toks[4], lineno);
+        out.analyses.push_back(card);
+        continue;
+      }
+      if (head == ".array") {
+        // .array <count> <device card with {i} / {i+N} / {i-N} placeholders>
+        // expands to <count> card instances, element index 0..count-1 — so a
+        // thousand-transducer array is one line of netlist.
+        if (toks.size() < 3)
+          throw NetlistError(lineno, ".array needs <count> <device card...>");
+        const double countv = parse_num(toks[1], lineno);
+        const int count = static_cast<int>(countv);
+        if (countv != count || count < 1 || count > 10'000'000)
+          throw NetlistError(lineno, ".array count must be an integer in [1, 1e7]");
+        if (toks[2][0] == '.')
+          throw NetlistError(lineno, ".array repeats device cards, not directives");
+        std::vector<std::string> inst(toks.size() - 2);
+        for (int i = 0; i < count; ++i) {
+          for (std::size_t k = 2; k < toks.size(); ++k)
+            inst[k - 2] = expand_array_token(toks[k], i, lineno);
+          try {
+            process_card(inst, lineno);
+          } catch (const CircuitError& e) {
+            throw NetlistError(lineno, e.what());
+          }
+        }
+        continue;
+      }
+      throw NetlistError(lineno, "unknown directive '" + toks[0] + "'");
+    }
+
+    // Circuit-construction conflicts (duplicate device names, node-nature
+    // clashes) surface as CircuitError; attribute them to the card's line.
+    try {
+      process_card(toks, lineno);
+    } catch (const CircuitError& e) {
+      throw NetlistError(lineno, e.what());
     }
   }
   return out;

@@ -20,6 +20,13 @@
 //       built-in types: MASS m=<kg>; SPRING k=<N/m>; DAMPER alpha=<Ns/m>;
 //       FORCE f=<N>|waveform; XFMR n=<ratio>; GYR g=<S>; INTEG [x0=<v>]
 //       (the transducers of the paper are registered by usys::core)
+//   .array <count> <device card>     repeat construct: expands the card
+//       <count> times with {i}, {i+N}, {i-N} placeholders replaced by the
+//       element index (0-based) in names, node names, and parameters, e.g.
+//         .array 1000 XT{i} drive 0 v{i} 0 ETRANSV a=1e-4 d=2e-6
+//         .array 999  XK{i} v{i} v{i+1} SPRING k=2.5
+//       (usys::core also registers a TRANSARRAY macro card that emits a
+//       whole transducer/mass/spring/damper array from a single X card)
 //   .options [method=be|trap|gear] [dtmax=<s>] [reltol=<x>]
 //   .op | .tran <dtinit> <tstop> | .ac dec|lin <pts> <f0> <f1>
 //   .end

@@ -5,6 +5,7 @@
 
 #include "common/log.hpp"
 #include "common/strings.hpp"
+#include "spice/engine.hpp"
 
 namespace usys::spice {
 
@@ -23,7 +24,7 @@ NewtonSolver::NewtonSolver(Circuit& circuit, NewtonOptions opts)
   if (want_sparse) {
     const MnaPattern& pattern = circuit_.mna_pattern();
     if (pattern.complete()) {
-      assembler_ = std::make_unique<MnaAssembler>(circuit_, pattern);
+      assembler_ = std::make_unique<MnaAssembler>(circuit_, pattern, opts_.assembly_threads);
       lu_.analyze(pattern.size(), pattern.row_ptr(), pattern.col_idx());
       jac_vals_.resize(pattern.nonzeros());
     }
@@ -197,88 +198,10 @@ NewtonResult NewtonSolver::solve(EvalCtx ctx_proto, double a0, const DVector& hi
 }
 
 DcResult solve_dc(Circuit& circuit, const DcOptions& opts) {
-  circuit.bind_all();
-  DcResult out;
-  out.x.assign(static_cast<std::size_t>(circuit.unknown_count()), 0.0);
-
-  EvalCtx ctx;
-  ctx.mode = AnalysisMode::dc;
-  ctx.time = 0.0;
-
-  // One solver serves every stage below, so the sparse symbolic
-  // factorization is computed once for the whole analysis.
-  NewtonSolver solver(circuit, opts.newton);
-  const auto harvest_stats = [&] {
-    out.used_sparse = solver.sparse_active();
-    out.symbolic_factorizations = solver.symbolic_factorizations();
-  };
-
-  // 1. Plain Newton from the zero vector.
-  {
-    DVector x = out.x;
-    const NewtonResult r = solver.solve(ctx, 0.0, {}, x);
-    out.total_newton_iters += r.iterations;
-    if (r.converged) {
-      out.converged = true;
-      out.x = std::move(x);
-      harvest_stats();
-      return out;
-    }
-  }
-
-  // 2. gmin stepping: start with a heavy shunt and relax it geometrically,
-  //    warm-starting each stage with the previous solution.
-  if (opts.allow_gmin_stepping) {
-    DVector x(static_cast<std::size_t>(circuit.unknown_count()), 0.0);
-    bool ok = true;
-    // The floor keeps the loop finite when the user disables the shunt
-    // entirely (gmin = 0 would otherwise never fall below 0 * 0.99).
-    const double gmin_floor = std::max(opts.newton.gmin * 0.99, 1e-15);
-    for (double gmin = 1e-2; gmin >= gmin_floor; gmin /= 10.0) {
-      solver.set_gmin(gmin);
-      const NewtonResult r = solver.solve(ctx, 0.0, {}, x);
-      out.total_newton_iters += r.iterations;
-      if (!r.converged) {
-        ok = false;
-        break;
-      }
-    }
-    solver.set_gmin(opts.newton.gmin);
-    if (ok) {
-      out.converged = true;
-      out.used_gmin_stepping = true;
-      out.x = std::move(x);
-      harvest_stats();
-      return out;
-    }
-  }
-
-  // 3. Source stepping: ramp all independent sources from 0 to 100 %.
-  if (opts.allow_source_stepping) {
-    DVector x(static_cast<std::size_t>(circuit.unknown_count()), 0.0);
-    bool ok = true;
-    for (double scale = 0.1; scale <= 1.0 + 1e-12; scale += 0.1) {
-      EvalCtx sctx = ctx;
-      sctx.source_scale = scale;
-      const NewtonResult r = solver.solve(sctx, 0.0, {}, x);
-      out.total_newton_iters += r.iterations;
-      if (!r.converged) {
-        ok = false;
-        break;
-      }
-    }
-    if (ok) {
-      out.converged = true;
-      out.used_source_stepping = true;
-      out.x = std::move(x);
-      harvest_stats();
-      return out;
-    }
-  }
-
-  harvest_stats();
-  log_warn("solve_dc: no convergence (plain, gmin stepping, source stepping all failed)");
-  return out;
+  // Compatibility wrapper: the DC algorithm (plain Newton, gmin stepping,
+  // source stepping) lives in AnalysisEngine::run_dc (spice/engine.hpp).
+  AnalysisEngine engine(circuit);
+  return engine.run_dc(opts);
 }
 
 }  // namespace usys::spice

@@ -44,6 +44,11 @@ struct NewtonOptions {
   /// n=20 — so the default sits at the middle of the measured break-even
   /// band. Re-measure per platform when tuning.
   int sparse_threshold = 12;
+  /// Threads for the sparse MNA assembly pass (spice/mna.hpp): 1 = serial,
+  /// 0 = auto (hardware concurrency), N = exactly N. The parallel pass is
+  /// deterministic — bit-identical to serial for any thread count. Only the
+  /// sparse backend parallelizes; the dense path ignores this.
+  int assembly_threads = 1;
 };
 
 struct NewtonResult {
@@ -91,10 +96,37 @@ class NewtonSolver {
 
   int symbolic_factorizations() const noexcept { return lu_.symbolic_factorizations(); }
 
+  /// Drops the sparse LU's recorded pivot order (no-op on the dense path),
+  /// so the next solve pivots afresh. The engine calls this at the DC ->
+  /// transient boundary: the transient matrix Jf + a0*Jq is a different
+  /// numerical regime, and a fresh pivot search there reproduces the
+  /// legacy fresh-solver-per-analysis behavior bit for bit.
+  void refresh_pivot_order() noexcept { lu_.invalidate_pivot_order(); }
+
   /// Adjusts the diagonal gmin in place, so one solver — and its single
   /// symbolic factorization — serves every stage of the gmin-stepping
   /// continuation.
   void set_gmin(double gmin) noexcept { opts_.gmin = gmin; }
+
+  /// Re-tunes the iteration controls (max_iters, reltol, gmin,
+  /// damping_limit) without touching the allocated backend, so one solver —
+  /// and its compiled pattern and symbolic factorization — can serve
+  /// several analyses with different convergence settings. The caller must
+  /// keep the backend-selection fields (backend, sparse_threshold,
+  /// assembly_threads) unchanged; compare with same_backend_config first.
+  void retune(const NewtonOptions& opts) noexcept {
+    opts_.max_iters = opts.max_iters;
+    opts_.reltol = opts.reltol;
+    opts_.gmin = opts.gmin;
+    opts_.damping_limit = opts.damping_limit;
+  }
+
+  /// True when `a` and `b` would build the same solver backend (the fields
+  /// retune() cannot change).
+  static bool same_backend_config(const NewtonOptions& a, const NewtonOptions& b) noexcept {
+    return a.backend == b.backend && a.sparse_threshold == b.sparse_threshold &&
+           a.assembly_threads == b.assembly_threads;
+  }
 
  private:
   Circuit& circuit_;

@@ -1,0 +1,73 @@
+#include "spice/sweep.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/thread_pool.hpp"
+
+namespace usys::spice {
+
+SweepAxis SweepAxis::linspace(std::string name, double lo, double hi, int n) {
+  SweepAxis axis;
+  axis.name = std::move(name);
+  if (n <= 1) {
+    axis.values.push_back(lo);
+    return axis;
+  }
+  axis.values.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    axis.values.push_back(lo + (hi - lo) * static_cast<double>(i) / (n - 1));
+  return axis;
+}
+
+double SweepPoint::value(const std::string& name) const {
+  for (const auto& [key, val] : params) {
+    if (key == name) return val;
+  }
+  throw std::out_of_range("sweep point has no parameter '" + name + "'");
+}
+
+std::vector<SweepPoint> sweep_grid(const std::vector<SweepAxis>& axes) {
+  std::vector<SweepPoint> grid;
+  if (axes.empty()) return grid;
+  std::size_t total = 1;
+  for (const auto& axis : axes) {
+    if (axis.values.empty()) return grid;  // empty axis -> empty grid
+    total *= axis.values.size();
+  }
+  grid.reserve(total);
+  std::vector<std::size_t> idx(axes.size(), 0);
+  for (std::size_t p = 0; p < total; ++p) {
+    SweepPoint point;
+    point.params.reserve(axes.size());
+    for (std::size_t a = 0; a < axes.size(); ++a)
+      point.params.emplace_back(axes[a].name, axes[a].values[idx[a]]);
+    grid.push_back(std::move(point));
+    // Odometer increment, last axis fastest.
+    for (std::size_t a = axes.size(); a-- > 0;) {
+      if (++idx[a] < axes[a].values.size()) break;
+      idx[a] = 0;
+    }
+  }
+  return grid;
+}
+
+SweepRunner::SweepRunner(int threads) : threads_(ThreadPool::resolve_threads(threads)) {}
+
+std::vector<SweepOutcome> SweepRunner::run(const std::vector<SweepPoint>& grid,
+                                           const Job& job) const {
+  std::vector<SweepOutcome> results(grid.size());
+  ThreadPool pool(std::min<int>(threads_, static_cast<int>(grid.size())));
+  pool.run(static_cast<int>(grid.size()), [&](int i) {
+    const auto k = static_cast<std::size_t>(i);
+    try {
+      results[k] = job(grid[k]);
+    } catch (const std::exception& e) {
+      results[k].ok = false;
+      results[k].error = e.what();
+    }
+  });
+  return results;
+}
+
+}  // namespace usys::spice

@@ -1,0 +1,68 @@
+// SweepRunner — batch parameter-grid execution over a thread pool.
+//
+// Fans a cartesian parameter grid (e.g. transducer gap x drive amplitude x
+// array size) across workers; every grid point gets its own circuit and
+// AnalysisEngine built by a caller-supplied job (worker-local state, no
+// sharing), so points are fully isolated and the result vector is
+// deterministic: results[i] always corresponds to grid[i], whatever the
+// execution interleaving. Backs `usim --sweep` and bench_array_scaling.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace usys::spice {
+
+/// One sweep dimension: a named list of values.
+struct SweepAxis {
+  std::string name;
+  std::vector<double> values;
+
+  /// n evenly spaced values over [lo, hi] (n == 1 yields just lo).
+  static SweepAxis linspace(std::string name, double lo, double hi, int n);
+};
+
+/// One grid point: (name, value) per axis, in axis order.
+struct SweepPoint {
+  std::vector<std::pair<std::string, double>> params;
+
+  /// Value of a named parameter; throws std::out_of_range if absent.
+  double value(const std::string& name) const;
+};
+
+/// Cartesian product of the axes, last axis fastest (row-major).
+std::vector<SweepPoint> sweep_grid(const std::vector<SweepAxis>& axes);
+
+/// What one grid point produced: a flat list of named scalar metrics, or an
+/// error. Metric names should be identical across points so results
+/// tabulate into columns.
+struct SweepOutcome {
+  bool ok = false;
+  std::string error;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+class SweepRunner {
+ public:
+  /// The per-point job: build the circuit (worker-local), run its analyses
+  /// through an AnalysisEngine, and distill scalar metrics. Exceptions are
+  /// captured into the point's outcome — they fail the point, not the batch.
+  using Job = std::function<SweepOutcome(const SweepPoint&)>;
+
+  /// threads: 0 = auto (hardware concurrency), otherwise exactly that many
+  /// workers (including the calling thread).
+  explicit SweepRunner(int threads = 0);
+
+  int thread_count() const noexcept { return threads_; }
+
+  /// Runs `job` for every point of `grid` across the pool. results[i] is
+  /// grid[i]'s outcome.
+  std::vector<SweepOutcome> run(const std::vector<SweepPoint>& grid, const Job& job) const;
+
+ private:
+  int threads_;
+};
+
+}  // namespace usys::spice

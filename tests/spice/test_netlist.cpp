@@ -179,5 +179,81 @@ TEST(Netlist, SemicolonComments) {
   EXPECT_NE(net.circuit->find_device("R1"), nullptr);
 }
 
+TEST(Netlist, ArrayCardExpandsWithIndexPlaceholders) {
+  NetlistParser parser;
+  const auto net = parser.parse(R"(* resistor string via .array
+V1 n0 0 10
+.array 4 R{i} n{i} n{i+1} 1k
+R4 n4 0 1k
+.op
+)");
+  for (int i = 0; i < 4; ++i) {
+    std::string name("R");
+    name += std::to_string(i);
+    EXPECT_NE(net.circuit->find_device(name), nullptr) << i;
+  }
+  EXPECT_EQ(net.circuit->find_device("R5"), nullptr);
+  // 5 equal resistors in series: n4 sits at 1/5 of the drive.
+  const OpResult op = operating_point(*net.circuit);
+  ASSERT_TRUE(op.converged);
+  EXPECT_NEAR(op.at(net.circuit->node("n4")), 2.0, 1e-6);
+}
+
+TEST(Netlist, ArrayCardOffsetsAndErrors) {
+  NetlistParser parser;
+  // {i-N} offsets work too.
+  const auto net = parser.parse(".array 3 C{i+10} a{i-0} 0 1n\n");
+  EXPECT_NE(net.circuit->find_device("C10"), nullptr);
+  EXPECT_NE(net.circuit->find_device("C12"), nullptr);
+
+  EXPECT_THROW(parser.parse(".array\n"), NetlistError);
+  EXPECT_THROW(parser.parse(".array 2\n"), NetlistError);
+  EXPECT_THROW(parser.parse(".array 0 R{i} a 0 1k\n"), NetlistError);
+  EXPECT_THROW(parser.parse(".array 2.5 R{i} a 0 1k\n"), NetlistError);
+  EXPECT_THROW(parser.parse(".array 2 .op\n"), NetlistError);
+  EXPECT_THROW(parser.parse(".array 2 R{j} a 0 1k\n"), NetlistError);
+  EXPECT_THROW(parser.parse(".array 2 R{i a 0 1k\n"), NetlistError);
+  // Without {i} in the name the second instance is a duplicate device; the
+  // construction conflict is reported as a NetlistError naming the line.
+  EXPECT_THROW(parser.parse(".array 2 R1 a 0 1k\n"), NetlistError);
+}
+
+TEST(Netlist, TransArrayMacroBuildsSuspendedElements) {
+  auto parser = core::make_full_parser();
+  const auto net = parser.parse(R"(* 8-element MEMS array, one line
+V1 drive 0 2
+Xarr drive 0 TRANSARRAY n=8 a=1e-8 d=2e-6 m=1e-9 k=25 alpha=1e-4 dspread=0.1
+.op
+)");
+  // Per element: transducer + mass + spring + damper, systematic names.
+  EXPECT_NE(net.circuit->find_device("Xarr_0_xd"), nullptr);
+  EXPECT_NE(net.circuit->find_device("Xarr_7_b"), nullptr);
+  EXPECT_EQ(net.circuit->find_device("Xarr_8_xd"), nullptr);
+  const int mech = net.circuit->node("Xarr_v3");
+  EXPECT_EQ(net.circuit->node_nature(mech), Nature::mechanical_translation);
+
+  const OpResult op = operating_point(*net.circuit);
+  ASSERT_TRUE(op.converged);
+  // Electrostatic pull holds every suspension in static equilibrium:
+  // velocity unknowns sit at 0 in DC.
+  EXPECT_NEAR(op.at(mech), 0.0, 1e-9);
+}
+
+TEST(Netlist, TransArrayRejectsBadParameters) {
+  auto parser = core::make_full_parser();
+  EXPECT_THROW(parser.parse("X1 a 0 TRANSARRAY n=0 a=1e-8 d=2e-6 m=1e-9 k=25\n"),
+               NetlistError);
+  EXPECT_THROW(parser.parse("X1 a 0 TRANSARRAY n=2.5 a=1e-8 d=2e-6 m=1e-9 k=25\n"),
+               NetlistError);
+  EXPECT_THROW(parser.parse("X1 a b c TRANSARRAY n=2 a=1e-8 d=2e-6 m=1e-9 k=25\n"),
+               NetlistError);
+  EXPECT_THROW(parser.parse("X1 a 0 TRANSARRAY n=2 d=2e-6 m=1e-9 k=25\n"),
+               NetlistError);
+  // |dspread| >= 1 would drive some element's gap to zero or negative.
+  EXPECT_THROW(
+      parser.parse("X1 a 0 TRANSARRAY n=4 a=1e-8 d=2e-6 m=1e-9 k=25 dspread=1.5\n"),
+      NetlistError);
+}
+
 }  // namespace
 }  // namespace usys::spice

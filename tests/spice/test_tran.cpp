@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "common/constants.hpp"
 #include "spice/analysis.hpp"
@@ -188,6 +189,47 @@ TEST(Tran, StateIntegratorIntegratesVelocity) {
   ASSERT_TRUE(res.ok) << res.error;
   EXPECT_NEAR(res.sample(0.5, d), 1.0, 1e-6);
   EXPECT_NEAR(res.sample(1.0, d), 2.0, 1e-6);
+}
+
+TEST(Tran, SampleAndSignalOutOfRangeContract) {
+  Circuit ckt;
+  const int in = ckt.add_node("in", Nature::electrical);
+  const int out = ckt.add_node("out", Nature::electrical);
+  ckt.add<VSource>("V1", in, Circuit::kGround,
+                   std::make_unique<PulseWave>(0.0, 1.0, 0.0, 1e-5, 1e-5, 1.0));
+  ckt.add<Resistor>("R1", in, out, 1e3);
+  ckt.add<Capacitor>("C1", out, Circuit::kGround, 1e-8);
+  TranOptions opts;
+  opts.tstop = 1e-4;
+  const TranResult res = transient(ckt, opts);
+  ASSERT_TRUE(res.ok) << res.error;
+  ASSERT_GE(res.time.size(), 2u);
+
+  // t out of range clamps to the nearest accepted point — exactly.
+  EXPECT_EQ(res.sample(-1.0, out), res.at(0, out));
+  EXPECT_EQ(res.sample(res.time.front(), out), res.at(0, out));
+  EXPECT_EQ(res.sample(2.0 * opts.tstop, out), res.at(res.time.size() - 1, out));
+  // NaN time yields NaN, not an arbitrary point.
+  EXPECT_TRUE(std::isnan(res.sample(std::nan(""), out)));
+
+  // Negative unknown is the ground reference: always 0.
+  EXPECT_EQ(res.sample(opts.tstop / 2, -1), 0.0);
+  EXPECT_EQ(res.at(0, Circuit::kGround), 0.0);
+  const auto ground = res.signal(-1);
+  ASSERT_EQ(ground.size(), res.time.size());
+  for (double g : ground) EXPECT_EQ(g, 0.0);
+
+  // Unknown index past the vector throws instead of reading out of range.
+  const int bogus = ckt.unknown_count();
+  EXPECT_THROW(res.sample(opts.tstop / 2, bogus), std::out_of_range);
+  EXPECT_THROW(res.at(0, bogus), std::out_of_range);
+  EXPECT_THROW(res.signal(bogus), std::out_of_range);
+  EXPECT_THROW(res.at(res.x.size(), out), std::out_of_range);
+
+  // An empty result (failed run) samples to 0 everywhere.
+  TranResult empty;
+  EXPECT_EQ(empty.sample(0.5, 0), 0.0);
+  EXPECT_TRUE(empty.signal(0).empty());
 }
 
 TEST(Tran, AdaptiveUsesFewerStepsThanFixed) {

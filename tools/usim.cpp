@@ -1,27 +1,116 @@
 // usim — command-line netlist simulator (the "SPICE" of this repository).
 //
-//   usim <netlist.cir> [--csv=<path>] [--quiet]
+//   usim <netlist.cir> [--csv=<path>] [--sweep <name>=<spec>]... [--threads=N]
+//        [--quiet]
 //
-// Reads a SPICE-style netlist (including the transducer X-cards registered
-// by usys::core), runs every analysis card in order, and prints results:
+// Reads a SPICE-style netlist (including the transducer X-cards and the
+// ARRAY constructs registered by usys::core — see spice/netlist.hpp:
+// `.array <count> <card>` repeats a device card with {i} placeholders, and
+// the TRANSARRAY X card emits a whole transducer/mass/spring/damper array),
+// runs every analysis card in order, and prints results:
 //   .op    node efforts and branch count
 //   .tran  decimated node-effort table (full resolution to --csv)
-//   .ac    |H| dB / phase table for every node
+//   .ac    decimated |H| dB / phase table (full resolution to --csv)
+// .tran and .ac share one writer path (AsciiTable preview + CSV series);
+// when several analyses write CSV, later files get a .2/.3/... suffix.
+//
+// Batch sweep mode: every --sweep flag adds one grid axis,
+//   --sweep gap=1e-6:2e-6:8      8 evenly spaced values (lo:hi:n)
+//   --sweep vdrive=2,5,10        an explicit value list
+// and every `{name}` occurrence in the netlist text is substituted per grid
+// point (the cartesian product of all axes). Points run in parallel via
+// SweepRunner — one circuit + AnalysisEngine per point, --threads workers
+// (default: hardware concurrency) — and the result table has one row per
+// point: axis values plus summary metrics (op efforts / final transient
+// values / last AC magnitudes per node; min/max/mean aggregates over 16
+// nodes). Example netlist with a sweepable gap:
+// examples/transducer_array.cir.
+//
+// In single-run mode --threads=N instead selects N-thread parallel MNA
+// assembly (NewtonOptions::assembly_threads; bit-identical to serial).
+//
+// Exit codes: 0 = all analyses (all sweep points) succeeded;
+//             1 = an analysis failed to converge / a sweep point failed;
+//             2 = usage, file, or netlist errors.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
+#include <limits>
 #include <sstream>
+#include <string>
+#include <vector>
 
+#include "common/log.hpp"
+#include "common/strings.hpp"
 #include "common/table.hpp"
 #include "core/netlist_ext.hpp"
-#include "spice/analysis.hpp"
+#include "spice/engine.hpp"
+#include "spice/sweep.hpp"
 
 using namespace usys;
 
 namespace {
 
-int run_op(spice::Circuit& ckt) {
-  const auto op = spice::operating_point(ckt);
+// --- unified series output ---------------------------------------------------
+
+/// One writer path for every series-producing analysis: prints a decimated
+/// AsciiTable preview and (optionally) the FULL series as CSV. `csv_path`
+/// is consumed: subsequent calls get a numbered suffix.
+class SeriesSink {
+ public:
+  explicit SeriesSink(std::string csv_path) : csv_path_(std::move(csv_path)) {}
+
+  /// `row_at(k)` produces row k on demand: the ~21-row preview only touches
+  /// the rows it prints, and the full series is materialized solely when a
+  /// CSV was requested (array-scale transients would otherwise duplicate
+  /// the whole solution history just to print a table).
+  void emit(const std::vector<std::string>& headers, std::size_t n_rows,
+            const std::function<std::vector<double>(std::size_t)>& row_at,
+            int preview_rows = 21) {
+    AsciiTable t(headers);
+    const std::size_t step =
+        std::max<std::size_t>(1, n_rows / static_cast<std::size_t>(preview_rows));
+    for (std::size_t k = 0; k < n_rows; k += step) {
+      const std::vector<double> row = row_at(k);
+      std::vector<std::string> cells;
+      cells.reserve(row.size());
+      cells.push_back(fmt_num(row[0], 5));
+      for (std::size_t i = 1; i < row.size(); ++i) cells.push_back(fmt_sci(row[i], 4));
+      t.add_row(std::move(cells));
+    }
+    t.print(std::cout);
+    if (csv_path_.empty()) return;
+    std::vector<std::vector<double>> rows;
+    rows.reserve(n_rows);
+    for (std::size_t k = 0; k < n_rows; ++k) rows.push_back(row_at(k));
+    std::string path = csv_path_;
+    if (++csv_uses_ > 1) {
+      char suffix[16];
+      std::snprintf(suffix, sizeof suffix, ".%d", csv_uses_);
+      const auto dot = path.rfind('.');
+      if (dot == std::string::npos || dot == 0) {
+        path += suffix;
+      } else {
+        path = path.substr(0, dot) + suffix + path.substr(dot);
+      }
+    }
+    if (write_csv(path, headers, rows)) std::cout << "full series -> " << path << "\n";
+  }
+
+ private:
+  std::string csv_path_;
+  int csv_uses_ = 0;
+};
+
+// --- single-run analyses -----------------------------------------------------
+
+int run_op(spice::AnalysisEngine& engine, const spice::DcOptions& dc = {}) {
+  spice::Circuit& ckt = engine.circuit();
+  const auto op = engine.run_op(dc);
   if (!op.converged) {
     std::cerr << "error: operating point did not converge\n";
     return 1;
@@ -38,9 +127,10 @@ int run_op(spice::Circuit& ckt) {
   return 0;
 }
 
-int run_tran(spice::Circuit& ckt, const spice::TranOptions& opts,
-             const std::string& csv) {
-  const auto res = spice::transient(ckt, opts);
+int run_tran(spice::AnalysisEngine& engine, const spice::TranOptions& opts,
+             SeriesSink& sink) {
+  spice::Circuit& ckt = engine.circuit();
+  const auto res = engine.run_tran(opts);
   if (!res.ok) {
     std::cerr << "error: transient failed: " << res.error << "\n";
     return 1;
@@ -50,31 +140,18 @@ int run_tran(spice::Circuit& ckt, const spice::TranOptions& opts,
             << res.rejected_steps << " rejected steps) ===\n";
   std::vector<std::string> headers{"t [s]"};
   for (int i = 0; i < ckt.node_count(); ++i) headers.push_back(ckt.node_name(i));
-  AsciiTable t(headers);
-  const int rows = 20;
-  for (int r = 0; r <= rows; ++r) {
-    const double time = opts.tstop * static_cast<double>(r) / rows;
-    std::vector<std::string> cells{fmt_num(time, 5)};
-    for (int i = 0; i < ckt.node_count(); ++i) cells.push_back(fmt_sci(res.sample(time, i), 4));
-    t.add_row(std::move(cells));
-  }
-  t.print(std::cout);
-  if (!csv.empty()) {
-    std::vector<std::vector<double>> data;
-    for (std::size_t k = 0; k < res.time.size(); ++k) {
-      std::vector<double> row{res.time[k]};
-      for (int i = 0; i < ckt.node_count(); ++i) row.push_back(res.at(k, i));
-      data.push_back(std::move(row));
-    }
-    std::vector<std::string> ch{"t"};
-    for (int i = 0; i < ckt.node_count(); ++i) ch.push_back(ckt.node_name(i));
-    if (write_csv(csv, ch, data)) std::cout << "full series -> " << csv << "\n";
-  }
+  sink.emit(headers, res.time.size(), [&](std::size_t k) {
+    std::vector<double> row{res.time[k]};
+    for (int i = 0; i < ckt.node_count(); ++i) row.push_back(res.at(k, i));
+    return row;
+  });
   return 0;
 }
 
-int run_ac(spice::Circuit& ckt, const spice::AcOptions& opts) {
-  const auto res = spice::ac_sweep(ckt, opts);
+int run_ac(spice::AnalysisEngine& engine, const spice::AcOptions& opts,
+           SeriesSink& sink) {
+  spice::Circuit& ckt = engine.circuit();
+  const auto res = engine.run_ac(opts);
   if (!res.ok) {
     std::cerr << "error: ac failed: " << res.error << "\n";
     return 1;
@@ -85,30 +162,323 @@ int run_ac(spice::Circuit& ckt, const spice::AcOptions& opts) {
     headers.push_back(ckt.node_name(i) + " dB");
     headers.push_back(ckt.node_name(i) + " deg");
   }
-  AsciiTable t(headers);
-  const std::size_t step = std::max<std::size_t>(1, res.freq.size() / 20);
-  for (std::size_t k = 0; k < res.freq.size(); k += step) {
-    std::vector<std::string> cells{fmt_num(res.freq[k], 5)};
+  sink.emit(headers, res.freq.size(), [&](std::size_t k) {
+    std::vector<double> row{res.freq[k]};
     for (int i = 0; i < ckt.node_count(); ++i) {
-      cells.push_back(fmt_num(res.magnitude_db(k, i), 4));
-      cells.push_back(fmt_num(res.phase_deg(k, i), 4));
+      row.push_back(res.magnitude_db(k, i));
+      row.push_back(res.phase_deg(k, i));
+    }
+    return row;
+  });
+  return 0;
+}
+
+/// Parse errors — malformed cards (NetlistError) and circuit-construction
+/// conflicts like duplicate device names (CircuitError) — are netlist
+/// problems: exit 2. A CircuitError thrown later, during an ANALYSIS, is a
+/// runtime failure and keeps exit code 1.
+spice::Netlist parse_netlist(const std::string& text) {
+  auto parser = core::make_full_parser();
+  try {
+    return parser.parse(text);
+  } catch (const spice::CircuitError& e) {
+    throw spice::NetlistError(0, e.what());
+  }
+}
+
+int run_single(const std::string& text, const std::string& csv, int assembly_threads) {
+  spice::Netlist net = parse_netlist(text);
+  if (!net.title.empty()) std::cout << "*" << net.title << "\n";
+  spice::AnalysisEngine engine(*net.circuit);
+  SeriesSink sink(csv);
+  spice::DcOptions dc;
+  dc.newton.assembly_threads = assembly_threads;
+  if (net.analyses.empty()) {
+    std::cout << "(no analysis cards; running .op)\n";
+    return run_op(engine, dc);
+  }
+  for (auto card : net.analyses) {
+    int rc = 0;
+    switch (card.kind) {
+      case spice::AnalysisCard::Kind::op:
+        rc = run_op(engine, dc);
+        break;
+      case spice::AnalysisCard::Kind::tran:
+        card.tran.newton.assembly_threads = assembly_threads;
+        card.tran.dc.newton.assembly_threads = assembly_threads;
+        rc = run_tran(engine, card.tran, sink);
+        break;
+      case spice::AnalysisCard::Kind::ac:
+        card.ac.dc.newton.assembly_threads = assembly_threads;
+        rc = run_ac(engine, card.ac, sink);
+        break;
+    }
+    if (rc != 0) return rc;
+  }
+  return 0;
+}
+
+// --- sweep mode --------------------------------------------------------------
+
+/// Splits `spec` on `sep` (no empty pieces allowed).
+std::vector<std::string> split_spec(const std::string& spec, char sep) {
+  std::vector<std::string> out;
+  std::istringstream is(spec);
+  std::string piece;
+  while (std::getline(is, piece, sep)) out.push_back(piece);
+  return out;
+}
+
+/// "lo:hi:n" or "v1,v2,v3" -> value list; empty on parse failure. Values go
+/// through parse_spice_number, so engineering suffixes work exactly as on
+/// netlist cards (--sweep gap=1.5u:2.5u:4).
+std::vector<double> parse_sweep_spec(const std::string& spec) {
+  if (spec.find(':') != std::string::npos) {
+    const auto pieces = split_spec(spec, ':');
+    if (pieces.size() != 3) return {};
+    const auto lo = parse_spice_number(pieces[0]);
+    const auto hi = parse_spice_number(pieces[1]);
+    const auto nv = parse_spice_number(pieces[2]);
+    if (!lo || !hi || !nv) return {};
+    const int n = static_cast<int>(*nv);
+    if (*nv != n || n < 1 || n > 1'000'000) return {};
+    return spice::SweepAxis::linspace("", *lo, *hi, n).values;
+  }
+  std::vector<double> vals;
+  for (const auto& piece : split_spec(spec, ',')) {
+    const auto v = parse_spice_number(piece);
+    if (!v) return {};
+    vals.push_back(*v);
+  }
+  return vals;
+}
+
+std::string substitute(std::string text, const spice::SweepPoint& point) {
+  for (const auto& [name, value] : point.params) {
+    const std::string key = "{" + name + "}";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    for (std::size_t p = text.find(key); p != std::string::npos;
+         p = text.find(key, p)) {
+      text.replace(p, key.size(), buf);
+      p += std::strlen(buf);
+    }
+  }
+  return text;
+}
+
+/// Per-node metrics stay readable on small circuits; array-scale circuits
+/// (over 16 nodes — think TRANSARRAY) get min/max/mean aggregates instead.
+void node_metrics(spice::SweepOutcome& out, const spice::Circuit& ckt,
+                  const std::string& prefix,
+                  const std::function<double(int)>& value_of) {
+  constexpr int kMaxPerNodeColumns = 16;
+  if (ckt.node_count() <= kMaxPerNodeColumns) {
+    for (int i = 0; i < ckt.node_count(); ++i)
+      out.metrics.emplace_back(prefix + ":" + ckt.node_name(i), value_of(i));
+    return;
+  }
+  double lo = value_of(0);
+  double hi = lo;
+  double sum = 0.0;
+  for (int i = 0; i < ckt.node_count(); ++i) {
+    const double v = value_of(i);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    sum += v;
+  }
+  out.metrics.emplace_back(prefix + ":min", lo);
+  out.metrics.emplace_back(prefix + ":max", hi);
+  out.metrics.emplace_back(prefix + ":mean", sum / ckt.node_count());
+}
+
+/// Runs all analysis cards of one substituted netlist and distills scalar
+/// metrics (per-node op efforts / final transient values / last-point AC
+/// magnitudes; aggregated on array-scale circuits).
+spice::SweepOutcome sweep_job(const std::string& text, const spice::SweepPoint& point,
+                              int assembly_threads) {
+  spice::SweepOutcome out;
+  spice::Netlist net = parse_netlist(substitute(text, point));
+  spice::Circuit& ckt = *net.circuit;
+  spice::AnalysisEngine engine(ckt);
+  if (net.analyses.empty()) {
+    net.analyses.push_back({});  // default .op, as in single-run mode
+  }
+  for (std::size_t a = 0; a < net.analyses.size(); ++a) {
+    auto card = net.analyses[a];
+    switch (card.kind) {
+      case spice::AnalysisCard::Kind::op: {
+        spice::DcOptions dc;
+        dc.newton.assembly_threads = assembly_threads;
+        const auto op = engine.run_op(dc);
+        if (!op.converged) {
+          out.error = "operating point did not converge";
+          return out;
+        }
+        node_metrics(out, ckt, "op", [&](int i) { return op.at(i); });
+        break;
+      }
+      case spice::AnalysisCard::Kind::tran: {
+        card.tran.newton.assembly_threads = assembly_threads;
+        card.tran.dc.newton.assembly_threads = assembly_threads;
+        const auto res = engine.run_tran(card.tran);
+        if (!res.ok) {
+          out.error = res.error.empty() ? "transient failed" : res.error;
+          return out;
+        }
+        node_metrics(out, ckt, "tran(tstop)",
+                     [&](int i) { return res.sample(card.tran.tstop, i); });
+        out.metrics.emplace_back("tran:points", static_cast<double>(res.time.size()));
+        break;
+      }
+      case spice::AnalysisCard::Kind::ac: {
+        card.ac.dc.newton.assembly_threads = assembly_threads;
+        const auto res = engine.run_ac(card.ac);
+        if (!res.ok) {
+          out.error = res.error.empty() ? "ac failed" : res.error;
+          return out;
+        }
+        const std::size_t last = res.freq.size() - 1;
+        node_metrics(out, ckt, "ac dB(fstop)",
+                     [&](int i) { return res.magnitude_db(last, i); });
+        break;
+      }
+    }
+  }
+  out.ok = true;
+  return out;
+}
+
+int run_sweep(const std::string& text, const std::vector<spice::SweepAxis>& axes,
+              int threads, const std::string& csv) {
+  const auto grid = spice::sweep_grid(axes);
+  if (grid.empty()) {
+    std::cerr << "error: empty sweep grid\n";
+    return 2;
+  }
+  spice::SweepRunner runner(threads);
+  std::cout << "=== sweep: " << grid.size() << " points x " << axes.size()
+            << " axes on " << runner.thread_count() << " threads ===\n";
+  // Grid parallelism wins in sweep mode: each point assembles serially so
+  // points x threads never oversubscribes the machine.
+  const auto results = runner.run(
+      grid, [&](const spice::SweepPoint& p) { return sweep_job(text, p, 1); });
+
+  // Tabulate: axis columns + the union of metric names across successful
+  // points, first-seen order. (Metric sets can legitimately differ per
+  // point — e.g. sweeping an array size across the per-node aggregation
+  // threshold — so a point missing a column shows '-' there, not 'failed'.)
+  std::vector<std::string> metric_names;
+  for (const auto& result : results) {
+    if (!result.ok) continue;
+    for (const auto& [name, value] : result.metrics) {
+      if (std::find(metric_names.begin(), metric_names.end(), name) ==
+          metric_names.end())
+        metric_names.push_back(name);
+    }
+  }
+  std::vector<std::string> headers;
+  for (const auto& axis : axes) headers.push_back(axis.name);
+  headers.insert(headers.end(), metric_names.begin(), metric_names.end());
+  headers.push_back("status");
+
+  AsciiTable t(headers);
+  std::vector<std::vector<double>> csv_rows;
+  int failures = 0;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    std::vector<std::string> cells;
+    std::vector<double> row;
+    for (const auto& [name, value] : grid[i].params) {
+      cells.push_back(fmt_num(value, 6));
+      row.push_back(value);
+    }
+    if (results[i].ok) {
+      for (const auto& name : metric_names) {
+        const auto& metrics = results[i].metrics;
+        const auto it =
+            std::find_if(metrics.begin(), metrics.end(),
+                         [&](const auto& m) { return m.first == name; });
+        if (it == metrics.end()) {
+          cells.push_back("-");
+          row.push_back(std::numeric_limits<double>::quiet_NaN());
+        } else {
+          cells.push_back(fmt_sci(it->second, 4));
+          row.push_back(it->second);
+        }
+      }
+      cells.push_back("ok");
+      csv_rows.push_back(std::move(row));
+    } else {
+      ++failures;
+      for (std::size_t m = 0; m < metric_names.size(); ++m) cells.push_back("-");
+      cells.push_back(results[i].error.empty() ? "failed" : results[i].error);
     }
     t.add_row(std::move(cells));
   }
   t.print(std::cout);
-  return 0;
+  if (failures > 0)
+    std::cout << failures << " of " << grid.size() << " points failed\n";
+  if (!csv.empty() && !csv_rows.empty()) {
+    std::vector<std::string> csv_headers(headers.begin(), headers.end() - 1);
+    if (write_csv(csv, csv_headers, csv_rows))
+      std::cout << "sweep table -> " << csv << "\n";
+  }
+  return failures == 0 ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: usim <netlist.cir> [--csv=<path>]\n";
+    std::cerr << "usage: usim <netlist.cir> [--csv=<path>] "
+                 "[--sweep <name>=<lo:hi:n | v1,v2,...>]... [--threads=N]\n";
     return 2;
   }
   std::string csv;
+  std::vector<spice::SweepAxis> axes;
+  int threads = -1;  // flag absent: sweep mode = auto, assembly = serial
   for (int i = 2; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--csv=", 6) == 0) csv = argv[i] + 6;
+    if (std::strncmp(argv[i], "--csv=", 6) == 0) {
+      csv = argv[i] + 6;
+    } else if (std::strcmp(argv[i], "--sweep") == 0 && i + 1 < argc) {
+      const std::string arg = argv[++i];
+      const auto eq = arg.find('=');
+      spice::SweepAxis axis;
+      if (eq != std::string::npos && eq > 0 && arg[0] != '-') {
+        axis.name = arg.substr(0, eq);
+        axis.values = parse_sweep_spec(arg.substr(eq + 1));
+      }
+      if (axis.name.empty() || axis.values.empty()) {
+        std::cerr << "error: bad --sweep spec '" << arg
+                  << "' (want name=lo:hi:n or name=v1,v2,...)\n";
+        return 2;
+      }
+      // {i}, {i+N}, {i-N} belong to the netlist's .array construct; a sweep
+      // axis with one of those names would rewrite array placeholders
+      // before the parser ever sees them.
+      const bool array_like =
+          axis.name == "i" ||
+          ((axis.name.rfind("i+", 0) == 0 || axis.name.rfind("i-", 0) == 0) &&
+           axis.name.find_first_not_of("0123456789", 2) == std::string::npos);
+      if (array_like) {
+        std::cerr << "error: sweep axis '" << axis.name
+                  << "' collides with .array {i} placeholders; pick another name\n";
+        return 2;
+      }
+      axes.push_back(std::move(axis));
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::atoi(argv[i] + 10);
+      if (threads < 0) {
+        std::cerr << "error: --threads must be >= 0 (0 = auto)\n";
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      // Long-documented flag: suppress info/warn chatter (keeps errors).
+      set_log_level(LogLevel::error);
+    } else {
+      std::cerr << "error: unknown flag '" << argv[i] << "'\n";
+      return 2;
+    }
   }
 
   std::ifstream file(argv[1]);
@@ -120,31 +490,13 @@ int main(int argc, char** argv) {
   buf << file.rdbuf();
 
   try {
-    auto parser = core::make_full_parser();
-    spice::Netlist net = parser.parse(buf.str());
-    if (!net.title.empty()) std::cout << "*" << net.title << "\n";
-    if (net.analyses.empty()) {
-      std::cout << "(no analysis cards; running .op)\n";
-      return run_op(*net.circuit);
-    }
-    for (const auto& card : net.analyses) {
-      int rc = 0;
-      switch (card.kind) {
-        case spice::AnalysisCard::Kind::op:
-          rc = run_op(*net.circuit);
-          break;
-        case spice::AnalysisCard::Kind::tran:
-          rc = run_tran(*net.circuit, card.tran, csv);
-          break;
-        case spice::AnalysisCard::Kind::ac:
-          rc = run_ac(*net.circuit, card.ac);
-          break;
-      }
-      if (rc != 0) return rc;
-    }
+    if (!axes.empty()) return run_sweep(buf.str(), axes, threads < 0 ? 0 : threads, csv);
+    return run_single(buf.str(), csv, threads < 0 ? 1 : threads);
+  } catch (const spice::NetlistError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
-  return 0;
 }
