@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <set>
 #include <stdexcept>
+#include <utility>
+
+#include "common/thread_pool.hpp"
 
 namespace usys {
 namespace {
@@ -22,7 +26,7 @@ constexpr double kPivotGrowthLimit = 1e3;
 
 template <typename T>
 void SparseLu<T>::analyze(int n, const std::vector<int>& row_ptr,
-                          const std::vector<int>& col_idx) {
+                          const std::vector<int>& col_idx, LuOrdering ordering) {
   if (n < 0 || row_ptr.size() != static_cast<std::size_t>(n) + 1)
     throw std::invalid_argument("SparseLu::analyze: bad pattern dimensions");
   n_ = n;
@@ -47,10 +51,18 @@ void SparseLu<T>::analyze(int n, const std::vector<int>& row_ptr,
   }
   csc_vals_.assign(nnz, T{});
 
-  min_degree_order();
+  if (ordering == LuOrdering::amd) {
+    amd_order();
+  } else {
+    min_degree_order();
+  }
 
   factored_ = false;
   symbolic_count_ = 0;
+  flev_ptr_.clear();
+  flev_rows_.clear();
+  blev_ptr_.clear();
+  blev_rows_.clear();
 
   x_.assign(static_cast<std::size_t>(n), T{});
   xi_.assign(static_cast<std::size_t>(n), 0);
@@ -80,15 +92,9 @@ void SparseLu<T>::factor(const std::vector<T>& csr_vals) {
   factor_full();
 }
 
-/// Greedy minimum-degree elimination order on the symmetrized pattern
-/// (explicit clique merging). Partial pivoting later permutes rows freely,
-/// so only the column order is fixed here; for the structurally symmetric
-/// MNA patterns this keeps branch unknowns next to their nodes and fill
-/// near the band minimum.
 template <typename T>
-void SparseLu<T>::min_degree_order() {
+std::vector<std::vector<int>> SparseLu<T>::symmetrized_adjacency() const {
   const int n = n_;
-  q_.resize(static_cast<std::size_t>(n));
   std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
   for (int j = 0; j < n; ++j) {
     for (int p = col_ptr_[static_cast<std::size_t>(j)];
@@ -104,6 +110,20 @@ void SparseLu<T>::min_degree_order() {
     std::sort(a.begin(), a.end());
     a.erase(std::unique(a.begin(), a.end()), a.end());
   }
+  return adj;
+}
+
+/// Greedy minimum-degree elimination order on the symmetrized pattern
+/// (explicit clique merging). Partial pivoting later permutes rows freely,
+/// so only the column order is fixed here. Exact degrees but O(n) pivot
+/// scans and O(deg^2) clique merges — kept as the quality baseline the AMD
+/// ordering is benchmarked against. Ties break on the smallest index (the
+/// strict `<` scan), so the order is deterministic.
+template <typename T>
+void SparseLu<T>::min_degree_order() {
+  const int n = n_;
+  q_.resize(static_cast<std::size_t>(n));
+  std::vector<std::vector<int>> adj = symmetrized_adjacency();
 
   std::vector<char> eliminated(static_cast<std::size_t>(n), 0);
   std::vector<int> nbrs;
@@ -137,6 +157,237 @@ void SparseLu<T>::min_degree_order() {
     adj[static_cast<std::size_t>(best)].clear();
     adj[static_cast<std::size_t>(best)].shrink_to_fit();
   }
+}
+
+/// Approximate minimum degree on the quotient graph (Amestoy/Davis/Duff):
+/// eliminating supervariable p turns it into an ELEMENT whose pattern Lp is
+/// the union of p's remaining variable neighbors and the patterns of the
+/// elements it absorbs; the variables in Lp then get
+///
+///   d(i) ~= |A_i \ Lp| + |Lp \ i| + sum_{e in E_i \ p} |Le \ Lp|
+///
+/// with every |Le \ Lp| computed in one sweep (the w-counter trick), so no
+/// explicit fill graph is ever built. Two AMD staples ride along:
+///   * supervariable detection — variables in Lp with identical pruned
+///     adjacency (hashed, then compared exactly) merge into one weighted
+///     supervariable and are eliminated together;
+///   * mass elimination — variables whose adjacency collapses to exactly
+///     {p} are ordered immediately after p (their elimination admits no
+///     fill beyond Lp's).
+/// Determinism: candidates live in an ordered (degree, index) set, merges
+/// keep the smallest index as principal, and all adjacency lists stay
+/// sorted — the same pattern yields the same permutation everywhere.
+template <typename T>
+void SparseLu<T>::amd_order() {
+  const int n = n_;
+  q_.clear();
+  q_.reserve(static_cast<std::size_t>(n));
+  if (n == 0) return;
+
+  // Quotient-graph role. kAbsorbed covers both variables merged into a
+  // supervariable and mass-eliminated variables: either way they are out of
+  // the graph (scrubbed from or filtered out of every live adjacency) while
+  // their indices are emitted through q_.
+  enum : char { kLive, kElement, kAbsorbed, kDead };
+  std::vector<char> state(static_cast<std::size_t>(n), kLive);
+  std::vector<std::vector<int>> vlist = symmetrized_adjacency();  // variable nbrs
+  std::vector<std::vector<int>> elist(static_cast<std::size_t>(n));  // element nbrs
+  std::vector<std::vector<int>> epat(static_cast<std::size_t>(n));   // element patterns
+  std::vector<std::vector<int>> merged(static_cast<std::size_t>(n));
+  std::vector<long long> nv(static_cast<std::size_t>(n), 1);  // supervariable weight
+  std::vector<long long> deg(static_cast<std::size_t>(n), 0);
+
+  std::set<std::pair<long long, int>> degq;  // (approx degree, index): smallest first
+  for (int i = 0; i < n; ++i) {
+    deg[static_cast<std::size_t>(i)] =
+        static_cast<long long>(vlist[static_cast<std::size_t>(i)].size());
+    degq.emplace(deg[static_cast<std::size_t>(i)], i);
+  }
+
+  // Live principal-variable weight still to eliminate (degree clamp bound).
+  long long live_weight = n;
+
+  std::vector<int> in_lp(static_cast<std::size_t>(n), 0);  // Lp membership marks
+  std::vector<long long> w(static_cast<std::size_t>(n), -1);  // |Le \ Lp| scratch
+  std::vector<int> lp, wtouch, hash_order;
+  std::vector<long long> hash(static_cast<std::size_t>(n), 0);
+
+  const auto sorted_erase = [](std::vector<int>& v, int value) {
+    const auto it = std::lower_bound(v.begin(), v.end(), value);
+    if (it != v.end() && *it == value) v.erase(it);
+  };
+  const auto live_pattern_weight = [&](const std::vector<int>& pat) {
+    long long s = 0;
+    for (int v : pat)
+      if (state[static_cast<std::size_t>(v)] == kLive) s += nv[static_cast<std::size_t>(v)];
+    return s;
+  };
+  // Emits a supervariable: the principal index, then every variable merged
+  // into it (depth first, in merge order) — all occupy adjacent pivotal
+  // positions, which is exactly what made them indistinguishable.
+  std::vector<int> emit_stack;
+  const auto emit = [&](int v) {
+    emit_stack.assign(1, v);
+    while (!emit_stack.empty()) {
+      const int u = emit_stack.back();
+      emit_stack.pop_back();
+      q_.push_back(u);
+      const auto& m = merged[static_cast<std::size_t>(u)];
+      for (auto it = m.rbegin(); it != m.rend(); ++it) emit_stack.push_back(*it);
+    }
+  };
+
+  while (!degq.empty()) {
+    const int p = degq.begin()->second;
+    degq.erase(degq.begin());
+    const auto sp = static_cast<std::size_t>(p);
+
+    // --- form element pattern Lp (live principal variables, p excluded) ---
+    lp.clear();
+    in_lp[sp] = 1;
+    for (int v : vlist[sp]) {
+      const auto sv = static_cast<std::size_t>(v);
+      if (state[sv] == kLive && !in_lp[sv]) {
+        in_lp[sv] = 1;
+        lp.push_back(v);
+      }
+    }
+    for (int e : elist[sp]) {
+      const auto se = static_cast<std::size_t>(e);
+      if (state[se] != kElement) continue;
+      for (int v : epat[se]) {
+        const auto sv = static_cast<std::size_t>(v);
+        if (state[sv] == kLive && !in_lp[sv]) {
+          in_lp[sv] = 1;
+          lp.push_back(v);
+        }
+      }
+      // Element absorption: e's coverage is now a subset of element p's.
+      state[se] = kDead;
+      epat[se].clear();
+      epat[se].shrink_to_fit();
+    }
+    std::sort(lp.begin(), lp.end());
+    state[sp] = kElement;
+    live_weight -= nv[sp];
+    long long lp_weight = 0;
+    for (int v : lp) lp_weight += nv[static_cast<std::size_t>(v)];
+    vlist[sp].clear();
+    vlist[sp].shrink_to_fit();
+    elist[sp].clear();
+    elist[sp].shrink_to_fit();
+    emit(p);
+
+    // --- w trick: w[e] = |Le \ Lp| for every element touching Lp ----------
+    wtouch.clear();
+    for (int i : lp) {
+      for (int e : elist[static_cast<std::size_t>(i)]) {
+        const auto se = static_cast<std::size_t>(e);
+        if (state[se] != kElement) continue;
+        if (w[se] < 0) {
+          w[se] = live_pattern_weight(epat[se]);
+          wtouch.push_back(e);
+        }
+        w[se] -= nv[static_cast<std::size_t>(i)];
+      }
+    }
+
+    // --- prune adjacency and refresh approximate degrees ------------------
+    for (int i : lp) {
+      const auto si = static_cast<std::size_t>(i);
+      auto& vl = vlist[si];
+      // Edges inside Lp (and to p) are covered by element p from now on;
+      // dead/absorbed entries are dropped on the way.
+      vl.erase(std::remove_if(vl.begin(), vl.end(),
+                              [&](int v) {
+                                const auto sv = static_cast<std::size_t>(v);
+                                return state[sv] != kLive || in_lp[sv];
+                              }),
+               vl.end());
+      auto& el = elist[si];
+      el.erase(std::remove_if(el.begin(), el.end(),
+                              [&](int e) {
+                                return state[static_cast<std::size_t>(e)] != kElement;
+                              }),
+               el.end());
+      el.insert(std::lower_bound(el.begin(), el.end(), p), p);
+
+      long long d = lp_weight - nv[si];
+      for (int v : vl) d += nv[static_cast<std::size_t>(v)];
+      for (int e : el) {
+        if (e == p) continue;
+        const auto se = static_cast<std::size_t>(e);
+        d += (w[se] >= 0) ? w[se] : live_pattern_weight(epat[se]);
+      }
+      d = std::min(d, live_weight - nv[si]);
+      d = std::max<long long>(d, 0);
+      degq.erase({deg[si], i});
+      deg[si] = d;
+      degq.emplace(d, i);
+    }
+    for (int e : wtouch) w[static_cast<std::size_t>(e)] = -1;
+
+    // --- supervariable detection (hash, then exact compare) ----------------
+    hash_order.clear();
+    for (int i : lp) {
+      const auto si = static_cast<std::size_t>(i);
+      long long h = 0;
+      for (int v : vlist[si]) h += v;
+      for (int e : elist[si]) h += e;
+      hash[si] = h;
+      hash_order.push_back(i);
+    }
+    for (std::size_t a = 0; a < hash_order.size(); ++a) {
+      const int i = hash_order[a];
+      const auto si = static_cast<std::size_t>(i);
+      if (state[si] != kLive) continue;
+      for (std::size_t b = a + 1; b < hash_order.size(); ++b) {
+        const int j = hash_order[b];
+        const auto sj = static_cast<std::size_t>(j);
+        if (state[sj] != kLive || hash[si] != hash[sj]) continue;
+        if (vlist[si] != vlist[sj] || elist[si] != elist[sj]) continue;
+        // Indistinguishable: merge j into i (i < j keeps the principal
+        // deterministic). i's weight absorbs j's, so neighbor degrees —
+        // which sum nv over live entries — need j scrubbed from their lists.
+        nv[si] += nv[sj];
+        merged[si].push_back(j);
+        state[sj] = kAbsorbed;
+        degq.erase({deg[sj], j});
+        for (int v : vlist[sj]) sorted_erase(vlist[static_cast<std::size_t>(v)], j);
+        for (int e : elist[sj]) sorted_erase(epat[static_cast<std::size_t>(e)], j);
+        vlist[sj].clear();
+        vlist[sj].shrink_to_fit();
+        elist[sj].clear();
+        elist[sj].shrink_to_fit();
+      }
+    }
+
+    // --- mass elimination: adjacency collapsed to exactly {p} --------------
+    for (int i : lp) {
+      const auto si = static_cast<std::size_t>(i);
+      if (state[si] != kLive) continue;
+      if (vlist[si].empty() && elist[si].size() == 1 && elist[si][0] == p) {
+        degq.erase({deg[si], i});
+        live_weight -= nv[si];
+        state[si] = kAbsorbed;
+        emit(i);
+        elist[si].clear();
+        elist[si].shrink_to_fit();
+      }
+    }
+
+    // Element p keeps the still-live part of Lp as its pattern.
+    epat[sp].clear();
+    for (int v : lp) {
+      if (state[static_cast<std::size_t>(v)] == kLive) epat[sp].push_back(v);
+      in_lp[static_cast<std::size_t>(v)] = 0;
+    }
+    in_lp[sp] = 0;
+    if (epat[sp].empty()) state[sp] = kDead;
+  }
+
+  if (q_.size() != static_cast<std::size_t>(n))
+    throw std::logic_error("SparseLu: AMD ordering dropped variables");
 }
 
 /// DFS over the partial-L graph: node i's children are the sub-diagonal
@@ -268,6 +519,8 @@ void SparseLu<T>::factor_full() {
   // whole factorization lives in pivotal coordinates.
   for (auto& i : li_) i = pinv_[static_cast<std::size_t>(i)];
 
+  build_solve_schedule();
+
   factored_ = true;
   ++symbolic_count_;
 }
@@ -323,6 +576,121 @@ bool SparseLu<T>::refactor() {
   return true;
 }
 
+/// Transposes the recorded L/U patterns into row-major views (index maps
+/// into lx_/ux_, so refactorizations keep them valid) and groups rows into
+/// dependency levels: forward row j needs every column k < j with L(j,k)
+/// != 0 finished first, backward row j every k > j with U(j,k) != 0. Rows
+/// of one level are independent — the parallel solve's unit of work.
+template <typename T>
+void SparseLu<T>::build_solve_schedule() {
+  const int n = n_;
+  const auto sn = static_cast<std::size_t>(n);
+
+  // L^T rows, skipping each column's leading unit diagonal. Columns are
+  // visited in ascending order, so every row's entries come out sorted by
+  // column — the fixed per-row gather order bit-identity relies on.
+  lt_ptr_.assign(sn + 1, 0);
+  for (int j = 0; j < n; ++j)
+    for (int p = lp_[static_cast<std::size_t>(j)] + 1;
+         p < lp_[static_cast<std::size_t>(j) + 1]; ++p)
+      ++lt_ptr_[static_cast<std::size_t>(li_[static_cast<std::size_t>(p)]) + 1];
+  for (std::size_t i = 0; i < sn; ++i) lt_ptr_[i + 1] += lt_ptr_[i];
+  lt_idx_.assign(static_cast<std::size_t>(lt_ptr_[sn]), 0);
+  lt_map_.assign(static_cast<std::size_t>(lt_ptr_[sn]), 0);
+  {
+    std::vector<int> cur(lt_ptr_.begin(), lt_ptr_.end() - 1);
+    for (int j = 0; j < n; ++j) {
+      for (int p = lp_[static_cast<std::size_t>(j)] + 1;
+           p < lp_[static_cast<std::size_t>(j) + 1]; ++p) {
+        const auto r = static_cast<std::size_t>(li_[static_cast<std::size_t>(p)]);
+        const auto slot = static_cast<std::size_t>(cur[r]++);
+        lt_idx_[slot] = j;
+        lt_map_[slot] = p;
+      }
+    }
+  }
+
+  // U^T rows, skipping each column's trailing diagonal.
+  ut_ptr_.assign(sn + 1, 0);
+  for (int j = 0; j < n; ++j)
+    for (int p = up_[static_cast<std::size_t>(j)];
+         p < up_[static_cast<std::size_t>(j) + 1] - 1; ++p)
+      ++ut_ptr_[static_cast<std::size_t>(ui_[static_cast<std::size_t>(p)]) + 1];
+  for (std::size_t i = 0; i < sn; ++i) ut_ptr_[i + 1] += ut_ptr_[i];
+  ut_idx_.assign(static_cast<std::size_t>(ut_ptr_[sn]), 0);
+  ut_map_.assign(static_cast<std::size_t>(ut_ptr_[sn]), 0);
+  {
+    std::vector<int> cur(ut_ptr_.begin(), ut_ptr_.end() - 1);
+    for (int j = 0; j < n; ++j) {
+      for (int p = up_[static_cast<std::size_t>(j)];
+           p < up_[static_cast<std::size_t>(j) + 1] - 1; ++p) {
+        const auto r = static_cast<std::size_t>(ui_[static_cast<std::size_t>(p)]);
+        const auto slot = static_cast<std::size_t>(cur[r]++);
+        ut_idx_[slot] = j;
+        ut_map_[slot] = p;
+      }
+    }
+  }
+
+  // Level assignment + counting sort into (level, ascending row) groups.
+  const auto levelize = [&](const std::vector<int>& tptr, const std::vector<int>& tidx,
+                            bool backward, std::vector<int>& lev_ptr,
+                            std::vector<int>& lev_rows) {
+    std::vector<int> level(sn, 0);
+    int nlev = 0;
+    const auto row_level = [&](int j) {
+      int lv = 0;
+      for (int p = tptr[static_cast<std::size_t>(j)];
+           p < tptr[static_cast<std::size_t>(j) + 1]; ++p)
+        lv = std::max(lv, level[static_cast<std::size_t>(tidx[static_cast<std::size_t>(p)])] + 1);
+      level[static_cast<std::size_t>(j)] = lv;
+      nlev = std::max(nlev, lv + 1);
+    };
+    if (backward) {
+      for (int j = n; j-- > 0;) row_level(j);
+    } else {
+      for (int j = 0; j < n; ++j) row_level(j);
+    }
+    lev_ptr.assign(static_cast<std::size_t>(nlev) + 1, 0);
+    for (std::size_t j = 0; j < sn; ++j) ++lev_ptr[static_cast<std::size_t>(level[j]) + 1];
+    for (int l = 0; l < nlev; ++l) lev_ptr[static_cast<std::size_t>(l) + 1] += lev_ptr[static_cast<std::size_t>(l)];
+    lev_rows.assign(sn, 0);
+    std::vector<int> cur(lev_ptr.begin(), lev_ptr.end() - 1);
+    for (int j = 0; j < n; ++j)
+      lev_rows[static_cast<std::size_t>(cur[static_cast<std::size_t>(level[static_cast<std::size_t>(j)])]++)] = j;
+  };
+  levelize(lt_ptr_, lt_idx_, /*backward=*/false, flev_ptr_, flev_rows_);
+  levelize(ut_ptr_, ut_idx_, /*backward=*/true, blev_ptr_, blev_rows_);
+}
+
+/// Runs row_fn over every row, level by level. Levels big enough to beat
+/// the dispatch overhead fan out across the shared pool in solve_threads_
+/// contiguous chunks; small levels run inline. Rows of one level write
+/// disjoint entries and read only earlier levels, and each row's gather
+/// order is fixed, so any chunking is bit-identical to serial.
+template <typename T>
+template <typename RowFn>
+void SparseLu<T>::run_levels(const std::vector<int>& lev_ptr,
+                             const std::vector<int>& lev_rows,
+                             const RowFn& row_fn) const {
+  const int nlev = static_cast<int>(lev_ptr.size()) - 1;
+  for (int l = 0; l < nlev; ++l) {
+    const int begin = lev_ptr[static_cast<std::size_t>(l)];
+    const int end = lev_ptr[static_cast<std::size_t>(l) + 1];
+    const int count = end - begin;
+    if (count < min_level_rows_ || solve_threads_ <= 1 || pool_ == nullptr) {
+      for (int k = begin; k < end; ++k) row_fn(lev_rows[static_cast<std::size_t>(k)]);
+      continue;
+    }
+    const int chunks = std::min(solve_threads_, count);
+    pool_->run(chunks, [&](int c) {
+      const int lo = begin + static_cast<int>((static_cast<long long>(count) * c) / chunks);
+      const int hi = begin + static_cast<int>((static_cast<long long>(count) * (c + 1)) / chunks);
+      for (int k = lo; k < hi; ++k) row_fn(lev_rows[static_cast<std::size_t>(k)]);
+    });
+  }
+}
+
 template <typename T>
 void SparseLu<T>::solve(std::vector<T>& b) const {
   if (!factored_) throw std::logic_error("SparseLu::solve before factor");
@@ -333,27 +701,41 @@ void SparseLu<T>::solve(std::vector<T>& b) const {
   for (int i = 0; i < n; ++i)
     tmp_[static_cast<std::size_t>(pinv_[static_cast<std::size_t>(i)])] =
         b[static_cast<std::size_t>(i)] * rscale_[static_cast<std::size_t>(i)];
-  // Forward: L y = P b (unit diagonal stored first in each column).
-  for (int j = 0; j < n; ++j) {
-    const T yj = tmp_[static_cast<std::size_t>(j)];
-    if (yj != T{}) {
-      const int end = lp_[static_cast<std::size_t>(j) + 1];
-      for (int q = lp_[static_cast<std::size_t>(j)] + 1; q < end; ++q)
-        tmp_[static_cast<std::size_t>(li_[static_cast<std::size_t>(q)])] -=
-            lx_[static_cast<std::size_t>(q)] * yj;
-    }
+
+  // Forward: L y = P b. Row-gather over L^T (unit diagonal implicit):
+  // y_j = b_j - sum_{k<j} L(j,k) y_k, accumulated in ascending k.
+  T* const t = tmp_.data();
+  const auto fwd_row = [&](int j) {
+    T acc = t[j];
+    for (int p = lt_ptr_[static_cast<std::size_t>(j)];
+         p < lt_ptr_[static_cast<std::size_t>(j) + 1]; ++p)
+      acc -= lx_[static_cast<std::size_t>(lt_map_[static_cast<std::size_t>(p)])] *
+             t[lt_idx_[static_cast<std::size_t>(p)]];
+    t[j] = acc;
+  };
+  const bool parallel = pool_ != nullptr && solve_threads_ > 1;
+  if (parallel) {
+    run_levels(flev_ptr_, flev_rows_, fwd_row);
+  } else {
+    for (int j = 0; j < n; ++j) fwd_row(j);
   }
-  // Backward: U x = y (diagonal stored last in each column).
-  for (int j = n; j-- > 0;) {
-    const int diag = up_[static_cast<std::size_t>(j) + 1] - 1;
-    const T xj = tmp_[static_cast<std::size_t>(j)] / ux_[static_cast<std::size_t>(diag)];
-    tmp_[static_cast<std::size_t>(j)] = xj;
-    if (xj != T{}) {
-      for (int q = up_[static_cast<std::size_t>(j)]; q < diag; ++q)
-        tmp_[static_cast<std::size_t>(ui_[static_cast<std::size_t>(q)])] -=
-            ux_[static_cast<std::size_t>(q)] * xj;
-    }
+
+  // Backward: U x = y. Row-gather over U^T, then divide by the pivot:
+  // x_j = (y_j - sum_{k>j} U(j,k) x_k) / U(j,j).
+  const auto bwd_row = [&](int j) {
+    T acc = t[j];
+    for (int p = ut_ptr_[static_cast<std::size_t>(j)];
+         p < ut_ptr_[static_cast<std::size_t>(j) + 1]; ++p)
+      acc -= ux_[static_cast<std::size_t>(ut_map_[static_cast<std::size_t>(p)])] *
+             t[ut_idx_[static_cast<std::size_t>(p)]];
+    t[j] = acc / ux_[static_cast<std::size_t>(up_[static_cast<std::size_t>(j) + 1]) - 1];
+  };
+  if (parallel) {
+    run_levels(blev_ptr_, blev_rows_, bwd_row);
+  } else {
+    for (int j = n; j-- > 0;) bwd_row(j);
   }
+
   // Undo the fill-reducing column permutation: position j solved unknown q_[j].
   for (int j = 0; j < n; ++j)
     b[static_cast<std::size_t>(q_[static_cast<std::size_t>(j)])] =

@@ -1,16 +1,27 @@
 // General (non-SPD) sparse LU: Gilbert–Peierls left-looking factorization
-// with partial pivoting, plus pattern-reusing numeric refactorization.
+// with partial pivoting, plus pattern-reusing numeric refactorization and
+// level-scheduled (optionally threaded) triangular solves.
 //
 // Built for Newton / transient loops where the matrix PATTERN is fixed while
 // the VALUES change every iteration:
-//   * analyze()  — once per pattern: records the CSR layout and the
-//     CSR-to-CSC slot mapping.
+//   * analyze()  — once per pattern: records the CSR layout, the CSR-to-CSC
+//     slot mapping, and a fill-reducing column order (approximate minimum
+//     degree by default; the simple min-degree variant remains selectable
+//     for comparison). Both orderings are fully deterministic: every
+//     degree tie breaks on the smallest index.
 //   * factor()   — the first call runs the full pivoting factorization and
 //     records the pivot order and the L/U patterns (the "symbolic"
 //     factorization); later calls replay those patterns as pure numeric
 //     refactorizations (no search, no allocation) and fall back to a fresh
 //     pivoting factorization only if a reused pivot degrades.
-//   * solve()    — forward/back substitution, in place.
+//   * solve()    — forward/back substitution. Each unknown is a per-row
+//     GATHER over the transposed factors, so the rows of one dependency
+//     level are independent: with set_parallel() the levels computed at
+//     symbolic time run across a shared ThreadPool, and because every row
+//     accumulates its dot product in the same fixed order, the result is
+//     bit-identical to the serial solve for any thread count. Levels
+//     smaller than the configured threshold run serially, so small
+//     circuits pay nothing.
 //
 // The FEM module's CsrMatrix + CG (fem/sparse.hpp) covers the SPD case;
 // this solver covers the unsymmetric MNA systems of the circuit solver.
@@ -25,20 +36,37 @@
 
 namespace usys {
 
+class ThreadPool;
+
+/// Fill-reducing column-ordering algorithm used by SparseLu::analyze.
+enum class LuOrdering {
+  amd,         ///< approximate minimum degree (quotient graph, supervariable
+               ///< detection, mass elimination) — the default
+  min_degree,  ///< simple exact-degree clique merging (the PR 1 ordering),
+               ///< kept as the quality/regression baseline
+};
+
 template <typename T>
 class SparseLu {
  public:
   /// Registers the (square, n x n) pattern in CSR form. Column indices must
   /// be sorted and unique within each row. Also computes a fill-reducing
-  /// (minimum-degree on the symmetrized pattern) column elimination order —
-  /// essential for MNA systems, whose branch unknowns sit far from their
-  /// nodes in the natural layout. Resets any previous factorization and the
-  /// symbolic counter.
-  void analyze(int n, const std::vector<int>& row_ptr, const std::vector<int>& col_idx);
+  /// column elimination order on the symmetrized pattern — essential for
+  /// MNA systems, whose branch unknowns sit far from their nodes in the
+  /// natural layout. Resets any previous factorization and the symbolic
+  /// counter. The ordering is deterministic: the same pattern always
+  /// produces the same permutation, on any platform.
+  void analyze(int n, const std::vector<int>& row_ptr, const std::vector<int>& col_idx,
+               LuOrdering ordering = LuOrdering::amd);
 
   bool analyzed() const noexcept { return n_ >= 0; }
   int size() const noexcept { return n_ < 0 ? 0 : n_; }
   std::size_t nonzeros() const noexcept { return csc_of_csr_.size(); }
+
+  /// The fill-reducing column elimination order computed by analyze():
+  /// pivotal position j eliminates column ordering()[j]. Always a valid
+  /// permutation of [0, n).
+  const std::vector<int>& ordering() const noexcept { return q_; }
 
   /// Numeric factorization of values laid out per the CSR pattern given to
   /// analyze(). Rows are max-scaled first (MNA systems mix natures whose
@@ -48,6 +76,13 @@ class SparseLu {
   void factor(const std::vector<T>& csr_vals);
 
   bool factored() const noexcept { return factored_; }
+
+  /// Total stored entries of L + U (both diagonals included) after factor();
+  /// 0 before. factor_nonzeros() - nonzeros() is the fill-in the ordering
+  /// admitted — the quality number bench_solver_scaling tracks.
+  std::size_t factor_nonzeros() const noexcept {
+    return factored_ ? li_.size() + ui_.size() : 0;
+  }
 
   /// Forgets the recorded pivot order (keeps the analyzed pattern), so the
   /// next factor() runs a fresh pivot-searching factorization. Callers use
@@ -59,6 +94,30 @@ class SparseLu {
   /// Solves A x = b in place (b holds x on return). Requires factor().
   void solve(std::vector<T>& b) const;
 
+  /// Enables the level-scheduled parallel triangular solves: levels with at
+  /// least `min_level_rows` rows are split into `threads` chunks over
+  /// `pool` (non-owning; must outlive this object or be reset to null).
+  /// threads <= 1 or pool == nullptr keeps the serial path. Results are
+  /// bit-identical to serial for any setting.
+  void set_parallel(ThreadPool* pool, int threads, int min_level_rows = 48) noexcept {
+    pool_ = pool;
+    solve_threads_ = (pool && threads > 1) ? threads : 1;
+    min_level_rows_ = min_level_rows < 1 ? 1 : min_level_rows;
+  }
+
+  /// Chunks a parallel solve fans each big level into (1 = serial).
+  int solve_threads() const noexcept { return solve_threads_; }
+
+  /// Dependency-level counts of the recorded factorization's forward (L)
+  /// and backward (U) substitutions; 0 before factor(). n_levels << n is
+  /// what makes the threaded solve pay.
+  int forward_levels() const noexcept {
+    return flev_ptr_.empty() ? 0 : static_cast<int>(flev_ptr_.size()) - 1;
+  }
+  int backward_levels() const noexcept {
+    return blev_ptr_.empty() ? 0 : static_cast<int>(blev_ptr_.size()) - 1;
+  }
+
   /// Number of full (pivot-searching) factorizations since analyze().
   /// Steady-state Newton/transient/AC loops should hold this at 1.
   int symbolic_factorizations() const noexcept { return symbolic_count_; }
@@ -68,6 +127,15 @@ class SparseLu {
   bool refactor();  ///< false = reused pivot degraded; caller re-runs full
   int dfs_reach(int start, int top);
   void min_degree_order();
+  void amd_order();
+  /// Symmetrized (pattern + pattern^T) adjacency, sorted, diagonal-free.
+  std::vector<std::vector<int>> symmetrized_adjacency() const;
+  /// Builds the transposed-factor (row-gather) views and the forward /
+  /// backward dependency levels; runs once per symbolic factorization.
+  void build_solve_schedule();
+  template <typename RowFn>
+  void run_levels(const std::vector<int>& lev_ptr, const std::vector<int>& lev_rows,
+                  const RowFn& row_fn) const;
 
   int n_ = -1;
 
@@ -88,6 +156,18 @@ class SparseLu {
   std::vector<T> ux_;
   bool factored_ = false;
   int symbolic_count_ = 0;
+
+  // Row-gather solve machinery, rebuilt per symbolic factorization. The
+  // transposed views index back into lx_/ux_ (via *_map_), so numeric
+  // refactorizations keep them valid for free.
+  std::vector<int> lt_ptr_, lt_idx_, lt_map_;  ///< L^T rows (diagonal dropped)
+  std::vector<int> ut_ptr_, ut_idx_, ut_map_;  ///< U^T rows (diagonal dropped)
+  std::vector<int> flev_ptr_, flev_rows_;      ///< forward levels (rows grouped)
+  std::vector<int> blev_ptr_, blev_rows_;      ///< backward levels
+
+  ThreadPool* pool_ = nullptr;  ///< non-owning; shared with the MNA assembly
+  int solve_threads_ = 1;
+  int min_level_rows_ = 48;
 
   // Scratch reused across factorizations/solves (no per-iteration allocs).
   std::vector<T> x_;

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "common/constants.hpp"
 #include "common/log.hpp"
 #include "common/strings.hpp"
+#include "common/thread_pool.hpp"
 
 namespace usys::spice {
 
@@ -426,12 +428,19 @@ AcResult AnalysisEngine::run_ac(const AcOptions& opts) {
   if (solver.sparse_active()) {
     // Sparse sweep: (Jf + jw Jq) shares the real pattern, so the complex LU
     // runs its symbolic factorization once and numerically refactors per
-    // frequency point.
+    // frequency point. solve_threads applies here too (same bit-identity
+    // guarantee as the real path).
     const MnaPattern& pattern = *solver.pattern();
     const std::vector<double>& jfv = solver.sparse_jf();
     const std::vector<double>& jqv = solver.sparse_jq();
     ZSparseLu zlu;
-    zlu.analyze(pattern.size(), pattern.row_ptr(), pattern.col_idx());
+    zlu.analyze(pattern.size(), pattern.row_ptr(), pattern.col_idx(),
+                opts.dc.newton.ordering);
+    const int solve_threads = ThreadPool::resolve_threads(opts.dc.newton.solve_threads);
+    // Borrow the solver's pool (sized >= solve_threads whenever
+    // solve_threads > 1) instead of spawning a second one per run_ac call.
+    if (solve_threads > 1 && solver.shared_pool() != nullptr)
+      zlu.set_parallel(solver.shared_pool(), solve_threads);
     std::vector<std::complex<double>> avals(pattern.nonzeros());
     for (double fr : freqs) {
       const std::complex<double> jw(0.0, 2.0 * kPi * fr);

@@ -24,8 +24,18 @@ NewtonSolver::NewtonSolver(Circuit& circuit, NewtonOptions opts)
   if (want_sparse) {
     const MnaPattern& pattern = circuit_.mna_pattern();
     if (pattern.complete()) {
-      assembler_ = std::make_unique<MnaAssembler>(circuit_, pattern, opts_.assembly_threads);
-      lu_.analyze(pattern.size(), pattern.row_ptr(), pattern.col_idx());
+      // Assembly and the triangular solves share one pool, sized for the
+      // larger of the two requests (each side caps its own fan-out, so a
+      // bigger pool never changes results — both passes are bit-identical
+      // to serial for any thread count).
+      const int asm_threads = ThreadPool::resolve_threads(opts_.assembly_threads);
+      const int solve_threads = ThreadPool::resolve_threads(opts_.solve_threads);
+      if (std::max(asm_threads, solve_threads) > 1)
+        pool_ = std::make_unique<ThreadPool>(std::max(asm_threads, solve_threads));
+      assembler_ = std::make_unique<MnaAssembler>(circuit_, pattern,
+                                                  opts_.assembly_threads, pool_.get());
+      lu_.analyze(pattern.size(), pattern.row_ptr(), pattern.col_idx(), opts_.ordering);
+      if (solve_threads > 1) lu_.set_parallel(pool_.get(), solve_threads);
       jac_vals_.resize(pattern.nonzeros());
     }
   }

@@ -49,6 +49,15 @@ struct NewtonOptions {
   /// deterministic — bit-identical to serial for any thread count. Only the
   /// sparse backend parallelizes; the dense path ignores this.
   int assembly_threads = 1;
+  /// Threads for the level-scheduled sparse triangular solves
+  /// (common/sparse_lu.hpp): same semantics as assembly_threads, same
+  /// guarantee (bit-identical to serial for any thread count), same scope
+  /// (sparse backend only). Assembly and solve share one thread pool.
+  int solve_threads = 1;
+  /// Fill-reducing ordering for the sparse LU. AMD is the default; the
+  /// simple min-degree variant remains selectable as the quality baseline
+  /// (bench_solver_scaling compares the two).
+  LuOrdering ordering = LuOrdering::amd;
 };
 
 struct NewtonResult {
@@ -96,6 +105,12 @@ class NewtonSolver {
 
   int symbolic_factorizations() const noexcept { return lu_.symbolic_factorizations(); }
 
+  /// The pool shared by parallel assembly and the threaded triangular
+  /// solves; null when both are serial (or on the dense path). The AC sweep
+  /// borrows it for the complex per-frequency solves, so one solver means
+  /// one pool across every analysis.
+  ThreadPool* shared_pool() const noexcept { return pool_.get(); }
+
   /// Drops the sparse LU's recorded pivot order (no-op on the dense path),
   /// so the next solve pivots afresh. The engine calls this at the DC ->
   /// transient boundary: the transient matrix Jf + a0*Jq is a different
@@ -113,7 +128,8 @@ class NewtonSolver {
   /// and its compiled pattern and symbolic factorization — can serve
   /// several analyses with different convergence settings. The caller must
   /// keep the backend-selection fields (backend, sparse_threshold,
-  /// assembly_threads) unchanged; compare with same_backend_config first.
+  /// assembly_threads, solve_threads, ordering) unchanged; compare with
+  /// same_backend_config first.
   void retune(const NewtonOptions& opts) noexcept {
     opts_.max_iters = opts.max_iters;
     opts_.reltol = opts.reltol;
@@ -125,7 +141,8 @@ class NewtonSolver {
   /// retune() cannot change).
   static bool same_backend_config(const NewtonOptions& a, const NewtonOptions& b) noexcept {
     return a.backend == b.backend && a.sparse_threshold == b.sparse_threshold &&
-           a.assembly_threads == b.assembly_threads;
+           a.assembly_threads == b.assembly_threads &&
+           a.solve_threads == b.solve_threads && a.ordering == b.ordering;
   }
 
  private:
@@ -134,6 +151,10 @@ class NewtonSolver {
   // Scratch, reused across iterations to avoid reallocations.
   DVector f_, q_, resid_, dx_;
   DMatrix jf_, jq_, jacobian_;          // dense backend only
+  // One pool serves both the parallel assembly and the threaded triangular
+  // solves (sized for the larger of the two requests); null when both are
+  // serial. Declared before the assembler/LU that borrow it.
+  std::unique_ptr<ThreadPool> pool_;         // sparse backend only
   std::unique_ptr<MnaAssembler> assembler_;  // sparse backend only
   DSparseLu lu_;
   std::vector<double> jac_vals_;

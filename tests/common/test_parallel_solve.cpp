@@ -1,0 +1,196 @@
+// Level-scheduled parallel triangular solves (SparseLu::set_parallel):
+// bit-identity with the serial path for any thread count — the solve-side
+// twin of the ParallelAssembly determinism tests — plus the level-schedule
+// invariants the parallel path relies on. The suite name keeps these under
+// the TSan CI filter (ThreadPool.*:ParallelAssembly.*:ParallelSolve.*:...).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <random>
+
+#include "common/sparse_lu.hpp"
+#include "common/thread_pool.hpp"
+
+namespace usys {
+namespace {
+
+struct Pattern {
+  int n = 0;
+  std::vector<int> row_ptr, col_idx;
+};
+
+/// Band of half-width 2 plus ~9 % random off-band entries (the same family
+/// test_sparse_lu.cpp checks against the dense oracle).
+Pattern random_pattern(int n, std::mt19937& rng) {
+  Pattern p;
+  p.n = n;
+  p.row_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      if (std::abs(r - c) <= 2 || rng() % 11 == 0) p.col_idx.push_back(c);
+    }
+    p.row_ptr[static_cast<std::size_t>(r) + 1] = static_cast<int>(p.col_idx.size());
+  }
+  return p;
+}
+
+std::vector<double> make_dominant(const Pattern& p, std::mt19937& rng) {
+  std::uniform_real_distribution<double> ud(-1.0, 1.0);
+  std::vector<double> vals(p.col_idx.size());
+  for (int r = 0; r < p.n; ++r) {
+    double off = 0.0;
+    int diag = -1;
+    for (int s = p.row_ptr[r]; s < p.row_ptr[r + 1]; ++s) {
+      vals[static_cast<std::size_t>(s)] = ud(rng);
+      if (p.col_idx[static_cast<std::size_t>(s)] == r) {
+        diag = s;
+      } else {
+        off += std::abs(vals[static_cast<std::size_t>(s)]);
+      }
+    }
+    vals[static_cast<std::size_t>(diag)] = off + 1.0;
+  }
+  return vals;
+}
+
+TEST(ParallelSolve, BitIdenticalToSerialAnyThreadCount) {
+  std::mt19937 rng(2024);
+  std::uniform_real_distribution<double> ud(-1.0, 1.0);
+  for (int n : {15, 120, 400}) {
+    const Pattern p = random_pattern(n, rng);
+    const auto vals = make_dominant(p, rng);
+
+    SparseLu<double> serial;
+    serial.analyze(p.n, p.row_ptr, p.col_idx);
+    serial.factor(vals);
+
+    std::vector<double> b0(static_cast<std::size_t>(n));
+    for (auto& v : b0) v = ud(rng);
+    std::vector<double> ref = b0;
+    serial.solve(ref);
+
+    for (int threads : {2, 4, 8}) {
+      ThreadPool pool(threads);
+      SparseLu<double> par;
+      par.analyze(p.n, p.row_ptr, p.col_idx);
+      // min_level_rows = 1 forces the pool dispatch on EVERY level, so even
+      // tiny levels go through the parallel path this test is pinning.
+      par.set_parallel(&pool, threads, /*min_level_rows=*/1);
+      par.factor(vals);
+      ASSERT_EQ(serial.factor_nonzeros(), par.factor_nonzeros());
+      std::vector<double> b = b0;
+      par.solve(b);
+      EXPECT_EQ(ref, b) << "n=" << n << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelSolve, BitIdenticalThroughRefactorization) {
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> ud(-1.0, 1.0);
+  const Pattern p = random_pattern(200, rng);
+  auto vals = make_dominant(p, rng);
+
+  ThreadPool pool(4);
+  SparseLu<double> serial, par;
+  serial.analyze(p.n, p.row_ptr, p.col_idx);
+  par.analyze(p.n, p.row_ptr, p.col_idx);
+  par.set_parallel(&pool, 4, 1);
+
+  // Newton-like loop: smooth value drift keeps the pivot order, so later
+  // factor() calls are pure refactorizations — the transposed-factor maps
+  // and level schedule must stay valid across them.
+  for (int iter = 0; iter < 10; ++iter) {
+    serial.factor(vals);
+    par.factor(vals);
+    std::vector<double> b(static_cast<std::size_t>(p.n));
+    for (auto& v : b) v = ud(rng);
+    std::vector<double> b2 = b;
+    serial.solve(b);
+    par.solve(b2);
+    EXPECT_EQ(b, b2) << "iteration " << iter;
+    for (auto& v : vals) v *= 1.0 + 0.005 * ud(rng);
+  }
+  EXPECT_EQ(serial.symbolic_factorizations(), 1);
+  EXPECT_EQ(par.symbolic_factorizations(), 1);
+}
+
+TEST(ParallelSolve, ComplexBitIdenticalToSerial) {
+  std::mt19937 rng(99);
+  std::uniform_real_distribution<double> ud(-1.0, 1.0);
+  const Pattern p = random_pattern(150, rng);
+  std::vector<std::complex<double>> vals(p.col_idx.size());
+  for (int r = 0; r < p.n; ++r) {
+    double off = 0.0;
+    int diag = -1;
+    for (int s = p.row_ptr[r]; s < p.row_ptr[r + 1]; ++s) {
+      vals[static_cast<std::size_t>(s)] = {ud(rng), ud(rng)};
+      if (p.col_idx[static_cast<std::size_t>(s)] == r) {
+        diag = s;
+      } else {
+        off += std::abs(vals[static_cast<std::size_t>(s)]);
+      }
+    }
+    vals[static_cast<std::size_t>(diag)] += off + 1.0;
+  }
+  std::vector<std::complex<double>> b0(static_cast<std::size_t>(p.n));
+  for (auto& v : b0) v = {ud(rng), ud(rng)};
+
+  ZSparseLu serial;
+  serial.analyze(p.n, p.row_ptr, p.col_idx);
+  serial.factor(vals);
+  auto ref = b0;
+  serial.solve(ref);
+
+  ThreadPool pool(3);
+  ZSparseLu par;
+  par.analyze(p.n, p.row_ptr, p.col_idx);
+  par.set_parallel(&pool, 3, 1);
+  par.factor(vals);
+  auto b = b0;
+  par.solve(b);
+  EXPECT_EQ(ref, b);
+}
+
+TEST(ParallelSolve, DefaultThresholdKeepsSmallLevelsSerialAndIdentical) {
+  // With the production threshold most levels of a small system run inline;
+  // the mixed serial/parallel execution must still be bit-identical.
+  std::mt19937 rng(5);
+  std::uniform_real_distribution<double> ud(-1.0, 1.0);
+  const Pattern p = random_pattern(60, rng);
+  const auto vals = make_dominant(p, rng);
+
+  SparseLu<double> serial;
+  serial.analyze(p.n, p.row_ptr, p.col_idx);
+  serial.factor(vals);
+  std::vector<double> ref(static_cast<std::size_t>(p.n));
+  for (auto& v : ref) v = ud(rng);
+  std::vector<double> b = ref;
+  serial.solve(ref);
+
+  ThreadPool pool(4);
+  SparseLu<double> par;
+  par.analyze(p.n, p.row_ptr, p.col_idx);
+  par.set_parallel(&pool, 4);  // default min_level_rows
+  par.factor(vals);
+  par.solve(b);
+  EXPECT_EQ(ref, b);
+}
+
+TEST(ParallelSolve, LevelSchedulePartitionsAllRows) {
+  std::mt19937 rng(11);
+  const Pattern p = random_pattern(180, rng);
+  const auto vals = make_dominant(p, rng);
+  SparseLu<double> lu;
+  lu.analyze(p.n, p.row_ptr, p.col_idx);
+  EXPECT_EQ(lu.forward_levels(), 0);  // schedule exists only after factor()
+  lu.factor(vals);
+  EXPECT_GT(lu.forward_levels(), 0);
+  EXPECT_GT(lu.backward_levels(), 0);
+  EXPECT_LE(lu.forward_levels(), p.n);
+  EXPECT_LE(lu.backward_levels(), p.n);
+}
+
+}  // namespace
+}  // namespace usys

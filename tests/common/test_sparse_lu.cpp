@@ -210,6 +210,74 @@ TEST(SparseLu, RepivotsWhenReusedPivotDegrades) {
   EXPECT_EQ(lu.symbolic_factorizations(), 2);
 }
 
+TEST(SparseLu, OrderingIsAlwaysAValidPermutation) {
+  std::mt19937 rng(31);
+  for (int n : {1, 2, 9, 64, 150}) {
+    const Pattern p = random_pattern(n, rng);
+    for (LuOrdering ord : {LuOrdering::amd, LuOrdering::min_degree}) {
+      SparseLu<double> lu;
+      lu.analyze(p.n, p.row_ptr, p.col_idx, ord);
+      ASSERT_EQ(lu.ordering().size(), static_cast<std::size_t>(n));
+      std::vector<char> seen(static_cast<std::size_t>(n), 0);
+      for (int v : lu.ordering()) {
+        ASSERT_GE(v, 0);
+        ASSERT_LT(v, n);
+        EXPECT_FALSE(seen[static_cast<std::size_t>(v)]) << "duplicate column " << v;
+        seen[static_cast<std::size_t>(v)] = 1;
+      }
+    }
+  }
+}
+
+/// Reproducibility pin: the same pattern must yield the same ordering — and
+/// therefore the same factor nonzero counts and bench numbers — on every
+/// run and platform. Both orderings break every degree tie on the smallest
+/// index, so two fresh instances and a re-analyze of the same instance all
+/// agree exactly.
+TEST(SparseLu, OrderingIsDeterministic) {
+  std::mt19937 rng(77);
+  for (int n : {40, 130}) {
+    const Pattern p = random_pattern(n, rng);
+    const auto vals = make_dominant(p, rng);
+    for (LuOrdering ord : {LuOrdering::amd, LuOrdering::min_degree}) {
+      SparseLu<double> a, b;
+      a.analyze(p.n, p.row_ptr, p.col_idx, ord);
+      b.analyze(p.n, p.row_ptr, p.col_idx, ord);
+      EXPECT_EQ(a.ordering(), b.ordering());
+      a.factor(vals);
+      b.factor(vals);
+      EXPECT_EQ(a.factor_nonzeros(), b.factor_nonzeros());
+      // Re-analyzing in place must not depend on prior solver history.
+      const std::vector<int> first = a.ordering();
+      a.analyze(p.n, p.row_ptr, p.col_idx, ord);
+      EXPECT_EQ(first, a.ordering());
+    }
+  }
+}
+
+TEST(SparseLu, AmdFillAtMostMinDegreeOnBandedPattern) {
+  // Banded systems have a known-good elimination order; AMD's approximation
+  // (plus supervariable merging) must not lose to the simple min-degree
+  // baseline here. The circuit-level pin on the bench topologies lives in
+  // tests/spice/test_solver_ordering.cpp.
+  Pattern p;
+  p.n = 300;
+  p.row_ptr.assign(static_cast<std::size_t>(p.n) + 1, 0);
+  for (int r = 0; r < p.n; ++r) {
+    for (int c = std::max(0, r - 2); c <= std::min(p.n - 1, r + 2); ++c)
+      p.col_idx.push_back(c);
+    p.row_ptr[static_cast<std::size_t>(r) + 1] = static_cast<int>(p.col_idx.size());
+  }
+  std::mt19937 rng(13);
+  const auto vals = make_dominant(p, rng);
+  SparseLu<double> amd, mdg;
+  amd.analyze(p.n, p.row_ptr, p.col_idx, LuOrdering::amd);
+  mdg.analyze(p.n, p.row_ptr, p.col_idx, LuOrdering::min_degree);
+  amd.factor(vals);
+  mdg.factor(vals);
+  EXPECT_LE(amd.factor_nonzeros(), mdg.factor_nonzeros());
+}
+
 TEST(SparseLu, UsageErrors) {
   SparseLu<double> lu;
   EXPECT_THROW(lu.factor({1.0}), std::logic_error);

@@ -1,0 +1,337 @@
+// Sparse LU v2 at the circuit level: AMD-vs-min-degree result parity on the
+// relay and HDL circuits (the ordering must never change physics, only
+// fill), AMD fill quality on the bench topologies (the acceptance number
+// bench_solver_scaling reports), and solve_threads bit-identity through a
+// full engine transient (the solve-side twin of
+// ParallelAssembly.TransientTrajectoryBitIdentical — suite-named
+// ParallelSolve so the TSan CI filter picks it up).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/thread_pool.hpp"
+#include "core/netlist_ext.hpp"
+#include "core/transducers.hpp"
+#include "hdl/interpreter.hpp"
+#include "hdl/stdlib.hpp"
+#include "spice/devices_controlled.hpp"
+#include "spice/devices_passive.hpp"
+#include "spice/devices_source.hpp"
+#include "spice/engine.hpp"
+
+namespace usys::spice {
+namespace {
+
+double rel_diff(const DVector& a, const DVector& b) {
+  EXPECT_EQ(a.size(), b.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double scale = std::max({std::abs(a[i]), std::abs(b[i]), 1e-12});
+    worst = std::max(worst, std::abs(a[i] - b[i]) / scale);
+  }
+  return worst;
+}
+
+// --- circuits (mirroring tests/spice/test_engine.cpp) -----------------------
+
+std::unique_ptr<Circuit> relay(double v_coil) {
+  core::TransducerGeometry g;
+  g.area = 4e-5;
+  g.gap = 0.4e-3;
+  g.turns = 600;
+  auto ckt = std::make_unique<Circuit>();
+  const int drive = ckt->add_node("drive", Nature::electrical);
+  const int coil = ckt->add_node("coil", Nature::electrical);
+  const int vel = ckt->add_node("vel", Nature::mechanical_translation);
+  const int disp = ckt->add_node("disp", Nature::mechanical_translation);
+  ckt->add<VSource>(
+      "V1", drive, Circuit::kGround,
+      std::make_unique<PwlWave>(std::vector<std::pair<double, double>>{
+          {0.0, 0.0}, {1e-3, v_coil}, {1.0, v_coil}}));
+  ckt->add<Resistor>("Rcoil", drive, coil, 60.0);
+  ckt->add<core::ElectromagneticTransducer>("Xrel", coil, Circuit::kGround, vel,
+                                            Circuit::kGround, g);
+  ckt->add<Mass>("Marm", vel, 2e-3);
+  ckt->add<Spring>("Karm", vel, Circuit::kGround, 900.0);
+  ckt->add<Damper>("Darm", vel, Circuit::kGround, 0.8);
+  ckt->add<StateIntegrator>("XD", disp, vel);
+  return ckt;
+}
+
+std::unique_ptr<Circuit> hdl_resonator() {
+  auto ckt = std::make_unique<Circuit>();
+  const int drive = ckt->add_node("drive", Nature::electrical);
+  const int vel = ckt->add_node("vel", Nature::mechanical_translation);
+  ckt->add<VSource>("V1", drive, Circuit::kGround,
+                    std::make_unique<PulseWave>(0.0, 10.0, 0.0, 1e-4, 1e-4, 0.05),
+                    Nature::electrical, /*ac_mag=*/1.0);
+  ckt->add_device(hdl::instantiate(
+      "XT", hdl::stdlib::paper_listing1(), "eletran",
+      {{"A", 1e-4}, {"d", 0.15e-3}, {"er", 1.0}},
+      {drive, Circuit::kGround, vel, Circuit::kGround}));
+  ckt->add<Mass>("M1", vel, 1e-4);
+  ckt->add<Spring>("K1", vel, Circuit::kGround, 200.0);
+  ckt->add<Damper>("D1", vel, Circuit::kGround, 40e-3);
+  return ckt;
+}
+
+std::string tag(const char* prefix, int i) {
+  std::string s(prefix);
+  s += std::to_string(i);
+  return s;
+}
+
+std::unique_ptr<Circuit> transducer_array(int elements, double ac_mag = 0.0) {
+  auto ckt = std::make_unique<Circuit>();
+  const int drive = ckt->add_node("drive", Nature::electrical);
+  ckt->add<VSource>("V1", drive, Circuit::kGround, std::make_unique<DcWave>(2.0),
+                    Nature::electrical, ac_mag);
+  core::TransducerGeometry g;
+  g.area = 1e-8;
+  g.eps_r = 1.0;
+  for (int i = 0; i < elements; ++i) {
+    const int mech = ckt->add_node(tag("v", i), Nature::mechanical_translation);
+    g.gap = 2e-6 * (1.0 + 0.1 * (elements > 1 ? 2.0 * i / (elements - 1) - 1.0 : 0.0));
+    ckt->add<core::TransverseElectrostatic>(tag("XT", i), drive, Circuit::kGround, mech,
+                                            Circuit::kGround, g);
+    ckt->add<Mass>(tag("M", i), mech, 1e-9);
+    ckt->add<Spring>(tag("K", i), mech, Circuit::kGround, 25.0);
+    ckt->add<Damper>(tag("D", i), mech, Circuit::kGround, 1e-4);
+  }
+  return ckt;
+}
+
+/// The two bench_solver_scaling topology families, sized by unknown count.
+std::unique_ptr<Circuit> rc_ladder(int sections) {
+  auto ckt = std::make_unique<Circuit>();
+  int prev = ckt->add_node("in", Nature::electrical);
+  ckt->add<VSource>("V1", prev, Circuit::kGround, 1.0);
+  for (int k = 0; k < sections; ++k) {
+    const int node = ckt->add_node(tag("n", k), Nature::electrical);
+    ckt->add<Resistor>(tag("R", k), prev, node, 1e3);
+    ckt->add<Capacitor>(tag("C", k), node, Circuit::kGround, 1e-9);
+    prev = node;
+  }
+  return ckt;
+}
+
+std::unique_ptr<Circuit> resonator_array(int count) {
+  auto ckt = std::make_unique<Circuit>();
+  const int first = ckt->add_node("m0", Nature::mechanical_translation);
+  ckt->add<ForceSource>("F1", first, 1e-3);
+  int prev = first;
+  for (int k = 0; k < count; ++k) {
+    const int node =
+        k == 0 ? first : ckt->add_node(tag("m", k), Nature::mechanical_translation);
+    ckt->add<Mass>(tag("M", k), node, 1e-4);
+    ckt->add<Damper>(tag("D", k), node, Circuit::kGround, 1e-2);
+    if (k > 0) ckt->add<Spring>(tag("K", k), prev, node, 250.0);
+    ckt->add<Spring>(tag("Kg", k), node, Circuit::kGround, 400.0);
+    prev = node;
+  }
+  return ckt;
+}
+
+TranOptions tran_opts(double tstop, double dt) {
+  TranOptions opts;
+  opts.tstop = tstop;
+  opts.dt_init = dt;
+  opts.dt_max = dt;
+  opts.adaptive = false;
+  return opts;
+}
+
+// --- AMD vs min-degree result parity ----------------------------------------
+
+/// The column ordering changes fill and flop order, not the solution:
+/// DC, transient, and AC results must agree to 1e-12 across orderings.
+void expect_ordering_parity(const std::function<std::unique_ptr<Circuit>()>& build,
+                            double tstop, double dt, bool with_ac) {
+  DcOptions dc_amd;
+  dc_amd.newton.backend = MatrixBackend::sparse;
+  dc_amd.newton.ordering = LuOrdering::amd;
+  DcOptions dc_mdg = dc_amd;
+  dc_mdg.newton.ordering = LuOrdering::min_degree;
+
+  auto ckt_amd = build();
+  auto ckt_mdg = build();
+  AnalysisEngine eng_amd(*ckt_amd);
+  AnalysisEngine eng_mdg(*ckt_mdg);
+
+  const DcResult dc_a = eng_amd.run_dc(dc_amd);
+  const DcResult dc_m = eng_mdg.run_dc(dc_mdg);
+  ASSERT_TRUE(dc_a.converged);
+  ASSERT_TRUE(dc_m.converged);
+  EXPECT_TRUE(dc_a.used_sparse);
+  EXPECT_LT(rel_diff(dc_a.x, dc_m.x), 1e-12);
+
+  TranOptions topts_amd = tran_opts(tstop, dt);
+  topts_amd.newton = dc_amd.newton;
+  topts_amd.dc = dc_amd;
+  TranOptions topts_mdg = tran_opts(tstop, dt);
+  topts_mdg.newton = dc_mdg.newton;
+  topts_mdg.dc = dc_mdg;
+  const TranResult tr_a = eng_amd.run_tran(topts_amd);
+  const TranResult tr_m = eng_mdg.run_tran(topts_mdg);
+  ASSERT_TRUE(tr_a.ok) << tr_a.error;
+  ASSERT_TRUE(tr_m.ok) << tr_m.error;
+  ASSERT_EQ(tr_a.time.size(), tr_m.time.size());
+  double worst = 0.0;
+  for (std::size_t k = 0; k < tr_a.x.size(); ++k)
+    worst = std::max(worst, rel_diff(tr_a.x[k], tr_m.x[k]));
+  EXPECT_LT(worst, 1e-12);
+
+  if (with_ac) {
+    AcOptions ac_amd;
+    ac_amd.points = 10;
+    ac_amd.dc = dc_amd;
+    AcOptions ac_mdg = ac_amd;
+    ac_mdg.dc = dc_mdg;
+    const AcResult ac_a = eng_amd.run_ac(ac_amd);
+    const AcResult ac_m = eng_mdg.run_ac(ac_mdg);
+    ASSERT_TRUE(ac_a.ok) << ac_a.error;
+    ASSERT_TRUE(ac_m.ok) << ac_m.error;
+    ASSERT_EQ(ac_a.freq.size(), ac_m.freq.size());
+    for (std::size_t k = 0; k < ac_a.x.size(); ++k) {
+      for (std::size_t i = 0; i < ac_a.x[k].size(); ++i) {
+        const double scale =
+            std::max({std::abs(ac_a.x[k][i]), std::abs(ac_m.x[k][i]), 1e-12});
+        EXPECT_LT(std::abs(ac_a.x[k][i] - ac_m.x[k][i]) / scale, 1e-12)
+            << "f=" << ac_a.freq[k] << " unknown=" << i;
+      }
+    }
+  }
+}
+
+TEST(SolverOrdering, ParityRelayPullIn) {
+  expect_ordering_parity([] { return relay(6.0); }, 1e-2, 2e-5, /*with_ac=*/false);
+}
+
+TEST(SolverOrdering, ParityHdlListing1) {
+  expect_ordering_parity([] { return hdl_resonator(); }, 5e-3, 5e-5, /*with_ac=*/true);
+}
+
+// --- AMD fill quality on the bench topologies --------------------------------
+
+/// The acceptance number: on the n >= 500 bench topologies AMD's factor
+/// nonzeros must not exceed the min-degree baseline's (it should also
+/// analyze much faster; bench_solver_scaling records both).
+TEST(SolverOrdering, AmdFillAtMostMinDegreeOnBenchTopologies) {
+  const auto fill_of = [](Circuit& ckt, LuOrdering ord) {
+    ckt.bind_all();
+    const MnaPattern& pattern = ckt.mna_pattern();
+    EXPECT_TRUE(pattern.complete());
+    const auto n = static_cast<std::size_t>(ckt.unknown_count());
+    NewtonOptions nopts;
+    nopts.max_iters = 1;
+    nopts.backend = MatrixBackend::sparse;
+    NewtonSolver solver(ckt, nopts);
+    EXPECT_TRUE(solver.sparse_active());
+    EvalCtx ctx;
+    ctx.mode = AnalysisMode::transient;
+    ctx.time = 1e-6;
+    ctx.integ_c1 = 1e-6;
+    DVector x(n, 0.0), f, q;
+    solver.assemble_sparse(ctx, x, f, q);
+    const auto& jfv = solver.sparse_jf();
+    const auto& jqv = solver.sparse_jq();
+    std::vector<double> jac(jfv.size());
+    const double a0 = 1e6;  // backward Euler at dt = 1 us, as in the bench
+    for (std::size_t k = 0; k < jac.size(); ++k) jac[k] = jfv[k] + a0 * jqv[k];
+    DSparseLu lu;
+    lu.analyze(pattern.size(), pattern.row_ptr(), pattern.col_idx(), ord);
+    lu.factor(jac);
+    return lu.factor_nonzeros();
+  };
+
+  {
+    auto ladder = rc_ladder(498);  // ~500 unknowns
+    auto ladder2 = rc_ladder(498);
+    EXPECT_LE(fill_of(*ladder, LuOrdering::amd),
+              fill_of(*ladder2, LuOrdering::min_degree));
+  }
+  {
+    auto res = resonator_array(250);  // ~500 unknowns
+    auto res2 = resonator_array(250);
+    EXPECT_LE(fill_of(*res, LuOrdering::amd),
+              fill_of(*res2, LuOrdering::min_degree));
+  }
+}
+
+// --- threaded-solve bit identity through the engine --------------------------
+
+/// A full transient with 4 solve threads must take the exact step sequence
+/// and produce the exact solutions of the serial run (same guarantee and
+/// test shape as the parallel-assembly twin in test_engine.cpp).
+TEST(ParallelSolve, TransientTrajectoryBitIdentical) {
+  TranOptions opts = tran_opts(2e-4, 2e-6);
+  opts.newton.backend = MatrixBackend::sparse;
+  opts.dc.newton.backend = MatrixBackend::sparse;
+
+  auto ckt_serial = transducer_array(40);
+  const TranResult serial = transient(*ckt_serial, opts);
+  ASSERT_TRUE(serial.ok) << serial.error;
+  EXPECT_TRUE(serial.used_sparse);
+
+  opts.newton.solve_threads = 4;
+  opts.dc.newton.solve_threads = 4;
+  auto ckt_par = transducer_array(40);
+  const TranResult par = transient(*ckt_par, opts);
+  ASSERT_TRUE(par.ok) << par.error;
+
+  ASSERT_EQ(serial.time.size(), par.time.size());
+  EXPECT_EQ(serial.time, par.time);
+  for (std::size_t k = 0; k < serial.x.size(); ++k)
+    EXPECT_EQ(serial.x[k], par.x[k]) << "point " << k;
+}
+
+/// AC: the complex per-frequency solves go through the same level schedule,
+/// so solve_threads must leave every AC point bit-identical too.
+TEST(ParallelSolve, AcSweepBitIdentical) {
+  AcOptions opts;
+  opts.points = 8;
+  opts.dc.newton.backend = MatrixBackend::sparse;
+  auto ckt_serial = transducer_array(60, /*ac_mag=*/1.0);
+  AnalysisEngine eng_serial(*ckt_serial);
+  const AcResult serial = eng_serial.run_ac(opts);
+  ASSERT_TRUE(serial.ok) << serial.error;
+
+  opts.dc.newton.solve_threads = 4;
+  auto ckt_par = transducer_array(60, /*ac_mag=*/1.0);
+  AnalysisEngine eng_par(*ckt_par);
+  const AcResult par = eng_par.run_ac(opts);
+  ASSERT_TRUE(par.ok) << par.error;
+
+  ASSERT_EQ(serial.freq.size(), par.freq.size());
+  double max_mag = 0.0;
+  for (const auto& v : serial.x.front()) max_mag = std::max(max_mag, std::abs(v));
+  EXPECT_GT(max_mag, 0.0) << "AC excitation missing: the comparison would be 0 == 0";
+  for (std::size_t k = 0; k < serial.x.size(); ++k)
+    EXPECT_EQ(serial.x[k], par.x[k]) << "frequency point " << k;
+}
+
+/// Operating point on an array big enough that whole levels clear the
+/// parallel threshold — solve threads and the shared assembly pool together
+/// must still reproduce the serial result exactly.
+TEST(ParallelSolve, DcWithSharedAssemblyPoolBitIdentical) {
+  DcOptions opts;
+  opts.newton.backend = MatrixBackend::sparse;
+  auto ckt_serial = transducer_array(150);
+  AnalysisEngine eng_serial(*ckt_serial);
+  const DcResult serial = eng_serial.run_dc(opts);
+  ASSERT_TRUE(serial.converged);
+
+  opts.newton.assembly_threads = 2;
+  opts.newton.solve_threads = 4;
+  auto ckt_par = transducer_array(150);
+  AnalysisEngine eng_par(*ckt_par);
+  const DcResult par = eng_par.run_dc(opts);
+  ASSERT_TRUE(par.converged);
+  EXPECT_EQ(serial.x, par.x);
+}
+
+}  // namespace
+}  // namespace usys::spice

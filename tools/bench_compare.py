@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Noise-tolerant benchmark regression gate.
+
+Compares a freshly produced google-benchmark JSON (--current) against a
+committed baseline (--baseline). Absolute nanoseconds are meaningless across
+machines — CI runners and dev boxes differ in clocks, cores, and load — so
+the gate never compares them. Instead it compares each benchmark's time
+RELATIVE to the other benchmarks of the same run:
+
+    norm(b) = real_time(b) / geomean(real_time over common benchmarks)
+
+and fails when any benchmark's normalized time grew by more than --threshold
+(default 0.30, i.e. 30 %) versus the baseline:
+
+    norm_current(b) / norm_baseline(b) > 1 + threshold  ->  exit 1
+
+A uniformly slower machine cancels out exactly; only a benchmark that got
+slower *relative to its peers* — the signature of a real regression — trips
+the gate. Benchmarks that appear in only one file are reported but never
+gate (new benchmarks land before their baseline does).
+
+Refreshing baselines: download the `bench-trajectory` artifact from a green
+main-branch CI run and copy the BENCH_*.json files over bench/baselines/
+(see bench/baselines/README.md for the one-liner).
+
+Exit codes: 0 = within threshold, 1 = regression, 2 = usage/IO error.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_times(path):
+    """name -> real_time in ns. Prefers `median` aggregates when the run used
+    repetitions; otherwise takes the plain iteration entry (first wins)."""
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    plain, medians = {}, {}
+    for b in data.get("benchmarks", []):
+        # Errored benchmarks carry no timings; surface them, don't KeyError.
+        if b.get("error_occurred") or "real_time" not in b:
+            print(f"  [errored] {b.get('name', '?')} in {path} (skipped)")
+            continue
+        ns = float(b["real_time"]) * TIME_UNIT_NS.get(b.get("time_unit", "ns"), 1.0)
+        if ns <= 0.0:
+            continue
+        if b.get("run_type") == "aggregate":
+            if b.get("aggregate_name") == "median":
+                medians[b.get("run_name", b["name"])] = ns
+        else:
+            plain.setdefault(b.get("run_name", b["name"]), ns)
+    return {**plain, **medians}
+
+
+def geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="ratio-based google-benchmark regression gate",
+        epilog="see the module docstring for the comparison model",
+    )
+    ap.add_argument("--baseline", required=True, help="committed BENCH_*.json")
+    ap.add_argument("--current", required=True, help="freshly produced BENCH_*.json")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="allowed relative-time growth before failing (default 0.30 = 30%%)",
+    )
+    args = ap.parse_args()
+    if args.threshold <= 0:
+        print("bench_compare: --threshold must be positive", file=sys.stderr)
+        return 2
+
+    base = load_times(args.baseline)
+    cur = load_times(args.current)
+    common = sorted(set(base) & set(cur))
+    for name in sorted(set(cur) - set(base)):
+        print(f"  [new]     {name} (no baseline yet — not gated)")
+    for name in sorted(set(base) - set(cur)):
+        print(f"  [missing] {name} (in baseline but not produced — not gated)")
+    if len(common) < 2:
+        print(
+            f"bench_compare: only {len(common)} benchmark(s) common to "
+            f"{args.baseline} and {args.current}; relative comparison needs >= 2. "
+            "Refresh the baseline (bench/baselines/README.md).",
+            file=sys.stderr,
+        )
+        return 2
+
+    gb = geomean([base[n] for n in common])
+    gc = geomean([cur[n] for n in common])
+    rows = []
+    for name in common:
+        ratio = (cur[name] / gc) / (base[name] / gb)
+        rows.append((ratio, name))
+    rows.sort(reverse=True)
+
+    limit = 1.0 + args.threshold
+    failed = [r for r in rows if r[0] > limit]
+    print(
+        f"bench_compare: {args.current} vs {args.baseline} "
+        f"({len(common)} benchmarks, threshold +{args.threshold:.0%})"
+    )
+    print(f"  {'relative':>9}  benchmark  (>1 = slower than baseline, peers-normalized)")
+    for ratio, name in rows:
+        marker = "  << REGRESSION" if ratio > limit else ""
+        print(f"  {ratio:9.3f}  {name}{marker}")
+    if failed:
+        if len(failed) >= max(2, len(common) // 2):
+            # Relative comparison is zero-sum: a large intentional speedup in
+            # one part of the run shifts the geomean and makes everything
+            # ELSE read as slower. Point at the real cause.
+            print(
+                "bench_compare: note — over half the benchmarks read as slower, "
+                "which usually means the others got a lot FASTER (geomean "
+                "shift), not a broad regression; check the <1.0 rows below the "
+                "table and refresh the baseline if so.",
+                file=sys.stderr,
+            )
+        print(
+            f"bench_compare: {len(failed)} benchmark(s) regressed beyond "
+            f"+{args.threshold:.0%}; if intentional, refresh the baseline "
+            "(bench/baselines/README.md).",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,7 @@
 // usim — command-line netlist simulator (the "SPICE" of this repository).
 //
 //   usim <netlist.cir> [--csv=<path>] [--sweep <name>=<spec>]... [--threads=N]
-//        [--quiet]
+//        [--solve-threads=N] [--quiet] [--help]
 //
 // Reads a SPICE-style netlist (including the transducer X-cards and the
 // ARRAY constructs registered by usys::core — see spice/netlist.hpp:
@@ -27,11 +27,16 @@
 // examples/transducer_array.cir.
 //
 // In single-run mode --threads=N instead selects N-thread parallel MNA
-// assembly (NewtonOptions::assembly_threads; bit-identical to serial).
+// assembly (NewtonOptions::assembly_threads) and --solve-threads=N the
+// level-scheduled parallel triangular solves (NewtonOptions::solve_threads;
+// assembly and solve share one pool). Both are bit-identical to serial for
+// any thread count, so threading never changes results. In sweep mode the
+// grid parallelism wins and each point runs serially.
 //
 // Exit codes: 0 = all analyses (all sweep points) succeeded;
 //             1 = an analysis failed to converge / a sweep point failed;
 //             2 = usage, file, or netlist errors.
+// (--help prints the same contract and exits 0.)
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -186,13 +191,18 @@ spice::Netlist parse_netlist(const std::string& text) {
   }
 }
 
-int run_single(const std::string& text, const std::string& csv, int assembly_threads) {
+int run_single(const std::string& text, const std::string& csv, int assembly_threads,
+               int solve_threads) {
   spice::Netlist net = parse_netlist(text);
   if (!net.title.empty()) std::cout << "*" << net.title << "\n";
   spice::AnalysisEngine engine(*net.circuit);
   SeriesSink sink(csv);
+  const auto apply_threads = [&](spice::NewtonOptions& newton) {
+    newton.assembly_threads = assembly_threads;
+    newton.solve_threads = solve_threads;
+  };
   spice::DcOptions dc;
-  dc.newton.assembly_threads = assembly_threads;
+  apply_threads(dc.newton);
   if (net.analyses.empty()) {
     std::cout << "(no analysis cards; running .op)\n";
     return run_op(engine, dc);
@@ -204,12 +214,12 @@ int run_single(const std::string& text, const std::string& csv, int assembly_thr
         rc = run_op(engine, dc);
         break;
       case spice::AnalysisCard::Kind::tran:
-        card.tran.newton.assembly_threads = assembly_threads;
-        card.tran.dc.newton.assembly_threads = assembly_threads;
+        apply_threads(card.tran.newton);
+        apply_threads(card.tran.dc.newton);
         rc = run_tran(engine, card.tran, sink);
         break;
       case spice::AnalysisCard::Kind::ac:
-        card.ac.dc.newton.assembly_threads = assembly_threads;
+        apply_threads(card.ac.dc.newton);
         rc = run_ac(engine, card.ac, sink);
         break;
     }
@@ -426,17 +436,45 @@ int run_sweep(const std::string& text, const std::vector<spice::SweepAxis>& axes
   return failures == 0 ? 0 : 1;
 }
 
+void print_usage(std::ostream& os) {
+  os << "usage: usim <netlist.cir> [--csv=<path>] "
+        "[--sweep <name>=<lo:hi:n | v1,v2,...>]... [--threads=N] "
+        "[--solve-threads=N] [--quiet]\n"
+        "\n"
+        "  --csv=<path>        write full .tran/.ac series (or the sweep table) as CSV\n"
+        "  --sweep name=spec   add one grid axis (lo:hi:n or v1,v2,...); every {name}\n"
+        "                      in the netlist is substituted per point\n"
+        "  --threads=N         sweep mode: N parallel grid workers (0 = auto);\n"
+        "                      single-run mode: N-thread parallel MNA assembly\n"
+        "  --solve-threads=N   single-run mode: N-thread level-scheduled triangular\n"
+        "                      solves (0 = auto); shares the assembly thread pool.\n"
+        "                      Threading is bit-identical to serial — results never\n"
+        "                      depend on N\n"
+        "  --quiet             suppress info/warn chatter (keeps errors)\n"
+        "  --help              print this and exit 0\n"
+        "\n"
+        "exit codes: 0 = all analyses (all sweep points) succeeded\n"
+        "            1 = an analysis failed to converge / a sweep point failed\n"
+        "            2 = usage, file, or netlist errors\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      print_usage(std::cout);
+      return 0;
+    }
+  }
   if (argc < 2) {
-    std::cerr << "usage: usim <netlist.cir> [--csv=<path>] "
-                 "[--sweep <name>=<lo:hi:n | v1,v2,...>]... [--threads=N]\n";
+    print_usage(std::cerr);
     return 2;
   }
   std::string csv;
   std::vector<spice::SweepAxis> axes;
-  int threads = -1;  // flag absent: sweep mode = auto, assembly = serial
+  int threads = -1;        // flag absent: sweep mode = auto, assembly = serial
+  int solve_threads = -1;  // flag absent: serial triangular solves
   for (int i = 2; i < argc; ++i) {
     if (std::strncmp(argv[i], "--csv=", 6) == 0) {
       csv = argv[i] + 6;
@@ -472,6 +510,12 @@ int main(int argc, char** argv) {
         std::cerr << "error: --threads must be >= 0 (0 = auto)\n";
         return 2;
       }
+    } else if (std::strncmp(argv[i], "--solve-threads=", 16) == 0) {
+      solve_threads = std::atoi(argv[i] + 16);
+      if (solve_threads < 0) {
+        std::cerr << "error: --solve-threads must be >= 0 (0 = auto)\n";
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       // Long-documented flag: suppress info/warn chatter (keeps errors).
       set_log_level(LogLevel::error);
@@ -490,8 +534,14 @@ int main(int argc, char** argv) {
   buf << file.rdbuf();
 
   try {
-    if (!axes.empty()) return run_sweep(buf.str(), axes, threads < 0 ? 0 : threads, csv);
-    return run_single(buf.str(), csv, threads < 0 ? 1 : threads);
+    if (!axes.empty()) {
+      if (solve_threads >= 0 && solve_threads != 1)
+        std::cerr << "note: --solve-threads is ignored in sweep mode "
+                     "(grid parallelism wins; each point solves serially)\n";
+      return run_sweep(buf.str(), axes, threads < 0 ? 0 : threads, csv);
+    }
+    return run_single(buf.str(), csv, threads < 0 ? 1 : threads,
+                      solve_threads < 0 ? 1 : solve_threads);
   } catch (const spice::NetlistError& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
