@@ -4,6 +4,8 @@
 
 #include "core/linearized.hpp"
 #include "core/transducers.hpp"
+#include "hdl/interpreter.hpp"
+#include "hdl/stdlib.hpp"
 #include "spice/devices_passive.hpp"
 
 namespace usys::core {
@@ -11,6 +13,7 @@ namespace usys::core {
 using spice::NetlistError;
 using spice::param_or;
 using spice::require_param;
+using spice::sparam_or;
 using spice::XDeviceArgs;
 
 namespace {
@@ -27,9 +30,64 @@ Pins transducer_pins(XDeviceArgs& a) {
           a.node(a.pins[3], Nature::mechanical_translation)};
 }
 
+/// Execution mode for an HDL card: per-card `mode=` wins, then the
+/// `.options hdl=` in effect, then the bytecode default.
+hdl::HdlExecMode hdl_mode(const XDeviceArgs& a) {
+  const std::string text = sparam_or(a, "mode", sparam_or(a, "hdl", "bytecode"));
+  hdl::HdlExecMode mode{};
+  if (!hdl::parse_exec_mode(text, mode))
+    throw NetlistError(a.line, "device '" + a.name + "': bad HDL exec mode '" + text +
+                           "' (ast|bytecode|codegen)");
+  return mode;
+}
+
+/// Registers one 4-pin HDL-AT stdlib transducer card. `generic_of_param`
+/// maps lowercase card keys to the model's generic names; keys absent from
+/// the card fall back to the entity's declared defaults.
+void register_hdl_card(spice::NetlistParser& parser, const std::string& type,
+                       std::string (*source)(), const char* entity,
+                       std::vector<std::pair<std::string, std::string>> generic_of_param) {
+  parser.register_xdevice(
+      type, [source, entity, generic_of_param = std::move(generic_of_param)](
+                XDeviceArgs& a) {
+        const Pins p = transducer_pins(a);
+        std::map<std::string, double> generics;
+        for (const auto& [param, generic] : generic_of_param) {
+          if (const auto it = a.params.find(param); it != a.params.end())
+            generics[generic] = it->second;
+        }
+        a.circuit->add_device(hdl::instantiate(a.name, source(), entity, generics,
+                                               {p.ea, p.eb, p.mc, p.md}, hdl_mode(a)));
+      });
+}
+
 }  // namespace
 
 void register_transducer_devices(spice::NetlistParser& parser) {
+  // `.options hdl=<mode>` selects the executor for HDL cards that follow;
+  // per-card `mode=<mode>` overrides. Values validated at parse time; the
+  // card-level key must be registered so its value bypasses the strict
+  // numeric parameter contract.
+  parser.register_string_option("hdl", [](const std::string& v) {
+    hdl::HdlExecMode m{};
+    return hdl::parse_exec_mode(v, m);
+  });
+  parser.register_string_param("mode");
+
+  // HDL-AT stdlib transducers, executed by the HDL engine (interpreted /
+  // bytecode / native codegen) rather than the hand-written C++ devices —
+  // the netlist-level handle on the paper's central trade-off.
+  register_hdl_card(parser, "HDLTRANSV", &hdl::stdlib::paper_listing1, "eletran",
+                    {{"a", "A"}, {"d", "d"}, {"er", "er"}});
+  register_hdl_card(parser, "HDLTRANSE", &hdl::stdlib::transverse_energy, "etransverse",
+                    {{"a", "A"}, {"d", "d"}, {"er", "er"}});
+  register_hdl_card(parser, "HDLTRANSP", &hdl::stdlib::parallel_electrostatic,
+                    "eparallel", {{"h", "h"}, {"l", "l"}, {"d", "d"}, {"er", "er"}});
+  register_hdl_card(parser, "HDLMAG", &hdl::stdlib::electromagnetic, "emagnetic",
+                    {{"a", "A"}, {"d", "d"}, {"n", "N"}});
+  register_hdl_card(parser, "HDLDYN", &hdl::stdlib::electrodynamic, "edynamic",
+                    {{"n", "N"}, {"r", "r"}, {"b", "B"}});
+
   parser.register_xdevice("ETRANSV", [](XDeviceArgs& a) {
     const Pins p = transducer_pins(a);
     TransducerGeometry g;

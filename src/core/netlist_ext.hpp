@@ -19,6 +19,19 @@
 // electrical bus, each with its own mechanical node "<id>_v<i>" carrying a
 // Mass/Spring/Damper suspension against the fixed frame. dspread varies the
 // gap linearly across elements by +-frac (fabrication-gradient scenarios).
+//
+// HDL-AT stdlib models as netlist cards (same 4-pin order; executed by the
+// HDL engine instead of the hand-written C++ devices — see docs/hdl.md):
+//
+//   X<id> ea eb mc md HDLTRANSV a=<m^2> d=<m> er=<1>   (paper Listing 1)
+//   X<id> ea eb mc md HDLTRANSE a=<m^2> d=<m> er=<1>   (energy-complete)
+//   X<id> ea eb mc md HDLTRANSP h=<m> l=<m> d=<m> er=<1>
+//   X<id> ea eb mc md HDLMAG    a=<m^2> d=<m> n=<turns>
+//   X<id> ea eb mc md HDLDYN    n=<turns> r=<m> b=<T>
+//
+// Every HDL card accepts `mode=ast|bytecode|codegen` (default: the
+// `.options hdl=` setting in effect, else bytecode). This registration also
+// installs the `hdl` string option on the parser.
 #pragma once
 
 #include "spice/netlist.hpp"

@@ -191,10 +191,39 @@ double param_or(const XDeviceArgs& args, const std::string& key, double fallback
   return it == args.params.end() ? fallback : it->second;
 }
 
+std::string sparam_or(const XDeviceArgs& args, const std::string& key,
+                      const std::string& fallback) {
+  if (const auto it = args.sparams.find(key); it != args.sparams.end()) return it->second;
+  if (args.options != nullptr) {
+    if (const auto it = args.options->find(key); it != args.options->end())
+      return it->second;
+  }
+  return fallback;
+}
+
 NetlistParser::NetlistParser() { register_builtin_xdevices(*this); }
 
 void NetlistParser::register_xdevice(const std::string& type, XDeviceFactory factory) {
   xdevices_[to_lower(type)] = std::move(factory);
+}
+
+void NetlistParser::register_string_option(const std::string& key,
+                                           OptionValidator validate) {
+  string_option_keys_[to_lower(key)] = std::move(validate);
+}
+
+void NetlistParser::register_string_param(const std::string& key) {
+  string_param_keys_.insert(to_lower(key));
+}
+
+void NetlistParser::set_option(const std::string& key, const std::string& value) {
+  const std::string k = to_lower(key);
+  const auto it = string_option_keys_.find(k);
+  if (it == string_option_keys_.end())
+    throw NetlistError(0, "unknown option '" + k + "'");
+  if (it->second && !it->second(value))
+    throw NetlistError(0, "bad value '" + value + "' for option '" + k + "'");
+  default_options_[k] = value;
 }
 
 Netlist NetlistParser::parse(const std::string& text) {
@@ -225,6 +254,8 @@ Netlist NetlistParser::parse(const std::string& text) {
     const auto it = declared.find(name);
     return ckt.add_node(name, it != declared.end() ? it->second : fallback);
   };
+
+  StringMap soptions = default_options_;  // string .options in effect
 
   // One device card (anything that is not a '.' directive). Factored out so
   // .array can re-dispatch expanded card instances through the same path.
@@ -322,13 +353,23 @@ Netlist NetlistParser::parse(const std::string& text) {
         args.name = name;
         args.circuit = &ckt;
         args.line = lineno;
+        args.options = &soptions;
         args.node = get_node;
         std::string type;
         for (std::size_t i = 1; i < toks.size(); ++i) {
           const auto eq = toks[i].find('=');
           if (eq != std::string::npos) {
-            args.params[to_lower(toks[i].substr(0, eq))] =
-                parse_num(toks[i].substr(eq + 1), lineno);
+            // Registered string keys (e.g. mode=codegen on HDL cards) pass
+            // verbatim; everything else keeps the strict numeric contract,
+            // so value typos (er=one, m=1e--9) stay hard errors instead of
+            // silently falling through to a factory default.
+            const std::string key = to_lower(toks[i].substr(0, eq));
+            const std::string val = toks[i].substr(eq + 1);
+            if (string_param_keys_.count(key) != 0U) {
+              args.sparams[key] = val;
+            } else {
+              args.params[key] = parse_num(val, lineno);
+            }
           } else if (xdevices_.count(to_lower(toks[i])) != 0U) {
             type = to_lower(toks[i]);
           } else {
@@ -408,6 +449,12 @@ Netlist NetlistParser::parse(const std::string& text) {
             tran_defaults.dt_max = parse_num(val, lineno);
           } else if (key == "reltol") {
             tran_defaults.newton.reltol = parse_num(val, lineno);
+          } else if (const auto so = string_option_keys_.find(key);
+                     so != string_option_keys_.end()) {
+            if (so->second && !so->second(val))
+              throw NetlistError(lineno,
+                                 "bad value '" + val + "' for option '" + key + "'");
+            soptions[key] = val;
           } else {
             throw NetlistError(lineno, "unknown option '" + key + "'");
           }

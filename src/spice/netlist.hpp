@@ -27,14 +27,23 @@
 //         .array 999  XK{i} v{i} v{i+1} SPRING k=2.5
 //       (usys::core also registers a TRANSARRAY macro card that emits a
 //       whole transducer/mass/spring/damper array from a single X card)
-//   .options [method=be|trap|gear] [dtmax=<s>] [reltol=<x>]
+//   .options [method=be|trap|gear] [dtmax=<s>] [reltol=<x>] [<strkey>=<val>]
+//       string-valued keys must be registered (register_string_option);
+//       usys::core registers `hdl=ast|bytecode|codegen` — the execution mode
+//       HDL X cards after this point instantiate with (see docs/hdl.md)
 //   .op | .tran <dtinit> <tstop> | .ac dec|lin <pts> <f0> <f1>
 //   .end
+//
+// X-card parameters whose key is registered as string-valued
+// (register_string_param; usys::core registers `mode` for the HDL cards)
+// are passed to the factory verbatim (XDeviceArgs::sparams). Every other
+// parameter value must parse as a SPICE number — typos stay hard errors.
 #pragma once
 
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -72,13 +81,21 @@ struct Netlist {
 /// Key/value parameters of an X card (keys lowercased).
 using ParamMap = std::map<std::string, double>;
 
+/// String-valued settings: registered `.options` keys plus non-numeric X-card
+/// parameters (keys lowercased in both cases).
+using StringMap = std::map<std::string, std::string>;
+
 /// Context handed to X-device factories.
 struct XDeviceArgs {
   std::string name;                 ///< full device name ("XT1")
   std::vector<std::string> pins;    ///< pin node *names* in card order
   ParamMap params;
+  StringMap sparams;                ///< non-numeric k=v card parameters
   Circuit* circuit = nullptr;
   int line = 0;
+  /// String `.options` in effect at this card (registered keys only; parser
+  /// defaults merged in). Never null during factory dispatch.
+  const StringMap* options = nullptr;
   /// Resolves a pin name to a node id, creating it with `nature` if new.
   std::function<int(const std::string&, Nature)> node;
 };
@@ -93,16 +110,38 @@ class NetlistParser {
   /// Registers an X-card TYPE (uppercased). Later registrations override.
   void register_xdevice(const std::string& type, XDeviceFactory factory);
 
+  /// Declares a string-valued `.options` key (unregistered keys still throw).
+  /// `validate` (optional) vets the value at parse time.
+  using OptionValidator = std::function<bool(const std::string&)>;
+  void register_string_option(const std::string& key, OptionValidator validate = {});
+
+  /// Declares a string-valued X-card parameter key. Unregistered keys keep
+  /// the strict numeric contract (malformed values are parse errors), so a
+  /// typo like `er=one` can never silently fall through to a default.
+  void register_string_param(const std::string& key);
+
+  /// Presets a string option before parsing (e.g. usim --hdl-mode). A later
+  /// `.options` card with the same key overrides it. The key must be
+  /// registered; the value goes through its validator.
+  void set_option(const std::string& key, const std::string& value);
+
   /// Parses netlist text; throws NetlistError with a line number on failure.
   Netlist parse(const std::string& text);
 
  private:
   std::map<std::string, XDeviceFactory> xdevices_;
+  std::map<std::string, OptionValidator> string_option_keys_;
+  std::set<std::string> string_param_keys_;
+  StringMap default_options_;
 };
 
 /// Helper for factories/tests: fetch a required parameter.
 double require_param(const XDeviceArgs& args, const std::string& key);
 /// Fetch with default.
 double param_or(const XDeviceArgs& args, const std::string& key, double fallback);
+/// String parameter with default: the card's own `key=value` wins, then the
+/// `.options` value in effect, then `fallback`.
+std::string sparam_or(const XDeviceArgs& args, const std::string& key,
+                      const std::string& fallback);
 
 }  // namespace usys::spice

@@ -1,7 +1,7 @@
 // usim — command-line netlist simulator (the "SPICE" of this repository).
 //
 //   usim <netlist.cir> [--csv=<path>] [--sweep <name>=<spec>]... [--threads=N]
-//        [--solve-threads=N] [--quiet] [--help]
+//        [--solve-threads=N] [--hdl-mode=<mode>] [--quiet] [--help]
 //
 // Reads a SPICE-style netlist (including the transducer X-cards and the
 // ARRAY constructs registered by usys::core — see spice/netlist.hpp:
@@ -33,6 +33,13 @@
 // any thread count, so threading never changes results. In sweep mode the
 // grid parallelism wins and each point runs serially.
 //
+// --hdl-mode=ast|bytecode|codegen presets the execution mode for HDL
+// behavioral cards (HDLTRANSV & co.): the paper's interpreted tree walk, the
+// bytecode VM (default), or natively compiled models. Equivalent to a
+// leading `.options hdl=<mode>`; the netlist's own `.options hdl=` and
+// per-card `mode=` still override. codegen falls back to the VM (with a
+// warning) when no host compiler is available.
+//
 // Exit codes: 0 = all analyses (all sweep points) succeeded;
 //             1 = an analysis failed to converge / a sweep point failed;
 //             2 = usage, file, or netlist errors.
@@ -53,6 +60,7 @@
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "core/netlist_ext.hpp"
+#include "hdl/interpreter.hpp"
 #include "spice/engine.hpp"
 #include "spice/sweep.hpp"
 
@@ -182,8 +190,9 @@ int run_ac(spice::AnalysisEngine& engine, const spice::AcOptions& opts,
 /// conflicts like duplicate device names (CircuitError) — are netlist
 /// problems: exit 2. A CircuitError thrown later, during an ANALYSIS, is a
 /// runtime failure and keeps exit code 1.
-spice::Netlist parse_netlist(const std::string& text) {
+spice::Netlist parse_netlist(const std::string& text, const std::string& hdl_mode) {
   auto parser = core::make_full_parser();
+  if (!hdl_mode.empty()) parser.set_option("hdl", hdl_mode);
   try {
     return parser.parse(text);
   } catch (const spice::CircuitError& e) {
@@ -192,8 +201,8 @@ spice::Netlist parse_netlist(const std::string& text) {
 }
 
 int run_single(const std::string& text, const std::string& csv, int assembly_threads,
-               int solve_threads) {
-  spice::Netlist net = parse_netlist(text);
+               int solve_threads, const std::string& hdl_mode) {
+  spice::Netlist net = parse_netlist(text, hdl_mode);
   if (!net.title.empty()) std::cout << "*" << net.title << "\n";
   spice::AnalysisEngine engine(*net.circuit);
   SeriesSink sink(csv);
@@ -306,9 +315,9 @@ void node_metrics(spice::SweepOutcome& out, const spice::Circuit& ckt,
 /// metrics (per-node op efforts / final transient values / last-point AC
 /// magnitudes; aggregated on array-scale circuits).
 spice::SweepOutcome sweep_job(const std::string& text, const spice::SweepPoint& point,
-                              int assembly_threads) {
+                              int assembly_threads, const std::string& hdl_mode) {
   spice::SweepOutcome out;
-  spice::Netlist net = parse_netlist(substitute(text, point));
+  spice::Netlist net = parse_netlist(substitute(text, point), hdl_mode);
   spice::Circuit& ckt = *net.circuit;
   spice::AnalysisEngine engine(ckt);
   if (net.analyses.empty()) {
@@ -360,7 +369,7 @@ spice::SweepOutcome sweep_job(const std::string& text, const spice::SweepPoint& 
 }
 
 int run_sweep(const std::string& text, const std::vector<spice::SweepAxis>& axes,
-              int threads, const std::string& csv) {
+              int threads, const std::string& csv, const std::string& hdl_mode) {
   const auto grid = spice::sweep_grid(axes);
   if (grid.empty()) {
     std::cerr << "error: empty sweep grid\n";
@@ -371,8 +380,9 @@ int run_sweep(const std::string& text, const std::vector<spice::SweepAxis>& axes
             << " axes on " << runner.thread_count() << " threads ===\n";
   // Grid parallelism wins in sweep mode: each point assembles serially so
   // points x threads never oversubscribes the machine.
-  const auto results = runner.run(
-      grid, [&](const spice::SweepPoint& p) { return sweep_job(text, p, 1); });
+  const auto results = runner.run(grid, [&](const spice::SweepPoint& p) {
+    return sweep_job(text, p, 1, hdl_mode);
+  });
 
   // Tabulate: axis columns + the union of metric names across successful
   // points, first-seen order. (Metric sets can legitimately differ per
@@ -439,7 +449,7 @@ int run_sweep(const std::string& text, const std::vector<spice::SweepAxis>& axes
 void print_usage(std::ostream& os) {
   os << "usage: usim <netlist.cir> [--csv=<path>] "
         "[--sweep <name>=<lo:hi:n | v1,v2,...>]... [--threads=N] "
-        "[--solve-threads=N] [--quiet]\n"
+        "[--solve-threads=N] [--hdl-mode=<mode>] [--quiet]\n"
         "\n"
         "  --csv=<path>        write full .tran/.ac series (or the sweep table) as CSV\n"
         "  --sweep name=spec   add one grid axis (lo:hi:n or v1,v2,...); every {name}\n"
@@ -450,6 +460,11 @@ void print_usage(std::ostream& os) {
         "                      solves (0 = auto); shares the assembly thread pool.\n"
         "                      Threading is bit-identical to serial — results never\n"
         "                      depend on N\n"
+        "  --hdl-mode=<mode>   execution mode for HDL behavioral cards: ast (the\n"
+        "                      paper's interpreted walk), bytecode (VM, default), or\n"
+        "                      codegen (natively compiled; falls back to the VM when\n"
+        "                      no host compiler is available). Same as a leading\n"
+        "                      '.options hdl=<mode>'; per-card 'mode=' overrides\n"
         "  --quiet             suppress info/warn chatter (keeps errors)\n"
         "  --help              print this and exit 0\n"
         "\n"
@@ -472,6 +487,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   std::string csv;
+  std::string hdl_mode;  // flag absent: the netlist (or bytecode) decides
   std::vector<spice::SweepAxis> axes;
   int threads = -1;        // flag absent: sweep mode = auto, assembly = serial
   int solve_threads = -1;  // flag absent: serial triangular solves
@@ -516,6 +532,14 @@ int main(int argc, char** argv) {
         std::cerr << "error: --solve-threads must be >= 0 (0 = auto)\n";
         return 2;
       }
+    } else if (std::strncmp(argv[i], "--hdl-mode=", 11) == 0) {
+      hdl_mode = argv[i] + 11;
+      hdl::HdlExecMode parsed{};
+      if (!hdl::parse_exec_mode(hdl_mode, parsed)) {
+        std::cerr << "error: bad --hdl-mode '" << hdl_mode
+                  << "' (ast|bytecode|codegen)\n";
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       // Long-documented flag: suppress info/warn chatter (keeps errors).
       set_log_level(LogLevel::error);
@@ -538,10 +562,10 @@ int main(int argc, char** argv) {
       if (solve_threads >= 0 && solve_threads != 1)
         std::cerr << "note: --solve-threads is ignored in sweep mode "
                      "(grid parallelism wins; each point solves serially)\n";
-      return run_sweep(buf.str(), axes, threads < 0 ? 0 : threads, csv);
+      return run_sweep(buf.str(), axes, threads < 0 ? 0 : threads, csv, hdl_mode);
     }
     return run_single(buf.str(), csv, threads < 0 ? 1 : threads,
-                      solve_threads < 0 ? 1 : solve_threads);
+                      solve_threads < 0 ? 1 : solve_threads, hdl_mode);
   } catch (const spice::NetlistError& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
