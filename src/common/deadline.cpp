@@ -1,0 +1,43 @@
+#include "common/deadline.hpp"
+
+#include <limits>
+
+#include "common/fault_inject.hpp"
+
+namespace usys {
+
+Deadline Deadline::after_ms(double ms, const CancelToken* cancel) {
+  Deadline d;
+  d.cancel_ = cancel;
+  if (ms > 0.0) {
+    d.limited_ = true;
+    d.end_ = std::chrono::steady_clock::now() +
+             std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                 std::chrono::duration<double, std::milli>(ms));
+  }
+  return d;
+}
+
+bool Deadline::expired() const noexcept {
+  if (cancel_ != nullptr && cancel_->cancelled()) return true;
+  if (USYS_FAULT_POINT("deadline.expire")) return true;
+  return limited_ && std::chrono::steady_clock::now() >= end_;
+}
+
+FailureKind Deadline::exceeded_kind() const noexcept {
+  return (cancel_ != nullptr && cancel_->cancelled()) ? FailureKind::cancelled
+                                                      : FailureKind::timeout;
+}
+
+void Deadline::check(const char* where) const {
+  if (expired()) throw DeadlineError(exceeded_kind(), where);
+}
+
+double Deadline::remaining_ms() const noexcept {
+  if (expired()) return 0.0;
+  if (!limited_) return std::numeric_limits<double>::infinity();
+  const auto left = end_ - std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(left).count();
+}
+
+}  // namespace usys

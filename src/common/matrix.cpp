@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/fault_inject.hpp"
+
 namespace usys {
 namespace {
 
@@ -20,6 +22,7 @@ template <typename T>
 void lu_solve_impl(Matrix<T>& a, std::vector<T>& b) {
   const std::size_t n = a.rows();
   assert(a.cols() == n && b.size() == n);
+  if (USYS_FAULT_POINT("dense_lu.singular")) throw SingularMatrixError(0);
 
   for (std::size_t k = 0; k < n; ++k) {
     // Partial pivoting: find the row with the largest magnitude in column k.

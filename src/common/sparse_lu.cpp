@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/deadline.hpp"
+#include "common/fault_inject.hpp"
 #include "common/thread_pool.hpp"
 
 namespace usys {
@@ -76,6 +78,8 @@ void SparseLu<T>::factor(const std::vector<T>& csr_vals) {
   if (!analyzed()) throw std::logic_error("SparseLu::factor before analyze");
   if (csr_vals.size() != csc_of_csr_.size())
     throw std::invalid_argument("SparseLu::factor: value count != pattern nonzeros");
+  if (deadline_ != nullptr) deadline_->check("SparseLu::factor");
+  if (USYS_FAULT_POINT("sparse_lu.singular")) throw SingularMatrixError(0);
   for (std::size_t s = 0; s < csr_vals.size(); ++s)
     csc_vals_[static_cast<std::size_t>(csc_of_csr_[s])] = csr_vals[s];
   // Row max-scaling: factor (R A) instead of A so pivot comparisons are
@@ -696,6 +700,7 @@ void SparseLu<T>::solve(std::vector<T>& b) const {
   if (!factored_) throw std::logic_error("SparseLu::solve before factor");
   if (b.size() != static_cast<std::size_t>(n_))
     throw std::invalid_argument("SparseLu::solve: rhs size mismatch");
+  if (deadline_ != nullptr) deadline_->check("SparseLu::solve");
   const int n = n_;
   tmp_.resize(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i)

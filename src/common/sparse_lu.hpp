@@ -36,6 +36,7 @@
 
 namespace usys {
 
+class Deadline;
 class ThreadPool;
 
 /// Fill-reducing column-ordering algorithm used by SparseLu::analyze.
@@ -108,6 +109,13 @@ class SparseLu {
   /// Chunks a parallel solve fans each big level into (1 = serial).
   int solve_threads() const noexcept { return solve_threads_; }
 
+  /// Borrows a deadline (non-owning; null = none): factor() and solve()
+  /// check it at dispatch and throw DeadlineError once it expires, so a
+  /// budgeted Newton loop can never sit inside an unbounded factorization
+  /// chain. The per-call check is one clock read — negligible against the
+  /// factorization itself. The caller must clear (or outlive) the pointer.
+  void set_deadline(const Deadline* deadline) noexcept { deadline_ = deadline; }
+
   /// Dependency-level counts of the recorded factorization's forward (L)
   /// and backward (U) substitutions; 0 before factor(). n_levels << n is
   /// what makes the threaded solve pay.
@@ -168,6 +176,7 @@ class SparseLu {
   ThreadPool* pool_ = nullptr;  ///< non-owning; shared with the MNA assembly
   int solve_threads_ = 1;
   int min_level_rows_ = 48;
+  const Deadline* deadline_ = nullptr;  ///< non-owning; checked at dispatch
 
   // Scratch reused across factorizations/solves (no per-iteration allocs).
   std::vector<T> x_;

@@ -15,6 +15,7 @@
 #include <set>
 #include <vector>
 
+#include "common/fault_inject.hpp"
 #include "common/log.hpp"
 
 namespace usys::hdl::codegen {
@@ -617,6 +618,17 @@ std::uint64_t source_hash(const std::string& source) {
 }
 
 const CompiledModel* acquire(const BytecodeProgram& p) {
+  // Injected compile failure: forces the VM fallback without poisoning the
+  // registry's failed set, so the same shape compiles normally once the
+  // site is disarmed.
+  if (USYS_FAULT_POINT("codegen.compile")) {
+    std::string msg("HDL codegen: entity '");
+    msg += p.entity_name;
+    msg += "': injected compile failure; falling back to the bytecode VM";
+    log_warn(msg);
+    return nullptr;
+  }
+
   // Hash the program structure directly — the per-instance fast path must
   // not emit kilobytes of source just to look up the registry (arrays bind
   // thousands of instances of one shape).

@@ -101,7 +101,9 @@ class HdlDevice final : public spice::Device {
   double integ_state(int site) const;
 
   /// Distinct ASSERT sites that have fired so far (each site warns once).
-  int assert_violations() const noexcept { return static_cast<int>(asserted_.size()); }
+  int assert_violations() const noexcept override {
+    return static_cast<int>(asserted_.size());
+  }
 
  private:
   using Pass = HdlPass;

@@ -27,6 +27,10 @@ struct OpResult {
   int newton_iterations = 0;
   bool used_sparse = false;
   int symbolic_factorizations = 0;  ///< see NewtonResult
+  bool used_gmin_stepping = false;    ///< rescue ladder: gmin continuation won
+  bool used_source_stepping = false;  ///< rescue ladder: source ramp won
+  /// Structured failure when converged is false; ok() otherwise.
+  FailureInfo failure;
 
   /// Effort at a node id (ground reads 0).
   double at(int node) const { return node < 0 ? 0.0 : x.at(static_cast<std::size_t>(node)); }
@@ -46,17 +50,39 @@ struct TranOptions {
   IntegMethod method = IntegMethod::trapezoidal;
   bool adaptive = true;     ///< LTE-based step control; false = fixed dt_init
   double lte_reltol = 1e-4;
+  /// Hard ceiling on attempted steps (accepted + rejected). Hitting it ends
+  /// the run with FailureKind::max_steps_exceeded and the points computed so
+  /// far — a structured verdict, not silent truncation. <= 0 disables.
+  long max_steps = 20'000'000;
+  /// Fail the run with FailureKind::assert_violation as soon as an accepted
+  /// step leaves any device with a fired HDL ASSERT site. Default off: the
+  /// historical behavior (warn and keep integrating) is often what a
+  /// survivability study wants; batch drivers turn this on to get a
+  /// machine-readable verdict instead.
+  bool fail_on_assert = false;
+  /// newton.timeout_ms / newton.cancel budget the WHOLE transient including
+  /// the initial operating point (the dc options' own budget fields are
+  /// ignored inside run_tran).
   NewtonOptions newton{.max_iters = 50, .reltol = 1e-6, .gmin = 1e-12, .damping_limit = 0.0};
   DcOptions dc;             ///< options for the initial operating point
 };
 
 struct TranResult {
   bool ok = false;
+  /// Human-readable failure summary; always failure.to_string() when the
+  /// run failed (kept as a string for existing callers and logs).
   std::string error;
+  /// Structured failure when ok is false: step_underflow,
+  /// max_steps_exceeded, timeout, cancelled, assert_violation, or the
+  /// initial operating point's failure. failure.time is the transient time
+  /// reached. ok() when the run succeeded.
+  FailureInfo failure;
   std::vector<double> time;
   std::vector<DVector> x;          ///< accepted solutions, one per time point
   int total_newton_iters = 0;
   int rejected_steps = 0;
+  bool used_gmin_stepping = false;    ///< initial OP needed the gmin ladder
+  bool used_source_stepping = false;  ///< initial OP needed the source ramp
   bool used_sparse = false;
   /// Full (pivot-searching) sparse factorizations of the transient's own
   /// Newton iterations across ALL timesteps (the initial operating point
@@ -99,7 +125,11 @@ struct AcOptions {
 
 struct AcResult {
   bool ok = false;
+  /// Human-readable failure summary (failure.to_string() on failure).
   std::string error;
+  /// Structured failure when ok is false; failure.time carries the
+  /// frequency for per-point failures (singular system).
+  FailureInfo failure;
   std::vector<double> freq;
   std::vector<ZVector> x;  ///< complex solution per frequency
   bool used_sparse = false;

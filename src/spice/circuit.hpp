@@ -100,6 +100,12 @@ class Device {
   /// Called after each accepted transient step to commit internal states.
   virtual void accept(const AcceptCtx& ctx) { (void)ctx; }
 
+  /// Distinct run-time boundary-condition (HDL ASSERT) sites this device
+  /// has seen fire so far; 0 for devices without such checks. The transient
+  /// engine polls this after accepted steps when TranOptions::fail_on_assert
+  /// is set, turning a warned-once violation into a structured failure.
+  virtual int assert_violations() const { return 0; }
+
  private:
   std::string name_;
 };

@@ -2,14 +2,45 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
+#include <new>
 
 #include "common/constants.hpp"
+#include "common/deadline.hpp"
+#include "common/fault_inject.hpp"
 #include "common/log.hpp"
 #include "common/strings.hpp"
 #include "common/thread_pool.hpp"
 
 namespace usys::spice {
+
+namespace {
+
+/// Installs an analysis-scope deadline on the engine's shared solver and
+/// guarantees removal on every exit path — the Deadline lives on the
+/// analysis call's stack, and the solver outlives the call.
+class SolverDeadlineGuard {
+ public:
+  SolverDeadlineGuard(NewtonSolver& solver, const Deadline& dl) : solver_(solver) {
+    if (dl.active()) solver_.set_deadline(&dl);
+  }
+  ~SolverDeadlineGuard() { solver_.set_deadline(nullptr); }
+
+  SolverDeadlineGuard(const SolverDeadlineGuard&) = delete;
+  SolverDeadlineGuard& operator=(const SolverDeadlineGuard&) = delete;
+
+ private:
+  NewtonSolver& solver_;
+};
+
+/// Deadline/cancel verdicts abort the whole analysis — retrying a later
+/// rescue stage after a timeout would just time out again, later.
+bool hard_stop(FailureKind k) noexcept {
+  return k == FailureKind::timeout || k == FailureKind::cancelled;
+}
+
+}  // namespace
 
 AnalysisEngine::AnalysisEngine(Circuit& circuit) : circuit_(circuit) {
   circuit_.bind_all();
@@ -48,6 +79,11 @@ void AnalysisEngine::enter_regime(NewtonSolver& solver, FactorRegime regime) {
 // ---------------------------------------------------------------------------
 
 DcResult AnalysisEngine::run_dc(const DcOptions& opts) {
+  const Deadline dl = Deadline::after_ms(opts.newton.timeout_ms, opts.newton.cancel);
+  return run_dc_under(opts, dl);
+}
+
+DcResult AnalysisEngine::run_dc_under(const DcOptions& opts, const Deadline& dl) {
   DcResult out;
   out.x.assign(static_cast<std::size_t>(circuit_.unknown_count()), 0.0);
 
@@ -59,11 +95,17 @@ DcResult AnalysisEngine::run_dc(const DcOptions& opts) {
   // factorization is computed (at most) once for the whole analysis.
   NewtonSolver& solver = solver_for(opts.newton);
   enter_regime(solver, FactorRegime::dc);
+  const SolverDeadlineGuard guard(solver, dl);
   const int sym0 = solver.symbolic_factorizations();
   const auto harvest_stats = [&] {
     out.used_sparse = solver.sparse_active();
     out.symbolic_factorizations = solver.symbolic_factorizations() - sym0;
   };
+
+  // Verdict of the most recent stage, for the structured failure record.
+  FailureKind last_kind = FailureKind::none;
+  const char* last_stage = "plain newton";
+  int rescue_attempts = 0;
 
   // 1. Plain Newton from the zero vector.
   {
@@ -76,11 +118,14 @@ DcResult AnalysisEngine::run_dc(const DcOptions& opts) {
       harvest_stats();
       return out;
     }
+    last_kind = r.failure;
   }
 
   // 2. gmin stepping: start with a heavy shunt and relax it geometrically,
   //    warm-starting each stage with the previous solution.
-  if (opts.allow_gmin_stepping) {
+  if (opts.allow_gmin_stepping && !hard_stop(last_kind)) {
+    ++rescue_attempts;
+    last_stage = "gmin stepping";
     DVector x(static_cast<std::size_t>(circuit_.unknown_count()), 0.0);
     bool ok = true;
     // The floor keeps the loop finite when the user disables the shunt
@@ -92,6 +137,7 @@ DcResult AnalysisEngine::run_dc(const DcOptions& opts) {
       out.total_newton_iters += r.iterations;
       if (!r.converged) {
         ok = false;
+        last_kind = r.failure;
         break;
       }
     }
@@ -106,7 +152,9 @@ DcResult AnalysisEngine::run_dc(const DcOptions& opts) {
   }
 
   // 3. Source stepping: ramp all independent sources from 0 to 100 %.
-  if (opts.allow_source_stepping) {
+  if (opts.allow_source_stepping && !hard_stop(last_kind)) {
+    ++rescue_attempts;
+    last_stage = "source stepping";
     DVector x(static_cast<std::size_t>(circuit_.unknown_count()), 0.0);
     bool ok = true;
     for (double scale = 0.1; scale <= 1.0 + 1e-12; scale += 0.1) {
@@ -116,6 +164,7 @@ DcResult AnalysisEngine::run_dc(const DcOptions& opts) {
       out.total_newton_iters += r.iterations;
       if (!r.converged) {
         ok = false;
+        last_kind = r.failure;
         break;
       }
     }
@@ -129,7 +178,13 @@ DcResult AnalysisEngine::run_dc(const DcOptions& opts) {
   }
 
   harvest_stats();
-  log_warn("solve_dc: no convergence (plain, gmin stepping, source stepping all failed)");
+  const std::string detail =
+      hard_stop(last_kind) ? std::string("stopped during ") + last_stage
+                           : std::string("no convergence (last stage: ") + last_stage + ")";
+  out.failure = make_failure(last_kind, "dc", detail,
+                             std::numeric_limits<double>::quiet_NaN(),
+                             out.total_newton_iters, rescue_attempts);
+  log_warn("solve_dc: " + out.failure.to_string());
   return out;
 }
 
@@ -141,6 +196,9 @@ OpResult AnalysisEngine::run_op(const DcOptions& opts) {
   out.newton_iterations = dc.total_newton_iters;
   out.used_sparse = dc.used_sparse;
   out.symbolic_factorizations = dc.symbolic_factorizations;
+  out.used_gmin_stepping = dc.used_gmin_stepping;
+  out.used_source_stepping = dc.used_source_stepping;
+  out.failure = dc.failure;
   return out;
 }
 
@@ -188,16 +246,33 @@ TranResult AnalysisEngine::run_tran(const TranOptions& opts) {
   TranResult out;
   const std::size_t n = static_cast<std::size_t>(circuit_.unknown_count());
 
+  // Injected allocation failure: exercises the sweep runner's exception
+  // isolation boundary (FailureKind::alloc_failure).
+  if (USYS_FAULT_POINT("engine.alloc")) throw std::bad_alloc();
+
+  // One deadline budgets the WHOLE transient: initial operating point plus
+  // the stepping loop (the dc options' own budget fields are ignored).
+  const Deadline dl = Deadline::after_ms(opts.newton.timeout_ms, opts.newton.cancel);
+
   // --- Initial operating point --------------------------------------------
-  const OpResult op = run_op(opts.dc);
-  if (!op.converged) {
-    out.error = "transient: initial operating point did not converge";
+  DcOptions dc_opts = opts.dc;
+  dc_opts.newton.timeout_ms = 0.0;
+  dc_opts.newton.cancel = nullptr;
+  const DcResult dc = run_dc_under(dc_opts, dl);
+  out.used_gmin_stepping = dc.used_gmin_stepping;
+  out.used_source_stepping = dc.used_source_stepping;
+  if (!dc.converged) {
+    out.failure = dc.failure;
+    out.failure.analysis = "tran";
+    out.failure.time = 0.0;
+    out.failure.detail = "initial operating point: " + out.failure.detail;
+    out.error = out.failure.to_string();
     log_warn(out.error);
     return out;
   }
-  out.total_newton_iters += op.newton_iterations;
+  out.total_newton_iters += dc.total_newton_iters;
 
-  DVector x = op.x;
+  DVector x = dc.x;
   for (const auto& dev : circuit_.devices()) dev->start_transient(x);
 
   // --- Breakpoints ----------------------------------------------------------
@@ -215,7 +290,21 @@ TranResult AnalysisEngine::run_tran(const TranOptions& opts) {
 
   NewtonSolver& solver = solver_for(opts.newton);
   enter_regime(solver, FactorRegime::transient);
+  const SolverDeadlineGuard guard(solver, dl);
   const int sym0 = solver.symbolic_factorizations();
+  const auto harvest_stats = [&] {
+    out.used_sparse = solver.sparse_active();
+    out.symbolic_factorizations = solver.symbolic_factorizations() - sym0;
+  };
+  // Every early exit below carries a structured verdict; fail() renders the
+  // legacy error string from it so existing log consumers see one line.
+  const auto fail = [&](FailureKind kind, std::string detail, double at_t) {
+    out.failure = make_failure(kind, "tran", std::move(detail), at_t,
+                               out.total_newton_iters);
+    out.error = out.failure.to_string();
+    log_warn(out.error);
+    harvest_stats();
+  };
 
   // Harvest q at the DC point so the first step's history is consistent
   // (value-only stamp: the Jacobians are not needed between steps).
@@ -240,10 +329,21 @@ TranResult AnalysisEngine::run_tran(const TranOptions& opts) {
 
   const DVector& abstol = circuit_.abstol();
 
-  int safety = 0;
-  const int max_steps = 20'000'000;
+  long attempted_steps = 0;
 
-  while (t < opts.tstop - 1e-15 && safety++ < max_steps) {
+  while (t < opts.tstop - 1e-15) {
+    // Step-ceiling and deadline polls at the step boundary: a budgeted or
+    // bounded run always ends with a structured verdict, never a silent
+    // truncation and never a hang.
+    if (opts.max_steps > 0 && ++attempted_steps > opts.max_steps) {
+      fail(FailureKind::max_steps_exceeded,
+           str_format("step ceiling (%ld attempted steps) hit", opts.max_steps), t);
+      return out;
+    }
+    if (dl.active() && dl.expired()) {
+      fail(dl.exceeded_kind(), "deadline expired at step boundary", t);
+      return out;
+    }
     h = std::min(h, dt_max);
     h = std::max(h, dt_min);
     // Land exactly on the next breakpoint (waveform corner or tstop).
@@ -292,6 +392,13 @@ TranResult AnalysisEngine::run_tran(const TranOptions& opts) {
 
     const NewtonResult nr = solver.solve(ctx, sc.a0, hist, x_new);
     out.total_newton_iters += nr.iterations;
+    if (hard_stop(nr.failure)) {
+      // Do NOT halve the step on a timeout/cancel verdict — the solve did
+      // not fail numerically, the budget ran out; retrying smaller would
+      // burn the remaining budget on a doomed bisection.
+      fail(nr.failure, "deadline expired in Newton solve", t);
+      return out;
+    }
 
     bool accept = nr.converged;
     double lte_ratio = 0.0;
@@ -318,8 +425,10 @@ TranResult AnalysisEngine::run_tran(const TranOptions& opts) {
                            nr.iterations));
       h *= 0.5;
       if (h < dt_min) {
-        out.error = str_format("transient: step underflow at t=%.6e", t);
-        log_warn(out.error);
+        fail(FailureKind::step_underflow,
+             str_format("h fell below dt_min=%.3e after %s reject", dt_min,
+                        nr.converged ? "lte" : "newton"),
+             t);
         return out;
       }
       continue;
@@ -362,6 +471,19 @@ TranResult AnalysisEngine::run_tran(const TranOptions& opts) {
     out.time.push_back(t);
     out.x.push_back(x);
 
+    // Promote warned-once HDL ASSERT firings into a structured failure when
+    // asked: the offending point is kept (pushed above) so a post-mortem
+    // sees the state that violated the boundary condition.
+    if (opts.fail_on_assert) {
+      int violations = 0;
+      for (const auto& dev : circuit_.devices()) violations += dev->assert_violations();
+      if (violations > 0) {
+        fail(FailureKind::assert_violation,
+             str_format("%d ASSERT site(s) fired", violations), t);
+        return out;
+      }
+    }
+
     if (opts.adaptive) {
       // Step-size controller: target lte_ratio ~ 0.5, second-order method.
       double grow = 2.0;
@@ -374,8 +496,7 @@ TranResult AnalysisEngine::run_tran(const TranOptions& opts) {
   }
 
   out.ok = true;
-  out.used_sparse = solver.sparse_active();
-  out.symbolic_factorizations = solver.symbolic_factorizations() - sym0;
+  harvest_stats();
   return out;
 }
 
@@ -387,9 +508,23 @@ AcResult AnalysisEngine::run_ac(const AcOptions& opts) {
   AcResult out;
   const std::size_t n = static_cast<std::size_t>(circuit_.unknown_count());
 
-  const OpResult op = run_op(opts.dc);
-  if (!op.converged) {
-    out.error = "ac: operating point did not converge";
+  // One deadline budgets the operating point AND the frequency sweep.
+  const Deadline dl = Deadline::after_ms(opts.dc.newton.timeout_ms, opts.dc.newton.cancel);
+  const auto fail = [&](FailureKind kind, std::string detail, double at_f) {
+    out.failure = make_failure(kind, "ac", std::move(detail), at_f);
+    out.error = out.failure.to_string();
+    log_warn(out.error);
+  };
+
+  DcOptions dc_opts = opts.dc;
+  dc_opts.newton.timeout_ms = 0.0;
+  dc_opts.newton.cancel = nullptr;
+  const DcResult dc = run_dc_under(dc_opts, dl);
+  if (!dc.converged) {
+    out.failure = dc.failure;
+    out.failure.analysis = "ac";
+    out.failure.detail = "operating point: " + out.failure.detail;
+    out.error = out.failure.to_string();
     log_warn(out.error);
     return out;
   }
@@ -401,9 +536,9 @@ AcResult AnalysisEngine::run_ac(const AcOptions& opts) {
   EvalCtx ctx;
   ctx.mode = AnalysisMode::dc;
   if (solver.sparse_active()) {
-    solver.assemble_sparse(ctx, op.x, f, q);
+    solver.assemble_sparse(ctx, dc.x, f, q);
   } else {
-    solver.stamp(ctx, op.x, f, q, jf, jq);
+    solver.stamp(ctx, dc.x, f, q, jf, jq);
   }
 
   // Complex excitation vector from the devices' AC sources.
@@ -441,8 +576,13 @@ AcResult AnalysisEngine::run_ac(const AcOptions& opts) {
     // solve_threads > 1) instead of spawning a second one per run_ac call.
     if (solve_threads > 1 && solver.shared_pool() != nullptr)
       zlu.set_parallel(solver.shared_pool(), solve_threads);
+    if (dl.active()) zlu.set_deadline(&dl);
     std::vector<std::complex<double>> avals(pattern.nonzeros());
     for (double fr : freqs) {
+      if (dl.active() && dl.expired()) {
+        fail(dl.exceeded_kind(), "deadline expired in frequency sweep", fr);
+        return out;
+      }
       const std::complex<double> jw(0.0, 2.0 * kPi * fr);
       for (std::size_t k = 0; k < avals.size(); ++k)
         avals[k] = std::complex<double>(jfv[k], 0.0) + jw * jqv[k];
@@ -451,8 +591,11 @@ AcResult AnalysisEngine::run_ac(const AcOptions& opts) {
         zlu.factor(avals);
         zlu.solve(b);
       } catch (const SingularMatrixError&) {
-        out.error = str_format("ac: singular system at f=%.6e Hz", fr);
-        log_warn(out.error);
+        fail(FailureKind::singular_matrix,
+             str_format("singular system at f=%.6e Hz", fr), fr);
+        return out;
+      } catch (const DeadlineError& e) {
+        fail(e.kind(), "deadline expired in factor/solve", fr);
         return out;
       }
       out.freq.push_back(fr);
@@ -462,6 +605,10 @@ AcResult AnalysisEngine::run_ac(const AcOptions& opts) {
     out.symbolic_factorizations = zlu.symbolic_factorizations();
   } else {
     for (double fr : freqs) {
+      if (dl.active() && dl.expired()) {
+        fail(dl.exceeded_kind(), "deadline expired in frequency sweep", fr);
+        return out;
+      }
       const std::complex<double> jw(0.0, 2.0 * kPi * fr);
       ZMatrix a(n, n);
       for (std::size_t r = 0; r < n; ++r) {
@@ -473,8 +620,8 @@ AcResult AnalysisEngine::run_ac(const AcOptions& opts) {
       try {
         lu_solve(a, b);
       } catch (const SingularMatrixError&) {
-        out.error = str_format("ac: singular system at f=%.6e Hz", fr);
-        log_warn(out.error);
+        fail(FailureKind::singular_matrix,
+             str_format("singular system at f=%.6e Hz", fr), fr);
         return out;
       }
       out.freq.push_back(fr);

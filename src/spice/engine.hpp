@@ -67,6 +67,11 @@ class AnalysisEngine {
   /// re-tuned in place otherwise.
   NewtonSolver& solver_for(const NewtonOptions& opts);
 
+  /// run_dc under a caller-owned deadline, so run_tran / run_ac can make one
+  /// budget cover their initial operating point AND their own stepping (the
+  /// dc options' own timeout fields are zeroed by those callers).
+  DcResult run_dc_under(const DcOptions& opts, const Deadline& dl);
+
   /// Which numerical regime the shared solver's recorded pivot order came
   /// from. Crossing regimes (DC <-> transient) drops the pivot order so
   /// results never depend on what ran before — same-regime reruns keep it.

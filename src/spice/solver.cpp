@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/fault_inject.hpp"
 #include "common/log.hpp"
 #include "common/strings.hpp"
 #include "spice/engine.hpp"
@@ -120,7 +121,24 @@ NewtonResult NewtonSolver::solve(EvalCtx ctx_proto, double a0, const DVector& hi
   const std::size_t n = x.size();
   const DVector& abstol = circuit_.abstol();
 
+  // Injected Newton stall: the whole solve reports divergence immediately,
+  // exactly as a real never-converging iteration would after max_iters —
+  // this is how tests drive the DC rescue ladder and the transient
+  // step-rejection path on demand.
+  if (USYS_FAULT_POINT("newton.stall")) {
+    result.failure = FailureKind::newton_divergence;
+    return result;
+  }
+
   for (int iter = 0; iter < opts_.max_iters; ++iter) {
+    // Deadline poll at the iteration boundary: a budgeted analysis can
+    // never sit in the Newton loop past its budget, whatever the devices
+    // or the matrix do.
+    if (deadline_ != nullptr && deadline_->expired()) {
+      result.failure = deadline_->exceeded_kind();
+      result.iterations = iter;
+      return result;
+    }
     bool singular = false;
     if (sparse_active()) {
       assemble_sparse(ctx_proto, x, f_, q_);
@@ -139,6 +157,10 @@ NewtonResult NewtonSolver::solve(EvalCtx ctx_proto, double a0, const DVector& hi
         lu_.solve(dx_);
       } catch (const SingularMatrixError&) {
         singular = true;
+      } catch (const DeadlineError& e) {
+        result.failure = e.kind();
+        result.iterations = iter;
+        return result;
       }
     } else {
       stamp(ctx_proto, x, f_, q_, jf_, jq_);
@@ -164,6 +186,7 @@ NewtonResult NewtonSolver::solve(EvalCtx ctx_proto, double a0, const DVector& hi
     if (singular) {
       log_debug("newton: singular jacobian at iter " + std::to_string(iter));
       result.converged = false;
+      result.failure = FailureKind::singular_matrix;
       result.iterations = iter + 1;
       return result;
     }
@@ -196,6 +219,7 @@ NewtonResult NewtonSolver::solve(EvalCtx ctx_proto, double a0, const DVector& hi
     result.final_error = max_weighted;
     if (!finite) {
       result.converged = false;
+      result.failure = FailureKind::newton_divergence;
       return result;
     }
     if (max_weighted < 1.0) {
@@ -204,6 +228,7 @@ NewtonResult NewtonSolver::solve(EvalCtx ctx_proto, double a0, const DVector& hi
     }
   }
   result.converged = false;
+  result.failure = FailureKind::newton_divergence;
   return result;
 }
 

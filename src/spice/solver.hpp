@@ -18,7 +18,9 @@
 
 #include <memory>
 
+#include "common/deadline.hpp"
 #include "common/sparse_lu.hpp"
+#include "common/status.hpp"
 #include "spice/circuit.hpp"
 #include "spice/mna.hpp"
 
@@ -58,6 +60,17 @@ struct NewtonOptions {
   /// simple min-degree variant remains selectable as the quality baseline
   /// (bench_solver_scaling compares the two).
   LuOrdering ordering = LuOrdering::amd;
+  /// Wall-clock budget for the WHOLE analysis this options object drives
+  /// (run_dc including its rescue ladder; run_tran including its initial
+  /// operating point; run_ac including its sweep). 0 = unlimited. On expiry
+  /// the analysis stops at the next poll — Newton iteration boundary,
+  /// transient step boundary, or sparse factor/solve dispatch — and reports
+  /// FailureKind::timeout. usim exposes this as --timeout (milliseconds).
+  double timeout_ms = 0.0;
+  /// Optional cooperative cancel token (non-owning; must outlive the run).
+  /// Polled at the same sites as the timeout; firing reports
+  /// FailureKind::cancelled. This is the server-mode kill switch.
+  const CancelToken* cancel = nullptr;
 };
 
 struct NewtonResult {
@@ -69,6 +82,10 @@ struct NewtonResult {
   /// total — stays at 1 across all iterations/timesteps of an analysis
   /// while the pattern and pivot order hold. 0 on the dense path.
   int symbolic_factorizations = 0;
+  /// Why the solve stopped when converged is false: singular_matrix,
+  /// newton_divergence (stall / max iters / non-finite update), timeout, or
+  /// cancelled. none while converged.
+  FailureKind failure = FailureKind::none;
 };
 
 /// One Newton solve at fixed (a0, hist, ctx template). `ctx_proto` supplies
@@ -123,6 +140,15 @@ class NewtonSolver {
   /// continuation.
   void set_gmin(double gmin) noexcept { opts_.gmin = gmin; }
 
+  /// Borrows the analysis-scope deadline (non-owning; null = none). Checked
+  /// at every Newton iteration boundary and forwarded into the sparse LU's
+  /// factor/solve dispatch. The engine clears it when the analysis returns
+  /// (the deadline lives on the analysis call's stack).
+  void set_deadline(const Deadline* deadline) noexcept {
+    deadline_ = deadline;
+    lu_.set_deadline(deadline);
+  }
+
   /// Re-tunes the iteration controls (max_iters, reltol, gmin,
   /// damping_limit) without touching the allocated backend, so one solver —
   /// and its compiled pattern and symbolic factorization — can serve
@@ -135,6 +161,8 @@ class NewtonSolver {
     opts_.reltol = opts.reltol;
     opts_.gmin = opts.gmin;
     opts_.damping_limit = opts.damping_limit;
+    opts_.timeout_ms = opts.timeout_ms;
+    opts_.cancel = opts.cancel;
   }
 
   /// True when `a` and `b` would build the same solver backend (the fields
@@ -158,6 +186,7 @@ class NewtonSolver {
   std::unique_ptr<MnaAssembler> assembler_;  // sparse backend only
   DSparseLu lu_;
   std::vector<double> jac_vals_;
+  const Deadline* deadline_ = nullptr;  ///< non-owning; see set_deadline
 };
 
 /// Full DC operating point with gmin/source stepping fallbacks.
@@ -175,6 +204,10 @@ struct DcResult {
   bool used_source_stepping = false;
   bool used_sparse = false;
   int symbolic_factorizations = 0;  ///< see NewtonResult
+  /// Structured failure when converged is false (kind carries the LAST
+  /// stage's verdict; rescue_attempts counts the ladder strategies tried:
+  /// gmin stepping and source stepping each count one). ok() when converged.
+  FailureInfo failure;
 };
 
 DcResult solve_dc(Circuit& circuit, const DcOptions& opts = {});

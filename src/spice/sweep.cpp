@@ -1,9 +1,13 @@
 #include "spice/sweep.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <mutex>
+#include <new>
 #include <stdexcept>
 
 #include "common/thread_pool.hpp"
+#include "spice/checkpoint.hpp"
 
 namespace usys::spice {
 
@@ -52,21 +56,121 @@ std::vector<SweepPoint> sweep_grid(const std::vector<SweepAxis>& axes) {
   return grid;
 }
 
+bool shard_owns(std::size_t index, int shard_index, int shard_count) noexcept {
+  if (shard_count <= 1) return true;
+  return index % static_cast<std::size_t>(shard_count) ==
+         static_cast<std::size_t>(shard_index - 1);
+}
+
 SweepRunner::SweepRunner(int threads) : threads_(ThreadPool::resolve_threads(threads)) {}
+
+namespace {
+
+/// The isolation boundary: whatever escapes the job becomes a structured
+/// per-point failure, never a batch abort. bad_alloc is distinguished (the
+/// one exception a survivability sweep most wants to see by kind); anything
+/// else is internal_error. `error` stays exactly e.what() — the stable
+/// contract existing callers rely on.
+SweepOutcome run_isolated(const SweepRunner::RetryJob& job, const SweepPoint& point,
+                          int attempt) {
+  SweepOutcome out;
+  try {
+    out = job(point, attempt);
+  } catch (const std::bad_alloc&) {
+    out = SweepOutcome{};
+    out.error = "allocation failure";
+    out.failure = make_failure(FailureKind::alloc_failure, "sweep", "std::bad_alloc");
+  } catch (const std::exception& e) {
+    out = SweepOutcome{};
+    out.error = e.what();
+    out.failure = make_failure(FailureKind::internal_error, "sweep", e.what());
+  }
+  // A job may signal failure without filling the structured record (legacy
+  // jobs set only ok/error); backfill so the checkpoint always has a kind.
+  if (!out.ok && out.failure.ok())
+    out.failure = make_failure(FailureKind::internal_error, "sweep", out.error);
+  return out;
+}
+
+}  // namespace
 
 std::vector<SweepOutcome> SweepRunner::run(const std::vector<SweepPoint>& grid,
                                            const Job& job) const {
+  return run(
+      grid, [&job](const SweepPoint& p, int /*attempt*/) { return job(p); },
+      SweepOptions{});
+}
+
+std::vector<SweepOutcome> SweepRunner::run(const std::vector<SweepPoint>& grid,
+                                           const RetryJob& job,
+                                           const SweepOptions& opts) const {
   std::vector<SweepOutcome> results(grid.size());
-  ThreadPool pool(std::min<int>(threads_, static_cast<int>(grid.size())));
-  pool.run(static_cast<int>(grid.size()), [&](int i) {
-    const auto k = static_cast<std::size_t>(i);
-    try {
-      results[k] = job(grid[k]);
-    } catch (const std::exception& e) {
-      results[k].ok = false;
-      results[k].error = e.what();
+
+  // --- Resume: restore completed points before scheduling anything --------
+  // "Completed" means recorded ok with the same parameters; failed points
+  // are unfinished and re-run (that is what resuming is for). A parameter
+  // mismatch means the checkpoint belongs to a different grid — refuse
+  // rather than silently mixing results.
+  if (!opts.resume_path.empty()) {
+    CheckpointData ckpt;
+    std::string err;
+    if (!load_checkpoint(opts.resume_path, ckpt, &err))
+      throw std::runtime_error("sweep resume: " + err);
+    for (const auto& [index, rec] : ckpt.records) {
+      if (index < 0 || static_cast<std::size_t>(index) >= grid.size())
+        throw std::runtime_error(
+            "sweep resume: checkpoint index " + std::to_string(index) +
+            " outside the grid (" + std::to_string(grid.size()) + " points)");
+      const auto k = static_cast<std::size_t>(index);
+      if (rec.point.params != grid[k].params)
+        throw std::runtime_error("sweep resume: checkpoint point " + std::to_string(index) +
+                                 " has different parameters than the grid — wrong "
+                                 "checkpoint file for this sweep");
+      if (!rec.outcome.ok) continue;  // unfinished: re-run
+      results[k] = rec.outcome;
+      results[k].restored = true;
+      results[k].attempts = 0;
     }
-  });
+  }
+
+  // --- Work list: on-shard, not restored ----------------------------------
+  std::vector<std::size_t> todo;
+  todo.reserve(grid.size());
+  for (std::size_t k = 0; k < grid.size(); ++k) {
+    if (results[k].restored) continue;
+    if (!shard_owns(k, opts.shard_index, opts.shard_count)) {
+      results[k].skipped = true;
+      continue;
+    }
+    todo.push_back(k);
+  }
+
+  std::unique_ptr<CheckpointWriter> writer;
+  std::mutex writer_mu;
+  if (!opts.checkpoint_path.empty())
+    writer = std::make_unique<CheckpointWriter>(opts.checkpoint_path);
+
+  if (!todo.empty()) {
+    ThreadPool pool(std::min<int>(threads_, static_cast<int>(todo.size())));
+    pool.run(static_cast<int>(todo.size()), [&](int i) {
+      const std::size_t k = todo[static_cast<std::size_t>(i)];
+      SweepOutcome out = run_isolated(job, grid[k], 0);
+      out.attempts = 1;
+      for (int attempt = 1; !out.ok && attempt <= opts.retries; ++attempt) {
+        SweepOutcome retry = run_isolated(job, grid[k], attempt);
+        retry.attempts = attempt + 1;
+        out = std::move(retry);
+      }
+      if (writer) {
+        // Journal the FINAL verdict only (retries are one point's attempts,
+        // not separate records); serialize appends — completion order is
+        // nondeterministic, the per-index records make that harmless.
+        std::lock_guard<std::mutex> lock(writer_mu);
+        writer->append(static_cast<long>(k), grid[k], out);
+      }
+      results[k] = std::move(out);
+    });
+  }
   return results;
 }
 

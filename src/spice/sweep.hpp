@@ -6,12 +6,22 @@
 // sharing), so points are fully isolated and the result vector is
 // deterministic: results[i] always corresponds to grid[i], whatever the
 // execution interleaving. Backs `usim --sweep` and bench_array_scaling.
+//
+// Fault tolerance (SweepOptions): a failed point records a structured
+// FailureInfo and never takes the batch down; failed points can be retried
+// with an attempt counter the job uses to escalate its rescue options;
+// progress can be journaled to a checkpoint file (spice/checkpoint.hpp) and
+// resumed — completed points are restored bit-identically and only
+// unfinished points re-run; a deterministic shard filter (k of n) splits one
+// grid across processes whose checkpoint files merge by concatenation.
 #pragma once
 
 #include <functional>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/status.hpp"
 
 namespace usys::spice {
 
@@ -40,9 +50,48 @@ std::vector<SweepPoint> sweep_grid(const std::vector<SweepAxis>& axes);
 /// tabulate into columns.
 struct SweepOutcome {
   bool ok = false;
+  /// Human-readable failure text. For exceptions escaping the job this is
+  /// exactly e.what() (stable for existing callers); analysis-level
+  /// failures typically carry failure.to_string().
   std::string error;
   std::vector<std::pair<std::string, double>> metrics;
+  /// Structured failure when ok is false. Jobs that run analyses should copy
+  /// the analysis FailureInfo in; exceptions captured at the isolation
+  /// boundary become alloc_failure (std::bad_alloc) or internal_error.
+  FailureInfo failure;
+  /// How many times the job ran for this point (1 + retries used);
+  /// 0 for restored or skipped points.
+  int attempts = 0;
+  /// Outcome came from a resume checkpoint — the job did not run.
+  bool restored = false;
+  /// Point belongs to another shard — the job did not run here.
+  bool skipped = false;
 };
+
+/// Fault-tolerance controls for SweepRunner::run.
+struct SweepOptions {
+  /// Re-run a failed point up to this many extra times. The job receives the
+  /// attempt number (0 = first run) and can escalate: more Newton
+  /// iterations, the full rescue ladder, a smaller initial step.
+  int retries = 0;
+  /// Journal every finished point to this JSONL checkpoint file (appended,
+  /// flushed per point — see spice/checkpoint.hpp). Empty = no journal.
+  std::string checkpoint_path;
+  /// Restore previously completed points from this checkpoint before
+  /// running: points recorded ok (with matching parameters) are restored
+  /// bit-identically and skipped; failed or missing points run normally.
+  /// Empty = fresh start.
+  std::string resume_path;
+  /// Deterministic shard filter: run only grid indices i with
+  /// i % shard_count == shard_index - 1 (shard_index is 1-based). Both 0 =
+  /// no sharding. Off-shard points are marked skipped, not failed.
+  int shard_index = 0;
+  int shard_count = 0;
+};
+
+/// True when `index` belongs to shard `shard_index` of `shard_count`
+/// (1-based shard_index; shard_count <= 1 owns everything).
+bool shard_owns(std::size_t index, int shard_index, int shard_count) noexcept;
 
 class SweepRunner {
  public:
@@ -50,6 +99,9 @@ class SweepRunner {
   /// through an AnalysisEngine, and distill scalar metrics. Exceptions are
   /// captured into the point's outcome — they fail the point, not the batch.
   using Job = std::function<SweepOutcome(const SweepPoint&)>;
+  /// Attempt-aware job for retry escalation: attempt is 0 on the first run,
+  /// 1..retries on re-runs of a failed point.
+  using RetryJob = std::function<SweepOutcome(const SweepPoint&, int attempt)>;
 
   /// threads: 0 = auto (hardware concurrency), otherwise exactly that many
   /// workers (including the calling thread).
@@ -60,6 +112,12 @@ class SweepRunner {
   /// Runs `job` for every point of `grid` across the pool. results[i] is
   /// grid[i]'s outcome.
   std::vector<SweepOutcome> run(const std::vector<SweepPoint>& grid, const Job& job) const;
+
+  /// Fault-tolerant run: retry escalation, checkpoint journal, resume, and
+  /// shard filtering per `opts`. Throws std::runtime_error when the
+  /// checkpoint file cannot be opened or the resume file cannot be read.
+  std::vector<SweepOutcome> run(const std::vector<SweepPoint>& grid, const RetryJob& job,
+                                const SweepOptions& opts) const;
 
  private:
   int threads_;

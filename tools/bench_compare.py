@@ -23,24 +23,88 @@ Refreshing baselines: download the `bench-trajectory` artifact from a green
 main-branch CI run and copy the BENCH_*.json files over bench/baselines/
 (see bench/baselines/README.md for the one-liner).
 
-Exit codes: 0 = within threshold, 1 = regression, 2 = usage/IO error.
+Fault tolerance: a missing baseline is a clean skip (exit 0) — new bench
+suites land before their baseline does, and the gate must not block that PR.
+A truncated/corrupt --current file (the bench binary died mid-suite) is
+salvaged: every complete benchmark object before the truncation point is
+still compared, and the benchmarks lost after it are listed as [lost] so the
+crash is visible without failing the comparison itself (the harness reports
+the binary's own exit separately).
+
+Exit codes: 0 = within threshold (or skipped: no baseline), 1 = regression,
+2 = usage/IO error.
 """
 
 import argparse
 import json
 import math
+import os
 import sys
 
 TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
-def load_times(path):
+def salvage_benchmarks(text):
+    """Recovers the complete benchmark objects from a truncated
+    google-benchmark JSON: scans the "benchmarks" array and keeps every
+    balanced {...} entry before the truncation point. Returns a dict shaped
+    like the parsed full file, or None when nothing is recoverable."""
+    start = text.find('"benchmarks"')
+    if start < 0:
+        return None
+    start = text.find("[", start)
+    if start < 0:
+        return None
+    entries, depth, obj_start, in_str, esc = [], 0, -1, False, False
+    for i in range(start + 1, len(text)):
+        c = text[i]
+        if in_str:
+            if esc:
+                esc = False
+            elif c == "\\":
+                esc = True
+            elif c == '"':
+                in_str = False
+            continue
+        if c == '"':
+            in_str = True
+        elif c == "{":
+            if depth == 0:
+                obj_start = i
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth == 0 and obj_start >= 0:
+                try:
+                    entries.append(json.loads(text[obj_start : i + 1]))
+                except json.JSONDecodeError:
+                    pass
+                obj_start = -1
+        elif c == "]" and depth == 0:
+            break
+    return {"benchmarks": entries} if entries else None
+
+
+def load_times(path, salvage=False):
     """name -> real_time in ns. Prefers `median` aggregates when the run used
-    repetitions; otherwise takes the plain iteration entry (first wins)."""
+    repetitions; otherwise takes the plain iteration entry (first wins).
+    With salvage=True a truncated file yields its complete prefix instead of
+    aborting (the mid-suite-crash case)."""
     try:
         with open(path) as f:
-            data = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
+            text = f.read()
+        data = json.loads(text)
+    except json.JSONDecodeError as e:
+        data = salvage_benchmarks(text) if salvage else None
+        if data is None:
+            print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+            sys.exit(2)
+        print(
+            f"bench_compare: {path} is truncated/corrupt "
+            f"(bench binary died mid-suite?) — salvaged "
+            f"{len(data['benchmarks'])} complete benchmark entr(y/ies)"
+        )
+    except OSError as e:
         print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
     plain, medians = {}, {}
@@ -82,13 +146,24 @@ def main():
         print("bench_compare: --threshold must be positive", file=sys.stderr)
         return 2
 
+    # A missing baseline is a skip, not an error: new bench suites land
+    # before their baseline exists, and the gate must not block that PR.
+    if not os.path.exists(args.baseline):
+        print(
+            f"bench_compare: SKIP — no baseline at {args.baseline} "
+            "(new suite? commit one from the bench-trajectory artifact, "
+            "see bench/baselines/README.md). Not gated, exit 0."
+        )
+        return 0
+
     base = load_times(args.baseline)
-    cur = load_times(args.current)
+    # The current file is the one a mid-suite crash truncates: salvage it.
+    cur = load_times(args.current, salvage=True)
     common = sorted(set(base) & set(cur))
     for name in sorted(set(cur) - set(base)):
         print(f"  [new]     {name} (no baseline yet — not gated)")
     for name in sorted(set(base) - set(cur)):
-        print(f"  [missing] {name} (in baseline but not produced — not gated)")
+        print(f"  [lost]    {name} (in baseline but not produced — not gated)")
     if len(common) < 2:
         print(
             f"bench_compare: only {len(common)} benchmark(s) common to "

@@ -40,9 +40,20 @@
 // per-card `mode=` still override. codegen falls back to the VM (with a
 // warning) when no host compiler is available.
 //
+// Fault tolerance: --timeout=<ms> puts a wall-clock budget on every
+// analysis (per sweep point in sweep mode); a budgeted run that expires
+// stops at the next solver poll and exits 3 instead of hanging. In sweep
+// mode --retries=N re-runs failed points with escalated Newton limits,
+// --checkpoint=<path> journals each finished point (JSONL, flushed per
+// point), --resume=<path> restores completed points bit-identically and
+// re-runs only unfinished ones, and --shard=k/n runs the k-th of n
+// deterministic grid partitions (shard checkpoint files merge by plain
+// concatenation). See docs/robustness.md for the full contract.
+//
 // Exit codes: 0 = all analyses (all sweep points) succeeded;
 //             1 = an analysis failed to converge / a sweep point failed;
-//             2 = usage, file, or netlist errors.
+//             2 = usage, file, or netlist errors;
+//             3 = stopped by the --timeout deadline (or a cancel request).
 // (--help prints the same contract and exits 0.)
 #include <algorithm>
 #include <cstdio>
@@ -121,12 +132,27 @@ class SeriesSink {
 
 // --- single-run analyses -----------------------------------------------------
 
+/// Deadline verdicts get their own exit code (3) so batch drivers can tell
+/// "ran out of budget" from "does not converge" without parsing stderr.
+int exit_code_for(const FailureInfo& failure) {
+  return failure.kind == FailureKind::timeout || failure.kind == FailureKind::cancelled
+             ? 3
+             : 1;
+}
+
+const char* rescue_note(bool used_gmin, bool used_source) {
+  if (used_gmin) return ", rescued by gmin stepping";
+  if (used_source) return ", rescued by source stepping";
+  return "";
+}
+
 int run_op(spice::AnalysisEngine& engine, const spice::DcOptions& dc = {}) {
   spice::Circuit& ckt = engine.circuit();
   const auto op = engine.run_op(dc);
   if (!op.converged) {
-    std::cerr << "error: operating point did not converge\n";
-    return 1;
+    std::cerr << "error: operating point failed [" << to_string(op.failure.kind)
+              << "]: " << op.failure.to_string() << "\n";
+    return exit_code_for(op.failure);
   }
   std::cout << "\n=== .op ===\n";
   AsciiTable t({"node", "nature", "effort"});
@@ -136,7 +162,8 @@ int run_op(spice::AnalysisEngine& engine, const spice::DcOptions& dc = {}) {
   }
   t.print(std::cout);
   std::cout << "(" << ckt.branch_count() << " branch unknowns, "
-            << op.newton_iterations << " Newton iterations)\n";
+            << op.newton_iterations << " Newton iterations"
+            << rescue_note(op.used_gmin_stepping, op.used_source_stepping) << ")\n";
   return 0;
 }
 
@@ -145,12 +172,20 @@ int run_tran(spice::AnalysisEngine& engine, const spice::TranOptions& opts,
   spice::Circuit& ckt = engine.circuit();
   const auto res = engine.run_tran(opts);
   if (!res.ok) {
-    std::cerr << "error: transient failed: " << res.error << "\n";
-    return 1;
+    std::cerr << "error: transient failed [" << to_string(res.failure.kind)
+              << "]: " << res.error << "\n";
+    std::cerr << "  (" << res.time.size() << " points accepted, "
+              << res.rejected_steps << " rejected steps, " << res.total_newton_iters
+              << " Newton iters"
+              << rescue_note(res.used_gmin_stepping, res.used_source_stepping)
+              << ")\n";
+    return exit_code_for(res.failure);
   }
   std::cout << "\n=== .tran to " << opts.tstop << " s (" << res.time.size()
             << " points, " << res.total_newton_iters << " Newton iters, "
-            << res.rejected_steps << " rejected steps) ===\n";
+            << res.rejected_steps << " rejected steps"
+            << rescue_note(res.used_gmin_stepping, res.used_source_stepping)
+            << ") ===\n";
   std::vector<std::string> headers{"t [s]"};
   for (int i = 0; i < ckt.node_count(); ++i) headers.push_back(ckt.node_name(i));
   sink.emit(headers, res.time.size(), [&](std::size_t k) {
@@ -166,8 +201,9 @@ int run_ac(spice::AnalysisEngine& engine, const spice::AcOptions& opts,
   spice::Circuit& ckt = engine.circuit();
   const auto res = engine.run_ac(opts);
   if (!res.ok) {
-    std::cerr << "error: ac failed: " << res.error << "\n";
-    return 1;
+    std::cerr << "error: ac failed [" << to_string(res.failure.kind)
+              << "]: " << res.error << "\n";
+    return exit_code_for(res.failure);
   }
   std::cout << "\n=== .ac " << opts.f_start << " .. " << opts.f_stop << " Hz ===\n";
   std::vector<std::string> headers{"f [Hz]"};
@@ -201,17 +237,20 @@ spice::Netlist parse_netlist(const std::string& text, const std::string& hdl_mod
 }
 
 int run_single(const std::string& text, const std::string& csv, int assembly_threads,
-               int solve_threads, const std::string& hdl_mode) {
+               int solve_threads, const std::string& hdl_mode, double timeout_ms) {
   spice::Netlist net = parse_netlist(text, hdl_mode);
   if (!net.title.empty()) std::cout << "*" << net.title << "\n";
   spice::AnalysisEngine engine(*net.circuit);
   SeriesSink sink(csv);
-  const auto apply_threads = [&](spice::NewtonOptions& newton) {
+  // The timeout budgets each ANALYSIS CARD, not the whole netlist: the
+  // engine polls one deadline per run_op/run_tran/run_ac call.
+  const auto apply_opts = [&](spice::NewtonOptions& newton) {
     newton.assembly_threads = assembly_threads;
     newton.solve_threads = solve_threads;
+    newton.timeout_ms = timeout_ms;
   };
   spice::DcOptions dc;
-  apply_threads(dc.newton);
+  apply_opts(dc.newton);
   if (net.analyses.empty()) {
     std::cout << "(no analysis cards; running .op)\n";
     return run_op(engine, dc);
@@ -223,12 +262,12 @@ int run_single(const std::string& text, const std::string& csv, int assembly_thr
         rc = run_op(engine, dc);
         break;
       case spice::AnalysisCard::Kind::tran:
-        apply_threads(card.tran.newton);
-        apply_threads(card.tran.dc.newton);
+        apply_opts(card.tran.newton);
+        apply_opts(card.tran.dc.newton);
         rc = run_tran(engine, card.tran, sink);
         break;
       case spice::AnalysisCard::Kind::ac:
-        apply_threads(card.ac.dc.newton);
+        apply_opts(card.ac.dc.newton);
         rc = run_ac(engine, card.ac, sink);
         break;
     }
@@ -313,13 +352,23 @@ void node_metrics(spice::SweepOutcome& out, const spice::Circuit& ckt,
 
 /// Runs all analysis cards of one substituted netlist and distills scalar
 /// metrics (per-node op efforts / final transient values / last-point AC
-/// magnitudes; aggregated on array-scale circuits).
+/// magnitudes; aggregated on array-scale circuits). `attempt` > 0 is a
+/// retry of a failed point: Newton iteration limits double per attempt (the
+/// rescue ladder itself is already on by default) so a marginal point gets
+/// a genuinely stronger solve, not just a replay.
 spice::SweepOutcome sweep_job(const std::string& text, const spice::SweepPoint& point,
-                              int assembly_threads, const std::string& hdl_mode) {
+                              int assembly_threads, const std::string& hdl_mode,
+                              double timeout_ms, int attempt) {
   spice::SweepOutcome out;
   spice::Netlist net = parse_netlist(substitute(text, point), hdl_mode);
   spice::Circuit& ckt = *net.circuit;
   spice::AnalysisEngine engine(ckt);
+  const int iter_scale = 1 << std::min(attempt, 4);
+  const auto apply_opts = [&](spice::NewtonOptions& newton) {
+    newton.assembly_threads = assembly_threads;
+    newton.timeout_ms = timeout_ms;
+    newton.max_iters *= iter_scale;
+  };
   if (net.analyses.empty()) {
     net.analyses.push_back({});  // default .op, as in single-run mode
   }
@@ -328,20 +377,22 @@ spice::SweepOutcome sweep_job(const std::string& text, const spice::SweepPoint& 
     switch (card.kind) {
       case spice::AnalysisCard::Kind::op: {
         spice::DcOptions dc;
-        dc.newton.assembly_threads = assembly_threads;
+        apply_opts(dc.newton);
         const auto op = engine.run_op(dc);
         if (!op.converged) {
-          out.error = "operating point did not converge";
+          out.failure = op.failure;
+          out.error = op.failure.to_string();
           return out;
         }
         node_metrics(out, ckt, "op", [&](int i) { return op.at(i); });
         break;
       }
       case spice::AnalysisCard::Kind::tran: {
-        card.tran.newton.assembly_threads = assembly_threads;
+        apply_opts(card.tran.newton);
         card.tran.dc.newton.assembly_threads = assembly_threads;
         const auto res = engine.run_tran(card.tran);
         if (!res.ok) {
+          out.failure = res.failure;
           out.error = res.error.empty() ? "transient failed" : res.error;
           return out;
         }
@@ -351,9 +402,10 @@ spice::SweepOutcome sweep_job(const std::string& text, const spice::SweepPoint& 
         break;
       }
       case spice::AnalysisCard::Kind::ac: {
-        card.ac.dc.newton.assembly_threads = assembly_threads;
+        apply_opts(card.ac.dc.newton);
         const auto res = engine.run_ac(card.ac);
         if (!res.ok) {
+          out.failure = res.failure;
           out.error = res.error.empty() ? "ac failed" : res.error;
           return out;
         }
@@ -369,7 +421,8 @@ spice::SweepOutcome sweep_job(const std::string& text, const spice::SweepPoint& 
 }
 
 int run_sweep(const std::string& text, const std::vector<spice::SweepAxis>& axes,
-              int threads, const std::string& csv, const std::string& hdl_mode) {
+              int threads, const std::string& csv, const std::string& hdl_mode,
+              double timeout_ms, const spice::SweepOptions& sweep_opts) {
   const auto grid = spice::sweep_grid(axes);
   if (grid.empty()) {
     std::cerr << "error: empty sweep grid\n";
@@ -377,12 +430,19 @@ int run_sweep(const std::string& text, const std::vector<spice::SweepAxis>& axes
   }
   spice::SweepRunner runner(threads);
   std::cout << "=== sweep: " << grid.size() << " points x " << axes.size()
-            << " axes on " << runner.thread_count() << " threads ===\n";
+            << " axes on " << runner.thread_count() << " threads";
+  if (sweep_opts.shard_count > 1)
+    std::cout << " (shard " << sweep_opts.shard_index << "/" << sweep_opts.shard_count
+              << ")";
+  std::cout << " ===\n";
   // Grid parallelism wins in sweep mode: each point assembles serially so
   // points x threads never oversubscribes the machine.
-  const auto results = runner.run(grid, [&](const spice::SweepPoint& p) {
-    return sweep_job(text, p, 1, hdl_mode);
-  });
+  const auto results = runner.run(
+      grid,
+      [&](const spice::SweepPoint& p, int attempt) {
+        return sweep_job(text, p, 1, hdl_mode, timeout_ms, attempt);
+      },
+      sweep_opts);
 
   // Tabulate: axis columns + the union of metric names across successful
   // points, first-seen order. (Metric sets can legitimately differ per
@@ -405,6 +465,9 @@ int run_sweep(const std::string& text, const std::vector<spice::SweepAxis>& axes
   AsciiTable t(headers);
   std::vector<std::vector<double>> csv_rows;
   int failures = 0;
+  int restored = 0;
+  int skipped = 0;
+  std::vector<std::pair<FailureKind, int>> failure_counts;
   for (std::size_t i = 0; i < grid.size(); ++i) {
     std::vector<std::string> cells;
     std::vector<double> row;
@@ -413,6 +476,7 @@ int run_sweep(const std::string& text, const std::vector<spice::SweepAxis>& axes
       row.push_back(value);
     }
     if (results[i].ok) {
+      if (results[i].restored) ++restored;
       for (const auto& name : metric_names) {
         const auto& metrics = results[i].metrics;
         const auto it =
@@ -426,18 +490,45 @@ int run_sweep(const std::string& text, const std::vector<spice::SweepAxis>& axes
           row.push_back(it->second);
         }
       }
-      cells.push_back("ok");
+      cells.push_back(results[i].restored ? "ok (restored)" : "ok");
       csv_rows.push_back(std::move(row));
+    } else if (results[i].skipped) {
+      ++skipped;
+      for (std::size_t m = 0; m < metric_names.size(); ++m) cells.push_back("-");
+      cells.push_back("(other shard)");
     } else {
       ++failures;
+      const FailureKind kind = results[i].failure.kind;
+      const auto it = std::find_if(failure_counts.begin(), failure_counts.end(),
+                                   [&](const auto& fc) { return fc.first == kind; });
+      if (it == failure_counts.end()) {
+        failure_counts.emplace_back(kind, 1);
+      } else {
+        ++it->second;
+      }
       for (std::size_t m = 0; m < metric_names.size(); ++m) cells.push_back("-");
-      cells.push_back(results[i].error.empty() ? "failed" : results[i].error);
+      std::string status(to_string(kind));
+      if (results[i].attempts > 1)
+        status += " (x" + std::to_string(results[i].attempts) + ")";
+      cells.push_back(std::move(status));
     }
     t.add_row(std::move(cells));
   }
   t.print(std::cout);
-  if (failures > 0)
-    std::cout << failures << " of " << grid.size() << " points failed\n";
+  if (restored > 0)
+    std::cout << restored << " point(s) restored from " << sweep_opts.resume_path << "\n";
+  if (failures > 0) {
+    std::cout << failures << " of " << grid.size() - skipped << " points failed (";
+    bool first = true;
+    for (const auto& [kind, count] : failure_counts) {
+      if (!first) std::cout << ", ";
+      first = false;
+      std::cout << count << " " << to_string(kind);
+    }
+    std::cout << ")\n";
+  }
+  if (!sweep_opts.checkpoint_path.empty())
+    std::cout << "checkpoint -> " << sweep_opts.checkpoint_path << "\n";
   if (!csv.empty() && !csv_rows.empty()) {
     std::vector<std::string> csv_headers(headers.begin(), headers.end() - 1);
     if (write_csv(csv, csv_headers, csv_rows))
@@ -449,7 +540,8 @@ int run_sweep(const std::string& text, const std::vector<spice::SweepAxis>& axes
 void print_usage(std::ostream& os) {
   os << "usage: usim <netlist.cir> [--csv=<path>] "
         "[--sweep <name>=<lo:hi:n | v1,v2,...>]... [--threads=N] "
-        "[--solve-threads=N] [--hdl-mode=<mode>] [--quiet]\n"
+        "[--solve-threads=N] [--hdl-mode=<mode>] [--timeout=<ms>] [--retries=N] "
+        "[--checkpoint=<path>] [--resume=<path>] [--shard=k/n] [--quiet]\n"
         "\n"
         "  --csv=<path>        write full .tran/.ac series (or the sweep table) as CSV\n"
         "  --sweep name=spec   add one grid axis (lo:hi:n or v1,v2,...); every {name}\n"
@@ -465,12 +557,29 @@ void print_usage(std::ostream& os) {
         "                      codegen (natively compiled; falls back to the VM when\n"
         "                      no host compiler is available). Same as a leading\n"
         "                      '.options hdl=<mode>'; per-card 'mode=' overrides\n"
+        "  --timeout=<ms>      wall-clock budget per analysis card (per sweep point\n"
+        "                      in sweep mode); an expired run stops at the next\n"
+        "                      solver poll and reports a timeout failure (exit 3 in\n"
+        "                      single-run mode). 0 = unlimited (default)\n"
+        "  --retries=N         sweep mode: re-run a failed point up to N extra times\n"
+        "                      with doubled Newton iteration limits per attempt\n"
+        "  --checkpoint=<path> sweep mode: journal each finished point to a JSONL\n"
+        "                      checkpoint (appended + flushed per point)\n"
+        "  --resume=<path>     sweep mode: restore completed points from a previous\n"
+        "                      checkpoint (bit-identical) and re-run only unfinished\n"
+        "                      ones; keeps journaling to the same file unless\n"
+        "                      --checkpoint overrides\n"
+        "  --shard=k/n         sweep mode: run only the k-th of n deterministic grid\n"
+        "                      partitions (k is 1-based; point i belongs to shard\n"
+        "                      (i mod n)+1). Shard checkpoint files merge by plain\n"
+        "                      concatenation\n"
         "  --quiet             suppress info/warn chatter (keeps errors)\n"
         "  --help              print this and exit 0\n"
         "\n"
         "exit codes: 0 = all analyses (all sweep points) succeeded\n"
         "            1 = an analysis failed to converge / a sweep point failed\n"
-        "            2 = usage, file, or netlist errors\n";
+        "            2 = usage, file, or netlist errors\n"
+        "            3 = stopped by the --timeout deadline (or a cancel request)\n";
 }
 
 }  // namespace
@@ -491,6 +600,8 @@ int main(int argc, char** argv) {
   std::vector<spice::SweepAxis> axes;
   int threads = -1;        // flag absent: sweep mode = auto, assembly = serial
   int solve_threads = -1;  // flag absent: serial triangular solves
+  double timeout_ms = 0.0;
+  spice::SweepOptions sweep_opts;
   for (int i = 2; i < argc; ++i) {
     if (std::strncmp(argv[i], "--csv=", 6) == 0) {
       csv = argv[i] + 6;
@@ -540,6 +651,33 @@ int main(int argc, char** argv) {
                   << "' (ast|bytecode|codegen)\n";
         return 2;
       }
+    } else if (std::strncmp(argv[i], "--timeout=", 10) == 0) {
+      timeout_ms = std::atof(argv[i] + 10);
+      if (timeout_ms < 0.0) {
+        std::cerr << "error: --timeout must be >= 0 milliseconds (0 = unlimited)\n";
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--retries=", 10) == 0) {
+      sweep_opts.retries = std::atoi(argv[i] + 10);
+      if (sweep_opts.retries < 0) {
+        std::cerr << "error: --retries must be >= 0\n";
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--checkpoint=", 13) == 0) {
+      sweep_opts.checkpoint_path = argv[i] + 13;
+    } else if (std::strncmp(argv[i], "--resume=", 9) == 0) {
+      sweep_opts.resume_path = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--shard=", 8) == 0) {
+      const std::string spec = argv[i] + 8;
+      const auto slash = spec.find('/');
+      const int k = slash == std::string::npos ? 0 : std::atoi(spec.substr(0, slash).c_str());
+      const int n = slash == std::string::npos ? 0 : std::atoi(spec.substr(slash + 1).c_str());
+      if (slash == std::string::npos || n < 1 || k < 1 || k > n) {
+        std::cerr << "error: bad --shard '" << spec << "' (want k/n with 1 <= k <= n)\n";
+        return 2;
+      }
+      sweep_opts.shard_index = k;
+      sweep_opts.shard_count = n;
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       // Long-documented flag: suppress info/warn chatter (keeps errors).
       set_log_level(LogLevel::error);
@@ -562,10 +700,19 @@ int main(int argc, char** argv) {
       if (solve_threads >= 0 && solve_threads != 1)
         std::cerr << "note: --solve-threads is ignored in sweep mode "
                      "(grid parallelism wins; each point solves serially)\n";
-      return run_sweep(buf.str(), axes, threads < 0 ? 0 : threads, csv, hdl_mode);
+      // --resume keeps journaling to the same file, so an interrupted resume
+      // can itself be resumed; an explicit --checkpoint overrides.
+      if (!sweep_opts.resume_path.empty() && sweep_opts.checkpoint_path.empty())
+        sweep_opts.checkpoint_path = sweep_opts.resume_path;
+      return run_sweep(buf.str(), axes, threads < 0 ? 0 : threads, csv, hdl_mode,
+                       timeout_ms, sweep_opts);
     }
+    if (sweep_opts.retries > 0 || !sweep_opts.checkpoint_path.empty() ||
+        !sweep_opts.resume_path.empty() || sweep_opts.shard_count > 0)
+      std::cerr << "note: --retries/--checkpoint/--resume/--shard apply to "
+                   "sweep mode only (no --sweep axis given)\n";
     return run_single(buf.str(), csv, threads < 0 ? 1 : threads,
-                      solve_threads < 0 ? 1 : solve_threads, hdl_mode);
+                      solve_threads < 0 ? 1 : solve_threads, hdl_mode, timeout_ms);
   } catch (const spice::NetlistError& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
