@@ -20,6 +20,7 @@ constexpr std::pair<FailureKind, const char*> kNames[] = {
     {FailureKind::assert_violation, "assert-violation"},
     {FailureKind::alloc_failure, "alloc-failure"},
     {FailureKind::internal_error, "internal-error"},
+    {FailureKind::lint_rejected, "lint-rejected"},
 };
 
 }  // namespace

@@ -33,6 +33,7 @@ enum class FailureKind : int {
   assert_violation,    ///< an HDL ASSERT boundary condition fired
   alloc_failure,       ///< allocation failure (std::bad_alloc) inside an analysis
   internal_error,      ///< unexpected exception captured at an isolation boundary
+  lint_rejected,       ///< static pre-solve diagnostics found an error-severity defect
 };
 
 /// Stable lower-case name ("singular-matrix", ...). Never returns null.

@@ -1,6 +1,7 @@
 #include "common/strings.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -49,6 +50,9 @@ std::optional<double> parse_spice_number(std::string_view s) noexcept {
   char* end = nullptr;
   const double base = std::strtod(buf.c_str(), &end);
   if (end == buf.c_str()) return std::nullopt;
+  // Overflow ("1e999") and the inf/nan literals strtod accepts are rejected:
+  // a netlist value that is not a finite number is a typo, not a quantity.
+  if (!std::isfinite(base)) return std::nullopt;
   std::string_view rest = trim(std::string_view(end));
   if (rest.empty()) return base;
   const std::string suffix = to_lower(rest);

@@ -5,6 +5,7 @@
 #include "common/log.hpp"
 #include "hdl/codegen.hpp"
 #include "hdl/parser.hpp"
+#include "spice/lint.hpp"
 
 namespace usys::hdl {
 
@@ -84,6 +85,17 @@ void HdlDevice::bind(spice::Binder& binder) {
   // Compile the instance-bound bytecode program (the AST walker stays
   // available as the oracle regardless of the active exec mode).
   program_ = compile(model_, nodes_, branch_of_pair_, seed_unknowns_);
+
+  // Static verification gates BOTH executors: the VM and the codegen backend
+  // translate this same program, and neither bounds-checks at runtime.
+  // Binding is sequential, so every index the program references is below
+  // the binder's current unknown watermark.
+  verify_report_ = verify_program(program_, binder.unknown_watermark());
+  if (verify_report_.has_errors()) {
+    throw spice::CircuitError("HDL model '" + name() + "': bytecode verification failed: " +
+                              verify_report_.error_summary());
+  }
+
   vm_.reset(&program_);
   const std::size_t k = seed_unknowns_.size();
   cap_a_.reserve(k * k);
@@ -98,6 +110,19 @@ void HdlDevice::bind(spice::Binder& binder) {
   if (exec_mode_ == HdlExecMode::codegen) {
     cg_attempted_ = true;
     cg_ = codegen::acquire(program_);
+  }
+}
+
+void HdlDevice::lint(spice::LintSink& sink) const {
+  // Conservative topology: an HDL multiport may couple any pin pair, so the
+  // default conductive clique (which can mask a missing DC path but never
+  // invent a false defect) is the right call.
+  spice::Device::lint(sink);
+  if (!sink.wants_hdl()) return;
+  for (const auto& is : verify_report_.issues) {
+    sink.report(is.severity == VerifySeverity::error ? spice::LintSeverity::error
+                                                     : spice::LintSeverity::warning,
+                is.rule, is.message);
   }
 }
 

@@ -43,6 +43,7 @@
 
 #include "hdl/bytecode.hpp"
 #include "hdl/elaborate.hpp"
+#include "hdl/verify.hpp"
 #include "spice/circuit.hpp"
 #include "sym/dual.hpp"
 
@@ -77,6 +78,8 @@ class HdlDevice final : public spice::Device {
   bool stamp_footprint(std::vector<int>& out) const override;
   void start_transient(const DVector& x_dc) override;
   void accept(const spice::AcceptCtx& ctx) override;
+  /// Default topology plus the bytecode verifier's warnings (hdl-* rules).
+  void lint(spice::LintSink& sink) const override;
 
   const ElaboratedModel& model() const noexcept { return model_; }
 
@@ -95,6 +98,11 @@ class HdlDevice final : public spice::Device {
 
   /// The compiled program (valid after bind; for tests and benchmarks).
   const BytecodeProgram& program() const noexcept { return program_; }
+
+  /// The bind-time static verification of program_ (hdl/verify.hpp).
+  /// Errors throw inside bind(), so a bound device's report holds only
+  /// warnings; lint() re-surfaces them.
+  const VerifyReport& verify_report() const noexcept { return verify_report_; }
 
   /// Committed value of an integ() call site (e.g. the displacement state
   /// of the paper's Listing 1), indexed in source order.
@@ -131,6 +139,7 @@ class HdlDevice final : public spice::Device {
   HdlExecMode exec_mode_;
 
   BytecodeProgram program_;          ///< compiled at bind
+  VerifyReport verify_report_;       ///< bind-time verification (warnings only)
   BytecodeVm vm_;
   std::vector<std::pair<int, double>> fired_asserts_;  ///< VM scratch
   std::vector<double> cap_a_, cap_b_;                  ///< jq capture scratch

@@ -42,6 +42,8 @@ int Binder::alloc_branch(Nature through_nature) {
   return circuit_.alloc_branch_unknown(through_nature);
 }
 
+int Binder::unknown_watermark() const noexcept { return circuit_.unknown_count_; }
+
 Nature Binder::node_nature(int node) const {
   if (node == Circuit::kGround) return Nature::electrical;  // ground is universal
   return circuit_.node_nature(node);
@@ -74,6 +76,12 @@ int Circuit::add_node(std::string_view name, Nature nature) {
   const int id = static_cast<int>(nodes_.size()) - 1;
   node_index_.emplace(nodes_.back().name, id);
   return id;
+}
+
+void Circuit::set_node_line(int id, int line) {
+  if (id < 0 || id >= node_count()) return;
+  NodeRec& rec = nodes_[static_cast<std::size_t>(id)];
+  if (rec.line == 0) rec.line = line;
 }
 
 std::optional<int> Circuit::find_node(std::string_view name) const noexcept {

@@ -26,6 +26,7 @@ namespace usys::spice {
 
 class Circuit;
 class MnaPattern;
+class LintSink;
 
 /// Raised on malformed circuits: nature mismatches, unknown nodes,
 /// duplicate device names.
@@ -43,6 +44,12 @@ class Binder {
   /// Allocates one branch unknown (returned index is into the global
   /// unknown vector). `through_nature` sets its convergence tolerance class.
   int alloc_branch(Nature through_nature);
+
+  /// Unknowns allocated so far (nodes + branches of already-bound devices).
+  /// Binding is sequential, so every index the current device references is
+  /// below this watermark — the bound the HDL bytecode verifier checks
+  /// against at bind time.
+  int unknown_watermark() const noexcept;
 
   /// Nature of a node id; ground accepts any nature.
   Nature node_nature(int node) const;
@@ -106,8 +113,32 @@ class Device {
   /// is set, turning a warned-once violation into a structured failure.
   virtual int assert_violations() const { return 0; }
 
+  /// Static-diagnostics hook (spice/lint.hpp): describe pin couplings and
+  /// check parameters. The default emits a conductive clique over the
+  /// stamp_footprint() node unknowns — conservative (it can mask a missing
+  /// DC path, never invent one falsely... the reverse), so devices with
+  /// sources or reactive coupling override it. Defined in lint.cpp.
+  virtual void lint(LintSink& sink) const;
+
+  /// Netlist provenance, stamped by the parser (0 = built via the API).
+  void set_netlist_line(int line) noexcept { netlist_line_ = line; }
+  int netlist_line() const noexcept { return netlist_line_; }
+
+  /// `.array` / TRANSARRAY provenance: which expansion cell created this
+  /// device (empty name = not array-expanded). Used by the lint
+  /// `array-unconnected` rule.
+  void set_array_cell(std::string array_name, int cell) {
+    array_name_ = std::move(array_name);
+    array_cell_ = cell;
+  }
+  const std::string& array_name() const noexcept { return array_name_; }
+  int array_cell() const noexcept { return array_cell_; }
+
  private:
   std::string name_;
+  int netlist_line_ = 0;
+  std::string array_name_;
+  int array_cell_ = -1;
 };
 
 /// The circuit under construction / simulation.
@@ -135,6 +166,11 @@ class Circuit {
 
   const std::string& node_name(int id) const { return nodes_.at(static_cast<std::size_t>(id)).name; }
   Nature node_nature(int id) const { return nodes_.at(static_cast<std::size_t>(id)).nature; }
+
+  /// Netlist line where a node first appeared (0 = unknown / API-built).
+  /// The parser records it on first sight; later sightings keep the first.
+  void set_node_line(int id, int line);
+  int node_line(int id) const { return nodes_.at(static_cast<std::size_t>(id)).line; }
 
   /// Constructs a device in place and takes ownership. Returns a reference
   /// that stays valid for the circuit's lifetime.
@@ -181,6 +217,7 @@ class Circuit {
   struct NodeRec {
     std::string name;
     Nature nature;
+    int line = 0;
   };
 
   std::vector<NodeRec> nodes_;

@@ -1,5 +1,7 @@
 #include "spice/devices_controlled.hpp"
 
+#include "spice/lint.hpp"
+
 #include "spice/devices_source.hpp"
 
 namespace usys::spice {
@@ -13,6 +15,11 @@ bool Vcvs::stamp_footprint(std::vector<int>& out) const {
   out.insert(out.end(), {a_, b_, c_, d_, br_});
   return true;
 }
+
+// Output ports of voltage-defined controlled sources are vsource edges
+// (loop-forming, current-carrying); current-output ports impose flow and
+// provide no DC return path; pure voltage-sense pins contribute nothing.
+void Vcvs::lint(LintSink& sink) const { sink.edge(a_, b_, LintEdgeKind::vsource); }
 
 void Vcvs::evaluate(EvalCtx& ctx) {
   const double i = ctx.v(br_);
@@ -36,6 +43,8 @@ bool Vccs::stamp_footprint(std::vector<int>& out) const {
   out.insert(out.end(), {a_, b_, c_, d_});
   return true;
 }
+
+void Vccs::lint(LintSink& sink) const { sink.edge(a_, b_, LintEdgeKind::isource); }
 
 void Vccs::evaluate(EvalCtx& ctx) {
   const double i = gm_ * (ctx.v(c_) - ctx.v(d_));
@@ -73,6 +82,8 @@ bool Cccs::stamp_footprint(std::vector<int>& out) const {
   return true;
 }
 
+void Cccs::lint(LintSink& sink) const { sink.edge(a_, b_, LintEdgeKind::isource); }
+
 void Cccs::evaluate(EvalCtx& ctx) {
   const double i = gain_ * ctx.v(sense_branch_);
   ctx.f_add(a_, i);
@@ -107,6 +118,8 @@ bool Ccvs::stamp_footprint(std::vector<int>& out) const {
   return true;
 }
 
+void Ccvs::lint(LintSink& sink) const { sink.edge(a_, b_, LintEdgeKind::vsource); }
+
 void Ccvs::evaluate(EvalCtx& ctx) {
   const double i = ctx.v(br_);
   ctx.f_add(a_, i);
@@ -130,6 +143,14 @@ void IdealTransformer::bind(Binder& binder) {
 bool IdealTransformer::stamp_footprint(std::vector<int>& out) const {
   out.insert(out.end(), {a_, b_, c_, d_, br_});
   return true;
+}
+
+// Each winding is a galvanic current path between its own two pins, but the
+// two ports share no conductive node — the default footprint clique would
+// invent one.
+void IdealTransformer::lint(LintSink& sink) const {
+  sink.edge(a_, b_, LintEdgeKind::conductive);
+  sink.edge(c_, d_, LintEdgeKind::conductive);
 }
 
 void IdealTransformer::evaluate(EvalCtx& ctx) {

@@ -19,6 +19,7 @@ class Vcvs : public Device {
   void bind(Binder& binder) override;
   void evaluate(EvalCtx& ctx) override;
   bool stamp_footprint(std::vector<int>& out) const override;
+  void lint(LintSink& sink) const override;
   int branch() const noexcept { return br_; }
 
  private:
@@ -35,6 +36,7 @@ class Vccs : public Device {
   void bind(Binder& binder) override;
   void evaluate(EvalCtx& ctx) override;
   bool stamp_footprint(std::vector<int>& out) const override;
+  void lint(LintSink& sink) const override;
   double gm() const noexcept { return gm_; }
 
  private:
@@ -51,6 +53,7 @@ class Cccs : public Device {
   void bind(Binder& binder) override;
   void evaluate(EvalCtx& ctx) override;
   bool stamp_footprint(std::vector<int>& out) const override;
+  void lint(LintSink& sink) const override;
 
  private:
   int a_, b_;
@@ -68,6 +71,7 @@ class Ccvs : public Device {
   void bind(Binder& binder) override;
   void evaluate(EvalCtx& ctx) override;
   bool stamp_footprint(std::vector<int>& out) const override;
+  void lint(LintSink& sink) const override;
 
  private:
   int a_, b_;
@@ -86,6 +90,7 @@ class IdealTransformer : public Device {
   void bind(Binder& binder) override;
   void evaluate(EvalCtx& ctx) override;
   bool stamp_footprint(std::vector<int>& out) const override;
+  void lint(LintSink& sink) const override;
 
  private:
   int a_, b_, c_, d_;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "spice/lint.hpp"
+
 namespace usys::spice {
 
 Resistor::Resistor(std::string name, int a, int b, double resistance, Nature nature)
@@ -17,6 +19,16 @@ void Resistor::bind(Binder& binder) {
 bool Resistor::stamp_footprint(std::vector<int>& out) const {
   out.insert(out.end(), {a_, b_});
   return true;
+}
+
+void Resistor::lint(LintSink& sink) const {
+  sink.edge(a_, b_, LintEdgeKind::conductive);
+  lint_values(sink);
+}
+
+void Resistor::lint_values(LintSink& sink) const {
+  sink.check_value("resistance", r_, LintSeverity::error);
+  if (nature_ == Nature::electrical) sink.check_magnitude("resistance", r_, 1e-3, 1e12);
 }
 
 void Resistor::evaluate(EvalCtx& ctx) {
@@ -46,6 +58,16 @@ bool Capacitor::stamp_footprint(std::vector<int>& out) const {
   return true;
 }
 
+void Capacitor::lint(LintSink& sink) const {
+  sink.edge(a_, b_, LintEdgeKind::reactive);
+  lint_values(sink);
+}
+
+void Capacitor::lint_values(LintSink& sink) const {
+  sink.check_value("capacitance", c_);
+  if (nature_ == Nature::electrical) sink.check_magnitude("capacitance", c_, 1e-18, 1.0);
+}
+
 void Capacitor::evaluate(EvalCtx& ctx) {
   const double q = c_ * (ctx.v(a_) - ctx.v(b_));
   ctx.q_add(a_, q);
@@ -71,6 +93,31 @@ void Inductor::bind(Binder& binder) {
 bool Inductor::stamp_footprint(std::vector<int>& out) const {
   out.insert(out.end(), {a_, b_, br_});
   return true;
+}
+
+void Inductor::lint(LintSink& sink) const {
+  // At DC the flux term vanishes and the branch equation shorts a to b — a
+  // voltage-defined edge that exists only at DC.
+  sink.edge(a_, b_, LintEdgeKind::vsource_dc);
+  lint_values(sink);
+}
+
+void Inductor::lint_values(LintSink& sink) const {
+  sink.check_value("inductance", l_);
+  if (nature_ == Nature::electrical) sink.check_magnitude("inductance", l_, 1e-12, 1e3);
+}
+
+// The mechanical twins re-label the checks in their own quantities: the
+// electrical value is derived (C = m, L = 1/k, R = 1/alpha), so reporting it
+// directly would point the user at a number the netlist never contained.
+void Mass::lint_values(LintSink& sink) const { sink.check_value("mass", mass()); }
+
+void Spring::lint_values(LintSink& sink) const {
+  sink.check_value("stiffness", k_, LintSeverity::error);
+}
+
+void Damper::lint_values(LintSink& sink) const {
+  sink.check_value("damping coefficient", alpha_);
 }
 
 void Inductor::evaluate(EvalCtx& ctx) {

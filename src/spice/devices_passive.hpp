@@ -19,7 +19,12 @@ class Resistor : public Device {
   void bind(Binder& binder) override;
   void evaluate(EvalCtx& ctx) override;
   bool stamp_footprint(std::vector<int>& out) const override;
+  void lint(LintSink& sink) const override;
   double resistance() const noexcept { return r_; }
+
+ protected:
+  /// Parameter checks of lint(); Damper re-labels them in damping terms.
+  virtual void lint_values(LintSink& sink) const;
 
  private:
   int a_, b_;
@@ -35,7 +40,11 @@ class Capacitor : public Device {
   void bind(Binder& binder) override;
   void evaluate(EvalCtx& ctx) override;
   bool stamp_footprint(std::vector<int>& out) const override;
+  void lint(LintSink& sink) const override;
   double capacitance() const noexcept { return c_; }
+
+ protected:
+  virtual void lint_values(LintSink& sink) const;
 
  private:
   int a_, b_;
@@ -51,9 +60,13 @@ class Inductor : public Device {
   void bind(Binder& binder) override;
   void evaluate(EvalCtx& ctx) override;
   bool stamp_footprint(std::vector<int>& out) const override;
+  void lint(LintSink& sink) const override;
   double inductance() const noexcept { return l_; }
   /// Unknown index of the branch current (valid after bind).
   int branch() const noexcept { return br_; }
+
+ protected:
+  virtual void lint_values(LintSink& sink) const;
 
  private:
   int a_, b_;
@@ -70,6 +83,9 @@ class Mass : public Capacitor {
       : Capacitor(std::move(name), node, Circuit::kGround, mass_kg,
                   Nature::mechanical_translation) {}
   double mass() const noexcept { return capacitance(); }
+
+ protected:
+  void lint_values(LintSink& sink) const override;
 };
 
 /// Linear spring between two mechanical nodes: F = k * integral(v) dt,
@@ -86,6 +102,9 @@ class Spring : public Inductor {
     return x.at(static_cast<std::size_t>(branch())) / k_;
   }
 
+ protected:
+  void lint_values(LintSink& sink) const override;
+
  private:
   double k_;
 };
@@ -97,6 +116,9 @@ class Damper : public Resistor {
       : Resistor(std::move(name), a, b, 1.0 / alpha, Nature::mechanical_translation),
         alpha_(alpha) {}
   double alpha() const noexcept { return alpha_; }
+
+ protected:
+  void lint_values(LintSink& sink) const override;
 
  private:
   double alpha_;

@@ -1,5 +1,7 @@
 #include "spice/devices_source.hpp"
 
+#include "spice/lint.hpp"
+
 #include "common/constants.hpp"
 
 #include <cmath>
@@ -29,6 +31,8 @@ bool VSource::stamp_footprint(std::vector<int>& out) const {
   out.insert(out.end(), {a_, b_, br_});
   return true;
 }
+
+void VSource::lint(LintSink& sink) const { sink.edge(a_, b_, LintEdgeKind::vsource); }
 
 void VSource::evaluate(EvalCtx& ctx) {
   const double i = ctx.v(br_);
@@ -75,6 +79,8 @@ bool ISource::stamp_footprint(std::vector<int>& out) const {
   out.insert(out.end(), {a_, b_});
   return true;
 }
+
+void ISource::lint(LintSink& sink) const { sink.edge(a_, b_, LintEdgeKind::isource); }
 
 void ISource::evaluate(EvalCtx& ctx) {
   const double i = ctx.source_scale * wave_->value(ctx.time);

@@ -44,6 +44,15 @@ bool hard_stop(FailureKind k) noexcept {
 
 AnalysisEngine::AnalysisEngine(Circuit& circuit) : circuit_(circuit) {
   circuit_.bind_all();
+  // Errors-only preflight: the structural-singularity probe (matching) and
+  // the HDL warning re-surface belong to the explicit `usim --lint` pass;
+  // here we only want the defects that make a solve pointless. Warnings
+  // (floating nodes, DC-only shorts, ...) never block an analysis — gmin
+  // rescues most of them numerically.
+  LintOptions opts;
+  opts.matching = false;
+  opts.hdl = false;
+  preflight_ = lint_circuit(circuit_, opts);
 }
 
 AnalysisEngine::~AnalysisEngine() = default;
@@ -86,6 +95,16 @@ DcResult AnalysisEngine::run_dc(const DcOptions& opts) {
 DcResult AnalysisEngine::run_dc_under(const DcOptions& opts, const Deadline& dl) {
   DcResult out;
   out.x.assign(static_cast<std::size_t>(circuit_.unknown_count()), 0.0);
+
+  // Static preflight verdict: an error-severity structural defect (voltage
+  // loop, zero resistance, ...) makes every Newton stage below pointless —
+  // report it as a structured failure instead of burning the rescue ladder.
+  if (preflight_.has_errors()) {
+    out.failure = make_failure(FailureKind::lint_rejected, "dc",
+                               preflight_.error_summary());
+    log_warn("solve_dc: " + out.failure.to_string());
+    return out;
+  }
 
   EvalCtx ctx;
   ctx.mode = AnalysisMode::dc;

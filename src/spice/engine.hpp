@@ -33,12 +33,14 @@
 #include <memory>
 
 #include "spice/analysis.hpp"
+#include "spice/lint.hpp"
 
 namespace usys::spice {
 
 class AnalysisEngine {
  public:
-  /// Binds the circuit (idempotent). The circuit must outlive the engine.
+  /// Binds the circuit (idempotent) and runs the errors-only static
+  /// preflight (spice/lint.hpp). The circuit must outlive the engine.
   explicit AnalysisEngine(Circuit& circuit);
   ~AnalysisEngine();
 
@@ -62,6 +64,12 @@ class AnalysisEngine {
   /// which depends only on structure — is reused as-is.
   void rebind();
 
+  /// The construction-time static diagnostics pass (errors-only options:
+  /// the expensive matching probe and the HDL re-surface are left to
+  /// `usim --lint`). When it holds errors, every run_* call returns a
+  /// FailureKind::lint_rejected result instead of attempting a solve.
+  const LintReport& preflight() const noexcept { return preflight_; }
+
  private:
   /// The engine's one solver, (re)built only on backend-config changes and
   /// re-tuned in place otherwise.
@@ -79,6 +87,7 @@ class AnalysisEngine {
   void enter_regime(NewtonSolver& solver, FactorRegime regime);
 
   Circuit& circuit_;
+  LintReport preflight_;
   std::unique_ptr<NewtonSolver> solver_;
   NewtonOptions solver_opts_;  ///< options solver_ was built with
   FactorRegime regime_ = FactorRegime::none;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/strings.hpp"
 #include "spice/devices_controlled.hpp"
@@ -250,16 +251,27 @@ Netlist NetlistParser::parse(const std::string& text) {
     }
   }
 
+  // Line of the card currently being processed, for diagnostic provenance
+  // (device and node records carry the netlist line they first appeared on).
+  int current_line = 0;
+
   auto get_node = [&](const std::string& name, Nature fallback) -> int {
     const auto it = declared.find(name);
-    return ckt.add_node(name, it != declared.end() ? it->second : fallback);
+    const int id = ckt.add_node(name, it != declared.end() ? it->second : fallback);
+    ckt.set_node_line(id, current_line);
+    return id;
   };
 
   StringMap soptions = default_options_;  // string .options in effect
 
   // One device card (anything that is not a '.' directive). Factored out so
-  // .array can re-dispatch expanded card instances through the same path.
-  auto process_card = [&](const std::vector<std::string>& toks, int lineno) {
+  // .array can re-dispatch expanded card instances through the same path;
+  // array instances pass their origin (array head token + element index) so
+  // the devices they create can be attributed to a cell by the linter.
+  auto process_card = [&](const std::vector<std::string>& toks, int lineno,
+                          const std::string& array_name = {}, int array_cell = -1) {
+    current_line = lineno;
+    const std::size_t dev0 = ckt.devices().size();
     const char kind = static_cast<char>(std::tolower(static_cast<unsigned char>(toks[0][0])));
     const std::string& name = toks[0];
     switch (kind) {
@@ -385,6 +397,13 @@ Netlist NetlistParser::parse(const std::string& text) {
       default:
         throw NetlistError(lineno, "unknown card '" + toks[0] + "'");
     }
+    // Stamp provenance on every device this card created (X cards may add
+    // more than one).
+    for (std::size_t di = dev0; di < ckt.devices().size(); ++di) {
+      Device& dev = *ckt.devices()[di];
+      dev.set_netlist_line(lineno);
+      if (!array_name.empty()) dev.set_array_cell(array_name, array_cell);
+    }
   };
 
   std::istringstream is(text);
@@ -424,6 +443,8 @@ Netlist NetlistParser::parse(const std::string& text) {
         card.tran = tran_defaults;
         card.tran.dt_init = parse_num(toks[1], lineno);
         card.tran.tstop = parse_num(toks[2], lineno);
+        if (card.tran.dt_init <= 0.0 || card.tran.tstop <= 0.0)
+          throw NetlistError(lineno, ".tran needs positive <dtinit> and <tstop>");
         out.analyses.push_back(card);
         continue;
       }
@@ -473,9 +494,14 @@ Netlist NetlistParser::parse(const std::string& text) {
         } else {
           throw NetlistError(lineno, "unknown sweep kind '" + toks[1] + "'");
         }
-        card.ac.points = static_cast<int>(parse_num(toks[2], lineno));
+        const double pts = parse_num(toks[2], lineno);
+        card.ac.points = static_cast<int>(pts);
+        if (pts != card.ac.points || card.ac.points < 1)
+          throw NetlistError(lineno, ".ac point count must be a positive integer");
         card.ac.f_start = parse_num(toks[3], lineno);
         card.ac.f_stop = parse_num(toks[4], lineno);
+        if (card.ac.f_start <= 0.0 || card.ac.f_stop < card.ac.f_start)
+          throw NetlistError(lineno, ".ac needs 0 < f_start <= f_stop");
         out.analyses.push_back(card);
         continue;
       }
@@ -496,9 +522,13 @@ Netlist NetlistParser::parse(const std::string& text) {
           for (std::size_t k = 2; k < toks.size(); ++k)
             inst[k - 2] = expand_array_token(toks[k], i, lineno);
           try {
-            process_card(inst, lineno);
+            // The unexpanded head token (e.g. "XT{i}") names the array for
+            // the linter's per-cell connectivity check.
+            process_card(inst, lineno, toks[2], i);
           } catch (const CircuitError& e) {
             throw NetlistError(lineno, e.what());
+          } catch (const std::invalid_argument& e) {
+            throw NetlistError(lineno, "device '" + inst[0] + "': " + e.what());
           }
         }
         continue;
@@ -507,11 +537,16 @@ Netlist NetlistParser::parse(const std::string& text) {
     }
 
     // Circuit-construction conflicts (duplicate device names, node-nature
-    // clashes) surface as CircuitError; attribute them to the card's line.
+    // clashes) surface as CircuitError; device-constructor rejections of a
+    // parameter value (R <= 0, C <= 0, ...) as std::invalid_argument.
+    // Attribute both to the card's line and name instead of letting a bare
+    // what() string escape to the caller.
     try {
       process_card(toks, lineno);
     } catch (const CircuitError& e) {
       throw NetlistError(lineno, e.what());
+    } catch (const std::invalid_argument& e) {
+      throw NetlistError(lineno, "device '" + toks[0] + "': " + e.what());
     }
   }
   return out;

@@ -60,8 +60,13 @@ std::string render(const Expr& e, bool hdl) {
       return child(e.args()[0], 2, hdl) + "*" + child(e.args()[1], 2, hdl);
     case Kind::div:
       return child(e.args()[0], 2, hdl) + "/" + child(e.args()[1], 2, hdl, true);
-    case Kind::neg:
-      return "-" + child(e.args()[0], 3, hdl);
+    case Kind::neg: {
+      // insert() instead of "-" + s: char-literal concatenation here trips a
+      // GCC 12 libstdc++ -Wrestrict false positive (PR105651) under -O2.
+      std::string s = child(e.args()[0], 3, hdl);
+      s.insert(s.begin(), '-');
+      return s;
+    }
     case Kind::pow: {
       const Expr& base = e.args()[0];
       const Expr& expo = e.args()[1];
@@ -142,7 +147,10 @@ std::string latex(const Expr& e, int parent_prec) {
       // \frac absorbs all precedence concerns.
       return "\\frac{" + latex(e.args()[0], 0) + "}{" + latex(e.args()[1], 0) + "}";
     case Kind::neg:
-      out = "-" + latex(e.args()[0], 3);
+      // See render(): char-literal + string here trips GCC 12's -Wrestrict
+      // false positive (PR105651) under -O2.
+      out = latex(e.args()[0], 3);
+      out.insert(out.begin(), '-');
       break;
     case Kind::pow:
       out = latex(e.args()[0], 5) + "^{" + latex(e.args()[1], 0) + "}";

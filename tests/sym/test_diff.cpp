@@ -47,7 +47,7 @@ TEST(Diff, PowerGeneralExponent) {
 
 TEST(Diff, Transcendentals) {
   const Env env{{"x", 0.7}};
-  for (const Expr e : {sin(var("x")), cos(var("x")), tan(var("x")), exp(var("x")),
+  for (const Expr& e : {sin(var("x")), cos(var("x")), tan(var("x")), exp(var("x")),
                        log(var("x")), sqrt(var("x"))}) {
     EXPECT_NEAR(eval(diff(e, "x"), env), numeric_diff(e, "x", env), 1e-5);
   }

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Documentation consistency gate.
 
-Two checks over the repository's Markdown set (root *.md, docs/,
+Three checks over the repository's Markdown set (root *.md, docs/,
 bench/baselines/):
 
 1. **Links** — every relative Markdown link `[text](path)` must point at an
@@ -15,6 +15,11 @@ bench/baselines/):
    `usim --help`, and every flag `usim --help` advertises must be
    documented in README.md. This is what keeps the README from drifting
    from tools/usim.cpp.
+
+3. **lint rules** — the rule catalog in docs/diagnostics.md must match
+   kAllLintRules in src/spice/lint.cpp, both ways: every rule id the
+   analyzer can emit appears as a `` `rule-id` `` table row, and the docs
+   name no rule the table doesn't define.
 
 Usage:  tools/check_docs.py --usim build/usim [--root .]
 Exit codes: 0 = consistent, 1 = findings, 2 = usage/IO error.
@@ -109,6 +114,37 @@ def check_flags(root: pathlib.Path, files, help_flags):
     return problems
 
 
+RULE_TABLE_RE = re.compile(
+    r"kAllLintRules\[\]\s*=\s*\{(.*?)\}", re.DOTALL
+)
+RULE_ID_RE = re.compile(r'"([a-z][a-z0-9-]*)"')
+DOC_RULE_ROW_RE = re.compile(r"^\|\s*`([a-z][a-z0-9-]*)`\s*\|", re.MULTILINE)
+
+
+def check_lint_rules(root: pathlib.Path):
+    """docs/diagnostics.md rule tables <-> kAllLintRules, both directions."""
+    src = root / "src" / "spice" / "lint.cpp"
+    doc = root / "docs" / "diagnostics.md"
+    problems = []
+    if not src.is_file() or not doc.is_file():
+        return [f"lint-rule check needs {src.relative_to(root)} and "
+                f"{doc.relative_to(root)}"]
+    m = RULE_TABLE_RE.search(src.read_text(encoding="utf-8"))
+    if not m:
+        return [f"{src.relative_to(root)}: kAllLintRules table not found"]
+    code_rules = set(RULE_ID_RE.findall(m.group(1)))
+    doc_rules = set(DOC_RULE_ROW_RE.findall(doc.read_text(encoding="utf-8")))
+    for rule in sorted(code_rules - doc_rules):
+        problems.append(
+            f"docs/diagnostics.md: rule '{rule}' (kAllLintRules) has no catalog row"
+        )
+    for rule in sorted(doc_rules - code_rules):
+        problems.append(
+            f"docs/diagnostics.md: documents '{rule}' which is not in kAllLintRules"
+        )
+    return problems
+
+
 def main():
     ap = argparse.ArgumentParser(description="Markdown link + usim flag gate")
     ap.add_argument("--usim", required=True, help="path to the built usim binary")
@@ -127,6 +163,7 @@ def main():
     problems = check_links(root, files)
     help_flags = usim_help_flags(usim)
     problems += check_flags(root, files, help_flags)
+    problems += check_lint_rules(root)
 
     print(
         f"check_docs: {len(files)} markdown files, "

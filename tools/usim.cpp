@@ -50,11 +50,20 @@
 // deterministic grid partitions (shard checkpoint files merge by plain
 // concatenation). See docs/robustness.md for the full contract.
 //
+// Static diagnostics: --lint runs the two-level analyzer (spice/lint.hpp:
+// circuit structure; hdl/verify.hpp: compiled bytecode) INSTEAD of the
+// analysis cards and prints every finding. --lint=error (the default) exits
+// nonzero only on error-severity findings; --lint=warn makes warnings fail
+// too. --lint-format=json emits the machine-readable form documented in
+// docs/diagnostics.md. With --sweep axes, the first grid point's values are
+// substituted so parameterized netlists ({gap}, {vdrive}) lint as written.
+//
 // Exit codes: 0 = all analyses (all sweep points) succeeded;
 //             1 = an analysis failed to converge / a sweep point failed;
 //             2 = usage, file, or netlist errors;
 //             3 = stopped by the --timeout deadline (or a cancel request).
-// (--help prints the same contract and exits 0.)
+// --lint: 0 = no findings at/above the threshold, 1 = findings, 2 = parse
+// errors. (--help prints the same contract and exits 0.)
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -274,6 +283,38 @@ int run_single(const std::string& text, const std::string& csv, int assembly_thr
     if (rc != 0) return rc;
   }
   return 0;
+}
+
+// --- lint mode ---------------------------------------------------------------
+
+/// `usim --lint`: parse, bind, run the full static analyzer, print findings,
+/// and report via the exit code. Analyses never run. `warn_threshold` makes
+/// warnings count as failures (--lint=warn).
+int run_lint(const std::string& text, const std::string& hdl_mode,
+             bool warn_threshold, bool json) {
+  spice::Netlist net = parse_netlist(text, hdl_mode);
+  spice::LintReport report;
+  try {
+    report = spice::lint_circuit(*net.circuit);
+  } catch (const spice::CircuitError& e) {
+    // Bind-time rejections (malformed HDL bytecode throws inside bind) are
+    // themselves diagnostics; render one error finding instead of dying.
+    spice::LintDiag d;
+    d.severity = spice::LintSeverity::error;
+    d.rule = "hdl-layout";
+    d.message = e.what();
+    report.diags.push_back(std::move(d));
+  }
+  if (json) {
+    std::cout << report.to_json() << "\n";
+  } else if (report.clean()) {
+    std::cout << "lint: clean\n";
+  } else {
+    std::cout << report.to_text();
+  }
+  const bool fail =
+      report.has_errors() || (warn_threshold && report.warning_count() > 0);
+  return fail ? 1 : 0;
 }
 
 // --- sweep mode --------------------------------------------------------------
@@ -541,8 +582,19 @@ void print_usage(std::ostream& os) {
   os << "usage: usim <netlist.cir> [--csv=<path>] "
         "[--sweep <name>=<lo:hi:n | v1,v2,...>]... [--threads=N] "
         "[--solve-threads=N] [--hdl-mode=<mode>] [--timeout=<ms>] [--retries=N] "
-        "[--checkpoint=<path>] [--resume=<path>] [--shard=k/n] [--quiet]\n"
+        "[--checkpoint=<path>] [--resume=<path>] [--shard=k/n] "
+        "[--lint[=error|warn]] [--lint-format=text|json] [--quiet]\n"
         "\n"
+        "  --lint[=error|warn] run the static diagnostics pass instead of the\n"
+        "                      analysis cards: circuit structure (floating nodes,\n"
+        "                      V-loops, structural singularity, parameter sanity,\n"
+        "                      unconnected array cells) plus the HDL bytecode\n"
+        "                      verifier. Exits 1 when findings reach the threshold\n"
+        "                      (error = default; warn also fails on warnings), 0\n"
+        "                      otherwise, 2 on parse errors. With --sweep axes the\n"
+        "                      first grid point is substituted for {name} markers\n"
+        "  --lint-format=F     lint output format: text (default) or json (schema\n"
+        "                      in docs/diagnostics.md)\n"
         "  --csv=<path>        write full .tran/.ac series (or the sweep table) as CSV\n"
         "  --sweep name=spec   add one grid axis (lo:hi:n or v1,v2,...); every {name}\n"
         "                      in the netlist is substituted per point\n"
@@ -601,6 +653,9 @@ int main(int argc, char** argv) {
   int threads = -1;        // flag absent: sweep mode = auto, assembly = serial
   int solve_threads = -1;  // flag absent: serial triangular solves
   double timeout_ms = 0.0;
+  bool lint_mode = false;
+  bool lint_warn = false;   // --lint=warn: warnings fail too
+  bool lint_json = false;   // --lint-format=json
   spice::SweepOptions sweep_opts;
   for (int i = 2; i < argc; ++i) {
     if (std::strncmp(argv[i], "--csv=", 6) == 0) {
@@ -678,6 +733,25 @@ int main(int argc, char** argv) {
       }
       sweep_opts.shard_index = k;
       sweep_opts.shard_count = n;
+    } else if (std::strncmp(argv[i], "--lint-format=", 14) == 0) {
+      const std::string fmt = argv[i] + 14;
+      if (fmt == "json") {
+        lint_json = true;
+      } else if (fmt != "text") {
+        std::cerr << "error: bad --lint-format '" << fmt << "' (text|json)\n";
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--lint") == 0) {
+      lint_mode = true;
+    } else if (std::strncmp(argv[i], "--lint=", 7) == 0) {
+      const std::string level = argv[i] + 7;
+      if (level == "warn") {
+        lint_warn = true;
+      } else if (level != "error") {
+        std::cerr << "error: bad --lint level '" << level << "' (error|warn)\n";
+        return 2;
+      }
+      lint_mode = true;
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       // Long-documented flag: suppress info/warn chatter (keeps errors).
       set_log_level(LogLevel::error);
@@ -696,6 +770,15 @@ int main(int argc, char** argv) {
   buf << file.rdbuf();
 
   try {
+    if (lint_mode) {
+      std::string ltext = buf.str();
+      if (!axes.empty()) {
+        // Parameterized netlists lint at the first grid point.
+        const auto grid = spice::sweep_grid(axes);
+        if (!grid.empty()) ltext = substitute(ltext, grid[0]);
+      }
+      return run_lint(ltext, hdl_mode, lint_warn, lint_json);
+    }
     if (!axes.empty()) {
       if (solve_threads >= 0 && solve_threads != 1)
         std::cerr << "note: --solve-threads is ignored in sweep mode "
