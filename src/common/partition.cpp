@@ -1,0 +1,540 @@
+#include "common/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/deadline.hpp"
+#include "common/thread_pool.hpp"
+#include "common/union_find.hpp"
+
+namespace usys {
+namespace {
+
+/// Matches the SparseLu / dense lu_solve singularity threshold.
+constexpr double kSchurPivotFloor = 1e-300;
+
+/// Symmetrized (pattern + pattern^T), diagonal-free adjacency in CSR form.
+void symmetrized_adjacency(int n, const std::vector<int>& row_ptr,
+                           const std::vector<int>& col_idx, std::vector<int>& adj_ptr,
+                           std::vector<int>& adj) {
+  std::vector<std::vector<int>> lists(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    for (int s = row_ptr[static_cast<std::size_t>(r)];
+         s < row_ptr[static_cast<std::size_t>(r) + 1]; ++s) {
+      const int c = col_idx[static_cast<std::size_t>(s)];
+      if (c == r) continue;
+      lists[static_cast<std::size_t>(r)].push_back(c);
+      lists[static_cast<std::size_t>(c)].push_back(r);
+    }
+  }
+  adj_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  adj.clear();
+  for (int v = 0; v < n; ++v) {
+    auto& l = lists[static_cast<std::size_t>(v)];
+    std::sort(l.begin(), l.end());
+    l.erase(std::unique(l.begin(), l.end()), l.end());
+    adj.insert(adj.end(), l.begin(), l.end());
+    adj_ptr[static_cast<std::size_t>(v) + 1] = static_cast<int>(adj.size());
+  }
+}
+
+}  // namespace
+
+PartitionPlan partition_pattern(int n, const std::vector<int>& row_ptr,
+                                const std::vector<int>& col_idx,
+                                const PartitionOptions& opts,
+                                const std::vector<int>& seed_interface) {
+  if (n < 0 || row_ptr.size() != static_cast<std::size_t>(n) + 1)
+    throw std::invalid_argument("partition_pattern: bad pattern dimensions");
+  PartitionPlan plan;
+  plan.n = n;
+  const auto decline = [&plan](const char* why) {
+    plan.ok = false;
+    plan.decline_reason = why;
+    plan.n_blocks = 0;
+    plan.block_of.clear();
+    plan.interface.clear();
+    return plan;
+  };
+  if (n < opts.min_unknowns) return decline("system too small");
+
+  std::vector<int> adj_ptr, adj;
+  symmetrized_adjacency(n, row_ptr, col_idx, adj_ptr, adj);
+  const int max_interface =
+      opts.max_interface > 0 ? opts.max_interface : std::max(32, n / 8);
+
+  const auto sn = static_cast<std::size_t>(n);
+  std::vector<char> in_if(sn, 0);
+  int n_if = 0;
+  for (int v : seed_interface) {
+    if (v < 0 || v >= n) continue;  // seeds are hints, not a contract
+    if (!in_if[static_cast<std::size_t>(v)]) {
+      in_if[static_cast<std::size_t>(v)] = 1;
+      ++n_if;
+    }
+  }
+  if (n_if > max_interface) return decline("interface budget exceeded");
+
+  // Separator loop: peel the highest-degree vertex of the largest remaining
+  // component into the interface until the graph falls apart (or give up).
+  // Every selection ties on the smallest index, so the plan is
+  // deterministic for a given pattern + seed set.
+  std::vector<int> root_of(sn, -1);
+  std::vector<int> size_of(sn, 0);
+  for (int round = 0;; ++round) {
+    // Interface absorption, to fixpoint: a vertex whose every neighbor sits
+    // in the interface has an empty block row off-diagonal — e.g. a
+    // V-source branch unknown whose node went into the interface. Its
+    // block diagonal is numerically zero, so pull it into the interface
+    // where the global Schur pivoting can handle it.
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (int v = 0; v < n; ++v) {
+        const auto sv = static_cast<std::size_t>(v);
+        if (in_if[sv]) continue;
+        int inblk = 0, iface = 0;
+        for (int p = adj_ptr[sv]; p < adj_ptr[sv + 1]; ++p) {
+          if (in_if[static_cast<std::size_t>(adj[static_cast<std::size_t>(p)])])
+            ++iface;
+          else
+            ++inblk;
+        }
+        if (inblk == 0 && iface > 0) {
+          in_if[sv] = 1;
+          ++n_if;
+          changed = true;
+        }
+      }
+    }
+    if (n_if > max_interface) return decline("interface budget exceeded");
+
+    // Components of the non-interface subgraph.
+    UnionFind uf(n);
+    for (int v = 0; v < n; ++v) {
+      const auto sv = static_cast<std::size_t>(v);
+      if (in_if[sv]) continue;
+      for (int p = adj_ptr[sv]; p < adj_ptr[sv + 1]; ++p) {
+        const int u = adj[static_cast<std::size_t>(p)];
+        if (u > v && !in_if[static_cast<std::size_t>(u)]) uf.unite(v, u);
+      }
+    }
+    std::fill(size_of.begin(), size_of.end(), 0);
+    int ncomp = 0;
+    for (int v = 0; v < n; ++v) {
+      if (in_if[static_cast<std::size_t>(v)]) {
+        root_of[static_cast<std::size_t>(v)] = -1;
+        continue;
+      }
+      const int r = uf.find(v);
+      root_of[static_cast<std::size_t>(v)] = r;
+      if (size_of[static_cast<std::size_t>(r)]++ == 0) ++ncomp;
+    }
+    int largest = 0, largest_root = -1;
+    for (int r = 0; r < n; ++r) {
+      if (size_of[static_cast<std::size_t>(r)] > largest) {
+        largest = size_of[static_cast<std::size_t>(r)];
+        largest_root = r;
+      }
+    }
+    if (ncomp >= opts.min_islands &&
+        static_cast<double>(largest) <= opts.max_island_fraction * n)
+      break;  // success: root_of/size_of describe the final islands
+
+    if (round >= opts.max_separator_rounds)
+      return decline("no usable island structure");
+    int hub = -1, hub_deg = -1;
+    for (int v = 0; v < n; ++v) {
+      const auto sv = static_cast<std::size_t>(v);
+      if (in_if[sv] || root_of[sv] != largest_root) continue;
+      int deg = 0;
+      for (int p = adj_ptr[sv]; p < adj_ptr[sv + 1]; ++p)
+        if (!in_if[static_cast<std::size_t>(adj[static_cast<std::size_t>(p)])]) ++deg;
+      if (deg > hub_deg) {
+        hub_deg = deg;
+        hub = v;
+      }
+    }
+    if (hub < 0 || hub_deg < opts.min_hub_degree)
+      return decline("no hub-like separator");
+    in_if[static_cast<std::size_t>(hub)] = 1;
+    ++n_if;
+    if (n_if > max_interface) return decline("interface budget exceeded");
+  }
+
+  // Pack components into at most max_blocks blocks: biggest first onto the
+  // lightest block, smallest-index ties everywhere, so block loads balance
+  // and the packing is reproducible.
+  struct Comp {
+    int root, size, min_member;
+  };
+  std::vector<Comp> comps;
+  {
+    std::vector<int> min_member(sn, n);
+    for (int v = 0; v < n; ++v) {
+      const int r = root_of[static_cast<std::size_t>(v)];
+      if (r >= 0 && v < min_member[static_cast<std::size_t>(r)])
+        min_member[static_cast<std::size_t>(r)] = v;
+    }
+    for (int r = 0; r < n; ++r)
+      if (size_of[static_cast<std::size_t>(r)] > 0)
+        comps.push_back({r, size_of[static_cast<std::size_t>(r)],
+                         min_member[static_cast<std::size_t>(r)]});
+  }
+  std::sort(comps.begin(), comps.end(), [](const Comp& a, const Comp& b) {
+    if (a.size != b.size) return a.size > b.size;
+    return a.min_member < b.min_member;
+  });
+  const int nb = std::min(opts.max_blocks, static_cast<int>(comps.size()));
+  std::vector<long long> weight(static_cast<std::size_t>(nb), 0);
+  std::vector<int> block_of_root(sn, -1);
+  for (const Comp& c : comps) {
+    int lightest = 0;
+    for (int b = 1; b < nb; ++b)
+      if (weight[static_cast<std::size_t>(b)] < weight[static_cast<std::size_t>(lightest)])
+        lightest = b;
+    block_of_root[static_cast<std::size_t>(c.root)] = lightest;
+    weight[static_cast<std::size_t>(lightest)] += c.size;
+  }
+
+  plan.ok = true;
+  plan.decline_reason = "";
+  plan.n_blocks = nb;
+  plan.block_of.assign(sn, -1);
+  plan.interface.clear();
+  for (int v = 0; v < n; ++v) {
+    if (in_if[static_cast<std::size_t>(v)]) {
+      plan.interface.push_back(v);
+    } else {
+      plan.block_of[static_cast<std::size_t>(v)] =
+          block_of_root[static_cast<std::size_t>(root_of[static_cast<std::size_t>(v)])];
+    }
+  }
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// PartitionedLu
+// ---------------------------------------------------------------------------
+
+template <typename T>
+void PartitionedLu<T>::analyze(const PartitionPlan& plan, int n,
+                               const std::vector<int>& row_ptr,
+                               const std::vector<int>& col_idx, LuOrdering ordering) {
+  if (!plan.ok || plan.n != n)
+    throw std::invalid_argument("PartitionedLu::analyze: plan does not match pattern");
+  if (n < 0 || row_ptr.size() != static_cast<std::size_t>(n) + 1)
+    throw std::invalid_argument("PartitionedLu::analyze: bad pattern dimensions");
+  n_ = n;
+  factored_ = false;
+  interface_ = plan.interface;
+  place_ = plan.block_of;
+  blocks_.assign(static_cast<std::size_t>(plan.n_blocks), Block{});
+  local_.assign(static_cast<std::size_t>(n), -1);
+  for (std::size_t s = 0; s < interface_.size(); ++s)
+    local_[static_cast<std::size_t>(interface_[s])] = static_cast<int>(s);
+  for (int v = 0; v < n; ++v) {
+    const int b = place_[static_cast<std::size_t>(v)];
+    if (b < 0) continue;
+    auto& blk = blocks_[static_cast<std::size_t>(b)];
+    local_[static_cast<std::size_t>(v)] = static_cast<int>(blk.globals.size());
+    blk.globals.push_back(v);
+  }
+
+  // One classification pass over the CSR slots. Global rows of one block
+  // arrive in ascending order, which is exactly ascending local order, so
+  // each block's sub-CSR appends row by row; local column indices inherit
+  // the CSR's within-row ascending order.
+  struct BsEntry {
+    int col, row, slot;  // interface position, local row, global slot
+  };
+  std::vector<std::vector<BsEntry>> bs(blocks_.size());
+  ss_row_.clear();
+  ss_col_.clear();
+  ss_slot_.clear();
+  for (auto& blk : blocks_) blk.row_ptr.assign(1, 0);
+  for (int r = 0; r < n; ++r) {
+    const int br = place_[static_cast<std::size_t>(r)];
+    for (int s = row_ptr[static_cast<std::size_t>(r)];
+         s < row_ptr[static_cast<std::size_t>(r) + 1]; ++s) {
+      const int c = col_idx[static_cast<std::size_t>(s)];
+      const int bc = place_[static_cast<std::size_t>(c)];
+      if (br >= 0 && bc == br) {
+        auto& blk = blocks_[static_cast<std::size_t>(br)];
+        blk.col_idx.push_back(local_[static_cast<std::size_t>(c)]);
+        blk.slot_map.push_back(s);
+      } else if (br >= 0 && bc < 0) {
+        bs[static_cast<std::size_t>(br)].push_back(
+            {local_[static_cast<std::size_t>(c)], local_[static_cast<std::size_t>(r)], s});
+      } else if (br < 0 && bc >= 0) {
+        auto& blk = blocks_[static_cast<std::size_t>(bc)];
+        blk.sb_row.push_back(local_[static_cast<std::size_t>(r)]);
+        blk.sb_col.push_back(local_[static_cast<std::size_t>(c)]);
+        blk.sb_slot.push_back(s);
+      } else if (br < 0 && bc < 0) {
+        ss_row_.push_back(local_[static_cast<std::size_t>(r)]);
+        ss_col_.push_back(local_[static_cast<std::size_t>(c)]);
+        ss_slot_.push_back(s);
+      } else {
+        throw std::invalid_argument(
+            "PartitionedLu::analyze: pattern entry crosses two blocks");
+      }
+    }
+    if (br >= 0) {
+      auto& blk = blocks_[static_cast<std::size_t>(br)];
+      blk.row_ptr.push_back(static_cast<int>(blk.col_idx.size()));
+    }
+  }
+
+  // Regroup each block's A_bS entries by interface column (stable, so rows
+  // stay ascending within a column), then hand the sub-patterns to SparseLu.
+  for (std::size_t bi = 0; bi < blocks_.size(); ++bi) {
+    auto& blk = blocks_[bi];
+    auto& entries = bs[bi];
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const BsEntry& a, const BsEntry& b) { return a.col < b.col; });
+    blk.cols.clear();
+    blk.col_ptr.assign(1, 0);
+    blk.rows.clear();
+    blk.rslots.clear();
+    for (const BsEntry& e : entries) {
+      if (blk.cols.empty() || blk.cols.back() != e.col) {
+        blk.cols.push_back(e.col);
+        blk.col_ptr.push_back(static_cast<int>(blk.rows.size()));
+      }
+      blk.rows.push_back(e.row);
+      blk.rslots.push_back(e.slot);
+      blk.col_ptr.back() = static_cast<int>(blk.rows.size());
+    }
+    blk.lu.analyze(static_cast<int>(blk.globals.size()), blk.row_ptr, blk.col_idx,
+                   ordering);
+    blk.lu.set_deadline(deadline_);
+    blk.vals.assign(blk.slot_map.size(), T{});
+    blk.sb_vals.assign(blk.sb_slot.size(), T{});
+    blk.w.clear();
+    blk.y.assign(blk.globals.size(), T{});
+  }
+  const auto ns = interface_.size();
+  schur_.assign(ns * ns, T{});
+  spiv_.assign(ns, 0);
+  sscale_.assign(ns, 1.0);
+  xs_.assign(ns, T{});
+}
+
+template <typename T>
+void PartitionedLu<T>::factor_block(Block& b, const std::vector<T>& csr_vals) {
+  for (std::size_t k = 0; k < b.slot_map.size(); ++k)
+    b.vals[k] = csr_vals[static_cast<std::size_t>(b.slot_map[k])];
+  b.lu.factor(b.vals);  // throws SingularMatrixError / DeadlineError
+  const auto nloc = b.globals.size();
+  const auto ncols = b.cols.size();
+  b.w.assign(nloc * ncols, T{});
+  for (std::size_t ci = 0; ci < ncols; ++ci) {
+    b.y.assign(nloc, T{});
+    for (int p = b.col_ptr[ci]; p < b.col_ptr[ci + 1]; ++p)
+      b.y[static_cast<std::size_t>(b.rows[static_cast<std::size_t>(p)])] =
+          csr_vals[static_cast<std::size_t>(b.rslots[static_cast<std::size_t>(p)])];
+    b.lu.solve(b.y);
+    std::copy(b.y.begin(), b.y.end(), b.w.begin() + static_cast<std::ptrdiff_t>(ci * nloc));
+  }
+  for (std::size_t p = 0; p < b.sb_slot.size(); ++p)
+    b.sb_vals[p] = csr_vals[static_cast<std::size_t>(b.sb_slot[p])];
+}
+
+template <typename T>
+void PartitionedLu<T>::factor(const std::vector<T>& csr_vals) {
+  if (!analyzed()) throw std::logic_error("PartitionedLu::factor before analyze");
+  if (deadline_ != nullptr) deadline_->check("PartitionedLu::factor");
+  factored_ = false;
+  const int nb = static_cast<int>(blocks_.size());
+  if (pool_ != nullptr && threads_ > 1) {
+    // ThreadPool rethrows the first task exception on this thread, so a
+    // singular block surfaces exactly like in the serial loop.
+    pool_->run(nb, [&](int bi) {
+      factor_block(blocks_[static_cast<std::size_t>(bi)], csr_vals);
+    });
+  } else {
+    for (int bi = 0; bi < nb; ++bi)
+      factor_block(blocks_[static_cast<std::size_t>(bi)], csr_vals);
+  }
+
+  // Schur assembly, serial in fixed block order (deterministic for any
+  // thread count): S = A_SS - sum_b A_Sb W_b.
+  const auto ns = interface_.size();
+  const int nsi = static_cast<int>(ns);
+  schur_.assign(ns * ns, T{});
+  for (std::size_t k = 0; k < ss_slot_.size(); ++k)
+    schur_[static_cast<std::size_t>(ss_row_[k]) * ns + static_cast<std::size_t>(ss_col_[k])] =
+        csr_vals[static_cast<std::size_t>(ss_slot_[k])];
+  for (const Block& b : blocks_) {
+    const auto nloc = b.globals.size();
+    const auto ncols = b.cols.size();
+    for (std::size_t p = 0; p < b.sb_row.size(); ++p) {
+      const T v = b.sb_vals[p];
+      if (v == T{}) continue;
+      const auto r = static_cast<std::size_t>(b.sb_row[p]);
+      const auto lc = static_cast<std::size_t>(b.sb_col[p]);
+      for (std::size_t ci = 0; ci < ncols; ++ci)
+        schur_[r * ns + static_cast<std::size_t>(b.cols[ci])] -= v * b.w[ci * nloc + lc];
+    }
+  }
+
+  // Dense LU of the interface system with row max-scaling and partial
+  // pivoting (smallest-row ties). ns is small by the partitioner's budget,
+  // so O(ns^3) here is the acceptable serial share.
+  for (int r = 0; r < nsi; ++r) {
+    double m = 0.0;
+    for (int c = 0; c < nsi; ++c)
+      m = std::max(m, std::abs(schur_[static_cast<std::size_t>(r) * ns +
+                                      static_cast<std::size_t>(c)]));
+    const double s = (m > 0.0) ? 1.0 / m : 1.0;
+    sscale_[static_cast<std::size_t>(r)] = s;
+    for (int c = 0; c < nsi; ++c)
+      schur_[static_cast<std::size_t>(r) * ns + static_cast<std::size_t>(c)] *= s;
+  }
+  for (int k = 0; k < nsi; ++k) {
+    int piv = k;
+    double amax = std::abs(schur_[static_cast<std::size_t>(k) * ns +
+                                  static_cast<std::size_t>(k)]);
+    for (int r = k + 1; r < nsi; ++r) {
+      const double m = std::abs(schur_[static_cast<std::size_t>(r) * ns +
+                                       static_cast<std::size_t>(k)]);
+      if (m > amax) {
+        amax = m;
+        piv = r;
+      }
+    }
+    if (amax < kSchurPivotFloor)
+      throw SingularMatrixError(static_cast<std::size_t>(interface_[static_cast<std::size_t>(piv)]));
+    spiv_[static_cast<std::size_t>(k)] = piv;
+    if (piv != k) {
+      for (int c = 0; c < nsi; ++c)
+        std::swap(schur_[static_cast<std::size_t>(k) * ns + static_cast<std::size_t>(c)],
+                  schur_[static_cast<std::size_t>(piv) * ns + static_cast<std::size_t>(c)]);
+    }
+    const T d = schur_[static_cast<std::size_t>(k) * ns + static_cast<std::size_t>(k)];
+    for (int r = k + 1; r < nsi; ++r) {
+      const T mult = schur_[static_cast<std::size_t>(r) * ns + static_cast<std::size_t>(k)] / d;
+      schur_[static_cast<std::size_t>(r) * ns + static_cast<std::size_t>(k)] = mult;
+      if (mult != T{}) {
+        for (int c = k + 1; c < nsi; ++c)
+          schur_[static_cast<std::size_t>(r) * ns + static_cast<std::size_t>(c)] -=
+              mult * schur_[static_cast<std::size_t>(k) * ns + static_cast<std::size_t>(c)];
+      }
+    }
+  }
+  factored_ = true;
+}
+
+template <typename T>
+void PartitionedLu<T>::solve(std::vector<T>& b) const {
+  if (!factored_) throw std::logic_error("PartitionedLu::solve before factor");
+  if (b.size() != static_cast<std::size_t>(n_))
+    throw std::invalid_argument("PartitionedLu::solve: rhs size mismatch");
+  if (deadline_ != nullptr) deadline_->check("PartitionedLu::solve");
+  const int nb = static_cast<int>(blocks_.size());
+
+  // y_b = A_bb^{-1} b_b, independently per block.
+  const auto block_forward = [&](int bi) {
+    const Block& blk = blocks_[static_cast<std::size_t>(bi)];
+    const auto nloc = blk.globals.size();
+    blk.y.resize(nloc);
+    for (std::size_t i = 0; i < nloc; ++i)
+      blk.y[i] = b[static_cast<std::size_t>(blk.globals[i])];
+    blk.lu.solve(blk.y);
+  };
+  const bool parallel = pool_ != nullptr && threads_ > 1;
+  if (parallel) {
+    pool_->run(nb, block_forward);
+  } else {
+    for (int bi = 0; bi < nb; ++bi) block_forward(bi);
+  }
+
+  // r_S = b_S - sum_b A_Sb y_b, serial in fixed block order.
+  const auto ns = interface_.size();
+  const int nsi = static_cast<int>(ns);
+  xs_.resize(ns);
+  for (std::size_t s = 0; s < ns; ++s)
+    xs_[s] = b[static_cast<std::size_t>(interface_[s])];
+  for (const Block& blk : blocks_) {
+    for (std::size_t p = 0; p < blk.sb_row.size(); ++p)
+      xs_[static_cast<std::size_t>(blk.sb_row[p])] -=
+          blk.sb_vals[p] * blk.y[static_cast<std::size_t>(blk.sb_col[p])];
+  }
+
+  // Dense interface solve against the stored scaled/pivoted LU.
+  for (std::size_t s = 0; s < ns; ++s) xs_[s] *= sscale_[s];
+  for (int k = 0; k < nsi; ++k) {
+    const int piv = spiv_[static_cast<std::size_t>(k)];
+    if (piv != k) std::swap(xs_[static_cast<std::size_t>(k)], xs_[static_cast<std::size_t>(piv)]);
+  }
+  for (int k = 0; k < nsi; ++k) {
+    const T v = xs_[static_cast<std::size_t>(k)];
+    if (v == T{}) continue;
+    for (int r = k + 1; r < nsi; ++r)
+      xs_[static_cast<std::size_t>(r)] -=
+          schur_[static_cast<std::size_t>(r) * ns + static_cast<std::size_t>(k)] * v;
+  }
+  for (int k = nsi; k-- > 0;) {
+    T acc = xs_[static_cast<std::size_t>(k)];
+    for (int c = k + 1; c < nsi; ++c)
+      acc -= schur_[static_cast<std::size_t>(k) * ns + static_cast<std::size_t>(c)] *
+             xs_[static_cast<std::size_t>(c)];
+    xs_[static_cast<std::size_t>(k)] =
+        acc / schur_[static_cast<std::size_t>(k) * ns + static_cast<std::size_t>(k)];
+  }
+
+  // x_b = y_b - W_b x_S, then scatter back, independently per block.
+  const auto block_backward = [&](int bi) {
+    const Block& blk = blocks_[static_cast<std::size_t>(bi)];
+    const auto nloc = blk.globals.size();
+    const auto ncols = blk.cols.size();
+    for (std::size_t ci = 0; ci < ncols; ++ci) {
+      const T v = xs_[static_cast<std::size_t>(blk.cols[ci])];
+      if (v == T{}) continue;
+      const T* w = blk.w.data() + static_cast<std::ptrdiff_t>(ci * nloc);
+      for (std::size_t i = 0; i < nloc; ++i) blk.y[i] -= w[i] * v;
+    }
+    for (std::size_t i = 0; i < nloc; ++i)
+      b[static_cast<std::size_t>(blk.globals[i])] = blk.y[i];
+  };
+  if (parallel) {
+    pool_->run(nb, block_backward);
+  } else {
+    for (int bi = 0; bi < nb; ++bi) block_backward(bi);
+  }
+  for (std::size_t s = 0; s < ns; ++s)
+    b[static_cast<std::size_t>(interface_[s])] = xs_[s];
+}
+
+template <typename T>
+void PartitionedLu<T>::set_deadline(const Deadline* deadline) noexcept {
+  deadline_ = deadline;
+  for (auto& blk : blocks_) blk.lu.set_deadline(deadline);
+}
+
+template <typename T>
+void PartitionedLu<T>::invalidate_pivot_order() noexcept {
+  factored_ = false;
+  for (auto& blk : blocks_) blk.lu.invalidate_pivot_order();
+}
+
+template <typename T>
+int PartitionedLu<T>::symbolic_factorizations() const noexcept {
+  int m = 0;
+  for (const auto& blk : blocks_) m = std::max(m, blk.lu.symbolic_factorizations());
+  return m;
+}
+
+template <typename T>
+std::size_t PartitionedLu<T>::factor_nonzeros() const noexcept {
+  if (!factored_) return 0;
+  std::size_t s = schur_.size();
+  for (const auto& blk : blocks_) s += blk.lu.factor_nonzeros() + blk.w.size();
+  return s;
+}
+
+template class PartitionedLu<double>;
+template class PartitionedLu<std::complex<double>>;
+
+}  // namespace usys

@@ -1,0 +1,196 @@
+// Island decomposition for weakly-coupled sparse systems + the block/Schur
+// factorization that exploits it.
+//
+// The paper's headline workload — large transducer arrays — produces MNA
+// matrices that are almost block-diagonal: thousands of cells, each a small
+// dense-ish clique, joined only through a handful of shared drive/sense
+// nets. partition_pattern() recovers that structure from the compiled CSR
+// pattern alone: it peels high-degree hub vertices into an interface set
+// until the remaining graph falls apart into many small components, then
+// packs the components into a bounded number of blocks. PartitionedLu
+// factors each block independently (in parallel across a shared ThreadPool)
+// and couples them through the dense Schur complement of the interface:
+//
+//   [ A_BB  A_BS ] [x_B]   [b_B]      S = A_SS - sum_b A_Sb A_bb^{-1} A_bS
+//   [ A_SB  A_SS ] [x_S] = [b_S],     (A_BB block-diagonal over islands)
+//
+// Per factorization each block b computes its sparse LU and the coupling
+// solve W_b = A_bb^{-1} A_bS; the interface system S (ns x ns, ns small by
+// construction) is factored dense. Per solve: y_b = A_bb^{-1} b_b in
+// parallel, one serial reduction r_S = b_S - sum A_Sb y_b, the dense
+// interface solve, then x_b = y_b - W_b x_S in parallel again.
+//
+// Everything is deterministic: the partitioner breaks every tie on the
+// smallest index, and all cross-block reductions run in fixed block order
+// on the calling thread — results are bit-identical across thread counts
+// (though not bit-identical to the monolithic factorization, which pivots
+// globally; parity there is "same solution to solver tolerance").
+//
+// When the pattern has no usable island structure (chains, small systems,
+// hub-free meshes) partition_pattern() declines — plan.ok == false with a
+// reason — and callers stay on the monolithic SparseLu. docs/partitioning.md
+// walks through the formulation and the decline rules.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"     // SingularMatrixError
+#include "common/sparse_lu.hpp"  // SparseLu, LuOrdering
+
+namespace usys {
+
+class Deadline;
+class ThreadPool;
+
+/// Tuning knobs for partition_pattern(). The defaults target the transducer
+/// array topologies; all thresholds are deliberately coarse — partitioning
+/// only has to engage where it wins big, and decline cleanly elsewhere.
+struct PartitionOptions {
+  /// Decline systems smaller than this: the Schur machinery costs more than
+  /// a monolithic factorization saves.
+  int min_unknowns = 64;
+  /// Decline unless separator removal yields at least this many components.
+  int min_islands = 4;
+  /// Largest island may hold at most this fraction of the unknowns,
+  /// otherwise one block dominates the parallel factorization.
+  double max_island_fraction = 0.25;
+  /// A separator candidate must have at least this degree; chains and other
+  /// hub-free graphs fail it immediately instead of being nibbled apart.
+  int min_hub_degree = 8;
+  /// Give up after peeling this many hubs without the graph falling apart.
+  int max_separator_rounds = 64;
+  /// Interface budget; 0 = automatic (max(32, n/8)). The dense Schur system
+  /// is ns x ns, so this bounds the serial part of every factorization.
+  int max_interface = 0;
+  /// Components are packed into at most this many blocks (round-robin by
+  /// descending size), bounding per-factorization task-dispatch overhead.
+  int max_blocks = 64;
+};
+
+/// Result of partition_pattern(). When ok is false the caller must use the
+/// monolithic path; decline_reason says why (static string, never null
+/// after a decline).
+struct PartitionPlan {
+  bool ok = false;
+  int n = 0;
+  int n_blocks = 0;
+  std::vector<int> block_of;      ///< unknown -> block id, or -1 = interface
+  std::vector<int> interface;     ///< interface unknowns, ascending
+  const char* decline_reason = "";
+};
+
+/// Partitions an n x n CSR pattern into weakly-coupled islands plus a small
+/// interface. `seed_interface` pre-loads known hubs (e.g. the shared nets
+/// of an .array/TRANSARRAY netlist, computed by the caller from device
+/// footprints) so structural knowledge skips the degree heuristic; the
+/// heuristic still runs after seeding. Deterministic: identical inputs give
+/// identical plans on every platform.
+PartitionPlan partition_pattern(int n, const std::vector<int>& row_ptr,
+                                const std::vector<int>& col_idx,
+                                const PartitionOptions& opts = {},
+                                const std::vector<int>& seed_interface = {});
+
+/// Block/Schur factorization over a PartitionPlan. Mirrors the SparseLu
+/// call shape (analyze once per pattern, factor per value set, solve in
+/// place) so NewtonSolver and the AC loop can swap it in transparently.
+/// factor() throws SingularMatrixError when a block or the interface system
+/// is singular — callers fall back to the monolithic factorization, which
+/// pivots globally and is the ground truth for solvability.
+template <typename T>
+class PartitionedLu {
+ public:
+  /// Splits the CSR pattern along `plan` (which must be ok and built from
+  /// this same pattern). Every CSR slot is classified once into its block's
+  /// sub-CSR, a coupling list, or the interface matrix; factor() then works
+  /// entirely from value gathers through those slot maps.
+  void analyze(const PartitionPlan& plan, int n, const std::vector<int>& row_ptr,
+               const std::vector<int>& col_idx, LuOrdering ordering = LuOrdering::amd);
+
+  bool analyzed() const noexcept { return n_ >= 0; }
+  int size() const noexcept { return n_ < 0 ? 0 : n_; }
+  int n_blocks() const noexcept { return static_cast<int>(blocks_.size()); }
+  int interface_size() const noexcept { return static_cast<int>(interface_.size()); }
+
+  /// Numeric factorization of values laid out per the analyzed CSR pattern.
+  void factor(const std::vector<T>& csr_vals);
+  bool factored() const noexcept { return factored_; }
+
+  /// Solves A x = b in place. Requires factor().
+  void solve(std::vector<T>& b) const;
+
+  /// Fans block factor/solve work across `pool` (non-owning). Results are
+  /// bit-identical for any thread count. Block-internal SparseLu stays
+  /// serial — ThreadPool::run is not reentrant — so the parallel unit is
+  /// the island, which is exactly where the work is.
+  void set_parallel(ThreadPool* pool, int threads) noexcept {
+    pool_ = pool;
+    threads_ = (pool && threads > 1) ? threads : 1;
+  }
+
+  /// Borrows a deadline (non-owning; null = none), checked at factor/solve
+  /// dispatch and inside every block factorization.
+  void set_deadline(const Deadline* deadline) noexcept;
+
+  /// Forgets every block's recorded pivot order (regime changes).
+  void invalidate_pivot_order() noexcept;
+
+  /// Max full (pivot-searching) factorization count over the blocks — the
+  /// partitioned analogue of SparseLu::symbolic_factorizations().
+  int symbolic_factorizations() const noexcept;
+
+  /// Stored factor entries: block L+U totals plus the dense ns^2 Schur
+  /// factor and the W coupling blocks.
+  std::size_t factor_nonzeros() const noexcept;
+
+ private:
+  struct Block {
+    std::vector<int> globals;    ///< block unknowns, ascending (local -> global)
+    std::vector<int> row_ptr;    ///< local sub-CSR pattern
+    std::vector<int> col_idx;
+    std::vector<int> slot_map;   ///< local CSR slot -> global CSR slot
+    SparseLu<T> lu;
+    std::vector<T> vals;         ///< gathered block values (factor scratch)
+    // Couplings to the interface. A_bS is stored per interface column
+    // actually present in this block (cols, ascending; CSC-ish):
+    std::vector<int> cols;       ///< interface indices (positions in interface_)
+    std::vector<int> col_ptr;    ///< per-col range into rows/rslots
+    std::vector<int> rows;       ///< local row of each A_bS entry
+    std::vector<int> rslots;     ///< global CSR slot of each A_bS entry
+    // A_Sb entries in pattern walk order:
+    std::vector<int> sb_row;     ///< interface index (position in interface_)
+    std::vector<int> sb_col;     ///< local column
+    std::vector<int> sb_slot;    ///< global CSR slot
+    std::vector<T> sb_vals;      ///< gathered at factor()
+    std::vector<T> w;            ///< W_b = A_bb^{-1} A_bS, column-major [n_loc x |cols|]
+    mutable std::vector<T> y;    ///< y_b / x_b solve scratch
+  };
+
+  void factor_block(Block& b, const std::vector<T>& csr_vals);
+
+  int n_ = -1;
+  std::vector<Block> blocks_;
+  std::vector<int> interface_;    ///< interface unknowns, ascending (global ids)
+  std::vector<int> place_;        ///< global -> block id, or -1 = interface
+  std::vector<int> local_;        ///< global -> local index / interface position
+  // A_SS pattern entries:
+  std::vector<int> ss_row_, ss_col_, ss_slot_;
+  // Dense Schur factor (row-major, factored in place) + pivoting state.
+  std::vector<T> schur_;
+  std::vector<int> spiv_;
+  std::vector<double> sscale_;    ///< interface row max-scaling
+  mutable std::vector<T> xs_;     ///< interface rhs/solution scratch
+  bool factored_ = false;
+
+  ThreadPool* pool_ = nullptr;    ///< non-owning; shared with assembly/solve
+  int threads_ = 1;
+  const Deadline* deadline_ = nullptr;
+};
+
+using DPartitionedLu = PartitionedLu<double>;
+using ZPartitionedLu = PartitionedLu<std::complex<double>>;
+
+}  // namespace usys

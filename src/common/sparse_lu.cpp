@@ -1,6 +1,7 @@
 #include "common/sparse_lu.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <set>
 #include <stdexcept>
@@ -65,6 +66,8 @@ void SparseLu<T>::analyze(int n, const std::vector<int>& row_ptr,
   flev_rows_.clear();
   blev_ptr_.clear();
   blev_rows_.clear();
+  rlev_ptr_.clear();
+  rlev_cols_.clear();
 
   x_.assign(static_cast<std::size_t>(n), T{});
   xi_.assign(static_cast<std::size_t>(n), 0);
@@ -530,52 +533,114 @@ void SparseLu<T>::factor_full() {
 }
 
 template <typename T>
+bool SparseLu<T>::refactor_column(int jj, T* x) {
+  const int j = q_[static_cast<std::size_t>(jj)];
+  // Scatter A(:,j) into pivotal space. The reach of the recorded symbolic
+  // factorization is a superset of A's pattern, so the clears below cover
+  // every scattered slot.
+  for (int p = col_ptr_[static_cast<std::size_t>(j)];
+       p < col_ptr_[static_cast<std::size_t>(j) + 1]; ++p)
+    x[pinv_[static_cast<std::size_t>(row_idx_[static_cast<std::size_t>(p)])]] =
+        csc_vals_[static_cast<std::size_t>(p)];
+
+  // Replay the column's U entries in their recorded (topological) order.
+  const int u_end = up_[static_cast<std::size_t>(jj) + 1] - 1;  // diagonal excluded
+  for (int p = up_[static_cast<std::size_t>(jj)]; p < u_end; ++p) {
+    const int k = ui_[static_cast<std::size_t>(p)];
+    const T ukj = x[k];
+    ux_[static_cast<std::size_t>(p)] = ukj;
+    x[k] = T{};
+    if (ukj != T{}) {
+      const int end = lp_[static_cast<std::size_t>(k) + 1];
+      for (int q = lp_[static_cast<std::size_t>(k)] + 1; q < end; ++q)
+        x[li_[static_cast<std::size_t>(q)]] -= lx_[static_cast<std::size_t>(q)] * ukj;
+    }
+  }
+
+  const T pivot = x[jj];
+  x[jj] = T{};
+  const double apiv = std::abs(pivot);
+  if (apiv < kAbsPivotFloor)
+    return false;  // pivot order no longer viable; re-run full pivoting
+  ux_[static_cast<std::size_t>(u_end)] = pivot;
+  const int l_end = lp_[static_cast<std::size_t>(jj) + 1];
+  for (int q = lp_[static_cast<std::size_t>(jj)] + 1; q < l_end; ++q) {
+    const int i = li_[static_cast<std::size_t>(q)];
+    const T v = x[i];
+    x[i] = T{};
+    if (std::abs(v) > kPivotGrowthLimit * apiv)
+      return false;  // multiplier blow-up: pivot degraded
+    lx_[static_cast<std::size_t>(q)] = v / pivot;
+  }
+  return true;
+}
+
+template <typename T>
 bool SparseLu<T>::refactor() {
+  if (refactor_threads_ > 1 && pool_ != nullptr) return refactor_parallel();
   const int n = n_;
+  T* const x = x_.data();
   for (int jj = 0; jj < n; ++jj) {
-    const int j = q_[static_cast<std::size_t>(jj)];
-    // Scatter A(:,j) into pivotal space. The reach of the recorded symbolic
-    // factorization is a superset of A's pattern, so the clears below cover
-    // every scattered slot.
-    for (int p = col_ptr_[static_cast<std::size_t>(j)];
-         p < col_ptr_[static_cast<std::size_t>(j) + 1]; ++p)
-      x_[static_cast<std::size_t>(pinv_[static_cast<std::size_t>(
-          row_idx_[static_cast<std::size_t>(p)])])] = csc_vals_[static_cast<std::size_t>(p)];
-
-    // Replay the column's U entries in their recorded (topological) order.
-    const int u_end = up_[static_cast<std::size_t>(jj) + 1] - 1;  // diagonal excluded
-    for (int p = up_[static_cast<std::size_t>(jj)]; p < u_end; ++p) {
-      const int k = ui_[static_cast<std::size_t>(p)];
-      const T ukj = x_[static_cast<std::size_t>(k)];
-      ux_[static_cast<std::size_t>(p)] = ukj;
-      x_[static_cast<std::size_t>(k)] = T{};
-      if (ukj != T{}) {
-        const int end = lp_[static_cast<std::size_t>(k) + 1];
-        for (int q = lp_[static_cast<std::size_t>(k)] + 1; q < end; ++q)
-          x_[static_cast<std::size_t>(li_[static_cast<std::size_t>(q)])] -=
-              lx_[static_cast<std::size_t>(q)] * ukj;
-      }
-    }
-
-    const T pivot = x_[static_cast<std::size_t>(jj)];
-    x_[static_cast<std::size_t>(jj)] = T{};
-    const double apiv = std::abs(pivot);
-    if (apiv < kAbsPivotFloor) {
+    if (!refactor_column(jj, x)) {
       x_.assign(static_cast<std::size_t>(n), T{});
-      return false;  // pivot order no longer viable; re-run full pivoting
+      return false;
     }
-    ux_[static_cast<std::size_t>(u_end)] = pivot;
-    const int l_end = lp_[static_cast<std::size_t>(jj) + 1];
-    for (int q = lp_[static_cast<std::size_t>(jj)] + 1; q < l_end; ++q) {
-      const int i = li_[static_cast<std::size_t>(q)];
-      const T v = x_[static_cast<std::size_t>(i)];
-      x_[static_cast<std::size_t>(i)] = T{};
-      if (std::abs(v) > kPivotGrowthLimit * apiv) {
-        x_.assign(static_cast<std::size_t>(n), T{});
-        return false;  // multiplier blow-up: pivot degraded
+  }
+  return true;
+}
+
+/// Level-scheduled column replay. Column jj's replay reads L(:,k) only for
+/// the above-diagonal U entries k of column jj, so the rlev_* levels built
+/// at symbolic time group columns whose inputs are all finished. Within a
+/// level every column writes only its own lx_/ux_ slots and scatters into a
+/// per-chunk scratch vector, and its arithmetic order is the serial one —
+/// so the produced factors, and the degraded-pivot verdict, are
+/// bit-identical to the serial replay for any thread count or chunking.
+template <typename T>
+bool SparseLu<T>::refactor_parallel() {
+  const int n = n_;
+  const auto sn = static_cast<std::size_t>(n);
+  const int nlev = static_cast<int>(rlev_ptr_.size()) - 1;
+  if (rx_.size() < static_cast<std::size_t>(refactor_threads_))
+    rx_.resize(static_cast<std::size_t>(refactor_threads_));
+  std::atomic<bool> ok{true};
+  for (int l = 0; l < nlev && ok.load(std::memory_order_relaxed); ++l) {
+    const int begin = rlev_ptr_[static_cast<std::size_t>(l)];
+    const int end = rlev_ptr_[static_cast<std::size_t>(l) + 1];
+    const int count = end - begin;
+    if (count < min_level_cols_) {
+      T* const x = x_.data();
+      for (int k = begin; k < end; ++k) {
+        if (!refactor_column(rlev_cols_[static_cast<std::size_t>(k)], x)) {
+          ok.store(false, std::memory_order_relaxed);
+          break;
+        }
       }
-      lx_[static_cast<std::size_t>(q)] = v / pivot;
+      continue;
     }
+    const int chunks = std::min(refactor_threads_, count);
+    pool_->run(chunks, [&](int c) {
+      auto& xs = rx_[static_cast<std::size_t>(c)];
+      if (xs.size() != sn) xs.assign(sn, T{});
+      T* const x = xs.data();
+      const int lo = begin + static_cast<int>((static_cast<long long>(count) * c) / chunks);
+      const int hi =
+          begin + static_cast<int>((static_cast<long long>(count) * (c + 1)) / chunks);
+      for (int k = lo; k < hi; ++k) {
+        if (!ok.load(std::memory_order_relaxed)) return;
+        if (!refactor_column(rlev_cols_[static_cast<std::size_t>(k)], x)) {
+          ok.store(false, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+  }
+  if (!ok.load(std::memory_order_relaxed)) {
+    // A failing (or abandoned mid-chunk) column leaves its scratch dirty;
+    // re-zero everything before the full factorization redoes the work.
+    x_.assign(sn, T{});
+    for (auto& xs : rx_) xs.assign(xs.size(), T{});
+    return false;
   }
   return true;
 }
@@ -665,6 +730,33 @@ void SparseLu<T>::build_solve_schedule() {
   };
   levelize(lt_ptr_, lt_idx_, /*backward=*/false, flev_ptr_, flev_rows_);
   levelize(ut_ptr_, ut_idx_, /*backward=*/true, blev_ptr_, blev_rows_);
+
+  // Refactor column levels: replaying column jj reads L(:,k) for every
+  // above-diagonal U entry k of column jj (those are exactly the pivotal
+  // columns its sparse triangular solve eliminates against), so
+  // level(jj) = 1 + max over those k. Same counting-sort grouping as the
+  // solve levels, keyed on columns instead of rows.
+  {
+    std::vector<int> level(sn, 0);
+    int nlev = 0;
+    for (int j = 0; j < n; ++j) {
+      int lv = 0;
+      for (int p = up_[static_cast<std::size_t>(j)];
+           p < up_[static_cast<std::size_t>(j) + 1] - 1; ++p)
+        lv = std::max(lv, level[static_cast<std::size_t>(ui_[static_cast<std::size_t>(p)])] + 1);
+      level[static_cast<std::size_t>(j)] = lv;
+      nlev = std::max(nlev, lv + 1);
+    }
+    rlev_ptr_.assign(static_cast<std::size_t>(nlev) + 1, 0);
+    for (std::size_t j = 0; j < sn; ++j) ++rlev_ptr_[static_cast<std::size_t>(level[j]) + 1];
+    for (int l = 0; l < nlev; ++l)
+      rlev_ptr_[static_cast<std::size_t>(l) + 1] += rlev_ptr_[static_cast<std::size_t>(l)];
+    rlev_cols_.assign(sn, 0);
+    std::vector<int> cur(rlev_ptr_.begin(), rlev_ptr_.end() - 1);
+    for (int j = 0; j < n; ++j)
+      rlev_cols_[static_cast<std::size_t>(
+          cur[static_cast<std::size_t>(level[static_cast<std::size_t>(j)])]++)] = j;
+  }
 }
 
 /// Runs row_fn over every row, level by level. Levels big enough to beat

@@ -109,6 +109,29 @@ class SparseLu {
   /// Chunks a parallel solve fans each big level into (1 = serial).
   int solve_threads() const noexcept { return solve_threads_; }
 
+  /// Enables the level-scheduled parallel numeric refactorization. The
+  /// recorded pivot order fixes which L columns each column's U replay
+  /// reads, so columns of one dependency level replay independently across
+  /// the pool registered via set_parallel() (call it even with 1 solve
+  /// thread to lend the pool). Levels with fewer than `min_level_cols`
+  /// columns run inline. Each column keeps its serial arithmetic order,
+  /// writes only its own L/U slots, and scatters into a per-chunk scratch,
+  /// so the factorization — including the degraded-pivot fallback decision
+  /// — is bit-identical to serial at any thread count.
+  void set_refactor_parallel(int threads, int min_level_cols = 16) noexcept {
+    refactor_threads_ = threads > 1 ? threads : 1;
+    min_level_cols_ = min_level_cols < 1 ? 1 : min_level_cols;
+  }
+
+  /// Chunks a parallel refactorization fans each big level into (1 = serial).
+  int refactor_threads() const noexcept { return refactor_threads_; }
+
+  /// Dependency-level count of the recorded column replay; 0 before
+  /// factor(). Star-like patterns collapse to a handful of levels.
+  int refactor_levels() const noexcept {
+    return rlev_ptr_.empty() ? 0 : static_cast<int>(rlev_ptr_.size()) - 1;
+  }
+
   /// Borrows a deadline (non-owning; null = none): factor() and solve()
   /// check it at dispatch and throw DeadlineError once it expires, so a
   /// budgeted Newton loop can never sit inside an unbounded factorization
@@ -133,6 +156,12 @@ class SparseLu {
  private:
   void factor_full();
   bool refactor();  ///< false = reused pivot degraded; caller re-runs full
+  /// One column of the refactorization replay, scattering through `x`
+  /// (length n, all-zero on entry, all-zero again on a true return). A
+  /// false return means the reused pivot degraded; `x` is left dirty and
+  /// the caller clears it wholesale.
+  bool refactor_column(int jj, T* x);
+  bool refactor_parallel();  ///< level-scheduled refactor(); same contract
   int dfs_reach(int start, int top);
   void min_degree_order();
   void amd_order();
@@ -172,10 +201,13 @@ class SparseLu {
   std::vector<int> ut_ptr_, ut_idx_, ut_map_;  ///< U^T rows (diagonal dropped)
   std::vector<int> flev_ptr_, flev_rows_;      ///< forward levels (rows grouped)
   std::vector<int> blev_ptr_, blev_rows_;      ///< backward levels
+  std::vector<int> rlev_ptr_, rlev_cols_;      ///< refactor column levels
 
   ThreadPool* pool_ = nullptr;  ///< non-owning; shared with the MNA assembly
   int solve_threads_ = 1;
   int min_level_rows_ = 48;
+  int refactor_threads_ = 1;
+  int min_level_cols_ = 16;
   const Deadline* deadline_ = nullptr;  ///< non-owning; checked at dispatch
 
   // Scratch reused across factorizations/solves (no per-iteration allocs).
@@ -183,6 +215,7 @@ class SparseLu {
   std::vector<int> xi_, stack_, pstack_;
   std::vector<char> visited_;
   mutable std::vector<T> tmp_;
+  std::vector<std::vector<T>> rx_;  ///< per-chunk parallel-refactor scratch
 };
 
 using DSparseLu = SparseLu<double>;

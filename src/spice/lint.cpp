@@ -6,6 +6,7 @@
 #include <set>
 
 #include "common/strings.hpp"
+#include "common/union_find.hpp"
 #include "spice/types.hpp"
 
 namespace usys::spice {
@@ -176,32 +177,7 @@ void Device::lint(LintSink& sink) const { sink.footprint_clique(*this); }
 
 namespace {
 
-/// Plain union-find with path halving.
-class UnionFind {
- public:
-  explicit UnionFind(int n) : parent_(static_cast<std::size_t>(n)) {
-    for (int i = 0; i < n; ++i) parent_[static_cast<std::size_t>(i)] = i;
-  }
-  int find(int x) noexcept {
-    while (parent_[static_cast<std::size_t>(x)] != x) {
-      parent_[static_cast<std::size_t>(x)] =
-          parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(x)])];
-      x = parent_[static_cast<std::size_t>(x)];
-    }
-    return x;
-  }
-  /// Returns false when the two were already connected.
-  bool unite(int a, int b) noexcept {
-    const int ra = find(a);
-    const int rb = find(b);
-    if (ra == rb) return false;
-    parent_[static_cast<std::size_t>(ra)] = rb;
-    return true;
-  }
-
- private:
-  std::vector<int> parent_;
-};
+using usys::UnionFind;  // common/union_find.hpp, shared with the partitioner
 
 /// Deterministic probe iterate: pseudo-random, bounded away from the special
 /// values 0 and 1 so products/differences don't cancel structurally present

@@ -19,6 +19,7 @@
 #include <memory>
 
 #include "common/deadline.hpp"
+#include "common/partition.hpp"
 #include "common/sparse_lu.hpp"
 #include "common/status.hpp"
 #include "spice/circuit.hpp"
@@ -31,6 +32,15 @@ enum class MatrixBackend {
   auto_select,  ///< sparse when the pattern is complete and n >= sparse_threshold
   dense,        ///< force the dense path
   sparse,       ///< force sparse (falls back to dense on incomplete patterns)
+};
+
+/// Island/Schur decomposition policy for the sparse backend
+/// (common/partition.hpp; docs/partitioning.md).
+enum class PartitionMode {
+  off,   ///< always the monolithic factorization (the default)
+  auto_mode,  ///< partition when the compiled pattern has usable island
+              ///< structure; decline or a singular block falls back to the
+              ///< monolithic path automatically
 };
 
 struct NewtonOptions {
@@ -56,6 +66,21 @@ struct NewtonOptions {
   /// guarantee (bit-identical to serial for any thread count), same scope
   /// (sparse backend only). Assembly and solve share one thread pool.
   int solve_threads = 1;
+  /// Threads for the level-scheduled parallel numeric refactorization
+  /// (common/sparse_lu.hpp): same semantics and bit-identity guarantee as
+  /// solve_threads, same scope (sparse backend only), same shared pool.
+  /// Refactorization dominates each Newton iteration once assembly and
+  /// solve are parallel, so this is usually the knob that pays most.
+  int refactor_threads = 1;
+  /// Island/Schur decomposition of the sparse system (docs/partitioning.md).
+  /// auto_mode partitions weakly-coupled circuits (e.g. transducer arrays)
+  /// into independently factored blocks plus a small dense interface and
+  /// falls back to the monolithic factorization when the pattern has no
+  /// usable structure or a block turns singular. Partitioned results match
+  /// monolithic to solver tolerance but are not bit-identical to it (the
+  /// monolithic factorization pivots globally); across thread counts the
+  /// partitioned path itself IS bit-identical.
+  PartitionMode partition = PartitionMode::off;
   /// Fill-reducing ordering for the sparse LU. AMD is the default; the
   /// simple min-degree variant remains selectable as the quality baseline
   /// (bench_solver_scaling compares the two).
@@ -120,7 +145,18 @@ class NewtonSolver {
   const std::vector<double>& sparse_jf() const { return assembler_->jf_values(); }
   const std::vector<double>& sparse_jq() const { return assembler_->jq_values(); }
 
-  int symbolic_factorizations() const noexcept { return lu_.symbolic_factorizations(); }
+  int symbolic_factorizations() const noexcept {
+    return plu_ ? plu_->symbolic_factorizations() : lu_.symbolic_factorizations();
+  }
+
+  /// True while the island/Schur path is live (partition == auto_mode, the
+  /// partitioner accepted the pattern, and no block has gone singular).
+  bool partition_active() const noexcept { return plu_ != nullptr; }
+
+  /// The partitioner's verdict on the compiled pattern (plan().ok == false
+  /// carries the decline reason). Only meaningful with partition ==
+  /// auto_mode on the sparse backend.
+  const PartitionPlan& partition_plan() const noexcept { return plan_; }
 
   /// The pool shared by parallel assembly and the threaded triangular
   /// solves; null when both are serial (or on the dense path). The AC sweep
@@ -133,7 +169,10 @@ class NewtonSolver {
   /// transient boundary: the transient matrix Jf + a0*Jq is a different
   /// numerical regime, and a fresh pivot search there reproduces the
   /// legacy fresh-solver-per-analysis behavior bit for bit.
-  void refresh_pivot_order() noexcept { lu_.invalidate_pivot_order(); }
+  void refresh_pivot_order() noexcept {
+    lu_.invalidate_pivot_order();
+    if (plu_) plu_->invalidate_pivot_order();
+  }
 
   /// Adjusts the diagonal gmin in place, so one solver — and its single
   /// symbolic factorization — serves every stage of the gmin-stepping
@@ -147,6 +186,7 @@ class NewtonSolver {
   void set_deadline(const Deadline* deadline) noexcept {
     deadline_ = deadline;
     lu_.set_deadline(deadline);
+    if (plu_) plu_->set_deadline(deadline);
   }
 
   /// Re-tunes the iteration controls (max_iters, reltol, gmin,
@@ -154,8 +194,8 @@ class NewtonSolver {
   /// and its compiled pattern and symbolic factorization — can serve
   /// several analyses with different convergence settings. The caller must
   /// keep the backend-selection fields (backend, sparse_threshold,
-  /// assembly_threads, solve_threads, ordering) unchanged; compare with
-  /// same_backend_config first.
+  /// assembly_threads, solve_threads, refactor_threads, partition,
+  /// ordering) unchanged; compare with same_backend_config first.
   void retune(const NewtonOptions& opts) noexcept {
     opts_.max_iters = opts.max_iters;
     opts_.reltol = opts.reltol;
@@ -170,7 +210,9 @@ class NewtonSolver {
   static bool same_backend_config(const NewtonOptions& a, const NewtonOptions& b) noexcept {
     return a.backend == b.backend && a.sparse_threshold == b.sparse_threshold &&
            a.assembly_threads == b.assembly_threads &&
-           a.solve_threads == b.solve_threads && a.ordering == b.ordering;
+           a.solve_threads == b.solve_threads &&
+           a.refactor_threads == b.refactor_threads && a.partition == b.partition &&
+           a.ordering == b.ordering;
   }
 
  private:
@@ -185,6 +227,11 @@ class NewtonSolver {
   std::unique_ptr<ThreadPool> pool_;         // sparse backend only
   std::unique_ptr<MnaAssembler> assembler_;  // sparse backend only
   DSparseLu lu_;
+  // Island/Schur path (sparse backend, partition == auto_mode, plan ok).
+  // plu_ is reset permanently if a block factorization turns singular —
+  // the monolithic lu_ (analyzed up front as the fallback) takes over.
+  PartitionPlan plan_;
+  std::unique_ptr<DPartitionedLu> plu_;
   std::vector<double> jac_vals_;
   const Deadline* deadline_ = nullptr;  ///< non-owning; see set_deadline
 };

@@ -178,6 +178,165 @@ TEST(ParallelSolve, DefaultThresholdKeepsSmallLevelsSerialAndIdentical) {
   EXPECT_EQ(ref, b);
 }
 
+// --- level-scheduled parallel numeric refactorization ------------------------
+// SparseLu::set_refactor_parallel: the pivot-order replay fans column work
+// across dependency levels. Same determinism contract as the solves — any
+// thread count is bit-identical to serial — and the degradation tests
+// (pivot floor / growth limit) must trip exactly when serial's do. The
+// suite name keeps these under the TSan CI filter.
+
+TEST(ParallelRefactor, BitIdenticalToSerialAnyThreadCount) {
+  std::mt19937 rng(31);
+  std::uniform_real_distribution<double> ud(-1.0, 1.0);
+  for (int n : {15, 120, 400}) {
+    const Pattern p = random_pattern(n, rng);
+    auto vals = make_dominant(p, rng);
+
+    SparseLu<double> serial;
+    serial.analyze(p.n, p.row_ptr, p.col_idx);
+
+    for (int threads : {2, 4, 8}) {
+      ThreadPool pool(threads);
+      SparseLu<double> par;
+      par.analyze(p.n, p.row_ptr, p.col_idx);
+      // Solve threads stay at 1: set_parallel only lends the pool here.
+      // min_level_cols = 1 forces pool dispatch on EVERY refactor level.
+      par.set_parallel(&pool, 1);
+      par.set_refactor_parallel(threads, /*min_level_cols=*/1);
+
+      // First factor() records the pivot order; the drift loop replays it
+      // through the parallel refactorization.
+      auto drifted = vals;
+      std::mt19937 drift_rng(77);
+      for (int iter = 0; iter < 10; ++iter) {
+        serial.factor(drifted);
+        par.factor(drifted);
+        std::vector<double> b(static_cast<std::size_t>(p.n));
+        for (auto& v : b) v = ud(drift_rng);
+        std::vector<double> b2 = b;
+        serial.solve(b);
+        par.solve(b2);
+        EXPECT_EQ(b, b2) << "n=" << n << " threads=" << threads
+                         << " iteration " << iter;
+        for (auto& v : drifted) v *= 1.0 + 0.005 * ud(drift_rng);
+      }
+      EXPECT_EQ(serial.symbolic_factorizations(), 1);
+      EXPECT_EQ(par.symbolic_factorizations(), 1);
+      EXPECT_GT(par.refactor_levels(), 0);
+      serial = SparseLu<double>();
+      serial.analyze(p.n, p.row_ptr, p.col_idx);
+    }
+  }
+}
+
+TEST(ParallelRefactor, DegradedPivotFallsBackExactlyLikeSerial) {
+  // Squeezing one diagonal by 1e-9 blows the pivot-growth limit during the
+  // replay: both paths must abandon the refactorization, re-run the full
+  // pivot-searching factorization, and agree bit-for-bit.
+  std::mt19937 rng(13);
+  std::uniform_real_distribution<double> ud(-1.0, 1.0);
+  const Pattern p = random_pattern(150, rng);
+  auto vals = make_dominant(p, rng);
+
+  ThreadPool pool(4);
+  SparseLu<double> serial, par;
+  serial.analyze(p.n, p.row_ptr, p.col_idx);
+  par.analyze(p.n, p.row_ptr, p.col_idx);
+  par.set_parallel(&pool, 1);
+  par.set_refactor_parallel(4, 1);
+
+  serial.factor(vals);
+  par.factor(vals);
+
+  // Collapse a mid-matrix diagonal entry.
+  for (int s = p.row_ptr[70]; s < p.row_ptr[71]; ++s) {
+    if (p.col_idx[static_cast<std::size_t>(s)] == 70)
+      vals[static_cast<std::size_t>(s)] *= 1e-9;
+  }
+  serial.factor(vals);
+  par.factor(vals);
+  EXPECT_EQ(serial.symbolic_factorizations(), par.symbolic_factorizations());
+  EXPECT_GE(par.symbolic_factorizations(), 2);
+
+  std::vector<double> b(static_cast<std::size_t>(p.n));
+  for (auto& v : b) v = ud(rng);
+  std::vector<double> b2 = b;
+  serial.solve(b);
+  par.solve(b2);
+  EXPECT_EQ(b, b2);
+}
+
+TEST(ParallelRefactor, ComplexBitIdenticalToSerial) {
+  std::mt19937 rng(57);
+  std::uniform_real_distribution<double> ud(-1.0, 1.0);
+  const Pattern p = random_pattern(150, rng);
+  std::vector<std::complex<double>> vals(p.col_idx.size());
+  for (int r = 0; r < p.n; ++r) {
+    double off = 0.0;
+    int diag = -1;
+    for (int s = p.row_ptr[r]; s < p.row_ptr[r + 1]; ++s) {
+      vals[static_cast<std::size_t>(s)] = {ud(rng), ud(rng)};
+      if (p.col_idx[static_cast<std::size_t>(s)] == r) {
+        diag = s;
+      } else {
+        off += std::abs(vals[static_cast<std::size_t>(s)]);
+      }
+    }
+    vals[static_cast<std::size_t>(diag)] += off + 1.0;
+  }
+
+  ThreadPool pool(3);
+  ZSparseLu serial, par;
+  serial.analyze(p.n, p.row_ptr, p.col_idx);
+  par.analyze(p.n, p.row_ptr, p.col_idx);
+  par.set_parallel(&pool, 1);
+  par.set_refactor_parallel(3, 1);
+
+  for (int iter = 0; iter < 6; ++iter) {
+    serial.factor(vals);
+    par.factor(vals);
+    std::vector<std::complex<double>> b(static_cast<std::size_t>(p.n));
+    for (auto& v : b) v = {ud(rng), ud(rng)};
+    auto b2 = b;
+    serial.solve(b);
+    par.solve(b2);
+    EXPECT_EQ(b, b2) << "iteration " << iter;
+    for (auto& v : vals) v *= 1.0 + 0.003 * ud(rng);
+  }
+  EXPECT_EQ(serial.symbolic_factorizations(), 1);
+  EXPECT_EQ(par.symbolic_factorizations(), 1);
+}
+
+TEST(ParallelRefactor, ComposesWithParallelSolves) {
+  // Both knobs on one instance, sharing one pool — the production shape
+  // when usim gets --solve-threads and --refactor-threads together.
+  std::mt19937 rng(42);
+  std::uniform_real_distribution<double> ud(-1.0, 1.0);
+  const Pattern p = random_pattern(250, rng);
+  auto vals = make_dominant(p, rng);
+
+  ThreadPool pool(4);
+  SparseLu<double> serial, par;
+  serial.analyze(p.n, p.row_ptr, p.col_idx);
+  par.analyze(p.n, p.row_ptr, p.col_idx);
+  par.set_parallel(&pool, 4, 1);
+  par.set_refactor_parallel(4, 1);
+
+  for (int iter = 0; iter < 8; ++iter) {
+    serial.factor(vals);
+    par.factor(vals);
+    std::vector<double> b(static_cast<std::size_t>(p.n));
+    for (auto& v : b) v = ud(rng);
+    std::vector<double> b2 = b;
+    serial.solve(b);
+    par.solve(b2);
+    EXPECT_EQ(b, b2) << "iteration " << iter;
+    for (auto& v : vals) v *= 1.0 + 0.005 * ud(rng);
+  }
+  EXPECT_EQ(serial.symbolic_factorizations(), 1);
+  EXPECT_EQ(par.symbolic_factorizations(), 1);
+}
+
 TEST(ParallelSolve, LevelSchedulePartitionsAllRows) {
   std::mt19937 rng(11);
   const Pattern p = random_pattern(180, rng);

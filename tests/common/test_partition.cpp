@@ -1,0 +1,331 @@
+// Island decomposition (partition_pattern) and the block/Schur factorization
+// (PartitionedLu): plan invariants and decline rules on synthetic hub/island
+// patterns, solve parity against the monolithic SparseLu at 1e-12, and the
+// bit-identity-across-thread-counts pin. The suite name keeps these under
+// the TSan CI filter.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <random>
+
+#include "common/matrix.hpp"
+#include "common/partition.hpp"
+#include "common/thread_pool.hpp"
+
+namespace usys {
+namespace {
+
+struct Pattern {
+  int n = 0;
+  std::vector<int> row_ptr, col_idx;
+};
+
+/// The transducer-array shape in miniature: `cells` dense cliques of
+/// `cell_size` unknowns each, all coupled (both directions) to `hubs`
+/// shared vertices placed at the end. Hubs also couple to each other.
+Pattern hub_pattern(int cells, int cell_size, int hubs) {
+  Pattern p;
+  p.n = cells * cell_size + hubs;
+  const int hub0 = cells * cell_size;
+  p.row_ptr.assign(static_cast<std::size_t>(p.n) + 1, 0);
+  for (int r = 0; r < p.n; ++r) {
+    if (r < hub0) {
+      const int cell = r / cell_size;
+      for (int c = cell * cell_size; c < (cell + 1) * cell_size; ++c)
+        p.col_idx.push_back(c);
+      for (int h = 0; h < hubs; ++h) p.col_idx.push_back(hub0 + h);
+    } else {
+      for (int c = 0; c < p.n; ++c) p.col_idx.push_back(c);
+    }
+    p.row_ptr[static_cast<std::size_t>(r) + 1] = static_cast<int>(p.col_idx.size());
+  }
+  return p;
+}
+
+Pattern chain_pattern(int n) {
+  Pattern p;
+  p.n = n;
+  p.row_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (int r = 0; r < n; ++r) {
+    for (int c = std::max(0, r - 1); c <= std::min(n - 1, r + 1); ++c)
+      p.col_idx.push_back(c);
+    p.row_ptr[static_cast<std::size_t>(r) + 1] = static_cast<int>(p.col_idx.size());
+  }
+  return p;
+}
+
+std::vector<double> make_dominant(const Pattern& p, std::mt19937& rng) {
+  std::uniform_real_distribution<double> ud(-1.0, 1.0);
+  std::vector<double> vals(p.col_idx.size());
+  for (int r = 0; r < p.n; ++r) {
+    double off = 0.0;
+    int diag = -1;
+    for (int s = p.row_ptr[r]; s < p.row_ptr[r + 1]; ++s) {
+      vals[static_cast<std::size_t>(s)] = ud(rng);
+      if (p.col_idx[static_cast<std::size_t>(s)] == r) {
+        diag = s;
+      } else {
+        off += std::abs(vals[static_cast<std::size_t>(s)]);
+      }
+    }
+    vals[static_cast<std::size_t>(diag)] = off + 1.0;
+  }
+  return vals;
+}
+
+TEST(Partition, RecoversIslandsAroundHubs) {
+  const Pattern p = hub_pattern(/*cells=*/8, /*cell_size=*/8, /*hubs=*/2);
+  const PartitionPlan plan = partition_pattern(p.n, p.row_ptr, p.col_idx);
+  ASSERT_TRUE(plan.ok) << plan.decline_reason;
+  EXPECT_EQ(plan.n, p.n);
+  EXPECT_GE(plan.n_blocks, 4);
+
+  // Both hubs land in the interface; every cell unknown lands in a block.
+  const int hub0 = 8 * 8;
+  for (int v = 0; v < p.n; ++v) {
+    if (v >= hub0) {
+      EXPECT_EQ(plan.block_of[static_cast<std::size_t>(v)], -1) << "hub " << v;
+    } else {
+      EXPECT_GE(plan.block_of[static_cast<std::size_t>(v)], 0) << "cell unknown " << v;
+      EXPECT_LT(plan.block_of[static_cast<std::size_t>(v)], plan.n_blocks);
+    }
+  }
+  EXPECT_EQ(static_cast<int>(plan.interface.size()), 2);
+
+  // The defining invariant: no pattern entry couples two different blocks.
+  for (int r = 0; r < p.n; ++r) {
+    for (int s = p.row_ptr[r]; s < p.row_ptr[r + 1]; ++s) {
+      const int br = plan.block_of[static_cast<std::size_t>(r)];
+      const int bc = plan.block_of[static_cast<std::size_t>(p.col_idx[static_cast<std::size_t>(s)])];
+      if (br >= 0 && bc >= 0) {
+        EXPECT_EQ(br, bc) << "entry (" << r << ")";
+      }
+    }
+  }
+}
+
+TEST(Partition, DeclinesOnChains) {
+  // Max degree 2: nothing hub-like to peel, so the decline is immediate
+  // instead of the separator loop nibbling the chain apart.
+  const Pattern p = chain_pattern(200);
+  const PartitionPlan plan = partition_pattern(p.n, p.row_ptr, p.col_idx);
+  EXPECT_FALSE(plan.ok);
+  EXPECT_STREQ(plan.decline_reason, "no hub-like separator");
+}
+
+TEST(Partition, DeclinesOnSmallSystems) {
+  const Pattern p = hub_pattern(4, 4, 2);  // n = 18 < min_unknowns
+  const PartitionPlan plan = partition_pattern(p.n, p.row_ptr, p.col_idx);
+  EXPECT_FALSE(plan.ok);
+  EXPECT_STREQ(plan.decline_reason, "system too small");
+}
+
+TEST(Partition, DeclinesWhenSeedsBlowTheInterfaceBudget) {
+  const Pattern p = chain_pattern(80);  // auto budget = max(32, 10) = 32
+  std::vector<int> seeds;
+  for (int v = 0; v < 40; ++v) seeds.push_back(v);
+  const PartitionPlan plan =
+      partition_pattern(p.n, p.row_ptr, p.col_idx, PartitionOptions{}, seeds);
+  EXPECT_FALSE(plan.ok);
+  EXPECT_STREQ(plan.decline_reason, "interface budget exceeded");
+}
+
+TEST(Partition, AbsorptionPullsStrandedUnknownsIntoInterface) {
+  // Append one extra unknown coupled ONLY to the hubs (the shape of a
+  // V-source branch current on a shared net): once the hubs are seeded
+  // into the interface it has no in-block neighbor left and must be
+  // absorbed — a one-vertex block around it would be structurally singular.
+  Pattern p = hub_pattern(8, 8, 2);
+  const int hub0 = 8 * 8;
+  const int extra = p.n;
+  p.n += 1;
+  p.col_idx.push_back(hub0);      // coupling to hub 0
+  p.col_idx.push_back(extra);     // diagonal
+  p.row_ptr.push_back(static_cast<int>(p.col_idx.size()));
+
+  const PartitionPlan plan = partition_pattern(
+      p.n, p.row_ptr, p.col_idx, PartitionOptions{}, {hub0, hub0 + 1});
+  ASSERT_TRUE(plan.ok) << plan.decline_reason;
+  EXPECT_EQ(plan.block_of[static_cast<std::size_t>(extra)], -1);
+  EXPECT_EQ(static_cast<int>(plan.interface.size()), 3);
+}
+
+TEST(Partition, PlanIsDeterministic) {
+  const Pattern p = hub_pattern(12, 7, 3);
+  const PartitionPlan a = partition_pattern(p.n, p.row_ptr, p.col_idx);
+  const PartitionPlan b = partition_pattern(p.n, p.row_ptr, p.col_idx);
+  ASSERT_TRUE(a.ok);
+  EXPECT_EQ(a.n_blocks, b.n_blocks);
+  EXPECT_EQ(a.block_of, b.block_of);
+  EXPECT_EQ(a.interface, b.interface);
+}
+
+TEST(Partition, SolveMatchesMonolithicSparseLu) {
+  std::mt19937 rng(101);
+  std::uniform_real_distribution<double> ud(-1.0, 1.0);
+  const Pattern p = hub_pattern(10, 9, 3);
+  const auto vals = make_dominant(p, rng);
+  const PartitionPlan plan = partition_pattern(p.n, p.row_ptr, p.col_idx);
+  ASSERT_TRUE(plan.ok) << plan.decline_reason;
+
+  SparseLu<double> mono;
+  mono.analyze(p.n, p.row_ptr, p.col_idx);
+  mono.factor(vals);
+
+  DPartitionedLu part;
+  part.analyze(plan, p.n, p.row_ptr, p.col_idx);
+  EXPECT_GE(part.n_blocks(), 4);
+  EXPECT_EQ(part.interface_size(), 3);
+  part.factor(vals);
+  EXPECT_GT(part.factor_nonzeros(), 0u);
+
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<double> b(static_cast<std::size_t>(p.n));
+    for (auto& v : b) v = ud(rng);
+    std::vector<double> x_mono = b, x_part = b;
+    mono.solve(x_mono);
+    part.solve(x_part);
+    for (int i = 0; i < p.n; ++i) {
+      EXPECT_NEAR(x_part[static_cast<std::size_t>(i)], x_mono[static_cast<std::size_t>(i)],
+                  1e-12 * (1.0 + std::abs(x_mono[static_cast<std::size_t>(i)])))
+          << "trial " << trial << " unknown " << i;
+    }
+  }
+}
+
+TEST(Partition, ComplexSolveMatchesMonolithic) {
+  std::mt19937 rng(55);
+  std::uniform_real_distribution<double> ud(-1.0, 1.0);
+  const Pattern p = hub_pattern(9, 8, 2);
+  std::vector<std::complex<double>> vals(p.col_idx.size());
+  for (int r = 0; r < p.n; ++r) {
+    double off = 0.0;
+    int diag = -1;
+    for (int s = p.row_ptr[r]; s < p.row_ptr[r + 1]; ++s) {
+      vals[static_cast<std::size_t>(s)] = {ud(rng), ud(rng)};
+      if (p.col_idx[static_cast<std::size_t>(s)] == r) {
+        diag = s;
+      } else {
+        off += std::abs(vals[static_cast<std::size_t>(s)]);
+      }
+    }
+    vals[static_cast<std::size_t>(diag)] += off + 1.0;
+  }
+  const PartitionPlan plan = partition_pattern(p.n, p.row_ptr, p.col_idx);
+  ASSERT_TRUE(plan.ok) << plan.decline_reason;
+
+  ZSparseLu mono;
+  mono.analyze(p.n, p.row_ptr, p.col_idx);
+  mono.factor(vals);
+  ZPartitionedLu part;
+  part.analyze(plan, p.n, p.row_ptr, p.col_idx);
+  part.factor(vals);
+
+  std::vector<std::complex<double>> b(static_cast<std::size_t>(p.n));
+  for (auto& v : b) v = {ud(rng), ud(rng)};
+  auto x_mono = b;
+  auto x_part = b;
+  mono.solve(x_mono);
+  part.solve(x_part);
+  for (int i = 0; i < p.n; ++i) {
+    EXPECT_NEAR(std::abs(x_part[static_cast<std::size_t>(i)] -
+                         x_mono[static_cast<std::size_t>(i)]),
+                0.0, 1e-12 * (1.0 + std::abs(x_mono[static_cast<std::size_t>(i)])))
+        << "unknown " << i;
+  }
+}
+
+TEST(Partition, BitIdenticalAcrossThreadCounts) {
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> ud(-1.0, 1.0);
+  const Pattern p = hub_pattern(12, 8, 3);
+  const auto vals = make_dominant(p, rng);
+  const PartitionPlan plan = partition_pattern(p.n, p.row_ptr, p.col_idx);
+  ASSERT_TRUE(plan.ok) << plan.decline_reason;
+
+  std::vector<double> b0(static_cast<std::size_t>(p.n));
+  for (auto& v : b0) v = ud(rng);
+
+  DPartitionedLu serial;
+  serial.analyze(plan, p.n, p.row_ptr, p.col_idx);
+  serial.factor(vals);
+  std::vector<double> ref = b0;
+  serial.solve(ref);
+
+  for (int threads : {2, 4, 8}) {
+    ThreadPool pool(threads);
+    DPartitionedLu par;
+    par.analyze(plan, p.n, p.row_ptr, p.col_idx);
+    par.set_parallel(&pool, threads);
+    par.factor(vals);
+    std::vector<double> b = b0;
+    par.solve(b);
+    EXPECT_EQ(ref, b) << "threads=" << threads;
+  }
+}
+
+TEST(Partition, RefactorizationKeepsBlockPivotOrders) {
+  // Newton-like drift: the blocks' SparseLu instances replay their pivot
+  // orders (symbolic count stays 1) and parity with the monolithic path
+  // holds through every refactorization.
+  std::mt19937 rng(23);
+  std::uniform_real_distribution<double> ud(-1.0, 1.0);
+  const Pattern p = hub_pattern(10, 8, 2);
+  auto vals = make_dominant(p, rng);
+  const PartitionPlan plan = partition_pattern(p.n, p.row_ptr, p.col_idx);
+  ASSERT_TRUE(plan.ok) << plan.decline_reason;
+
+  SparseLu<double> mono;
+  mono.analyze(p.n, p.row_ptr, p.col_idx);
+  DPartitionedLu part;
+  part.analyze(plan, p.n, p.row_ptr, p.col_idx);
+
+  for (int iter = 0; iter < 8; ++iter) {
+    mono.factor(vals);
+    part.factor(vals);
+    std::vector<double> b(static_cast<std::size_t>(p.n));
+    for (auto& v : b) v = ud(rng);
+    std::vector<double> x_mono = b, x_part = b;
+    mono.solve(x_mono);
+    part.solve(x_part);
+    for (int i = 0; i < p.n; ++i) {
+      EXPECT_NEAR(x_part[static_cast<std::size_t>(i)], x_mono[static_cast<std::size_t>(i)],
+                  1e-12 * (1.0 + std::abs(x_mono[static_cast<std::size_t>(i)])))
+          << "iteration " << iter << " unknown " << i;
+    }
+    for (auto& v : vals) v *= 1.0 + 0.004 * ud(rng);
+  }
+  EXPECT_EQ(part.symbolic_factorizations(), 1);
+}
+
+TEST(Partition, SingularBlockThrows) {
+  // Zero out one cell's in-block values: that block's LU must report the
+  // singularity (through the ThreadPool when parallel). NewtonSolver reacts
+  // by falling back to the monolithic factorization permanently.
+  std::mt19937 rng(3);
+  const Pattern p = hub_pattern(8, 8, 2);
+  auto vals = make_dominant(p, rng);
+  const PartitionPlan plan = partition_pattern(p.n, p.row_ptr, p.col_idx);
+  ASSERT_TRUE(plan.ok) << plan.decline_reason;
+
+  for (int s = p.row_ptr[0]; s < p.row_ptr[8]; ++s) {
+    if (p.col_idx[static_cast<std::size_t>(s)] < 8)  // cell 0's in-block entries
+      vals[static_cast<std::size_t>(s)] = 0.0;
+  }
+
+  DPartitionedLu serial;
+  serial.analyze(plan, p.n, p.row_ptr, p.col_idx);
+  EXPECT_THROW(serial.factor(vals), SingularMatrixError);
+  EXPECT_FALSE(serial.factored());
+
+  ThreadPool pool(4);
+  DPartitionedLu par;
+  par.analyze(plan, p.n, p.row_ptr, p.col_idx);
+  par.set_parallel(&pool, 4);
+  EXPECT_THROW(par.factor(vals), SingularMatrixError);
+  EXPECT_FALSE(par.factored());
+}
+
+}  // namespace
+}  // namespace usys

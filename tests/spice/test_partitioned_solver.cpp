@@ -1,0 +1,322 @@
+// Partitioned solver at the circuit level (NewtonOptions::partition):
+// auto-mode engagement/decline on real circuits, DC/TRAN/AC parity between
+// the partitioned and monolithic paths at 1e-12, and bit-identity across
+// thread counts with partitioning active. Suite-named Partition so the TSan
+// CI filter picks these up alongside the unit tests in
+// tests/common/test_partition.cpp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/netlist_ext.hpp"
+#include "core/transducers.hpp"
+#include "hdl/interpreter.hpp"
+#include "hdl/stdlib.hpp"
+#include "spice/devices_controlled.hpp"
+#include "spice/devices_passive.hpp"
+#include "spice/devices_source.hpp"
+#include "spice/engine.hpp"
+
+namespace usys::spice {
+namespace {
+
+double rel_diff(const DVector& a, const DVector& b) {
+  EXPECT_EQ(a.size(), b.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double scale = std::max({std::abs(a[i]), std::abs(b[i]), 1e-12});
+    worst = std::max(worst, std::abs(a[i] - b[i]) / scale);
+  }
+  return worst;
+}
+
+// --- circuits (mirroring tests/spice/test_solver_ordering.cpp) ---------------
+
+std::unique_ptr<Circuit> relay(double v_coil) {
+  core::TransducerGeometry g;
+  g.area = 4e-5;
+  g.gap = 0.4e-3;
+  g.turns = 600;
+  auto ckt = std::make_unique<Circuit>();
+  const int drive = ckt->add_node("drive", Nature::electrical);
+  const int coil = ckt->add_node("coil", Nature::electrical);
+  const int vel = ckt->add_node("vel", Nature::mechanical_translation);
+  const int disp = ckt->add_node("disp", Nature::mechanical_translation);
+  ckt->add<VSource>(
+      "V1", drive, Circuit::kGround,
+      std::make_unique<PwlWave>(std::vector<std::pair<double, double>>{
+          {0.0, 0.0}, {1e-3, v_coil}, {1.0, v_coil}}));
+  ckt->add<Resistor>("Rcoil", drive, coil, 60.0);
+  ckt->add<core::ElectromagneticTransducer>("Xrel", coil, Circuit::kGround, vel,
+                                            Circuit::kGround, g);
+  ckt->add<Mass>("Marm", vel, 2e-3);
+  ckt->add<Spring>("Karm", vel, Circuit::kGround, 900.0);
+  ckt->add<Damper>("Darm", vel, Circuit::kGround, 0.8);
+  ckt->add<StateIntegrator>("XD", disp, vel);
+  return ckt;
+}
+
+std::unique_ptr<Circuit> hdl_resonator() {
+  auto ckt = std::make_unique<Circuit>();
+  const int drive = ckt->add_node("drive", Nature::electrical);
+  const int vel = ckt->add_node("vel", Nature::mechanical_translation);
+  ckt->add<VSource>("V1", drive, Circuit::kGround,
+                    std::make_unique<PulseWave>(0.0, 10.0, 0.0, 1e-4, 1e-4, 0.05),
+                    Nature::electrical, /*ac_mag=*/1.0);
+  ckt->add_device(hdl::instantiate(
+      "XT", hdl::stdlib::paper_listing1(), "eletran",
+      {{"A", 1e-4}, {"d", 0.15e-3}, {"er", 1.0}},
+      {drive, Circuit::kGround, vel, Circuit::kGround}));
+  ckt->add<Mass>("M1", vel, 1e-4);
+  ckt->add<Spring>("K1", vel, Circuit::kGround, 200.0);
+  ckt->add<Damper>("D1", vel, Circuit::kGround, 40e-3);
+  return ckt;
+}
+
+std::string tag(const char* prefix, int i) {
+  std::string s(prefix);
+  s += std::to_string(i);
+  return s;
+}
+
+std::unique_ptr<Circuit> transducer_array(int elements, double ac_mag = 0.0) {
+  auto ckt = std::make_unique<Circuit>();
+  const int drive = ckt->add_node("drive", Nature::electrical);
+  ckt->add<VSource>("V1", drive, Circuit::kGround, std::make_unique<DcWave>(2.0),
+                    Nature::electrical, ac_mag);
+  core::TransducerGeometry g;
+  g.area = 1e-8;
+  g.eps_r = 1.0;
+  for (int i = 0; i < elements; ++i) {
+    const int mech = ckt->add_node(tag("v", i), Nature::mechanical_translation);
+    g.gap = 2e-6 * (1.0 + 0.1 * (elements > 1 ? 2.0 * i / (elements - 1) - 1.0 : 0.0));
+    ckt->add<core::TransverseElectrostatic>(tag("XT", i), drive, Circuit::kGround, mech,
+                                            Circuit::kGround, g);
+    ckt->add<Mass>(tag("M", i), mech, 1e-9);
+    ckt->add<Spring>(tag("K", i), mech, Circuit::kGround, 25.0);
+    ckt->add<Damper>(tag("D", i), mech, Circuit::kGround, 1e-4);
+  }
+  return ckt;
+}
+
+TranOptions tran_opts(double tstop, double dt) {
+  TranOptions opts;
+  opts.tstop = tstop;
+  opts.dt_init = dt;
+  opts.dt_max = dt;
+  opts.adaptive = false;
+  return opts;
+}
+
+// --- engagement / decline ----------------------------------------------------
+
+TEST(Partition, DeclinesOnSmallCircuits) {
+  for (const auto& build :
+       {std::function<std::unique_ptr<Circuit>()>([] { return relay(6.0); }),
+        std::function<std::unique_ptr<Circuit>()>([] { return hdl_resonator(); })}) {
+    auto ckt = build();
+    ckt->bind_all();
+    NewtonOptions nopts;
+    nopts.backend = MatrixBackend::sparse;
+    nopts.partition = PartitionMode::auto_mode;
+    NewtonSolver solver(*ckt, nopts);
+    ASSERT_TRUE(solver.sparse_active());
+    EXPECT_FALSE(solver.partition_active());
+    EXPECT_STREQ(solver.partition_plan().decline_reason, "system too small");
+  }
+}
+
+TEST(Partition, EngagesOnTransducerArray) {
+  auto ckt = transducer_array(40);
+  ckt->bind_all();
+  NewtonOptions nopts;
+  nopts.backend = MatrixBackend::sparse;
+  nopts.partition = PartitionMode::auto_mode;
+  NewtonSolver solver(*ckt, nopts);
+  ASSERT_TRUE(solver.sparse_active());
+  ASSERT_TRUE(solver.partition_active());
+  const PartitionPlan& plan = solver.partition_plan();
+  EXPECT_GE(plan.n_blocks, 4);
+  // The shared drive net (plus the V-source branch riding on it) is the
+  // whole interface; the per-element islands hold everything else.
+  EXPECT_LE(static_cast<int>(plan.interface.size()), 8);
+  EXPECT_EQ(plan.n, ckt->unknown_count());
+}
+
+TEST(Partition, OffByDefault) {
+  auto ckt = transducer_array(40);
+  ckt->bind_all();
+  NewtonOptions nopts;
+  nopts.backend = MatrixBackend::sparse;
+  NewtonSolver solver(*ckt, nopts);
+  ASSERT_TRUE(solver.sparse_active());
+  EXPECT_FALSE(solver.partition_active());
+}
+
+// --- partitioned vs monolithic parity ----------------------------------------
+
+/// Partitioned and monolithic paths factor differently (block pivoting +
+/// Schur vs global pivoting) but must agree on the physics: DC, transient,
+/// and AC results to 1e-12. On circuits below the partitioner's size floor
+/// this degenerates to monolithic-vs-monolithic — which is exactly the
+/// auto-mode contract being pinned: --partition=auto is always safe.
+void expect_partition_parity(const std::function<std::unique_ptr<Circuit>()>& build,
+                             double tstop, double dt, bool with_ac) {
+  DcOptions dc_off;
+  dc_off.newton.backend = MatrixBackend::sparse;
+  DcOptions dc_auto = dc_off;
+  dc_auto.newton.partition = PartitionMode::auto_mode;
+
+  auto ckt_off = build();
+  auto ckt_auto = build();
+  AnalysisEngine eng_off(*ckt_off);
+  AnalysisEngine eng_auto(*ckt_auto);
+
+  const DcResult dc_o = eng_off.run_dc(dc_off);
+  const DcResult dc_a = eng_auto.run_dc(dc_auto);
+  ASSERT_TRUE(dc_o.converged);
+  ASSERT_TRUE(dc_a.converged);
+  EXPECT_TRUE(dc_a.used_sparse);
+  EXPECT_LT(rel_diff(dc_o.x, dc_a.x), 1e-12);
+
+  TranOptions topts_off = tran_opts(tstop, dt);
+  topts_off.newton = dc_off.newton;
+  topts_off.dc = dc_off;
+  TranOptions topts_auto = tran_opts(tstop, dt);
+  topts_auto.newton = dc_auto.newton;
+  topts_auto.dc = dc_auto;
+  const TranResult tr_o = eng_off.run_tran(topts_off);
+  const TranResult tr_a = eng_auto.run_tran(topts_auto);
+  ASSERT_TRUE(tr_o.ok) << tr_o.error;
+  ASSERT_TRUE(tr_a.ok) << tr_a.error;
+  ASSERT_EQ(tr_o.time.size(), tr_a.time.size());
+  double worst = 0.0;
+  for (std::size_t k = 0; k < tr_o.x.size(); ++k)
+    worst = std::max(worst, rel_diff(tr_o.x[k], tr_a.x[k]));
+  EXPECT_LT(worst, 1e-12);
+
+  if (with_ac) {
+    AcOptions ac_off;
+    ac_off.points = 10;
+    ac_off.dc = dc_off;
+    AcOptions ac_auto = ac_off;
+    ac_auto.dc = dc_auto;
+    const AcResult ac_o = eng_off.run_ac(ac_off);
+    const AcResult ac_a = eng_auto.run_ac(ac_auto);
+    ASSERT_TRUE(ac_o.ok) << ac_o.error;
+    ASSERT_TRUE(ac_a.ok) << ac_a.error;
+    ASSERT_EQ(ac_o.freq.size(), ac_a.freq.size());
+    for (std::size_t k = 0; k < ac_o.x.size(); ++k) {
+      for (std::size_t i = 0; i < ac_o.x[k].size(); ++i) {
+        const double scale =
+            std::max({std::abs(ac_o.x[k][i]), std::abs(ac_a.x[k][i]), 1e-12});
+        EXPECT_LT(std::abs(ac_o.x[k][i] - ac_a.x[k][i]) / scale, 1e-12)
+            << "f=" << ac_o.freq[k] << " unknown=" << i;
+      }
+    }
+  }
+}
+
+TEST(Partition, ParityRelayPullIn) {
+  // Below the size floor: exercises the decline-and-fall-back path.
+  expect_partition_parity([] { return relay(6.0); }, 1e-2, 2e-5, /*with_ac=*/false);
+}
+
+TEST(Partition, ParityHdlListing1) {
+  expect_partition_parity([] { return hdl_resonator(); }, 5e-3, 5e-5, /*with_ac=*/true);
+}
+
+TEST(Partition, ParityTransducerArray) {
+  // Above the size floor: the partitioned path actually engages (pinned by
+  // EngagesOnTransducerArray) and must still match the monolithic physics.
+  expect_partition_parity([] { return transducer_array(40, /*ac_mag=*/1.0); }, 2e-4,
+                          2e-6, /*with_ac=*/true);
+}
+
+// --- determinism with partitioning + refactor threads ------------------------
+
+/// Partitioned results are bit-identical across thread counts (all
+/// cross-block reductions are serial and fixed-order), so a 4-thread
+/// partitioned transient must reproduce the 1-thread partitioned transient
+/// exactly — same step sequence, same solutions.
+TEST(Partition, TransientTrajectoryBitIdenticalAcrossThreadCounts) {
+  TranOptions opts = tran_opts(2e-4, 2e-6);
+  opts.newton.backend = MatrixBackend::sparse;
+  opts.newton.partition = PartitionMode::auto_mode;
+  opts.dc.newton = opts.newton;
+
+  auto ckt_serial = transducer_array(40);
+  const TranResult serial = transient(*ckt_serial, opts);
+  ASSERT_TRUE(serial.ok) << serial.error;
+  EXPECT_TRUE(serial.used_sparse);
+
+  opts.newton.solve_threads = 4;
+  opts.newton.refactor_threads = 4;
+  opts.dc.newton = opts.newton;
+  auto ckt_par = transducer_array(40);
+  const TranResult par = transient(*ckt_par, opts);
+  ASSERT_TRUE(par.ok) << par.error;
+
+  ASSERT_EQ(serial.time.size(), par.time.size());
+  EXPECT_EQ(serial.time, par.time);
+  for (std::size_t k = 0; k < serial.x.size(); ++k)
+    EXPECT_EQ(serial.x[k], par.x[k]) << "point " << k;
+}
+
+/// Parallel numeric refactorization alone (partition off, monolithic LU)
+/// through a full engine transient: bit-identical to the serial run — the
+/// refactor-side twin of ParallelSolve.TransientTrajectoryBitIdentical.
+TEST(ParallelRefactor, TransientTrajectoryBitIdentical) {
+  TranOptions opts = tran_opts(2e-4, 2e-6);
+  opts.newton.backend = MatrixBackend::sparse;
+  opts.dc.newton.backend = MatrixBackend::sparse;
+
+  auto ckt_serial = transducer_array(40);
+  const TranResult serial = transient(*ckt_serial, opts);
+  ASSERT_TRUE(serial.ok) << serial.error;
+  EXPECT_TRUE(serial.used_sparse);
+
+  opts.newton.refactor_threads = 4;
+  opts.dc.newton.refactor_threads = 4;
+  auto ckt_par = transducer_array(40);
+  const TranResult par = transient(*ckt_par, opts);
+  ASSERT_TRUE(par.ok) << par.error;
+
+  ASSERT_EQ(serial.time.size(), par.time.size());
+  EXPECT_EQ(serial.time, par.time);
+  for (std::size_t k = 0; k < serial.x.size(); ++k)
+    EXPECT_EQ(serial.x[k], par.x[k]) << "point " << k;
+}
+
+/// AC with partitioning: the complex ZPartitionedLu mirrors the real one,
+/// so thread counts must not change any frequency point.
+TEST(Partition, AcSweepBitIdenticalAcrossThreadCounts) {
+  AcOptions opts;
+  opts.points = 8;
+  opts.dc.newton.backend = MatrixBackend::sparse;
+  opts.dc.newton.partition = PartitionMode::auto_mode;
+  auto ckt_serial = transducer_array(60, /*ac_mag=*/1.0);
+  AnalysisEngine eng_serial(*ckt_serial);
+  const AcResult serial = eng_serial.run_ac(opts);
+  ASSERT_TRUE(serial.ok) << serial.error;
+
+  opts.dc.newton.solve_threads = 4;
+  opts.dc.newton.refactor_threads = 4;
+  auto ckt_par = transducer_array(60, /*ac_mag=*/1.0);
+  AnalysisEngine eng_par(*ckt_par);
+  const AcResult par = eng_par.run_ac(opts);
+  ASSERT_TRUE(par.ok) << par.error;
+
+  ASSERT_EQ(serial.freq.size(), par.freq.size());
+  double max_mag = 0.0;
+  for (const auto& v : serial.x.front()) max_mag = std::max(max_mag, std::abs(v));
+  EXPECT_GT(max_mag, 0.0) << "AC excitation missing: the comparison would be 0 == 0";
+  for (std::size_t k = 0; k < serial.x.size(); ++k)
+    EXPECT_EQ(serial.x[k], par.x[k]) << "frequency point " << k;
+}
+
+}  // namespace
+}  // namespace usys::spice

@@ -1,7 +1,8 @@
 // usim — command-line netlist simulator (the "SPICE" of this repository).
 //
 //   usim <netlist.cir> [--csv=<path>] [--sweep <name>=<spec>]... [--threads=N]
-//        [--solve-threads=N] [--hdl-mode=<mode>] [--quiet] [--help]
+//        [--solve-threads=N] [--refactor-threads=N] [--partition=auto|off]
+//        [--hdl-mode=<mode>] [--quiet] [--help]
 //
 // Reads a SPICE-style netlist (including the transducer X-cards and the
 // ARRAY constructs registered by usys::core — see spice/netlist.hpp:
@@ -27,11 +28,18 @@
 // examples/transducer_array.cir.
 //
 // In single-run mode --threads=N instead selects N-thread parallel MNA
-// assembly (NewtonOptions::assembly_threads) and --solve-threads=N the
-// level-scheduled parallel triangular solves (NewtonOptions::solve_threads;
-// assembly and solve share one pool). Both are bit-identical to serial for
-// any thread count, so threading never changes results. In sweep mode the
-// grid parallelism wins and each point runs serially.
+// assembly (NewtonOptions::assembly_threads), --solve-threads=N the
+// level-scheduled parallel triangular solves (NewtonOptions::solve_threads),
+// and --refactor-threads=N the level-scheduled parallel numeric
+// refactorization (NewtonOptions::refactor_threads); all three share one
+// pool. Each is bit-identical to serial for any thread count, so threading
+// never changes results. --partition=auto additionally tries the
+// island/Schur decomposition (NewtonOptions::partition — see
+// docs/partitioning.md): weakly-coupled blocks factor in parallel and the
+// solver falls back to the monolithic path automatically when the circuit
+// has no usable island structure. Partitioned results match monolithic to
+// solver tolerance (not bit-identically: pivoting differs). In sweep mode
+// the grid parallelism wins and each point runs serially.
 //
 // --hdl-mode=ast|bytecode|codegen presets the execution mode for HDL
 // behavioral cards (HDLTRANSV & co.): the paper's interpreted tree walk, the
@@ -246,7 +254,8 @@ spice::Netlist parse_netlist(const std::string& text, const std::string& hdl_mod
 }
 
 int run_single(const std::string& text, const std::string& csv, int assembly_threads,
-               int solve_threads, const std::string& hdl_mode, double timeout_ms) {
+               int solve_threads, int refactor_threads, spice::PartitionMode partition,
+               const std::string& hdl_mode, double timeout_ms) {
   spice::Netlist net = parse_netlist(text, hdl_mode);
   if (!net.title.empty()) std::cout << "*" << net.title << "\n";
   spice::AnalysisEngine engine(*net.circuit);
@@ -256,6 +265,8 @@ int run_single(const std::string& text, const std::string& csv, int assembly_thr
   const auto apply_opts = [&](spice::NewtonOptions& newton) {
     newton.assembly_threads = assembly_threads;
     newton.solve_threads = solve_threads;
+    newton.refactor_threads = refactor_threads;
+    newton.partition = partition;
     newton.timeout_ms = timeout_ms;
   };
   spice::DcOptions dc;
@@ -581,7 +592,8 @@ int run_sweep(const std::string& text, const std::vector<spice::SweepAxis>& axes
 void print_usage(std::ostream& os) {
   os << "usage: usim <netlist.cir> [--csv=<path>] "
         "[--sweep <name>=<lo:hi:n | v1,v2,...>]... [--threads=N] "
-        "[--solve-threads=N] [--hdl-mode=<mode>] [--timeout=<ms>] [--retries=N] "
+        "[--solve-threads=N] [--refactor-threads=N] [--partition=auto|off] "
+        "[--hdl-mode=<mode>] [--timeout=<ms>] [--retries=N] "
         "[--checkpoint=<path>] [--resume=<path>] [--shard=k/n] "
         "[--lint[=error|warn]] [--lint-format=text|json] [--quiet]\n"
         "\n"
@@ -604,6 +616,17 @@ void print_usage(std::ostream& os) {
         "                      solves (0 = auto); shares the assembly thread pool.\n"
         "                      Threading is bit-identical to serial — results never\n"
         "                      depend on N\n"
+        "  --refactor-threads=N single-run mode: N-thread level-scheduled parallel\n"
+        "                      numeric refactorization (0 = auto); shares the same\n"
+        "                      pool and is likewise bit-identical to serial for any\n"
+        "                      thread count\n"
+        "  --partition=M       single-run mode: island/Schur decomposition of the\n"
+        "                      MNA system (docs/partitioning.md). auto = partition\n"
+        "                      when the circuit has usable island structure (e.g.\n"
+        "                      transducer arrays), falling back to the monolithic\n"
+        "                      solver otherwise; off = always monolithic (default).\n"
+        "                      Partitioned results match monolithic to solver\n"
+        "                      tolerance and are bit-identical across thread counts\n"
         "  --hdl-mode=<mode>   execution mode for HDL behavioral cards: ast (the\n"
         "                      paper's interpreted walk), bytecode (VM, default), or\n"
         "                      codegen (natively compiled; falls back to the VM when\n"
@@ -650,8 +673,11 @@ int main(int argc, char** argv) {
   std::string csv;
   std::string hdl_mode;  // flag absent: the netlist (or bytecode) decides
   std::vector<spice::SweepAxis> axes;
-  int threads = -1;        // flag absent: sweep mode = auto, assembly = serial
-  int solve_threads = -1;  // flag absent: serial triangular solves
+  int threads = -1;           // flag absent: sweep mode = auto, assembly = serial
+  int solve_threads = -1;     // flag absent: serial triangular solves
+  int refactor_threads = -1;  // flag absent: serial numeric refactorization
+  spice::PartitionMode partition = spice::PartitionMode::off;
+  bool partition_flag = false;  // for the sweep-mode "ignored" note
   double timeout_ms = 0.0;
   bool lint_mode = false;
   bool lint_warn = false;   // --lint=warn: warnings fail too
@@ -698,6 +724,21 @@ int main(int argc, char** argv) {
         std::cerr << "error: --solve-threads must be >= 0 (0 = auto)\n";
         return 2;
       }
+    } else if (std::strncmp(argv[i], "--refactor-threads=", 19) == 0) {
+      refactor_threads = std::atoi(argv[i] + 19);
+      if (refactor_threads < 0) {
+        std::cerr << "error: --refactor-threads must be >= 0 (0 = auto)\n";
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--partition=", 12) == 0) {
+      const std::string mode = argv[i] + 12;
+      if (mode == "auto") {
+        partition = spice::PartitionMode::auto_mode;
+      } else if (mode != "off") {
+        std::cerr << "error: bad --partition '" << mode << "' (auto|off)\n";
+        return 2;
+      }
+      partition_flag = true;
     } else if (std::strncmp(argv[i], "--hdl-mode=", 11) == 0) {
       hdl_mode = argv[i] + 11;
       hdl::HdlExecMode parsed{};
@@ -780,9 +821,12 @@ int main(int argc, char** argv) {
       return run_lint(ltext, hdl_mode, lint_warn, lint_json);
     }
     if (!axes.empty()) {
-      if (solve_threads >= 0 && solve_threads != 1)
-        std::cerr << "note: --solve-threads is ignored in sweep mode "
-                     "(grid parallelism wins; each point solves serially)\n";
+      if ((solve_threads >= 0 && solve_threads != 1) ||
+          (refactor_threads >= 0 && refactor_threads != 1) ||
+          (partition_flag && partition != spice::PartitionMode::off))
+        std::cerr << "note: --solve-threads/--refactor-threads/--partition are "
+                     "ignored in sweep mode (grid parallelism wins; each point "
+                     "solves serially and monolithically)\n";
       // --resume keeps journaling to the same file, so an interrupted resume
       // can itself be resumed; an explicit --checkpoint overrides.
       if (!sweep_opts.resume_path.empty() && sweep_opts.checkpoint_path.empty())
@@ -795,7 +839,9 @@ int main(int argc, char** argv) {
       std::cerr << "note: --retries/--checkpoint/--resume/--shard apply to "
                    "sweep mode only (no --sweep axis given)\n";
     return run_single(buf.str(), csv, threads < 0 ? 1 : threads,
-                      solve_threads < 0 ? 1 : solve_threads, hdl_mode, timeout_ms);
+                      solve_threads < 0 ? 1 : solve_threads,
+                      refactor_threads < 0 ? 1 : refactor_threads, partition,
+                      hdl_mode, timeout_ms);
   } catch (const spice::NetlistError& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
