@@ -12,6 +12,7 @@
 #include <cstring>
 #include <iostream>
 
+#include "api/api.hpp"
 #include "common/table.hpp"
 #include "core/resonator_system.hpp"
 #include "hdl/interpreter.hpp"
@@ -49,7 +50,7 @@ spice::TranResult run_hdl_listing1(const ResonatorParams& p, int* disp_node,
   *disp_node = disp;
   spice::TranOptions o = opts;
   o.tstop = kTotal;
-  return spice::transient(ckt, o);
+  return api::transient(ckt, o);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "api/api.hpp"
 #include "common/constants.hpp"
 #include "common/table.hpp"
 #include "pxt/harmonic.hpp"
@@ -55,7 +56,7 @@ int main() {
                                   spice::Circuit::kGround, fit);
 
   std::cout << "\n--- dc domain: gain check ---\n";
-  const auto op = spice::operating_point(ckt);
+  const auto op = api::operating_point(ckt);
   std::cout << "  v(out) at 1 V dc: " << fmt_sci(op.at(out), 5) << " (expect b0 = 1/k = "
             << fmt_sci(1.0 / 200.0, 5) << ")\n";
 
@@ -64,7 +65,7 @@ int main() {
   aco.f_start = 1.0;
   aco.f_stop = 5e3;
   aco.points = 8;
-  const auto ac = spice::ac_sweep(ckt, aco);
+  const auto ac = api::ac_sweep(ckt, aco);
   AsciiTable a({"f [Hz]", "|v(out)| device", "|H| fit", "rel.err"});
   for (std::size_t k = 0; k < ac.freq.size(); k += 4) {
     const double dev = std::abs(ac.at(k, out));
@@ -77,7 +78,7 @@ int main() {
   std::cout << "\n--- transient domain: step response settles to dc gain ---\n";
   spice::TranOptions topt;
   topt.tstop = 80e-3;
-  const auto tr = spice::transient(ckt, topt);
+  const auto tr = api::transient(ckt, topt);
   if (tr.ok) {
     std::cout << "  v(out) at t = 80 ms: " << fmt_sci(tr.sample(80e-3, out), 5)
               << " (expect " << fmt_sci(1.0 / 200.0, 5) << ")\n";

@@ -18,6 +18,7 @@
 
 #include <cstdio>
 
+#include "api/api.hpp"
 #include "core/resonator_system.hpp"
 #include "hdl/interpreter.hpp"
 #include "hdl/stdlib.hpp"
@@ -44,7 +45,7 @@ double run_native() {
   auto sys = core::build_resonator_system(
       p, core::TransducerModelKind::behavioral,
       spice::make_fig5_pulse_train({10.0}, kTstop, 2e-3, 2e-3));
-  const auto res = spice::transient(*sys.circuit, tran_opts());
+  const auto res = api::transient(*sys.circuit, tran_opts());
   return res.ok ? res.x.back()[static_cast<std::size_t>(sys.node_disp)] : 0.0;
 }
 
@@ -63,7 +64,7 @@ double run_hdl(const std::string& src, const std::string& entity,
   ckt.add<spice::Spring>("K1", vel, spice::Circuit::kGround, 200.0);
   ckt.add<spice::Damper>("D1", vel, spice::Circuit::kGround, 40e-3);
   ckt.add<spice::StateIntegrator>("XD", disp, vel);
-  const auto res = spice::transient(ckt, tran_opts());
+  const auto res = api::transient(ckt, tran_opts());
   return res.ok ? res.x.back()[static_cast<std::size_t>(disp)] : 0.0;
 }
 

@@ -4,6 +4,7 @@
 // analytic behavioral device.
 #include <iostream>
 
+#include "api/api.hpp"
 #include "common/table.hpp"
 #include "core/reference.hpp"
 #include "core/resonator_system.hpp"
@@ -85,7 +86,7 @@ int main() {
     ckt.add<spice::StateIntegrator>("XD", disp, vel);
     spice::TranOptions opts;
     opts.tstop = 80e-3;
-    const auto res = spice::transient(ckt, opts);
+    const auto res = api::transient(ckt, opts);
     return res.ok ? res.sample(80e-3, disp) : 0.0;
   };
 

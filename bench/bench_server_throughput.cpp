@@ -1,0 +1,224 @@
+// Simulation-server throughput: what the warm-engine and result caches buy
+// over a cold submission, and how job throughput scales with client
+// concurrency against the bounded queue.
+//
+// An in-process SimServer listens on a /tmp socket; clients are plain
+// UnixConn connections speaking the v1 wire protocol, so each measured
+// iteration covers the full request path (connect, frame parse, queue,
+// engine dispatch, row streaming) — the same bytes `usim --client` would
+// move. Workload: an RC-ladder .op job sized well past the dense/sparse
+// crossover, so a cold job pays parse + bind + preflight + symbolic
+// factorization and a warm one pays only the numeric solve.
+//
+//   BM_ColdJob     — unique netlist text per job: every submission parses
+//                    (engine cache kept small so evictions, not growth,
+//                    are steady state)
+//   BM_WarmEngine  — same hash, no_cache: engine-cache exact hits
+//   BM_ResultHit   — same request byte-for-byte: replayed frames
+//   BM_QueueDepth  — D concurrent clients hammering the result cache;
+//                    items/s is delivered jobs per second
+//
+// The acceptance bar from the server PR — warm repeat >= 5x faster than
+// cold — is checked in the summary table printed at exit (the result tier
+// is the headline ratio; the engine tier must beat cold too).
+//
+// CI smoke mode: --benchmark_min_time=0.02s --benchmark_format=json
+//                --benchmark_out=BENCH_server_throughput.json
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/socket.hpp"
+#include "server/protocol.hpp"
+#include "server/server.hpp"
+
+using namespace usys;
+using namespace usys::server;
+
+namespace {
+
+/// RC ladder with an .op card. `tag` lands in the title comment, so two
+/// tags hash to two circuit identities with identical solve cost.
+std::string ladder_netlist(int sections, long tag) {
+  std::ostringstream os;
+  os << "* ladder job " << tag << "\n";
+  os << "V1 n0 0 5\n";
+  for (int i = 0; i < sections; ++i) {
+    os << "R" << i << " n" << i << " n" << (i + 1) << " 100\n";
+    os << "C" << i << " n" << (i + 1) << " 0 1u\n";
+  }
+  os << ".op\n.end\n";
+  return os.str();
+}
+
+constexpr int kSections = 200;
+
+struct BenchServer {
+  explicit BenchServer(const char* tag, int workers = 2, int queue = 128,
+                       int engines = 4) {
+    ServerOptions opts;
+    opts.socket_path =
+        "/tmp/usys_bench_" + std::to_string(::getpid()) + "_" + tag + ".sock";
+    opts.workers = workers;
+    opts.queue_capacity = queue;
+    opts.engine_cache_capacity = engines;
+    server = std::make_unique<SimServer>(opts);
+    std::string error;
+    ok = server->start(&error);
+    if (!ok) std::fprintf(stderr, "bench server failed to start: %s\n", error.c_str());
+  }
+  ~BenchServer() { server->stop(); }
+  std::unique_ptr<SimServer> server;
+  bool ok = false;
+};
+
+/// Submits one run request and drains the stream. True iff a done frame with
+/// "ok":true arrived (string scan — frame parsing is not what we measure).
+bool submit_ok(const SimServer& server, const Request& req) {
+  UnixConn conn = UnixConn::connect_to(server.socket_path());
+  if (!conn.valid() || !conn.write_all(build_request(req) + "\n")) return false;
+  std::string line;
+  bool ok = false;
+  while (conn.read_line(line, 30000)) {
+    if (line.find("\"frame\":\"done\"") != std::string::npos)
+      ok = line.find("\"ok\":true") != std::string::npos;
+  }
+  return ok;
+}
+
+Request run_request(std::string netlist, bool no_cache) {
+  Request req;
+  req.op = Request::Op::run;
+  req.netlist = std::move(netlist);
+  req.no_cache = no_cache;
+  return req;
+}
+
+// Mean per-job wall times recorded by the tier benches for the exit summary.
+double g_cold_ms = 0.0, g_warm_ms = 0.0, g_result_ms = 0.0;
+
+void BM_ColdJob(benchmark::State& state) {
+  BenchServer bs("cold");
+  if (!bs.ok) { state.SkipWithError("server start failed"); return; }
+  long tag = 0;
+  for (auto _ : state) {
+    if (!submit_ok(*bs.server, run_request(ladder_netlist(kSections, tag++), true)))
+      state.SkipWithError("cold job failed");
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["parses"] = static_cast<double>(bs.server->stats().parses);
+}
+
+void BM_WarmEngine(benchmark::State& state) {
+  BenchServer bs("warm");
+  if (!bs.ok) { state.SkipWithError("server start failed"); return; }
+  const std::string netlist = ladder_netlist(kSections, 0);
+  submit_ok(*bs.server, run_request(netlist, true));  // pay the cold job once
+  for (auto _ : state) {
+    if (!submit_ok(*bs.server, run_request(netlist, true)))
+      state.SkipWithError("warm job failed");
+  }
+  state.SetItemsProcessed(state.iterations());
+  const StatsSnapshot s = bs.server->stats();
+  state.counters["exact_hits"] = static_cast<double>(s.exact_hits);
+  state.counters["symbolic"] = static_cast<double>(s.symbolic_factorizations);
+}
+
+void BM_ResultHit(benchmark::State& state) {
+  BenchServer bs("result");
+  if (!bs.ok) { state.SkipWithError("server start failed"); return; }
+  const std::string netlist = ladder_netlist(kSections, 0);
+  submit_ok(*bs.server, run_request(netlist, false));  // populate the cache
+  for (auto _ : state) {
+    if (!submit_ok(*bs.server, run_request(netlist, false)))
+      state.SkipWithError("result hit failed");
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["result_hits"] = static_cast<double>(bs.server->stats().result_hits);
+}
+
+/// D concurrent clients, each submitting a fixed batch of result-cache jobs
+/// per iteration. items/s across iterations is delivered server throughput
+/// at that offered concurrency.
+void BM_QueueDepth(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  BenchServer bs("depth", /*workers=*/2, /*queue=*/128);
+  if (!bs.ok) { state.SkipWithError("server start failed"); return; }
+  const std::string netlist = ladder_netlist(kSections, 0);
+  submit_ok(*bs.server, run_request(netlist, false));
+  constexpr int kJobsPerClient = 4;
+  for (auto _ : state) {
+    std::vector<std::thread> clients;
+    clients.reserve(static_cast<std::size_t>(depth));
+    std::atomic<int> failures{0};
+    for (int d = 0; d < depth; ++d) {
+      clients.emplace_back([&]() {
+        for (int j = 0; j < kJobsPerClient; ++j)
+          if (!submit_ok(*bs.server, run_request(netlist, false))) ++failures;
+      });
+    }
+    for (auto& t : clients) t.join();
+    if (failures.load() != 0) state.SkipWithError("queued job failed");
+  }
+  state.SetItemsProcessed(state.iterations() * depth * kJobsPerClient);
+  state.counters["depth"] = depth;
+}
+
+// UseRealTime throughout: the measured work happens on the server's worker
+// threads, so the client thread's CPU time says nothing about job cost.
+BENCHMARK(BM_ColdJob)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_WarmEngine)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_ResultHit)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_QueueDepth)->Arg(1)->Arg(8)->Arg(64)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+// Custom main: run the registered benches, then measure the cold/warm/result
+// tiers once more head-to-head (fixed job count, one server each) and print
+// the speedup table the >= 5x acceptance bar reads.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  using Clock = std::chrono::steady_clock;
+  const auto time_jobs = [](const char* tag, bool no_cache, bool unique_text) {
+    BenchServer bs(tag);
+    constexpr int kJobs = 10;
+    const std::string fixed = ladder_netlist(kSections, 0);
+    if (!unique_text) submit_ok(*bs.server, run_request(fixed, no_cache));  // prime
+    const auto t0 = Clock::now();
+    for (int j = 0; j < kJobs; ++j) {
+      const std::string text = unique_text ? ladder_netlist(kSections, j + 1) : fixed;
+      if (!submit_ok(*bs.server, run_request(text, no_cache))) return -1.0;
+    }
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0).count() / kJobs;
+  };
+
+  g_cold_ms = time_jobs("sum_cold", true, true);
+  g_warm_ms = time_jobs("sum_warm", true, false);
+  g_result_ms = time_jobs("sum_result", false, false);
+  if (g_cold_ms <= 0.0 || g_warm_ms <= 0.0 || g_result_ms <= 0.0) {
+    std::fprintf(stderr, "summary measurement failed\n");
+    return 1;
+  }
+  std::printf("\n=== cache tier speedups (per job, %d-section ladder .op) ===\n", kSections);
+  std::printf("  cold (parse+bind+symbolic+solve): %8.3f ms\n", g_cold_ms);
+  std::printf("  warm engine (exact hash hit):     %8.3f ms  (%.1fx vs cold)\n",
+              g_warm_ms, g_cold_ms / g_warm_ms);
+  std::printf("  result cache (frame replay):      %8.3f ms  (%.1fx vs cold)\n",
+              g_result_ms, g_cold_ms / g_result_ms);
+  const bool pass = g_cold_ms / g_result_ms >= 5.0;
+  std::printf("  acceptance (warm repeat >= 5x cold): %s\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

@@ -3,6 +3,7 @@
 // solving a one-element circuit per nature.
 #include <iostream>
 
+#include "api/api.hpp"
 #include "common/nature.hpp"
 #include "common/table.hpp"
 #include "spice/analysis.hpp"
@@ -35,7 +36,7 @@ int main() {
     const double r = 8.0;
     ckt.add<spice::ISource>("F", spice::Circuit::kGround, node, flow, n);
     ckt.add<spice::Resistor>("R", node, spice::Circuit::kGround, r, n);
-    const auto op = spice::operating_point(ckt);
+    const auto op = api::operating_point(ckt);
     const double effort = op.at(node);
     p.add_row({std::string(to_string(n)), fmt_num(flow), fmt_num(effort),
                fmt_num(effort * flow)});

@@ -5,6 +5,7 @@
 // parameters (see EXPERIMENTS.md); both readings are shown.
 #include <iostream>
 
+#include "api/api.hpp"
 #include "common/table.hpp"
 #include "core/linearized.hpp"
 #include "core/resonator_system.hpp"
@@ -44,7 +45,7 @@ int main() {
   std::cout << "\n--- solver cross-check: DC operating point of the full system ---\n";
   auto sys = build_resonator_system(p, TransducerModelKind::behavioral,
                                     std::make_unique<spice::DcWave>(p.v_bias));
-  const auto op = spice::operating_point(*sys.circuit);
+  const auto op = api::operating_point(*sys.circuit);
   std::cout << "  converged: " << (op.converged ? "yes" : "NO")
             << ", velocity at DC: " << fmt_sci(op.at(sys.node_vel), 2) << " m/s (expect 0)\n";
 

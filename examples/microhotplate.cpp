@@ -7,6 +7,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "api/api.hpp"
 #include "common/table.hpp"
 #include "spice/analysis.hpp"
 #include "spice/devices_nonlinear.hpp"
@@ -33,7 +34,7 @@ int main() {
   spice::TranOptions opts;
   opts.tstop = 0.12;
   opts.dt_max = 2e-4;
-  const auto res = spice::transient(ckt, opts);
+  const auto res = api::transient(ckt, opts);
   if (!res.ok) {
     std::cerr << "simulation failed: " << res.error << "\n";
     return 1;

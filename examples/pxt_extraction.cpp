@@ -8,6 +8,7 @@
 //      including electronics".
 #include <iostream>
 
+#include "api/api.hpp"
 #include "common/table.hpp"
 #include "hdl/interpreter.hpp"
 #include "pxt/pwl.hpp"
@@ -69,7 +70,7 @@ int main() {
 
   spice::TranOptions opts;
   opts.tstop = 60e-3;
-  const auto res = spice::transient(ckt, opts);
+  const auto res = api::transient(ckt, opts);
   if (!res.ok) {
     std::cerr << "system simulation failed: " << res.error << "\n";
     return 1;

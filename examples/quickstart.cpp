@@ -9,6 +9,7 @@
 // Build & run:  cmake --build build && ./build/examples/quickstart
 #include <iostream>
 
+#include "api/api.hpp"
 #include "common/table.hpp"
 #include "core/resonator_system.hpp"
 #include "spice/analysis.hpp"
@@ -29,7 +30,7 @@ int main() {
   // 4. Run the transient analysis.
   spice::TranOptions opts;
   opts.tstop = 0.1;
-  const spice::TranResult res = spice::transient(*sys.circuit, opts);
+  const spice::TranResult res = api::transient(*sys.circuit, opts);
   if (!res.ok) {
     std::cerr << "simulation failed: " << res.error << "\n";
     return 1;

@@ -5,6 +5,7 @@
 // (the paper's core argument for behavioral HDL models).
 #include <iostream>
 
+#include "api/api.hpp"
 #include "common/table.hpp"
 #include "core/transducers.hpp"
 #include "spice/analysis.hpp"
@@ -44,7 +45,7 @@ std::pair<double, bool> run_relay(double v_coil) {
   spice::TranOptions opts;
   opts.tstop = 60e-3;
   opts.dt_max = 5e-5;
-  const auto res = spice::transient(ckt, opts);
+  const auto res = api::transient(ckt, opts);
   if (!res.ok) return {0.0, false};
   const double x_end = res.sample(60e-3, disp);
   // Pulled in if the armature closed most of the gap.

@@ -6,6 +6,7 @@
 // coincide — the modeling *route* must not change the physics.
 #include <iostream>
 
+#include "api/api.hpp"
 #include "common/table.hpp"
 #include "core/netlist_ext.hpp"
 #include "core/resonator_system.hpp"
@@ -29,7 +30,7 @@ int main() {
       params, core::TransducerModelKind::behavioral,
       std::make_unique<spice::PwlWave>(std::vector<std::pair<double, double>>{
           {0.0, 0.0}, {5e-3, v_drive}, {1.0, v_drive}}));
-  const auto r_api = spice::transient(*api_sys.circuit, opts);
+  const auto r_api = api::transient(*api_sys.circuit, opts);
 
   // --- route 2: netlist text -----------------------------------------------
   auto parser = core::make_full_parser();
@@ -42,7 +43,7 @@ Xd vel 0 DAMPER alpha=40m
 Xi disp vel INTEG
 .tran 0.1m 60m
 )");
-  const auto r_net = spice::transient(*net.circuit, opts);
+  const auto r_net = api::transient(*net.circuit, opts);
 
   // --- route 3: HDL-AT (Listing 1) -------------------------------------------
   spice::Circuit hdl_ckt;
@@ -61,7 +62,7 @@ Xi disp vel INTEG
   hdl_ckt.add<spice::Spring>("K1", vel, spice::Circuit::kGround, 200.0);
   hdl_ckt.add<spice::Damper>("D1", vel, spice::Circuit::kGround, 40e-3);
   hdl_ckt.add<spice::StateIntegrator>("XD", disp, vel);
-  const auto r_hdl = spice::transient(hdl_ckt, opts);
+  const auto r_hdl = api::transient(hdl_ckt, opts);
 
   if (!r_api.ok || !r_net.ok || !r_hdl.ok) {
     std::cerr << "simulation failed: " << r_api.error << "/" << r_net.error << "/"

@@ -7,6 +7,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "api/api.hpp"
 #include "common/constants.hpp"
 #include "common/table.hpp"
 #include "core/transducers.hpp"
@@ -60,7 +61,7 @@ int main() {
   aco.f_start = 10.0;
   aco.f_stop = 2e3;
   aco.points = 12;
-  const auto acr = spice::ac_sweep(ac.ckt, aco);
+  const auto acr = api::ac_sweep(ac.ckt, aco);
   if (!acr.ok) {
     std::cerr << "ac failed: " << acr.error << "\n";
     return 1;
@@ -82,7 +83,7 @@ int main() {
   spice::TranOptions topt;
   topt.tstop = 20e-3;
   topt.dt_max = 2e-5;
-  const auto trr = spice::transient(tr.ckt, topt);
+  const auto trr = api::transient(tr.ckt, topt);
   if (!trr.ok) {
     std::cerr << "transient failed: " << trr.error << "\n";
     return 1;

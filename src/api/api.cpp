@@ -1,0 +1,325 @@
+#include "api/api.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <utility>
+
+#include "common/strings.hpp"
+#include "core/netlist_ext.hpp"
+
+namespace usys::api {
+
+// ---------------------------------------------------------------------------
+// Identity
+// ---------------------------------------------------------------------------
+
+std::string content_hash(const std::string& netlist_text, const std::string& hdl_mode) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  const auto mix = [&h](const std::string& s) {
+    for (const char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+    // Field separator outside the byte alphabet of either input, so
+    // ("ab","c") and ("a","bc") hash differently.
+    h ^= 0x100;
+    h *= 1099511628211ull;
+  };
+  mix(netlist_text);
+  mix(hdl_mode);
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(h));
+  return buf;
+}
+
+bool parse_override(const std::string& spec, ParamOverride& out) {
+  const std::string_view sv(spec);
+  const auto eq = sv.find('=');
+  if (eq == std::string_view::npos) return false;
+  const std::string_view lhs = trim(sv.substr(0, eq));
+  const auto dot = lhs.find('.');
+  if (dot == std::string_view::npos || dot == 0 || dot + 1 >= lhs.size()) return false;
+  const auto value = parse_spice_number(trim(sv.substr(eq + 1)));
+  if (!value) return false;
+  out.device = std::string(lhs.substr(0, dot));
+  out.param = to_lower(lhs.substr(dot + 1));
+  out.value = *value;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// AnalysisOutcome
+// ---------------------------------------------------------------------------
+
+const FailureInfo& AnalysisOutcome::failure() const noexcept {
+  switch (kind) {
+    case spice::AnalysisCard::Kind::tran: return tran.failure;
+    case spice::AnalysisCard::Kind::ac: return ac.failure;
+    case spice::AnalysisCard::Kind::op: break;
+  }
+  return op.failure;
+}
+
+std::string AnalysisOutcome::error() const {
+  if (ok) return "";
+  switch (kind) {
+    case spice::AnalysisCard::Kind::tran:
+      return tran.error.empty() ? tran.failure.to_string() : tran.error;
+    case spice::AnalysisCard::Kind::ac:
+      return ac.error.empty() ? ac.failure.to_string() : ac.error;
+    case spice::AnalysisCard::Kind::op: break;
+  }
+  return op.failure.to_string();
+}
+
+SeriesView series_view(const AnalysisOutcome& outcome, spice::Circuit& circuit) {
+  SeriesView view;
+  const int nodes = circuit.node_count();
+  switch (outcome.kind) {
+    case spice::AnalysisCard::Kind::op: {
+      for (int i = 0; i < nodes; ++i) view.columns.push_back(circuit.node_name(i));
+      view.rows = 1;
+      view.row_at = [&outcome, nodes](std::size_t) {
+        std::vector<double> row;
+        row.reserve(static_cast<std::size_t>(nodes));
+        for (int i = 0; i < nodes; ++i) row.push_back(outcome.op.at(i));
+        return row;
+      };
+      break;
+    }
+    case spice::AnalysisCard::Kind::tran: {
+      view.columns.push_back("t [s]");
+      for (int i = 0; i < nodes; ++i) view.columns.push_back(circuit.node_name(i));
+      view.rows = outcome.tran.time.size();
+      view.row_at = [&outcome, nodes](std::size_t k) {
+        std::vector<double> row{outcome.tran.time[k]};
+        row.reserve(1 + static_cast<std::size_t>(nodes));
+        for (int i = 0; i < nodes; ++i) row.push_back(outcome.tran.at(k, i));
+        return row;
+      };
+      break;
+    }
+    case spice::AnalysisCard::Kind::ac: {
+      view.columns.push_back("f [Hz]");
+      for (int i = 0; i < nodes; ++i) {
+        view.columns.push_back(circuit.node_name(i) + " dB");
+        view.columns.push_back(circuit.node_name(i) + " deg");
+      }
+      view.rows = outcome.ac.freq.size();
+      view.row_at = [&outcome, nodes](std::size_t k) {
+        std::vector<double> row{outcome.ac.freq[k]};
+        row.reserve(1 + 2 * static_cast<std::size_t>(nodes));
+        for (int i = 0; i < nodes; ++i) {
+          row.push_back(outcome.ac.magnitude_db(k, i));
+          row.push_back(outcome.ac.phase_deg(k, i));
+        }
+        return row;
+      };
+      break;
+    }
+  }
+  return view;
+}
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+struct Session::Impl {
+  spice::Netlist net;        ///< owns the circuit for netlist sessions
+  spice::Circuit* circuit = nullptr;
+  std::unique_ptr<spice::AnalysisEngine> engine;
+  std::string hash;
+  std::string title;
+  /// The construction cost is attributed to the FIRST job, so a cold
+  /// submission reports parsed/bound = true and a warm one reports false.
+  bool first_job_parsed = false;
+  bool first_job_bound = false;
+  long jobs = 0;
+};
+
+Session::Session(const std::string& netlist_text, const std::string& hdl_mode)
+    : impl_(std::make_unique<Impl>()) {
+  auto parser = core::make_full_parser();
+  if (!hdl_mode.empty()) parser.set_option("hdl", hdl_mode);
+  try {
+    impl_->net = parser.parse(netlist_text);
+  } catch (const spice::CircuitError& e) {
+    // Circuit-construction conflicts during parse are netlist problems
+    // (usim exit 2), same as malformed cards.
+    throw spice::NetlistError(0, e.what());
+  }
+  impl_->circuit = impl_->net.circuit.get();
+  impl_->title = impl_->net.title;
+  impl_->hash = content_hash(netlist_text, hdl_mode);
+  impl_->engine = std::make_unique<spice::AnalysisEngine>(*impl_->circuit);
+  impl_->first_job_parsed = true;
+  impl_->first_job_bound = true;
+}
+
+Session::Session(spice::Circuit& circuit) : impl_(std::make_unique<Impl>()) {
+  impl_->circuit = &circuit;
+  impl_->engine = std::make_unique<spice::AnalysisEngine>(circuit);
+  impl_->first_job_bound = true;  // the engine bind happened here
+}
+
+Session::~Session() = default;
+
+const std::string& Session::hash() const noexcept { return impl_->hash; }
+const std::string& Session::title() const noexcept { return impl_->title; }
+spice::Circuit& Session::circuit() noexcept { return *impl_->circuit; }
+spice::AnalysisEngine& Session::engine() noexcept { return *impl_->engine; }
+const std::vector<spice::AnalysisCard>& Session::cards() const noexcept {
+  return impl_->net.analyses;
+}
+void Session::cool() { impl_->engine->cool(); }
+bool Session::warm() const noexcept { return impl_->engine->warm(); }
+long Session::jobs_run() const noexcept { return impl_->jobs; }
+
+namespace {
+
+int exit_code_for(const FailureInfo& failure) {
+  return failure.kind == FailureKind::timeout || failure.kind == FailureKind::cancelled
+             ? 3
+             : 1;
+}
+
+/// One applied override, remembered so the run can restore the session's
+/// canonical (netlist-defined) values afterwards — the cache keys sessions
+/// by netlist hash, so a session must always return to matching its text.
+struct AppliedOverride {
+  spice::Device* device = nullptr;
+  std::string param;
+  double baseline = 0.0;
+};
+
+}  // namespace
+
+JobResult Session::run(const JobRequest& request, const AnalysisCallback& on_analysis) {
+  JobResult result;
+  result.parsed = impl_->first_job_parsed;
+  result.bound = impl_->first_job_bound;
+  impl_->first_job_parsed = false;
+  impl_->first_job_bound = false;
+
+  // --- apply parameter overrides against the bound circuit ----------------
+  std::vector<AppliedOverride> applied;
+  applied.reserve(request.overrides.size());
+  const auto restore = [&]() {
+    for (auto it = applied.rbegin(); it != applied.rend(); ++it)
+      it->device->set_param(it->param, it->baseline);
+    if (!applied.empty()) impl_->engine->rebind();
+  };
+  for (const auto& ov : request.overrides) {
+    spice::Device* dev = impl_->circuit->find_device(ov.device);
+    AppliedOverride entry{dev, ov.param, 0.0};
+    const char* problem = nullptr;
+    if (dev == nullptr) {
+      problem = "unknown device";
+    } else if (!dev->get_param(ov.param, entry.baseline)) {
+      problem = "device does not expose parameter";
+    } else if (!dev->set_param(ov.param, ov.value)) {
+      problem = "value rejected for parameter";
+    }
+    if (problem != nullptr) {
+      restore();
+      result.ok = false;
+      result.exit_code = 2;
+      result.error = std::string("override '") + ov.device + "." + ov.param +
+                     "': " + problem;
+      result.failure =
+          make_failure(FailureKind::internal_error, "job", result.error);
+      return result;
+    }
+    applied.push_back(std::move(entry));
+  }
+  if (!applied.empty()) {
+    impl_->engine->rebind();
+    result.rebound = true;
+  }
+
+  // --- run the analysis cards through the one dispatch path ---------------
+  const JobOptions& jo = request.options;
+  const auto apply_newton = [&jo](spice::NewtonOptions& newton) {
+    newton.assembly_threads = jo.assembly_threads;
+    newton.solve_threads = jo.solve_threads;
+    newton.refactor_threads = jo.refactor_threads;
+    newton.partition = jo.partition;
+    newton.timeout_ms = jo.timeout_ms;
+    newton.cancel = jo.cancel;
+    if (jo.max_iters_scale > 1) newton.max_iters *= jo.max_iters_scale;
+  };
+
+  std::vector<spice::AnalysisCard> cards =
+      request.analyses.empty() ? impl_->net.analyses : request.analyses;
+  if (cards.empty()) cards.push_back({});  // default .op
+
+  result.ok = true;
+  for (auto& card : cards) {
+    AnalysisOutcome outcome;
+    outcome.kind = card.kind;
+    switch (card.kind) {
+      case spice::AnalysisCard::Kind::op: {
+        spice::DcOptions dc;
+        apply_newton(dc.newton);
+        outcome.op = impl_->engine->run_op(dc);
+        outcome.ok = outcome.op.converged;
+        result.symbolic_factorizations += outcome.op.symbolic_factorizations;
+        break;
+      }
+      case spice::AnalysisCard::Kind::tran: {
+        // The tran budget covers the initial OP too (analysis.hpp), so the
+        // dc options only carry thread/partition knobs.
+        apply_newton(card.tran.newton);
+        apply_newton(card.tran.dc.newton);
+        outcome.tran = impl_->engine->run_tran(card.tran);
+        outcome.ok = outcome.tran.ok;
+        result.symbolic_factorizations += outcome.tran.symbolic_factorizations;
+        break;
+      }
+      case spice::AnalysisCard::Kind::ac: {
+        apply_newton(card.ac.dc.newton);
+        outcome.ac = impl_->engine->run_ac(card.ac);
+        outcome.ok = outcome.ac.ok;
+        result.symbolic_factorizations += outcome.ac.symbolic_factorizations;
+        break;
+      }
+    }
+    result.analyses.push_back(std::move(outcome));
+    const AnalysisOutcome& stored = result.analyses.back();
+    if (on_analysis) on_analysis(result.analyses.size() - 1, stored);
+    if (!stored.ok) {
+      result.ok = false;
+      result.failure = stored.failure();
+      result.error = stored.error();
+      result.exit_code = exit_code_for(result.failure);
+      break;
+    }
+  }
+
+  restore();
+  ++impl_->jobs;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Free-function facade (migration targets for the deprecated spice:: ones)
+// ---------------------------------------------------------------------------
+
+spice::OpResult operating_point(spice::Circuit& circuit, const spice::DcOptions& opts) {
+  return spice::AnalysisEngine(circuit).run_op(opts);
+}
+
+spice::DcResult solve_dc(spice::Circuit& circuit, const spice::DcOptions& opts) {
+  return spice::AnalysisEngine(circuit).run_dc(opts);
+}
+
+spice::TranResult transient(spice::Circuit& circuit, const spice::TranOptions& opts) {
+  return spice::AnalysisEngine(circuit).run_tran(opts);
+}
+
+spice::AcResult ac_sweep(spice::Circuit& circuit, const spice::AcOptions& opts) {
+  return spice::AnalysisEngine(circuit).run_ac(opts);
+}
+
+}  // namespace usys::api

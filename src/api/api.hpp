@@ -1,0 +1,185 @@
+// usys::api — the one job-dispatch facade shared by the usim CLI and the
+// simulation server.
+//
+// Before this layer, tools/usim.cpp carried three near-identical dispatch
+// blocks (single-run op/tran/ac, plus a fourth copy inside the sweep job)
+// and the server would have needed a fifth. The facade owns that logic once:
+//
+//   Session   — a parsed + bound + preflighted circuit with its
+//               AnalysisEngine; the unit the server's warm cache stores.
+//               Constructing one pays parse/bind/pattern-compile; running
+//               more jobs on it pays only the analyses.
+//   JobRequest — what varies per submission: parameter overrides
+//               ("R1.r=50" against the bound circuit, no re-parse),
+//               analysis-card substitution, thread/partition/deadline
+//               options.
+//   JobResult — per-analysis outcomes plus the provenance counters
+//               (parsed/bound/rebound, symbolic factorization count) the
+//               server's /stats and the warm-cache tests key on.
+//
+// The legacy free functions spice::operating_point / transient / ac_sweep /
+// solve_dc are [[deprecated]] wrappers over the api:: equivalents below
+// (docs/architecture.md has the migration table).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "spice/engine.hpp"
+#include "spice/netlist.hpp"
+
+namespace usys::api {
+
+/// Stable 64-bit FNV-1a hash (16 hex chars) of a job's circuit identity:
+/// the netlist text plus the hdl-mode preset (the preset changes which
+/// devices instantiate, so it is part of identity). The server keys its
+/// warm-engine cache on this.
+std::string content_hash(const std::string& netlist_text, const std::string& hdl_mode = "");
+
+/// One device-parameter delta applied to a bound circuit via
+/// Device::set_param — the warm path for "same circuit, new value" jobs.
+struct ParamOverride {
+  std::string device;  ///< netlist device name, matched verbatim ("XK3")
+  std::string param;   ///< lower-case parameter key ("r", "k", "dc", ...)
+  double value = 0.0;
+};
+
+/// Parses "DEVICE.PARAM=value" (value in SPICE number syntax, engineering
+/// suffixes included). False on malformed specs; `out` untouched then.
+bool parse_override(const std::string& spec, ParamOverride& out);
+
+/// Per-job execution knobs — the CLI flags and the server's request fields
+/// funnel into the same struct.
+struct JobOptions {
+  int assembly_threads = 1;   ///< NewtonOptions::assembly_threads
+  int solve_threads = 1;      ///< NewtonOptions::solve_threads
+  int refactor_threads = 1;   ///< NewtonOptions::refactor_threads
+  spice::PartitionMode partition = spice::PartitionMode::off;
+  double timeout_ms = 0.0;    ///< wall-clock budget PER ANALYSIS CARD; 0 = off
+  /// Cooperative cancel (non-owning; must outlive the run). The server
+  /// points this at the per-job token its disconnect/deadline monitor fires.
+  const CancelToken* cancel = nullptr;
+  /// Newton iteration-limit multiplier (sweep retries escalate this).
+  int max_iters_scale = 1;
+};
+
+/// One job: overrides + options + (optionally) replacement analysis cards.
+/// With `analyses` empty the session's own netlist cards run (or a default
+/// .op when the netlist declared none) — the usim single-run contract.
+struct JobRequest {
+  std::vector<ParamOverride> overrides;
+  JobOptions options;
+  std::vector<spice::AnalysisCard> analyses;
+};
+
+/// Outcome of one analysis card. Exactly one of op/tran/ac is meaningful,
+/// selected by `kind`.
+struct AnalysisOutcome {
+  spice::AnalysisCard::Kind kind = spice::AnalysisCard::Kind::op;
+  bool ok = false;
+  spice::OpResult op;
+  spice::TranResult tran;
+  spice::AcResult ac;
+  /// The active result's failure record (ok() when the analysis succeeded).
+  const FailureInfo& failure() const noexcept;
+  /// Human-readable failure summary ("" when ok).
+  std::string error() const;
+};
+
+struct JobResult {
+  bool ok = false;
+  /// The usim exit-code contract: 0 = all analyses succeeded, 1 = an
+  /// analysis failed, 2 = bad request (unknown override device/parameter),
+  /// 3 = deadline/cancel.
+  int exit_code = 0;
+  std::string error;    ///< summary of the first failure ("" when ok)
+  FailureInfo failure;  ///< structured form of the same
+  /// One entry per analysis that RAN (the job stops at the first failure).
+  std::vector<AnalysisOutcome> analyses;
+
+  // What this job actually paid — the warm-cache accounting /stats exposes.
+  bool parsed = false;   ///< a netlist parse happened for this job
+  bool bound = false;    ///< a fresh bind + pattern compile happened
+  bool rebound = false;  ///< rebind() ran (parameter-override delta)
+  int symbolic_factorizations = 0;  ///< summed over the job's analyses
+};
+
+/// Uniform tabular view of a finished analysis: .op is one row of node
+/// efforts, .tran is time + per-node effort columns, .ac is frequency +
+/// per-node dB/deg column pairs. The CLI's table/CSV writer and the
+/// server's wire frames extract IDENTICAL columns and rows through this, so
+/// the two transports can never drift. row_at borrows `outcome` and
+/// `circuit`; both must outlive the view.
+struct SeriesView {
+  std::vector<std::string> columns;
+  std::size_t rows = 0;
+  std::function<std::vector<double>(std::size_t)> row_at;
+};
+SeriesView series_view(const AnalysisOutcome& outcome, spice::Circuit& circuit);
+
+/// Fired after EACH analysis completes (ok or failed) with its index in
+/// JobResult::analyses. CLI table printing and server frame streaming both
+/// hang off this; a job with no callback just accumulates results.
+using AnalysisCallback = std::function<void(std::size_t index, const AnalysisOutcome&)>;
+
+/// A circuit admitted for jobs: parse + bind + static preflight happen at
+/// construction, then any number of run() calls reuse the warm engine.
+/// Non-copyable; the server wraps instances in shared_ptr and serializes
+/// access per session (one job at a time per engine).
+class Session {
+ public:
+  /// Parses `netlist_text` (full device set: spice built-ins + the core
+  /// transducer/HDL cards), binds, and preflights. Throws
+  /// spice::NetlistError on malformed netlists — including circuit
+  /// construction conflicts, which are rethrown as line-0 netlist errors
+  /// (the usim exit-2 contract).
+  explicit Session(const std::string& netlist_text, const std::string& hdl_mode = "");
+
+  /// Borrows an externally built circuit (tests, embedding); no netlist
+  /// text, no analysis cards, hash() is "". The circuit must outlive the
+  /// session.
+  explicit Session(spice::Circuit& circuit);
+
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  const std::string& hash() const noexcept;
+  const std::string& title() const noexcept;
+  spice::Circuit& circuit() noexcept;
+  spice::AnalysisEngine& engine() noexcept;
+  /// Analysis cards the netlist declared (empty for borrowed circuits).
+  const std::vector<spice::AnalysisCard>& cards() const noexcept;
+
+  /// Runs one job: applies overrides (rebind), runs each analysis card in
+  /// order (stopping at the first failure), restores override baselines
+  /// (rebind again), and reports per-analysis outcomes + provenance. The
+  /// first run on a fresh session reports parsed/bound = true (it pays the
+  /// construction cost); warm reruns report both false and — for the same
+  /// analysis regime — zero extra symbolic factorizations.
+  JobResult run(const JobRequest& request = {}, const AnalysisCallback& on_analysis = {});
+
+  /// Cache-eviction hook: sheds warm solver state (AnalysisEngine::cool).
+  void cool();
+  /// Whether the engine currently holds warm solver state.
+  bool warm() const noexcept;
+  /// Jobs run() has completed on this session (server stats).
+  long jobs_run() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Facade equivalents of the deprecated spice:: free functions — each runs
+// on a fresh engine, exactly like the originals, so results are identical.
+// Prefer a held Session (or spice::AnalysisEngine) for repeated runs.
+spice::OpResult operating_point(spice::Circuit& circuit, const spice::DcOptions& opts = {});
+spice::DcResult solve_dc(spice::Circuit& circuit, const spice::DcOptions& opts = {});
+spice::TranResult transient(spice::Circuit& circuit, const spice::TranOptions& opts);
+spice::AcResult ac_sweep(spice::Circuit& circuit, const spice::AcOptions& opts);
+
+}  // namespace usys::api

@@ -1,0 +1,376 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace usys {
+
+// ---------------------------------------------------------------------------
+// Builders
+// ---------------------------------------------------------------------------
+
+JsonValue JsonValue::make_bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::boolean;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::make_number(double d) {
+  JsonValue v;
+  v.kind_ = Kind::number;
+  v.num_ = d;
+  return v;
+}
+
+JsonValue JsonValue::make_string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::string;
+  v.str_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::make_array() {
+  JsonValue v;
+  v.kind_ = Kind::array;
+  return v;
+}
+
+JsonValue JsonValue::make_object() {
+  JsonValue v;
+  v.kind_ = Kind::object;
+  return v;
+}
+
+bool JsonValue::as_bool(bool fallback) const noexcept {
+  return kind_ == Kind::boolean ? bool_ : fallback;
+}
+
+double JsonValue::as_number(double fallback) const noexcept {
+  return kind_ == Kind::number ? num_ : fallback;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const noexcept {
+  if (kind_ != Kind::object) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string JsonValue::get_string(const std::string& key, const std::string& fallback) const {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->is_string()) ? v->str_ : fallback;
+}
+
+double JsonValue::get_number(const std::string& key, double fallback) const {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->is_number()) ? v->num_ : fallback;
+}
+
+bool JsonValue::get_bool(const std::string& key, bool fallback) const {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->is_bool()) ? v->bool_ : fallback;
+}
+
+void JsonValue::push_back(JsonValue v) {
+  if (kind_ == Kind::array) items_.push_back(std::move(v));
+}
+
+void JsonValue::set(std::string key, JsonValue v) {
+  if (kind_ != Kind::object) return;
+  for (auto& [k, existing] : members_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(v));
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+void json_append_escaped(std::string& out, const std::string& v) {
+  out += '"';
+  for (const char c : v) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void json_append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+namespace {
+
+void dump_value(const JsonValue& v, std::string& out) {
+  switch (v.kind()) {
+    case JsonValue::Kind::null:
+      out += "null";
+      break;
+    case JsonValue::Kind::boolean:
+      out += v.as_bool() ? "true" : "false";
+      break;
+    case JsonValue::Kind::number:
+      json_append_double(out, v.as_number());
+      break;
+    case JsonValue::Kind::string:
+      json_append_escaped(out, v.as_string());
+      break;
+    case JsonValue::Kind::array: {
+      out += '[';
+      bool first = true;
+      for (const auto& item : v.items()) {
+        if (!first) out += ',';
+        first = false;
+        dump_value(item, out);
+      }
+      out += ']';
+      break;
+    }
+    case JsonValue::Kind::object: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, member] : v.members()) {
+        if (!first) out += ',';
+        first = false;
+        json_append_escaped(out, k);
+        out += ':';
+        dump_value(member, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string JsonValue::dump() const {
+  std::string out;
+  out.reserve(64);
+  dump_value(*this, out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Recursive-descent parser over a borrowed buffer. Depth-limited: the wire
+/// schema nests 3-4 levels, so 64 is generous while keeping a hostile
+/// "[[[[..." request from exhausting the stack.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text.c_str()), end_(s_ + text.size()) {}
+
+  bool parse(JsonValue& out) {
+    skip_ws();
+    if (!value(out, 0)) return false;
+    skip_ws();
+    return s_ == end_;  // trailing garbage is a syntax error
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void skip_ws() {
+    while (s_ < end_ && (*s_ == ' ' || *s_ == '\t' || *s_ == '\n' || *s_ == '\r')) ++s_;
+  }
+
+  bool literal(const char* word, std::size_t len) {
+    if (static_cast<std::size_t>(end_ - s_) < len || std::strncmp(s_, word, len) != 0)
+      return false;
+    s_ += len;
+    return true;
+  }
+
+  bool value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth || s_ >= end_) return false;
+    switch (*s_) {
+      case 'n': return literal("null", 4) ? (out = JsonValue::make_null(), true) : false;
+      case 't': return literal("true", 4) ? (out = JsonValue::make_bool(true), true) : false;
+      case 'f': return literal("false", 5) ? (out = JsonValue::make_bool(false), true) : false;
+      case '"': return string_value(out);
+      case '[': return array_value(out, depth);
+      case '{': return object_value(out, depth);
+      default: return number_value(out);
+    }
+  }
+
+  bool string_value(JsonValue& out) {
+    std::string s;
+    if (!string_raw(s)) return false;
+    out = JsonValue::make_string(std::move(s));
+    return true;
+  }
+
+  bool string_raw(std::string& s) {
+    if (s_ >= end_ || *s_ != '"') return false;
+    ++s_;
+    while (s_ < end_) {
+      const char c = *s_++;
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (s_ >= end_) return false;
+        const char e = *s_++;
+        switch (e) {
+          case '"': s += '"'; break;
+          case '\\': s += '\\'; break;
+          case '/': s += '/'; break;
+          case 'b': s += '\b'; break;
+          case 'f': s += '\f'; break;
+          case 'n': s += '\n'; break;
+          case 'r': s += '\r'; break;
+          case 't': s += '\t'; break;
+          case 'u': {
+            if (end_ - s_ < 4) return false;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = *s_++;
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return false;
+            }
+            // UTF-8 encode the BMP code point (surrogate pairs unsupported —
+            // the wire schema is ASCII + escaped control characters).
+            if (code < 0x80) {
+              s += static_cast<char>(code);
+            } else if (code < 0x800) {
+              s += static_cast<char>(0xC0 | (code >> 6));
+              s += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              s += static_cast<char>(0xE0 | (code >> 12));
+              s += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              s += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control characters must be escaped
+      } else {
+        s += c;
+      }
+    }
+    return false;  // unterminated string
+  }
+
+  bool number_value(JsonValue& out) {
+    char* num_end = nullptr;
+    const double v = std::strtod(s_, &num_end);
+    if (num_end == s_) return false;
+    // strtod accepts "inf"/"nan" which JSON forbids; the switch in value()
+    // already routes 'n'/'t'/'f' away, but reject any non-finite result and
+    // hex forms defensively.
+    if (!std::isfinite(v)) return false;
+    s_ = num_end;
+    out = JsonValue::make_number(v);
+    return true;
+  }
+
+  bool array_value(JsonValue& out, int depth) {
+    ++s_;  // '['
+    out = JsonValue::make_array();
+    skip_ws();
+    if (s_ < end_ && *s_ == ']') {
+      ++s_;
+      return true;
+    }
+    while (true) {
+      JsonValue item;
+      skip_ws();
+      if (!value(item, depth + 1)) return false;
+      out.push_back(std::move(item));
+      skip_ws();
+      if (s_ >= end_) return false;
+      if (*s_ == ',') {
+        ++s_;
+        continue;
+      }
+      if (*s_ == ']') {
+        ++s_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool object_value(JsonValue& out, int depth) {
+    ++s_;  // '{'
+    out = JsonValue::make_object();
+    skip_ws();
+    if (s_ < end_ && *s_ == '}') {
+      ++s_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!string_raw(key)) return false;
+      skip_ws();
+      if (s_ >= end_ || *s_ != ':') return false;
+      ++s_;
+      skip_ws();
+      JsonValue member;
+      if (!value(member, depth + 1)) return false;
+      out.set(std::move(key), std::move(member));
+      skip_ws();
+      if (s_ >= end_) return false;
+      if (*s_ == ',') {
+        ++s_;
+        continue;
+      }
+      if (*s_ == '}') {
+        ++s_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const char* s_;
+  const char* end_;
+};
+
+}  // namespace
+
+std::optional<JsonValue> json_parse(const std::string& text) {
+  Parser p(text);
+  JsonValue v;
+  if (!p.parse(v)) return std::nullopt;
+  return v;
+}
+
+}  // namespace usys

@@ -1,0 +1,94 @@
+// Minimal JSON value model for the line-delimited wire protocols.
+//
+// The simulation server (src/server) speaks newline-delimited JSON over a
+// Unix socket (docs/server.md); this is the small, dependency-free parser
+// and writer behind it. It covers the full JSON grammar (objects, arrays,
+// strings with escapes, numbers, booleans, null) with two deliberate,
+// protocol-friendly simplifications:
+//
+//   * all numbers are double (the wire schema only carries doubles/ints
+//     within the 2^53 exact range);
+//   * object key order is preserved on write but lookup is linear — request
+//     objects are a handful of keys, so a map would cost more than it saves.
+//
+// The sweep checkpoint journal (spice/checkpoint.hpp) keeps its own
+// schema-specific scanner: its format predates this parser and its torn-line
+// salvage rules are part of the resume contract.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace usys {
+
+/// One JSON value. Cheap to move; copies duplicate the whole subtree.
+class JsonValue {
+ public:
+  enum class Kind { null, boolean, number, string, array, object };
+
+  JsonValue() = default;
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double v);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array();
+  static JsonValue make_object();
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::null; }
+  bool is_object() const noexcept { return kind_ == Kind::object; }
+  bool is_array() const noexcept { return kind_ == Kind::array; }
+  bool is_string() const noexcept { return kind_ == Kind::string; }
+  bool is_number() const noexcept { return kind_ == Kind::number; }
+  bool is_bool() const noexcept { return kind_ == Kind::boolean; }
+
+  bool as_bool(bool fallback = false) const noexcept;
+  double as_number(double fallback = 0.0) const noexcept;
+  const std::string& as_string() const noexcept { return str_; }
+
+  const std::vector<JsonValue>& items() const noexcept { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const noexcept {
+    return members_;
+  }
+
+  /// Object member by key; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const noexcept;
+
+  /// Typed member accessors with fallbacks (absent / wrong type -> fallback).
+  std::string get_string(const std::string& key, const std::string& fallback = "") const;
+  double get_number(const std::string& key, double fallback = 0.0) const;
+  bool get_bool(const std::string& key, bool fallback = false) const;
+
+  /// Mutators (builder style; no-ops unless the value has the right kind).
+  void push_back(JsonValue v);
+  void set(std::string key, JsonValue v);
+
+  /// Serializes to compact JSON (no whitespace). NaN/inf render as null —
+  /// JSON has no non-finite literals, and the wire schema maps null back.
+  std::string dump() const;
+
+ private:
+  Kind kind_ = Kind::null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses one JSON document; nullopt on any syntax error (including trailing
+/// garbage after the document). Depth-limited so a hostile request cannot
+/// overflow the stack.
+std::optional<JsonValue> json_parse(const std::string& text);
+
+/// Appends `v` to `out` as a JSON string literal (quotes + escapes). Shared
+/// with the hand-rolled fast paths that build frames without a JsonValue.
+void json_append_escaped(std::string& out, const std::string& v);
+
+/// Appends a double as a JSON number with round-trip (%.17g) precision;
+/// NaN/inf append "null".
+void json_append_double(std::string& out, double v);
+
+}  // namespace usys

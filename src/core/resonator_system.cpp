@@ -1,3 +1,4 @@
+#include "api/api.hpp"
 #include "core/resonator_system.hpp"
 
 namespace usys::core {
@@ -54,7 +55,7 @@ Fig5Trace run_fig5(const ResonatorParams& params, TransducerModelKind kind,
   spice::TranOptions opts = tran_opts;
   opts.tstop = total_time;
   Fig5Trace out;
-  out.raw = spice::transient(*sys.circuit, opts);
+  out.raw = api::transient(*sys.circuit, opts);
   if (!out.raw.ok) return out;
   out.time = out.raw.time;
   out.displacement = out.raw.signal(sys.node_disp);

@@ -1,0 +1,44 @@
+#include "server/client.hpp"
+
+#include <ostream>
+
+#include "common/json.hpp"
+#include "common/socket.hpp"
+
+namespace usys::server {
+
+int run_client(const std::string& socket_path, const Request& req, std::ostream& out,
+               std::ostream& err) {
+  UnixConn conn = UnixConn::connect_to(socket_path);
+  if (!conn.valid()) {
+    err << "error: cannot connect to server socket '" << socket_path << "'\n";
+    return 2;
+  }
+  if (!conn.write_all(build_request(req) + "\n")) {
+    err << "error: failed to send request\n";
+    return 2;
+  }
+
+  // Stream frames until a terminal one. Every line is echoed verbatim —
+  // the wire format IS the client output format.
+  std::string line;
+  int last_error_code = -1;
+  while (conn.read_line(line)) {
+    out << line << "\n";
+    const auto frame = json_parse(line);
+    if (!frame || !frame->is_object()) continue;
+    const std::string name = frame->get_string("frame");
+    if (name == "done") return static_cast<int>(frame->get_number("exit_code", 1));
+    if (name == "busy") return 1;
+    if (name == "pong" || name == "bye" || name == "stats") return 0;
+    // A rejected request gets a lone error frame and the connection closes;
+    // a failed run's error frame is followed by done. Remember the code and
+    // keep reading — EOF decides which case this was.
+    if (name == "error") last_error_code = static_cast<int>(frame->get_number("code", 2));
+  }
+  if (last_error_code >= 0) return last_error_code;
+  err << "error: connection closed before a terminal frame\n";
+  return 2;
+}
+
+}  // namespace usys::server

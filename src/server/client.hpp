@@ -1,0 +1,27 @@
+// usim --client: the thin client side of the simulation server.
+//
+// Connects to a `usim --serve` socket, sends ONE request line, and streams
+// the response frames verbatim to the output stream (line-delimited JSON is
+// the client's output format — downstream tooling parses the same frames the
+// wire carries). The exit code is recovered from the terminal frame:
+//
+//   done  -> its "exit_code" field (the usim 0/1/2/3 contract)
+//   busy  -> 1 (queue full: a retryable failure, distinct from usage errors)
+//   pong / bye / stats -> 0
+//   transport failure (no socket, EOF before a terminal frame) -> 2
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "server/protocol.hpp"
+
+namespace usys::server {
+
+/// Sends `req` to the daemon at `socket_path`, prints every response frame
+/// line to `out`, and returns the usim exit code. Transport problems are
+/// described on `err`.
+int run_client(const std::string& socket_path, const Request& req, std::ostream& out,
+               std::ostream& err);
+
+}  // namespace usys::server

@@ -5,29 +5,33 @@
 #include <limits>
 #include <stdexcept>
 
+#include "api/api.hpp"
 #include "common/constants.hpp"
 #include "spice/engine.hpp"
 
 namespace usys::spice {
 
-// The analysis algorithms live in AnalysisEngine (spice/engine.hpp); these
-// free functions are compatibility wrappers that run a fresh engine per
-// call, which reproduces the historical behavior exactly (fresh solver,
-// fresh pivot order, per-analysis statistics).
+// Deprecated compatibility wrappers over the usys::api facade (api/api.hpp),
+// which itself runs a fresh engine per call — the historical behavior
+// exactly (fresh solver, fresh pivot order, per-analysis statistics). The
+// pinned parity suite in tests/spice/test_engine.cpp keeps exercising these;
+// everything else calls api:: directly. solve_dc lives here too (its
+// declaration stays in solver.hpp for source compatibility).
 
 OpResult operating_point(Circuit& circuit, const DcOptions& opts) {
-  AnalysisEngine engine(circuit);
-  return engine.run_op(opts);
+  return api::operating_point(circuit, opts);
 }
 
 TranResult transient(Circuit& circuit, const TranOptions& opts) {
-  AnalysisEngine engine(circuit);
-  return engine.run_tran(opts);
+  return api::transient(circuit, opts);
 }
 
 AcResult ac_sweep(Circuit& circuit, const AcOptions& opts) {
-  AnalysisEngine engine(circuit);
-  return engine.run_ac(opts);
+  return api::ac_sweep(circuit, opts);
+}
+
+DcResult solve_dc(Circuit& circuit, const DcOptions& opts) {
+  return api::solve_dc(circuit, opts);
 }
 
 // ---------------------------------------------------------------------------

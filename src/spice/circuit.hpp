@@ -120,6 +120,26 @@ class Device {
   /// sources or reactive coupling override it. Defined in lint.cpp.
   virtual void lint(LintSink& sink) const;
 
+  /// Generic numeric-parameter access, keyed by the lower-case netlist
+  /// parameter name ("r", "c", "l", "m", "k", "alpha", "dc"). The warm-reuse
+  /// path (api::Session overrides, the server's parameter-delta jobs) edits
+  /// bound circuits through this instead of re-parsing. A set changes
+  /// stamped VALUES only, never structure, so the compiled MNA pattern
+  /// stays valid — but callers must AnalysisEngine::rebind() before the
+  /// next run. Both return false for keys the device does not expose (the
+  /// default), and set_param additionally rejects values the device cannot
+  /// stamp (non-finite, or zero where it divides).
+  virtual bool set_param(std::string_view key, double value) {
+    (void)key;
+    (void)value;
+    return false;
+  }
+  virtual bool get_param(std::string_view key, double& out) const {
+    (void)key;
+    (void)out;
+    return false;
+  }
+
   /// Netlist provenance, stamped by the parser (0 = built via the API).
   void set_netlist_line(int line) noexcept { netlist_line_ = line; }
   int netlist_line() const noexcept { return netlist_line_; }

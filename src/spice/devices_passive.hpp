@@ -7,6 +7,8 @@
 // sharing the stamp math with their electrical twins.
 #pragma once
 
+#include <cmath>
+
 #include "spice/circuit.hpp"
 
 namespace usys::spice {
@@ -21,10 +23,22 @@ class Resistor : public Device {
   bool stamp_footprint(std::vector<int>& out) const override;
   void lint(LintSink& sink) const override;
   double resistance() const noexcept { return r_; }
+  bool set_param(std::string_view key, double value) override {
+    if (key != "r" || value == 0.0 || !std::isfinite(value)) return false;
+    r_ = value;
+    return true;
+  }
+  bool get_param(std::string_view key, double& out) const override {
+    if (key != "r") return false;
+    out = r_;
+    return true;
+  }
 
  protected:
   /// Parameter checks of lint(); Damper re-labels them in damping terms.
   virtual void lint_values(LintSink& sink) const;
+  /// For derived mechanical twins (Damper) that keep r_ = f(their param).
+  void set_resistance(double r) noexcept { r_ = r; }
 
  private:
   int a_, b_;
@@ -42,9 +56,20 @@ class Capacitor : public Device {
   bool stamp_footprint(std::vector<int>& out) const override;
   void lint(LintSink& sink) const override;
   double capacitance() const noexcept { return c_; }
+  bool set_param(std::string_view key, double value) override {
+    if (key != "c" || !std::isfinite(value)) return false;
+    c_ = value;
+    return true;
+  }
+  bool get_param(std::string_view key, double& out) const override {
+    if (key != "c") return false;
+    out = c_;
+    return true;
+  }
 
  protected:
   virtual void lint_values(LintSink& sink) const;
+  void set_capacitance(double c) noexcept { c_ = c; }
 
  private:
   int a_, b_;
@@ -64,9 +89,20 @@ class Inductor : public Device {
   double inductance() const noexcept { return l_; }
   /// Unknown index of the branch current (valid after bind).
   int branch() const noexcept { return br_; }
+  bool set_param(std::string_view key, double value) override {
+    if (key != "l" || !std::isfinite(value)) return false;
+    l_ = value;
+    return true;
+  }
+  bool get_param(std::string_view key, double& out) const override {
+    if (key != "l") return false;
+    out = l_;
+    return true;
+  }
 
  protected:
   virtual void lint_values(LintSink& sink) const;
+  void set_inductance(double l) noexcept { l_ = l; }
 
  private:
   int a_, b_;
@@ -83,6 +119,17 @@ class Mass : public Capacitor {
       : Capacitor(std::move(name), node, Circuit::kGround, mass_kg,
                   Nature::mechanical_translation) {}
   double mass() const noexcept { return capacitance(); }
+  // Shadows Capacitor's "c": a Mass is addressed by its netlist key "m".
+  bool set_param(std::string_view key, double value) override {
+    if (key != "m" || !std::isfinite(value)) return false;
+    set_capacitance(value);
+    return true;
+  }
+  bool get_param(std::string_view key, double& out) const override {
+    if (key != "m") return false;
+    out = capacitance();
+    return true;
+  }
 
  protected:
   void lint_values(LintSink& sink) const override;
@@ -101,6 +148,18 @@ class Spring : public Inductor {
   double displacement(const DVector& x) const {
     return x.at(static_cast<std::size_t>(branch())) / k_;
   }
+  // Shadows Inductor's "l": keeps k_ and the stamped L = 1/k in lockstep.
+  bool set_param(std::string_view key, double value) override {
+    if (key != "k" || value == 0.0 || !std::isfinite(value)) return false;
+    k_ = value;
+    set_inductance(1.0 / value);
+    return true;
+  }
+  bool get_param(std::string_view key, double& out) const override {
+    if (key != "k") return false;
+    out = k_;
+    return true;
+  }
 
  protected:
   void lint_values(LintSink& sink) const override;
@@ -116,6 +175,18 @@ class Damper : public Resistor {
       : Resistor(std::move(name), a, b, 1.0 / alpha, Nature::mechanical_translation),
         alpha_(alpha) {}
   double alpha() const noexcept { return alpha_; }
+  // Shadows Resistor's "r": keeps alpha_ and the stamped R = 1/alpha in sync.
+  bool set_param(std::string_view key, double value) override {
+    if (key != "alpha" || value == 0.0 || !std::isfinite(value)) return false;
+    alpha_ = value;
+    set_resistance(1.0 / value);
+    return true;
+  }
+  bool get_param(std::string_view key, double& out) const override {
+    if (key != "alpha") return false;
+    out = alpha_;
+    return true;
+  }
 
  protected:
   void lint_values(LintSink& sink) const override;

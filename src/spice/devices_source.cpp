@@ -100,4 +100,39 @@ void ISource::ac_rhs(ZVector& rhs) const {
 
 void ISource::breakpoints(std::vector<double>& out) const { wave_->breakpoints(out); }
 
+namespace {
+
+bool set_dc_param(std::unique_ptr<Waveform>& wave, std::string_view key, double value) {
+  if (key != "dc" || !std::isfinite(value)) return false;
+  if (dynamic_cast<const DcWave*>(wave.get()) == nullptr) return false;
+  wave = std::make_unique<DcWave>(value);
+  return true;
+}
+
+bool get_dc_param(const Waveform& wave, std::string_view key, double& out) {
+  if (key != "dc") return false;
+  const auto* dc = dynamic_cast<const DcWave*>(&wave);
+  if (dc == nullptr) return false;
+  out = dc->value(0.0);
+  return true;
+}
+
+}  // namespace
+
+bool VSource::set_param(std::string_view key, double value) {
+  return set_dc_param(wave_, key, value);
+}
+
+bool VSource::get_param(std::string_view key, double& out) const {
+  return get_dc_param(*wave_, key, out);
+}
+
+bool ISource::set_param(std::string_view key, double value) {
+  return set_dc_param(wave_, key, value);
+}
+
+bool ISource::get_param(std::string_view key, double& out) const {
+  return get_dc_param(*wave_, key, out);
+}
+
 }  // namespace usys::spice

@@ -30,6 +30,12 @@ class VSource : public Device {
   int branch() const noexcept { return br_; }
   const Waveform& waveform() const noexcept { return *wave_; }
 
+  /// "dc" is overridable only while the source IS a DC source (swapping a
+  /// PULSE/SIN drive for a constant would not round-trip through
+  /// get_param, so warm-reuse baselines could not be restored).
+  bool set_param(std::string_view key, double value) override;
+  bool get_param(std::string_view key, double& out) const override;
+
  private:
   int a_, b_;
   std::unique_ptr<Waveform> wave_;
@@ -53,6 +59,10 @@ class ISource : public Device {
   void lint(LintSink& sink) const override;
   void ac_rhs(ZVector& rhs) const override;
   void breakpoints(std::vector<double>& out) const override;
+
+  /// Same contract as VSource: "dc", DC-waveform sources only.
+  bool set_param(std::string_view key, double value) override;
+  bool get_param(std::string_view key, double& out) const override;
 
  private:
   int a_, b_;

@@ -64,6 +64,19 @@ class AnalysisEngine {
   /// which depends only on structure — is reused as-is.
   void rebind();
 
+  /// True while the engine holds warm solver state (LU factors, recorded
+  /// pivot order, value arrays) from a previous run. The server's engine
+  /// cache reports this in /stats and uses it to pick eviction victims.
+  bool warm() const noexcept { return solver_ != nullptr; }
+
+  /// Cache-eviction hook: sheds the warm solver state — the memory-heavy
+  /// part of a cached engine — while keeping the bound circuit, compiled
+  /// pattern, and preflight report, so a cooled engine still skips
+  /// parse/bind on its next use and only pays one fresh symbolic
+  /// factorization. Equivalent to rebind() today; kept as its own verb so
+  /// cache policy and parameter-change semantics can diverge.
+  void cool() { rebind(); }
+
   /// The construction-time static diagnostics pass (errors-only options:
   /// the expensive matching probe and the HDL re-surface are left to
   /// `usim --lint`). When it holds errors, every run_* call returns a

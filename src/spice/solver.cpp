@@ -316,11 +316,7 @@ NewtonResult NewtonSolver::solve(EvalCtx ctx_proto, double a0, const DVector& hi
   return result;
 }
 
-DcResult solve_dc(Circuit& circuit, const DcOptions& opts) {
-  // Compatibility wrapper: the DC algorithm (plain Newton, gmin stepping,
-  // source stepping) lives in AnalysisEngine::run_dc (spice/engine.hpp).
-  AnalysisEngine engine(circuit);
-  return engine.run_dc(opts);
-}
+// solve_dc's deprecated wrapper definition lives in analysis.cpp beside its
+// siblings (operating_point / transient / ac_sweep).
 
 }  // namespace usys::spice

@@ -257,6 +257,9 @@ struct DcResult {
   FailureInfo failure;
 };
 
+/// Deprecated: call usys::api::solve_dc (api/api.hpp); the wrapper forwards
+/// to the facade (defined in analysis.cpp beside its siblings).
+[[deprecated("use usys::api::solve_dc (api/api.hpp)")]]
 DcResult solve_dc(Circuit& circuit, const DcOptions& opts = {});
 
 }  // namespace usys::spice

@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "api/api.hpp"
 #include "core/resonator_system.hpp"
 #include "spice/analysis.hpp"
 
@@ -52,8 +53,8 @@ TEST(Linearized, StaticDeflectionExactAtBias) {
   auto nonlin = build_resonator_system(p, TransducerModelKind::behavioral, drive());
   spice::TranOptions opts;
   opts.tstop = 80e-3;
-  const auto rl = spice::transient(*lin.circuit, opts);
-  const auto rn = spice::transient(*nonlin.circuit, opts);
+  const auto rl = api::transient(*lin.circuit, opts);
+  const auto rn = api::transient(*nonlin.circuit, opts);
   ASSERT_TRUE(rl.ok && rn.ok);
   const double xl = rl.sample(80e-3, lin.node_disp);
   const double xn = rn.sample(80e-3, nonlin.node_disp);
@@ -75,8 +76,8 @@ TEST_P(OffBias, LinearModelWrongByVOverV0) {
   auto nonlin = build_resonator_system(p, TransducerModelKind::behavioral, drive());
   spice::TranOptions opts;
   opts.tstop = 80e-3;
-  const auto rl = spice::transient(*lin.circuit, opts);
-  const auto rn = spice::transient(*nonlin.circuit, opts);
+  const auto rl = api::transient(*lin.circuit, opts);
+  const auto rn = api::transient(*nonlin.circuit, opts);
   ASSERT_TRUE(rl.ok && rn.ok);
   const double xl = rl.sample(80e-3, lin.node_disp);
   const double xn = rn.sample(80e-3, nonlin.node_disp);
@@ -101,7 +102,7 @@ TEST(Linearized, CouplingIsPowerConserving) {
   spice::TranOptions opts;
   opts.tstop = 40e-3;
   opts.dt_max = 2e-5;
-  const auto res = spice::transient(*sys.circuit, opts);
+  const auto res = api::transient(*sys.circuit, opts);
   ASSERT_TRUE(res.ok) << res.error;
   // The system is passive: displacement must stay bounded by a few times
   // the static deflection at the peak drive (no runaway from sign errors).

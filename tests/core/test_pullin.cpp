@@ -5,6 +5,7 @@
 
 #include <cmath>
 
+#include "api/api.hpp"
 #include "core/resonator_system.hpp"
 #include "spice/analysis.hpp"
 
@@ -54,7 +55,7 @@ TEST_P(PullInSweep, TransientSnapsOnlyAbovePullIn) {
   spice::TranOptions opts;
   opts.tstop = 120e-3;
   opts.dt_max = 2e-4;
-  const auto res = spice::transient(*sys.circuit, opts);
+  const auto res = api::transient(*sys.circuit, opts);
   ASSERT_TRUE(res.ok) << res.error;
   const double x_end = res.sample(120e-3, sys.node_disp);
   if (frac < 1.0) {
@@ -78,7 +79,7 @@ TEST(PullIn, LinearizedModelNeverSnaps) {
           {0.0, 0.0}, {80e-3, v_target}, {1.0, v_target}}));
   spice::TranOptions opts;
   opts.tstop = 120e-3;
-  const auto res = spice::transient(*sys.circuit, opts);
+  const auto res = api::transient(*sys.circuit, opts);
   ASSERT_TRUE(res.ok) << res.error;
   const double x_end = res.sample(120e-3, sys.node_disp);
   // Gamma_sec * V / k: finite, linear in V.

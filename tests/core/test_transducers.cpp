@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "api/api.hpp"
 #include "core/resonator_system.hpp"
 #include "core/transducers.hpp"
 #include "spice/analysis.hpp"
@@ -12,10 +13,10 @@ namespace usys::core {
 namespace {
 
 using spice::Circuit;
-using spice::operating_point;
+using api::operating_point;
 using spice::OpResult;
 using spice::TranOptions;
-using spice::transient;
+using api::transient;
 using spice::TranResult;
 
 ResonatorParams paper_params() { return ResonatorParams{}; }
@@ -31,7 +32,7 @@ TEST(Transducer, DcForceBalance) {
   ckt.add<TransverseElectrostatic>("XT", drive, Circuit::kGround, vel, Circuit::kGround,
                                    p.geom);
   auto& spring = ckt.add<spice::Spring>("K1", vel, Circuit::kGround, p.stiffness);
-  const OpResult op = operating_point(ckt);
+  const OpResult op = api::operating_point(ckt);
   ASSERT_TRUE(op.converged);
   EXPECT_NEAR(op.at(vel), 0.0, 1e-9);
   const double f_expected = force_transverse(p.geom, 10.0, 0.0);
@@ -47,7 +48,7 @@ TEST(Transducer, TransientSettlesToStaticDeflection) {
           {0.0, 0.0}, {5e-3, 10.0}, {1.0, 10.0}}));
   TranOptions opts;
   opts.tstop = 80e-3;
-  const TranResult res = transient(*sys.circuit, opts);
+  const TranResult res = api::transient(*sys.circuit, opts);
   ASSERT_TRUE(res.ok) << res.error;
   const double x_static = static_displacement_transverse(p, 10.0);
   EXPECT_NEAR(res.sample(80e-3, sys.node_disp), x_static, std::abs(x_static) * 0.02);
@@ -61,7 +62,7 @@ TEST(Transducer, DisplacementTrackedInternally) {
           {0.0, 0.0}, {5e-3, 10.0}, {1.0, 10.0}}));
   TranOptions opts;
   opts.tstop = 80e-3;
-  const TranResult res = transient(*sys.circuit, opts);
+  const TranResult res = api::transient(*sys.circuit, opts);
   ASSERT_TRUE(res.ok);
   // Device-internal x = integ(S) must agree with the probe node.
   EXPECT_NEAR(sys.behavioral->displacement(), res.sample(80e-3, sys.node_disp),
@@ -85,7 +86,7 @@ TEST(Transducer, ChargingCurrentMatchesCdvdt) {
   TranOptions opts;
   opts.tstop = 1e-3;
   opts.dt_max = 1e-5;
-  const TranResult res = transient(ckt, opts);
+  const TranResult res = api::transient(ckt, opts);
   ASSERT_TRUE(res.ok) << res.error;
   const double c0 = capacitance_transverse(p.geom, 0.0);
   const double dvdt = 1.0 / 1e-3;
@@ -105,7 +106,7 @@ TEST(Transducer, ParallelPlateForceConstantOverTravel) {
   ckt.add<spice::VSource>("V1", drive, Circuit::kGround, 10.0);
   ckt.add<ParallelElectrostatic>("XT", drive, Circuit::kGround, vel, Circuit::kGround, g);
   auto& spring = ckt.add<spice::Spring>("K1", vel, Circuit::kGround, 100.0);
-  const OpResult op = operating_point(ckt);
+  const OpResult op = api::operating_point(ckt);
   ASSERT_TRUE(op.converged);
   EXPECT_NEAR(spring.displacement(op.x) * 100.0, force_parallel(g, 10.0),
               std::abs(force_parallel(g, 10.0)) * 1e-6);
@@ -126,7 +127,7 @@ TEST(Transducer, ElectromagneticDcCurrentAndForce) {
   ckt.add<ElectromagneticTransducer>("XM", coil, Circuit::kGround, vel, Circuit::kGround,
                                      g);
   auto& spring = ckt.add<spice::Spring>("K1", vel, Circuit::kGround, 1000.0);
-  const OpResult op = operating_point(ckt);
+  const OpResult op = api::operating_point(ckt);
   ASSERT_TRUE(op.converged);
   EXPECT_NEAR(op.at(coil), 0.0, 1e-6);  // short at DC
   const double i = 5.0 / 50.0;
@@ -153,7 +154,7 @@ TEST(Transducer, ElectrodynamicBackEmfReducesCurrent) {
   ckt.add<ElectrodynamicTransducer>("XD", coil, Circuit::kGround, vel, Circuit::kGround,
                                     g);
   ckt.add<spice::Damper>("DM", vel, Circuit::kGround, 2.0);
-  const OpResult op = operating_point(ckt);
+  const OpResult op = api::operating_point(ckt);
   ASSERT_TRUE(op.converged);
   // DC equilibrium: i = (V - T u)/R and T i = alpha u
   //  => u = T V / (alpha R + T^2).
@@ -172,7 +173,7 @@ TEST(Transducer, CollisionClampKeepsSolverAlive) {
           {0.0, 0.0}, {1e-3, 40.0}, {1.0, 40.0}}));
   TranOptions opts;
   opts.tstop = 20e-3;
-  const TranResult res = transient(*sys.circuit, opts);
+  const TranResult res = api::transient(*sys.circuit, opts);
   ASSERT_TRUE(res.ok) << res.error;
   const double x_end = res.sample(20e-3, sys.node_disp);
   EXPECT_GT(x_end, -p.geom.gap * 1.5);

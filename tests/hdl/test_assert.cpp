@@ -3,6 +3,7 @@
 // may be verified in these models during run-time".
 #include <gtest/gtest.h>
 
+#include "api/api.hpp"
 #include "hdl/elaborate.hpp"
 #include "hdl/interpreter.hpp"
 #include "hdl/parser.hpp"
@@ -69,7 +70,7 @@ TEST(HdlAssert, QuietWhenConditionHolds) {
   ckt.add<spice::StateIntegrator>("XD", disp, vel);
   spice::TranOptions opts;
   opts.tstop = 60e-3;
-  const auto res = spice::transient(ckt, opts);
+  const auto res = api::transient(ckt, opts);
   ASSERT_TRUE(res.ok) << res.error;
   EXPECT_NEAR(res.sample(60e-3, disp), -9.84e-9, 0.5e-9);
 }
@@ -94,7 +95,7 @@ TEST(HdlAssert, SurvivesGapCollapse) {
   ckt.add<spice::StateIntegrator>("XD", disp, vel);
   spice::TranOptions opts;
   opts.tstop = 30e-3;
-  const auto res = spice::transient(ckt, opts);
+  const auto res = api::transient(ckt, opts);
   ASSERT_TRUE(res.ok) << res.error;
   EXPECT_GT(res.sample(30e-3, disp), -1e-2);       // finite (no blow-up)
   EXPECT_LT(res.sample(30e-3, disp), -0.15e-3 / 3.0);  // past pull-in x = -d/3
@@ -121,7 +122,7 @@ END ARCHITECTURE x;
   const int n = ckt.add_node("n", Nature::electrical);
   ckt.add<spice::ISource>("I1", Circuit::kGround, n, 14.0);
   ckt.add_device(instantiate("XF", src, "fns", {{"k", 3.0}}, {n, Circuit::kGround}));
-  const auto op = spice::operating_point(ckt);
+  const auto op = api::operating_point(ckt);
   ASSERT_TRUE(op.converged);
   EXPECT_NEAR(op.at(n), 2.0, 1e-6);  // 14 A / 7 S
 }
@@ -176,7 +177,7 @@ END ARCHITECTURE x;
   const int n = ckt.add_node("n", Nature::electrical);
   ckt.add<spice::ISource>("I1", Circuit::kGround, n, 6.0);
   ckt.add_device(instantiate("XI", src, "ini", {}, {n, Circuit::kGround}));
-  const auto op = spice::operating_point(ckt);
+  const auto op = api::operating_point(ckt);
   ASSERT_TRUE(op.converged);
   EXPECT_NEAR(op.at(n), 2.0, 1e-6);
 }

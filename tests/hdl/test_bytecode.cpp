@@ -8,6 +8,7 @@
 #include <cmath>
 #include <functional>
 
+#include "api/api.hpp"
 #include "hdl/bytecode.hpp"
 #include "hdl/interpreter.hpp"
 #include "hdl/stdlib.hpp"
@@ -130,8 +131,8 @@ TEST(BytecodeParity, DcAgreesAcrossAllModels) {
   for (const auto& mc : regression_models()) {
     auto ast = build_system(mc, HdlExecMode::ast, nullptr);
     auto vm = build_system(mc, HdlExecMode::bytecode, nullptr);
-    const auto ra = spice::operating_point(*ast);
-    const auto rb = spice::operating_point(*vm);
+    const auto ra = api::operating_point(*ast);
+    const auto rb = api::operating_point(*vm);
     ASSERT_TRUE(ra.converged) << mc.label;
     ASSERT_TRUE(rb.converged) << mc.label;
     ASSERT_EQ(ra.x.size(), rb.x.size()) << mc.label;
@@ -148,8 +149,8 @@ TEST(BytecodeParity, TransientAgreesAcrossAllModels) {
     int disp_a = -1, disp_b = -1;
     auto ast = build_system(mc, HdlExecMode::ast, &disp_a);
     auto vm = build_system(mc, HdlExecMode::bytecode, &disp_b);
-    const auto ra = spice::transient(*ast, opts);
-    const auto rb = spice::transient(*vm, opts);
+    const auto ra = api::transient(*ast, opts);
+    const auto rb = api::transient(*vm, opts);
     ASSERT_TRUE(ra.ok) << mc.label << ": " << ra.error;
     ASSERT_TRUE(rb.ok) << mc.label << ": " << rb.error;
     // Identical arithmetic => identical adaptive step sequence.
@@ -174,8 +175,8 @@ TEST(BytecodeParity, AcAgreesAcrossAllModels) {
   for (const auto& mc : regression_models()) {
     auto ast = build_system(mc, HdlExecMode::ast, nullptr);
     auto vm = build_system(mc, HdlExecMode::bytecode, nullptr);
-    const auto ra = spice::ac_sweep(*ast, opts);
-    const auto rb = spice::ac_sweep(*vm, opts);
+    const auto ra = api::ac_sweep(*ast, opts);
+    const auto rb = api::ac_sweep(*vm, opts);
     ASSERT_TRUE(ra.ok) << mc.label << ": " << ra.error;
     ASSERT_TRUE(rb.ok) << mc.label << ": " << rb.error;
     ASSERT_EQ(ra.freq.size(), rb.freq.size()) << mc.label;
@@ -372,7 +373,7 @@ TEST(BytecodeParity, AssertOnCommitFiresInBothModes) {
     ckt.add<spice::Spring>("K1", vel, Circuit::kGround, 0.5);  // soft: pull-in
     ckt.add<spice::Damper>("D1", vel, Circuit::kGround, 40e-3);
     ckt.add<spice::StateIntegrator>("XD", disp, vel);
-    const auto res = spice::transient(ckt, opts);
+    const auto res = api::transient(ckt, opts);
     ASSERT_TRUE(res.ok) << res.error;
     auto* dev = dynamic_cast<HdlDevice*>(ckt.find_device("XT"));
     ASSERT_NE(dev, nullptr);
@@ -404,7 +405,7 @@ TEST(BytecodeParity, AssertQuietWhenConditionHolds) {
     ckt.add<spice::Mass>("M1", vel, 1e-4);
     ckt.add<spice::Spring>("K1", vel, Circuit::kGround, 200.0);
     ckt.add<spice::Damper>("D1", vel, Circuit::kGround, 40e-3);
-    const auto res = spice::transient(ckt, opts);
+    const auto res = api::transient(ckt, opts);
     ASSERT_TRUE(res.ok) << res.error;
     auto* dev = dynamic_cast<HdlDevice*>(ckt.find_device("XT"));
     ASSERT_NE(dev, nullptr);

@@ -24,6 +24,7 @@
 #include <fstream>
 #include <thread>
 
+#include "api/api.hpp"
 #include "common/log.hpp"
 #include "core/netlist_ext.hpp"
 #include "hdl/codegen.hpp"
@@ -178,8 +179,8 @@ TEST(CodegenParity, DcAgreesAcrossAllModels) {
   for (const auto& mc : regression_models()) {
     auto ast = build_system(mc, HdlExecMode::ast, nullptr);
     auto cg = build_system(mc, HdlExecMode::codegen, nullptr);
-    const auto ra = spice::operating_point(*ast);
-    const auto rc = spice::operating_point(*cg);
+    const auto ra = api::operating_point(*ast);
+    const auto rc = api::operating_point(*cg);
     ASSERT_TRUE(ra.converged) << mc.label;
     ASSERT_TRUE(rc.converged) << mc.label;
     ASSERT_TRUE(hdl_of(*cg)->codegen_active()) << mc.label;
@@ -198,8 +199,8 @@ TEST(CodegenParity, TransientAgreesAcrossAllModels) {
     int disp_b = -1, disp_c = -1;
     auto vm = build_system(mc, HdlExecMode::bytecode, &disp_b);
     auto cg = build_system(mc, HdlExecMode::codegen, &disp_c);
-    const auto rb = spice::transient(*vm, opts);
-    const auto rc = spice::transient(*cg, opts);
+    const auto rb = api::transient(*vm, opts);
+    const auto rc = api::transient(*cg, opts);
     ASSERT_TRUE(rb.ok) << mc.label << ": " << rb.error;
     ASSERT_TRUE(rc.ok) << mc.label << ": " << rc.error;
     // The generated arithmetic mirrors the VM op for op (and the objects are
@@ -226,8 +227,8 @@ TEST(CodegenParity, AcAgreesAcrossAllModels) {
   for (const auto& mc : regression_models()) {
     auto ast = build_system(mc, HdlExecMode::ast, nullptr);
     auto cg = build_system(mc, HdlExecMode::codegen, nullptr);
-    const auto ra = spice::ac_sweep(*ast, opts);
-    const auto rc = spice::ac_sweep(*cg, opts);
+    const auto ra = api::ac_sweep(*ast, opts);
+    const auto rc = api::ac_sweep(*cg, opts);
     ASSERT_TRUE(ra.ok) << mc.label << ": " << ra.error;
     ASSERT_TRUE(rc.ok) << mc.label << ": " << rc.error;
     ASSERT_EQ(ra.freq.size(), rc.freq.size()) << mc.label;
@@ -421,7 +422,7 @@ END ARCHITECTURE g;
     ckt.add<spice::Spring>("K1", vel, Circuit::kGround, 0.5);  // soft: pull-in
     ckt.add<spice::Damper>("D1", vel, Circuit::kGround, 40e-3);
     ckt.add<spice::StateIntegrator>("XD", disp, vel);
-    const auto res = spice::transient(ckt, opts);
+    const auto res = api::transient(ckt, opts);
     ASSERT_TRUE(res.ok) << res.error;
     auto* dev = hdl_of(ckt);
     ASSERT_NE(dev, nullptr);
@@ -588,7 +589,7 @@ TEST(CodegenFallback, MissingCompilerFallsBackToVm) {
                  {{"A", 1e-4}, {"d", 0.15e-3}, {"er", 1.0}}};
     int disp = -1;
     auto ckt = build_system(mc, mode, &disp);
-    const auto res = spice::transient(*ckt, opts);
+    const auto res = api::transient(*ckt, opts);
     EXPECT_TRUE(res.ok) << res.error;
     if (mode == HdlExecMode::codegen) {
       EXPECT_FALSE(hdl_of(*ckt)->codegen_active());  // fell back
@@ -627,7 +628,7 @@ TEST(CodegenFallback, CompileErrorFallsBackToVm) {
   EXPECT_FALSE(hdl_of(ckt, "XS")->codegen_active());
   EXPECT_EQ(codegen::stats().failures, 1);
   // The device still evaluates (via the VM).
-  const auto op = spice::operating_point(ckt);
+  const auto op = api::operating_point(ckt);
   EXPECT_TRUE(op.converged);
 }
 
@@ -693,7 +694,7 @@ TEST(CodegenParallel, ConcurrentAcquireIsRaceFree) {
       spice::TranOptions opts;
       opts.tstop = 2e-3;
       opts.dt_max = 1e-4;
-      const auto res = spice::transient(*ckt, opts);
+      const auto res = api::transient(*ckt, opts);
       disp[static_cast<std::size_t>(t)] = res.ok ? res.sample(2e-3, d) : 1e99;
     });
   }

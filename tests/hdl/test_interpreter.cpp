@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "api/api.hpp"
 #include "core/reference.hpp"
 #include "core/resonator_system.hpp"
 #include "core/transducers.hpp"
@@ -59,7 +60,7 @@ TEST(Interpreter, Listing1StaticDeflection) {
   auto sys = build_hdl_system(stdlib::paper_listing1(), "eletran", step_to(10.0));
   TranOptions opts;
   opts.tstop = 80e-3;
-  const auto res = spice::transient(*sys.ckt, opts);
+  const auto res = api::transient(*sys.ckt, opts);
   ASSERT_TRUE(res.ok) << res.error;
   core::ResonatorParams p;
   const double x_expected = core::static_displacement_transverse(p, 10.0);
@@ -72,13 +73,13 @@ TEST(Interpreter, Listing1MatchesNativeDeviceOverTime) {
   TranOptions opts;
   opts.tstop = 40e-3;
   opts.dt_max = 5e-5;
-  const auto rh = spice::transient(*hdl_sys.ckt, opts);
+  const auto rh = api::transient(*hdl_sys.ckt, opts);
   ASSERT_TRUE(rh.ok) << rh.error;
 
   core::ResonatorParams p;
   auto native = core::build_resonator_system(p, core::TransducerModelKind::behavioral,
                                              step_to(12.0));
-  const auto rn = spice::transient(*native.circuit, opts);
+  const auto rn = api::transient(*native.circuit, opts);
   ASSERT_TRUE(rn.ok) << rn.error;
 
   for (double t : {5e-3, 10e-3, 20e-3, 40e-3}) {
@@ -93,7 +94,7 @@ TEST(Interpreter, DcPinsIntegAtInitialValue) {
   // (HDL-A semantics), so the DC force equals F(V, x=0).
   auto sys = build_hdl_system(stdlib::paper_listing1(), "eletran",
                               std::make_unique<spice::DcWave>(10.0));
-  const auto op = spice::operating_point(*sys.ckt);
+  const auto op = api::operating_point(*sys.ckt);
   ASSERT_TRUE(op.converged);
   EXPECT_NEAR(op.at(sys.vel), 0.0, 1e-9);
 }
@@ -111,7 +112,7 @@ TEST(Interpreter, EffortPortElectromagneticDc) {
                              {{"A", 1e-4}, {"d", 1e-3}, {"N", 100.0}},
                              {coil, Circuit::kGround, vel, Circuit::kGround}));
   auto& spring = ckt.add<spice::Spring>("K1", vel, Circuit::kGround, 1000.0);
-  const auto op = spice::operating_point(ckt);
+  const auto op = api::operating_point(ckt);
   ASSERT_TRUE(op.converged);
   EXPECT_NEAR(op.at(coil), 0.0, 1e-6);
 
@@ -136,7 +137,7 @@ TEST(Interpreter, ElectrodynamicGyratorDc) {
                              {{"N", 100.0}, {"r", 5e-3}, {"B", 1.0}},
                              {coil, Circuit::kGround, vel, Circuit::kGround}));
   ckt.add<spice::Damper>("DM", vel, Circuit::kGround, 2.0);
-  const auto op = spice::operating_point(ckt);
+  const auto op = api::operating_point(ckt);
   ASSERT_TRUE(op.converged);
   core::TransducerGeometry g;
   g.turns = 100;
@@ -169,7 +170,7 @@ TEST(Interpreter, IntegStateAccessor) {
   auto sys = build_hdl_system(stdlib::paper_listing1(), "eletran", step_to(10.0));
   TranOptions opts;
   opts.tstop = 60e-3;
-  const auto res = spice::transient(*sys.ckt, opts);
+  const auto res = api::transient(*sys.ckt, opts);
   ASSERT_TRUE(res.ok);
   auto* dev = dynamic_cast<HdlDevice*>(sys.ckt->find_device("XT"));
   ASSERT_NE(dev, nullptr);

@@ -6,6 +6,7 @@
 
 #include <cmath>
 
+#include "api/api.hpp"
 #include "core/resonator_system.hpp"
 #include "spice/analysis.hpp"
 
@@ -47,7 +48,7 @@ TEST(EnergyConservation, TransverseSystemBalances) {
   spice::TranOptions opts;
   opts.tstop = 60e-3;
   opts.dt_max = 2e-6;  // fine sampling: the audit itself integrates trapezoidally
-  const auto res = spice::transient(ckt, opts);
+  const auto res = api::transient(ckt, opts);
   ASSERT_TRUE(res.ok) << res.error;
 
   std::vector<double> p_src(res.time.size());
@@ -107,7 +108,7 @@ TEST(EnergyConservation, ElectrodynamicGyratorBalances) {
   spice::TranOptions opts;
   opts.tstop = 20e-3;
   opts.dt_max = 1e-5;
-  const auto res = spice::transient(ckt, opts);
+  const auto res = api::transient(ckt, opts);
   ASSERT_TRUE(res.ok) << res.error;
 
   std::vector<double> p_src(res.time.size());
@@ -159,7 +160,7 @@ TEST(EnergyConservation, ElectromagneticReluctanceBalances) {
   spice::TranOptions opts;
   opts.tstop = 50e-3;
   opts.dt_max = 2e-5;
-  const auto res = spice::transient(ckt, opts);
+  const auto res = api::transient(ckt, opts);
   ASSERT_TRUE(res.ok) << res.error;
 
   std::vector<double> p_src(res.time.size());

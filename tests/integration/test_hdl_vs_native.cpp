@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "api/api.hpp"
 #include "core/netlist_ext.hpp"
 #include "core/resonator_system.hpp"
 #include "hdl/interpreter.hpp"
@@ -31,7 +32,7 @@ TEST(HdlVsNative, Fig5TrajectoriesAgree) {
   auto native = core::build_resonator_system(
       p, core::TransducerModelKind::behavioral,
       spice::make_fig5_pulse_train({5.0, 10.0, 15.0}, 0.18, 2e-3, 2e-3));
-  const auto rn = spice::transient(*native.circuit, fig5_opts());
+  const auto rn = api::transient(*native.circuit, fig5_opts());
   ASSERT_TRUE(rn.ok) << rn.error;
 
   // HDL run (energy-complete model, same parameters).
@@ -49,7 +50,7 @@ TEST(HdlVsNative, Fig5TrajectoriesAgree) {
   ckt.add<spice::Spring>("K1", vel, Circuit::kGround, p.stiffness);
   ckt.add<spice::Damper>("D1", vel, Circuit::kGround, p.damping);
   ckt.add<spice::StateIntegrator>("XD", disp, vel);
-  const auto rh = spice::transient(ckt, fig5_opts());
+  const auto rh = api::transient(ckt, fig5_opts());
   ASSERT_TRUE(rh.ok) << rh.error;
 
   double worst_rel = 0.0;
@@ -90,8 +91,8 @@ TEST(HdlVsNative, Listing1CloseToEnergyCompleteAtPaperScales) {
   spice::TranOptions opts;
   opts.tstop = 0.06;
   opts.dt_max = 1e-4;
-  const auto ra = spice::transient(a, opts);
-  const auto rb = spice::transient(b, opts);
+  const auto ra = api::transient(a, opts);
+  const auto rb = api::transient(b, opts);
   ASSERT_TRUE(ra.ok && rb.ok);
   for (double t = 0.01; t < 0.06; t += 0.01) {
     EXPECT_NEAR(ra.sample(t, da), rb.sample(t, db),
@@ -111,7 +112,7 @@ Xi disp vel INTEG
 )");
   spice::TranOptions opts;
   opts.tstop = 80e-3;
-  const auto rn = spice::transient(*net.circuit, opts);
+  const auto rn = api::transient(*net.circuit, opts);
   ASSERT_TRUE(rn.ok) << rn.error;
 
   core::ResonatorParams p;
@@ -119,7 +120,7 @@ Xi disp vel INTEG
       p, core::TransducerModelKind::behavioral,
       std::make_unique<spice::PwlWave>(std::vector<std::pair<double, double>>{
           {0.0, 0.0}, {5e-3, 10.0}, {1.0, 10.0}}));
-  const auto ra = spice::transient(*api.circuit, opts);
+  const auto ra = api::transient(*api.circuit, opts);
   ASSERT_TRUE(ra.ok);
 
   const double xn = rn.sample(80e-3, net.circuit->node("disp"));
@@ -159,7 +160,7 @@ TEST(HdlVsNative, ParallelElectrostaticHdlMatchesNative) {
     spice::TranOptions opts;
     opts.tstop = 30e-3;
     opts.dt_max = 5e-5;
-    const auto res = spice::transient(ckt, opts);
+    const auto res = api::transient(ckt, opts);
     return std::make_pair(res.ok, res.ok ? res.sample(30e-3, disp) : 0.0);
   };
   const auto [ok_h, x_h] = run(true);

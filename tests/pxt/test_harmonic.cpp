@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "api/api.hpp"
 #include "common/constants.hpp"
 #include "pxt/harmonic.hpp"
 #include "spice/analysis.hpp"
@@ -88,7 +89,7 @@ TEST(Harmonic, DeviceMatchesFitInAcSweep) {
   opts.f_start = 1.0;
   opts.f_stop = 5e3;
   opts.points = 30;
-  const auto res = spice::ac_sweep(ckt, opts);
+  const auto res = api::ac_sweep(ckt, opts);
   ASSERT_TRUE(res.ok) << res.error;
   for (std::size_t k = 0; k < res.freq.size(); ++k) {
     const std::complex<double> expected = fit.eval(res.freq[k]);
@@ -107,7 +108,7 @@ TEST(Harmonic, DeviceDcGainIsB0) {
   ckt.add<spice::VSource>("V1", in, spice::Circuit::kGround, 2.0);
   ckt.add<TransferFunctionDevice>("H1", in, spice::Circuit::kGround, out,
                                   spice::Circuit::kGround, fit);
-  const auto op = spice::operating_point(ckt);
+  const auto op = api::operating_point(ckt);
   ASSERT_TRUE(op.converged);
   EXPECT_NEAR(op.at(out), 2.0 * fit.num[0], std::abs(2.0 * fit.num[0]) * 1e-6);
 }

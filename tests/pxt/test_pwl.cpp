@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "api/api.hpp"
 #include "core/reference.hpp"
 #include "hdl/interpreter.hpp"
 #include "pxt/pwl.hpp"
@@ -106,7 +107,7 @@ TEST(Pwl, TransducerDeviceReproducesStaticDeflection) {
 
   spice::TranOptions opts;
   opts.tstop = 80e-3;
-  const auto res = spice::transient(ckt, opts);
+  const auto res = api::transient(ckt, opts);
   ASSERT_TRUE(res.ok) << res.error;
   core::ResonatorParams p;
   const double x_expected = core::static_displacement_transverse(p, 10.0);
@@ -138,7 +139,7 @@ TEST(Pwl, GeneratedHdlSimulates) {
 
   spice::TranOptions opts;
   opts.tstop = 80e-3;
-  const auto res = spice::transient(ckt, opts);
+  const auto res = api::transient(ckt, opts);
   ASSERT_TRUE(res.ok) << res.error;
   core::ResonatorParams p;
   const double x_expected = core::static_displacement_transverse(p, 10.0);

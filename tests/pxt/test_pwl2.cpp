@@ -3,6 +3,7 @@
 
 #include <cmath>
 
+#include "api/api.hpp"
 #include "core/reference.hpp"
 #include "pxt/pwl.hpp"
 #include "spice/analysis.hpp"
@@ -103,7 +104,7 @@ TEST(Pwl2, ForceTransducerStaticDeflection) {
 
   spice::TranOptions opts;
   opts.tstop = 80e-3;
-  const auto res = spice::transient(ckt, opts);
+  const auto res = api::transient(ckt, opts);
   ASSERT_TRUE(res.ok) << res.error;
   core::ResonatorParams p;
   const double x_expected = core::static_displacement_transverse(p, 10.0);
@@ -132,7 +133,7 @@ TEST(Pwl2, ForceTransducerEvenInVoltage) {
     ckt.add<spice::StateIntegrator>("XD", disp, vel);
     spice::TranOptions opts;
     opts.tstop = 60e-3;
-    const auto res = spice::transient(ckt, opts);
+    const auto res = api::transient(ckt, opts);
     EXPECT_TRUE(res.ok);
     return res.sample(60e-3, disp);
   };

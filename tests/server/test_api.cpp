@@ -1,0 +1,309 @@
+// usys::api facade coverage: content hashing, override parsing, Session
+// provenance accounting (cold pays parse/bind, warm pays neither), the
+// rebind() delta path vs a cold run of the edited netlist, baseline
+// restoration after overrides, device set_param/get_param contracts, and
+// the SeriesView tabular extraction the CLI and the server share.
+//
+// (The deprecated spice:: free-function wrappers have their own pinned
+// parity suite in tests/spice/test_engine.cpp.)
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "api/api.hpp"
+#include "spice/devices_passive.hpp"
+#include "spice/devices_source.hpp"
+
+namespace usys::api {
+namespace {
+
+const char* kRcNetlist = R"(* rc lowpass
+V1 in 0 5
+R1 in out 1k
+C1 out 0 1u
+.op
+.tran 10u 2m
+.end
+)";
+
+const char* kRcEdited = R"(* rc lowpass
+V1 in 0 5
+R1 in out 2k
+C1 out 0 1u
+.op
+.tran 10u 2m
+.end
+)";
+
+void expect_identical_tran(const spice::TranResult& a, const spice::TranResult& b) {
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  ASSERT_EQ(a.time.size(), b.time.size());
+  for (std::size_t k = 0; k < a.time.size(); ++k) {
+    EXPECT_EQ(a.time[k], b.time[k]);
+    for (int i = 0; i < 2; ++i) EXPECT_EQ(a.at(k, i), b.at(k, i));
+  }
+}
+
+// --- identity ----------------------------------------------------------------
+
+TEST(ContentHash, StableAndCollisionResistant) {
+  const std::string h = content_hash(kRcNetlist);
+  EXPECT_EQ(h.size(), 16u);
+  EXPECT_EQ(h, content_hash(kRcNetlist));            // deterministic
+  EXPECT_NE(h, content_hash(kRcEdited));             // text matters
+  EXPECT_NE(h, content_hash(kRcNetlist, "ast"));     // hdl mode is identity
+  // The field separator keeps (netlist, mode) unambiguous.
+  EXPECT_NE(content_hash("ab", ""), content_hash("a", "b"));
+}
+
+TEST(ParseOverride, AcceptsSpiceNumberSyntax) {
+  ParamOverride ov;
+  ASSERT_TRUE(parse_override("R1.r=2k", ov));
+  EXPECT_EQ(ov.device, "R1");
+  EXPECT_EQ(ov.param, "r");
+  EXPECT_DOUBLE_EQ(ov.value, 2000.0);
+  ASSERT_TRUE(parse_override("XK3.K=25", ov));  // param key lower-cases
+  EXPECT_EQ(ov.device, "XK3");
+  EXPECT_EQ(ov.param, "k");
+  ASSERT_TRUE(parse_override(" V1.dc = -2.5 ", ov));  // whitespace tolerated
+  EXPECT_EQ(ov.device, "V1");
+  EXPECT_DOUBLE_EQ(ov.value, -2.5);
+  ASSERT_TRUE(parse_override("C1.c=1.5u", ov));
+  EXPECT_DOUBLE_EQ(ov.value, 1.5e-6);
+}
+
+TEST(ParseOverride, RejectsMalformedSpecs) {
+  ParamOverride ov;
+  EXPECT_FALSE(parse_override("R1=5", ov));      // no param
+  EXPECT_FALSE(parse_override(".r=5", ov));      // no device
+  EXPECT_FALSE(parse_override("R1.=5", ov));     // empty param
+  EXPECT_FALSE(parse_override("R1.r", ov));      // no value
+  EXPECT_FALSE(parse_override("R1.r=abc", ov));  // not a number
+  EXPECT_FALSE(parse_override("", ov));
+}
+
+// --- session provenance ------------------------------------------------------
+
+TEST(Session, FirstRunPaysParseBindThenWarmRunsAreFree) {
+  Session session(kRcNetlist);
+  const JobResult cold = session.run();
+  ASSERT_TRUE(cold.ok);
+  EXPECT_EQ(cold.exit_code, 0);
+  EXPECT_TRUE(cold.parsed);
+  EXPECT_TRUE(cold.bound);
+  EXPECT_FALSE(cold.rebound);
+  ASSERT_EQ(cold.analyses.size(), 2u);
+
+  const JobResult warm = session.run();
+  ASSERT_TRUE(warm.ok);
+  EXPECT_FALSE(warm.parsed);
+  EXPECT_FALSE(warm.bound);
+  // Same analysis regime on a warm engine: the compiled pattern and the
+  // symbolic factorization are reused wholesale.
+  EXPECT_EQ(warm.symbolic_factorizations, 0);
+  EXPECT_EQ(session.jobs_run(), 2);
+
+  // Warm reruns are bit-identical to the cold run, not merely close.
+  expect_identical_tran(cold.analyses[1].tran, warm.analyses[1].tran);
+  for (int i = 0; i < 2; ++i)
+    EXPECT_EQ(cold.analyses[0].op.at(i), warm.analyses[0].op.at(i));
+}
+
+TEST(Session, MatchesFacadeFreeFunctions) {
+  Session session(kRcNetlist);
+  const JobResult r = session.run();
+  ASSERT_TRUE(r.ok);
+  Session fresh(kRcNetlist);
+  const spice::OpResult op = usys::api::operating_point(fresh.circuit());
+  ASSERT_TRUE(op.converged);
+  for (int i = 0; i < 2; ++i) EXPECT_NEAR(r.analyses[0].op.at(i), op.at(i), 1e-12);
+}
+
+TEST(Session, DefaultOpWhenNetlistHasNoCards) {
+  Session session("* bare\nV1 a 0 2\nR1 a 0 1k\n.end\n");
+  EXPECT_TRUE(session.cards().empty());
+  const JobResult r = session.run();
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(r.analyses.size(), 1u);
+  EXPECT_EQ(r.analyses[0].kind, spice::AnalysisCard::Kind::op);
+  EXPECT_NEAR(r.analyses[0].op.at(0), 2.0, 1e-9);
+}
+
+TEST(Session, MalformedNetlistThrowsNetlistError) {
+  EXPECT_THROW(Session("V1 in 0 not_a_number\n.end\n"), spice::NetlistError);
+}
+
+TEST(Session, CoolShedsWarmSolverState) {
+  Session session(kRcNetlist);
+  const JobResult cold = session.run();
+  ASSERT_TRUE(cold.ok);
+  EXPECT_TRUE(session.warm());
+  session.cool();
+  EXPECT_FALSE(session.warm());
+  // A cooled session re-warms transparently — and still bit-identically.
+  const JobResult rewarmed = session.run();
+  ASSERT_TRUE(rewarmed.ok);
+  EXPECT_TRUE(session.warm());
+  expect_identical_tran(cold.analyses[1].tran, rewarmed.analyses[1].tran);
+}
+
+// --- parameter-override delta path -------------------------------------------
+
+TEST(Session, OverrideDeltaMatchesColdRunOfEditedNetlist) {
+  Session warm(kRcNetlist);
+  ASSERT_TRUE(warm.run().ok);  // prime
+
+  JobRequest jr;
+  jr.overrides.push_back({"R1", "r", 2000.0});
+  const JobResult delta = warm.run(jr);
+  ASSERT_TRUE(delta.ok);
+  EXPECT_TRUE(delta.rebound);
+  EXPECT_FALSE(delta.parsed);
+
+  Session cold(kRcEdited);
+  const JobResult want = cold.run();
+  ASSERT_TRUE(want.ok);
+  ASSERT_EQ(delta.analyses[1].tran.time.size(), want.analyses[1].tran.time.size());
+  for (std::size_t k = 0; k < want.analyses[1].tran.time.size(); ++k)
+    for (int i = 0; i < 2; ++i)
+      EXPECT_NEAR(delta.analyses[1].tran.at(k, i), want.analyses[1].tran.at(k, i),
+                  1e-12);
+}
+
+TEST(Session, OverridesAreRestoredAfterTheJob) {
+  Session baseline(kRcNetlist);
+  const JobResult base = baseline.run();
+
+  Session session(kRcNetlist);
+  ASSERT_TRUE(session.run().ok);
+  JobRequest jr;
+  jr.overrides.push_back({"R1", "r", 470.0});
+  jr.overrides.push_back({"V1", "dc", 3.0});
+  ASSERT_TRUE(session.run(jr).ok);
+  // After the override job the session must match its netlist text again.
+  const JobResult restored = session.run();
+  ASSERT_TRUE(restored.ok);
+  expect_identical_tran(base.analyses[1].tran, restored.analyses[1].tran);
+}
+
+TEST(Session, BadOverridesAreExit2AndLeaveTheSessionUsable) {
+  Session session(kRcNetlist);
+  JobRequest unknown_dev;
+  unknown_dev.overrides.push_back({"R99", "r", 10.0});
+  const JobResult r1 = session.run(unknown_dev);
+  EXPECT_FALSE(r1.ok);
+  EXPECT_EQ(r1.exit_code, 2);
+  EXPECT_TRUE(r1.analyses.empty());
+  EXPECT_NE(r1.error.find("unknown device"), std::string::npos);
+
+  JobRequest unknown_param;
+  unknown_param.overrides.push_back({"R1", "bogus", 10.0});
+  const JobResult r2 = session.run(unknown_param);
+  EXPECT_EQ(r2.exit_code, 2);
+  EXPECT_NE(r2.error.find("does not expose"), std::string::npos);
+
+  JobRequest bad_value;  // a zero resistance would divide the stamp
+  bad_value.overrides.push_back({"R1", "r", 0.0});
+  const JobResult r3 = session.run(bad_value);
+  EXPECT_EQ(r3.exit_code, 2);
+  EXPECT_NE(r3.error.find("rejected"), std::string::npos);
+
+  const JobResult ok = session.run();
+  EXPECT_TRUE(ok.ok);
+}
+
+// --- device parameter contracts ----------------------------------------------
+
+TEST(DeviceParams, PassiveAndShadowedMechanicalKeys) {
+  spice::Circuit ckt;
+  const int a = ckt.add_node("a", Nature::electrical);
+  const int x = ckt.add_node("x", Nature::mechanical_translation);
+  auto& r = ckt.add<spice::Resistor>("R1", a, spice::Circuit::kGround, 100.0);
+  auto& k = ckt.add<spice::Spring>("K1", x, spice::Circuit::kGround, 25.0);
+
+  double v = 0.0;
+  ASSERT_TRUE(r.get_param("r", v));
+  EXPECT_DOUBLE_EQ(v, 100.0);
+  EXPECT_TRUE(r.set_param("r", 220.0));
+  ASSERT_TRUE(r.get_param("r", v));
+  EXPECT_DOUBLE_EQ(v, 220.0);
+  EXPECT_FALSE(r.set_param("r", 0.0));  // zero divides the stamp
+  EXPECT_FALSE(r.set_param("c", 1.0));  // not a resistor key
+
+  // Spring exposes its own netlist key "k" and SHADOWS the inherited
+  // inductor key, keeping the cached stiffness and the stamped l = 1/k in
+  // sync by construction.
+  ASSERT_TRUE(k.get_param("k", v));
+  EXPECT_DOUBLE_EQ(v, 25.0);
+  EXPECT_FALSE(k.get_param("l", v));
+  EXPECT_TRUE(k.set_param("k", 50.0));
+  ASSERT_TRUE(k.get_param("k", v));
+  EXPECT_DOUBLE_EQ(v, 50.0);
+}
+
+TEST(DeviceParams, SourceDcOnlyWhileWaveformIsDc) {
+  // A DC source round-trips its "dc" value; a PULSE source rejects the key
+  // outright (an override could not be restored to the original waveform).
+  Session dc_session("V1 a 0 5\nR1 a 0 1k\n.end\n");
+  spice::Device* v_dc = dc_session.circuit().find_device("V1");
+  ASSERT_NE(v_dc, nullptr);
+  double v = 0.0;
+  ASSERT_TRUE(v_dc->get_param("dc", v));
+  EXPECT_DOUBLE_EQ(v, 5.0);
+  EXPECT_TRUE(v_dc->set_param("dc", 7.5));
+  ASSERT_TRUE(v_dc->get_param("dc", v));
+  EXPECT_DOUBLE_EQ(v, 7.5);
+
+  Session pulse_session("V1 a 0 PULSE(0 5 1m 0.1m 0.1m 2m)\nR1 a 0 1k\n.tran 1u 1m\n.end\n");
+  spice::Device* v_pulse = pulse_session.circuit().find_device("V1");
+  ASSERT_NE(v_pulse, nullptr);
+  EXPECT_FALSE(v_pulse->get_param("dc", v));
+  EXPECT_FALSE(v_pulse->set_param("dc", 1.0));
+}
+
+// --- series view -------------------------------------------------------------
+
+TEST(SeriesView, OpTranAcShapes) {
+  Session session(R"(* shapes
+V1 in 0 0 AC 1
+R1 in out 1k
+C1 out 0 1u
+.op
+.tran 10u 1m
+.ac dec 5 10 10k
+.end
+)");
+  const JobResult r = session.run();
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(r.analyses.size(), 3u);
+
+  const SeriesView op = series_view(r.analyses[0], session.circuit());
+  ASSERT_EQ(op.columns.size(), 2u);
+  EXPECT_EQ(op.columns[0], "in");
+  EXPECT_EQ(op.columns[1], "out");
+  EXPECT_EQ(op.rows, 1u);
+  EXPECT_EQ(op.row_at(0)[0], r.analyses[0].op.at(0));
+
+  const SeriesView tran = series_view(r.analyses[1], session.circuit());
+  ASSERT_EQ(tran.columns.size(), 3u);
+  EXPECT_EQ(tran.columns[0], "t [s]");
+  EXPECT_EQ(tran.rows, r.analyses[1].tran.time.size());
+  const auto row1 = tran.row_at(1);
+  EXPECT_EQ(row1[0], r.analyses[1].tran.time[1]);
+  EXPECT_EQ(row1[2], r.analyses[1].tran.at(1, 1));
+
+  const SeriesView ac = series_view(r.analyses[2], session.circuit());
+  ASSERT_EQ(ac.columns.size(), 5u);  // f + (dB, deg) per node
+  EXPECT_EQ(ac.columns[0], "f [Hz]");
+  EXPECT_EQ(ac.columns[1], "in dB");
+  EXPECT_EQ(ac.columns[2], "in deg");
+  EXPECT_EQ(ac.rows, r.analyses[2].ac.freq.size());
+  const auto acrow = ac.row_at(0);
+  EXPECT_EQ(acrow[0], r.analyses[2].ac.freq[0]);
+  EXPECT_EQ(acrow[1], r.analyses[2].ac.magnitude_db(0, 0));
+}
+
+}  // namespace
+}  // namespace usys::api

@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "api/api.hpp"
 #include "common/constants.hpp"
 #include "spice/analysis.hpp"
 #include "spice/devices_passive.hpp"
@@ -25,7 +26,7 @@ TEST(Ac, RcLowpassPole) {
   opts.f_start = 1.0;
   opts.f_stop = 1e5;
   opts.points = 20;
-  const AcResult res = ac_sweep(ckt, opts);
+  const AcResult res = api::ac_sweep(ckt, opts);
   ASSERT_TRUE(res.ok) << res.error;
 
   const double fc = 1.0 / (2.0 * kPi * 1e3 * 1e-6);  // ~159 Hz
@@ -51,7 +52,7 @@ TEST(Ac, RcPhaseAtPole) {
   opts.f_start = fc;
   opts.f_stop = fc;
   opts.points = 2;
-  const AcResult res = ac_sweep(ckt, opts);
+  const AcResult res = api::ac_sweep(ckt, opts);
   ASSERT_TRUE(res.ok) << res.error;
   EXPECT_NEAR(res.phase_deg(0, out), -45.0, 0.1);
 }
@@ -76,7 +77,7 @@ TEST(Ac, SeriesRlcResonancePeak) {
   opts.f_start = f0;
   opts.f_stop = f0;
   opts.points = 2;
-  const AcResult res = ac_sweep(ckt, opts);
+  const AcResult res = api::ac_sweep(ckt, opts);
   ASSERT_TRUE(res.ok) << res.error;
   // At resonance |v(out)| = Q = (1/R) sqrt(L/C).
   const double q = std::sqrt(l / c) / r;
@@ -94,7 +95,7 @@ TEST(Ac, AcPhaseSourceRotates) {
   opts.f_start = 10.0;
   opts.f_stop = 10.0;
   opts.points = 2;
-  const AcResult res = ac_sweep(ckt, opts);
+  const AcResult res = api::ac_sweep(ckt, opts);
   ASSERT_TRUE(res.ok) << res.error;
   EXPECT_NEAR(res.at(0, in).real(), 0.0, 1e-9);
   EXPECT_NEAR(res.at(0, in).imag(), 2.0, 1e-9);
@@ -110,7 +111,7 @@ TEST(Ac, DecadeSweepCoversRange) {
   opts.f_start = 1.0;
   opts.f_stop = 1e3;
   opts.points = 10;
-  const AcResult res = ac_sweep(ckt, opts);
+  const AcResult res = api::ac_sweep(ckt, opts);
   ASSERT_TRUE(res.ok);
   EXPECT_NEAR(res.freq.front(), 1.0, 1e-12);
   EXPECT_NEAR(res.freq.back(), 1e3, 1e-9);

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "api/api.hpp"
 #include "common/fault_inject.hpp"
 #include "spice/checkpoint.hpp"
 #include "spice/devices_passive.hpp"
@@ -409,7 +410,7 @@ TEST_F(CheckpointTest, InjectedPointFailureIsJournaledAndResumedExactly) {
     DcOptions dc;
     dc.allow_gmin_stepping = false;
     dc.allow_source_stepping = false;
-    const DcResult res = solve_dc(ckt, dc);
+    const DcResult res = api::solve_dc(ckt, dc);
     SweepOutcome o;
     o.ok = res.converged;
     o.failure = res.failure;

@@ -2,6 +2,7 @@
 // mechanical statics under the FI analogy, and the stepping fallbacks.
 #include <gtest/gtest.h>
 
+#include "api/api.hpp"
 #include "spice/analysis.hpp"
 #include "spice/devices_controlled.hpp"
 #include "spice/devices_passive.hpp"
@@ -17,7 +18,7 @@ TEST(Dc, ResistorDivider) {
   ckt.add<VSource>("V1", in, Circuit::kGround, 10.0);
   ckt.add<Resistor>("R1", in, mid, 1e3);
   ckt.add<Resistor>("R2", mid, Circuit::kGround, 3e3);
-  const OpResult op = operating_point(ckt);
+  const OpResult op = api::operating_point(ckt);
   ASSERT_TRUE(op.converged);
   EXPECT_NEAR(op.at(in), 10.0, 1e-7);
   EXPECT_NEAR(op.at(mid), 7.5, 1e-7);  // gmin loads the node
@@ -30,7 +31,7 @@ TEST(Dc, SeriesResistorsCurrent) {
   auto& vs = ckt.add<VSource>("V1", a, Circuit::kGround, 1.0);
   ckt.add<Resistor>("R1", a, b, 100.0);
   ckt.add<Resistor>("R2", b, Circuit::kGround, 100.0);
-  const OpResult op = operating_point(ckt);
+  const OpResult op = api::operating_point(ckt);
   ASSERT_TRUE(op.converged);
   // Source branch current: 1 V across 200 ohm, flowing out of the source.
   EXPECT_NEAR(op.x[static_cast<std::size_t>(vs.branch())], -1.0 / 200.0, 1e-10);
@@ -43,7 +44,7 @@ TEST(Dc, CurrentSourceIntoResistor) {
   // to n-): ISource(gnd, n) pushes current INTO node n.
   ckt.add<ISource>("I1", Circuit::kGround, n, 1e-3);
   ckt.add<Resistor>("R1", n, Circuit::kGround, 1e3);
-  const OpResult op = operating_point(ckt);
+  const OpResult op = api::operating_point(ckt);
   ASSERT_TRUE(op.converged);
   EXPECT_NEAR(op.at(n), 1.0, 1e-9);
 }
@@ -55,7 +56,7 @@ TEST(Dc, InductorIsShortAtDc) {
   ckt.add<VSource>("V1", a, Circuit::kGround, 2.0);
   ckt.add<Resistor>("R1", a, b, 1e3);
   ckt.add<Inductor>("L1", b, Circuit::kGround, 1e-3);
-  const OpResult op = operating_point(ckt);
+  const OpResult op = api::operating_point(ckt);
   ASSERT_TRUE(op.converged);
   EXPECT_NEAR(op.at(b), 0.0, 1e-6);
 }
@@ -67,7 +68,7 @@ TEST(Dc, CapacitorIsOpenAtDc) {
   ckt.add<VSource>("V1", a, Circuit::kGround, 2.0);
   ckt.add<Resistor>("R1", a, b, 1e3);
   ckt.add<Capacitor>("C1", b, Circuit::kGround, 1e-9);
-  const OpResult op = operating_point(ckt);
+  const OpResult op = api::operating_point(ckt);
   ASSERT_TRUE(op.converged);
   EXPECT_NEAR(op.at(b), 2.0, 1e-5);  // only gmin loads the node
 }
@@ -78,7 +79,7 @@ TEST(Dc, VcvsGain) {
   const int out = ckt.add_node("out", Nature::electrical);
   ckt.add<VSource>("V1", in, Circuit::kGround, 0.5);
   ckt.add<Vcvs>("E1", out, Circuit::kGround, in, Circuit::kGround, 4.0);
-  const OpResult op = operating_point(ckt);
+  const OpResult op = api::operating_point(ckt);
   ASSERT_TRUE(op.converged);
   EXPECT_NEAR(op.at(out), 2.0, 1e-9);
 }
@@ -91,7 +92,7 @@ TEST(Dc, VccsIntoResistor) {
   // i = gm*v(in) flows out of `out` into ground inside the source.
   ckt.add<Vccs>("G1", out, Circuit::kGround, in, Circuit::kGround, 1e-3);
   ckt.add<Resistor>("R1", out, Circuit::kGround, 1e3);
-  const OpResult op = operating_point(ckt);
+  const OpResult op = api::operating_point(ckt);
   ASSERT_TRUE(op.converged);
   EXPECT_NEAR(op.at(out), -1.0, 1e-9);
 }
@@ -103,7 +104,7 @@ TEST(Dc, TransformerRatio) {
   ckt.add<VSource>("V1", p, Circuit::kGround, 10.0);
   ckt.add<IdealTransformer>("T1", p, Circuit::kGround, s, Circuit::kGround, 5.0);
   ckt.add<Resistor>("RL", s, Circuit::kGround, 100.0);
-  const OpResult op = operating_point(ckt);
+  const OpResult op = api::operating_point(ckt);
   ASSERT_TRUE(op.converged);
   // v1 = n*v2 -> v2 = 2 V.
   EXPECT_NEAR(op.at(s), 2.0, 1e-9);
@@ -116,7 +117,7 @@ TEST(Dc, GyratorConvertsVoltageToCurrent) {
   ckt.add<VSource>("V1", a, Circuit::kGround, 3.0);
   ckt.add<Gyrator>("GY1", a, Circuit::kGround, b, Circuit::kGround, 0.01);
   ckt.add<Resistor>("RL", b, Circuit::kGround, 50.0);
-  const OpResult op = operating_point(ckt);
+  const OpResult op = api::operating_point(ckt);
   ASSERT_TRUE(op.converged);
   // i2 = -g*v1 = -0.03 A into node b KCL: f(b) = -g*v1 + v(b)/R = 0
   // => v(b) = g*v1*R = 1.5 V.
@@ -127,7 +128,7 @@ TEST(Dc, FloatingNodeHandledByGmin) {
   Circuit ckt;
   const int a = ckt.add_node("a", Nature::electrical);
   ckt.add<Capacitor>("C1", a, Circuit::kGround, 1e-12);
-  const OpResult op = operating_point(ckt);
+  const OpResult op = api::operating_point(ckt);
   ASSERT_TRUE(op.converged);
   EXPECT_NEAR(op.at(a), 0.0, 1e-9);
 }
@@ -139,7 +140,7 @@ TEST(Dc, SingularWithoutGminFallsBackGracefully) {
   const int a = ckt.add_node("a", Nature::electrical);
   ckt.add<VSource>("V1", a, Circuit::kGround, 1.0);
   ckt.add<VSource>("V2", a, Circuit::kGround, 2.0);
-  const OpResult op = operating_point(ckt);
+  const OpResult op = api::operating_point(ckt);
   EXPECT_FALSE(op.converged);
 }
 

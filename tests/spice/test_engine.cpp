@@ -3,6 +3,13 @@
 // 1e-12 on the relay pull-in and interpreted-HDL circuits; determinism of
 // the parallel MNA assembly (N-thread results bit-identical to serial);
 // rebind() after device-parameter changes; and the SweepRunner batch path.
+//
+// PINNED PARITY SUITE: this file intentionally keeps calling the
+// [[deprecated]] spice:: free functions (operating_point / transient /
+// ac_sweep / solve_dc) so the wrappers stay exercised and provably
+// equivalent to the usys::api facade they forward to. Every other in-tree
+// caller has migrated (docs/architecture.md); do not "fix" these.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 #include <gtest/gtest.h>
 
 #include <cmath>

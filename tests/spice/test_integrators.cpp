@@ -5,6 +5,7 @@
 
 #include <cmath>
 
+#include "api/api.hpp"
 #include "common/constants.hpp"
 #include "spice/analysis.hpp"
 #include "spice/devices_passive.hpp"
@@ -37,7 +38,7 @@ double rc_error(IntegMethod method, double dt, double* ref_cache) {
     fine.adaptive = false;
     fine.dt_init = 1e-6;
     fine.method = IntegMethod::trapezoidal;
-    const TranResult r = transient(ref, fine);
+    const TranResult r = api::transient(ref, fine);
     EXPECT_TRUE(r.ok);
     *ref_cache = r.at(r.time.size() - 1, out);
   }
@@ -50,7 +51,7 @@ double rc_error(IntegMethod method, double dt, double* ref_cache) {
   opts.adaptive = false;
   opts.dt_init = dt;
   opts.method = method;
-  const TranResult res = transient(ckt, opts);
+  const TranResult res = api::transient(ckt, opts);
   EXPECT_TRUE(res.ok) << res.error;
   return std::abs(res.at(res.time.size() - 1, out) - *ref_cache);
 }
@@ -102,7 +103,7 @@ TEST(Integrators, Gear2DampsTrapezoidalRinging) {
     opts.adaptive = false;
     opts.dt_init = 1e-5;
     opts.method = method;
-    const TranResult res = transient(ckt, opts);
+    const TranResult res = api::transient(ckt, opts);
     EXPECT_TRUE(res.ok);
     double hf = 0.0;
     const auto i = res.signal(vs.branch());
@@ -127,7 +128,7 @@ TEST(Integrators, AllMethodsAgreeOnSmoothProblem) {
     TranOptions opts;
     opts.tstop = 8e-3;
     opts.method = method;
-    const TranResult res = transient(ckt, opts);
+    const TranResult res = api::transient(ckt, opts);
     EXPECT_TRUE(res.ok);
     return res.sample(8e-3, out);
   };
@@ -154,7 +155,7 @@ TEST_P(MethodSweep, LcTankFrequencyPreserved) {
   opts.adaptive = false;
   opts.dt_init = 1e-6;
   opts.method = GetParam();
-  const TranResult res = transient(ckt, opts);
+  const TranResult res = api::transient(ckt, opts);
   ASSERT_TRUE(res.ok);
   const auto v = res.signal(n);
   int crossings = 0;

@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "api/api.hpp"
 #include "common/constants.hpp"
 #include "spice/analysis.hpp"
 #include "spice/devices_controlled.hpp"
@@ -20,7 +21,7 @@ TEST(Mech, StaticForceBalanceSpring) {
   const int vel = ckt.add_node("vel", Nature::mechanical_translation);
   ckt.add<ForceSource>("F1", vel, 1e-3);
   auto& spring = ckt.add<Spring>("K1", vel, Circuit::kGround, 200.0);
-  const OpResult op = operating_point(ckt);
+  const OpResult op = api::operating_point(ckt);
   ASSERT_TRUE(op.converged);
   EXPECT_NEAR(op.at(vel), 0.0, 1e-9);
   EXPECT_NEAR(spring.displacement(op.x), 1e-3 / 200.0, 1e-12);
@@ -40,7 +41,7 @@ TEST(Mech, ResonatorNaturalFrequency) {
   TranOptions opts;
   opts.tstop = 50e-3;
   opts.dt_max = 5e-5;
-  const TranResult res = transient(ckt, opts);
+  const TranResult res = api::transient(ckt, opts);
   ASSERT_TRUE(res.ok) << res.error;
 
   const auto v = res.signal(vel);
@@ -70,7 +71,7 @@ TEST(Mech, DamperDissipatesSteadyVelocity) {
   const int vel = ckt.add_node("vel", Nature::mechanical_translation);
   auto& src = ckt.add<VelocitySource>("U1", vel, std::make_unique<DcWave>(0.2));
   ckt.add<Damper>("D1", vel, Circuit::kGround, 0.5);
-  const OpResult op = operating_point(ckt);
+  const OpResult op = api::operating_point(ckt);
   ASSERT_TRUE(op.converged);
   // Source branch carries -alpha*v (force flowing back into the source).
   EXPECT_NEAR(op.x[static_cast<std::size_t>(src.branch())], -0.1, 1e-12);
@@ -101,7 +102,7 @@ TEST(Mech, RotationalAndHydraulicNodesSupported) {
   ckt.add<Resistor>("RH", hyd, Circuit::kGround, 10.0, Nature::hydraulic);
   ckt.add<ISource>("TQ", Circuit::kGround, rot, 0.5, Nature::mechanical_rotation);
   ckt.add<ISource>("FL", Circuit::kGround, hyd, 0.1, Nature::hydraulic);
-  const OpResult op = operating_point(ckt);
+  const OpResult op = api::operating_point(ckt);
   ASSERT_TRUE(op.converged);
   EXPECT_NEAR(op.at(rot), 5.0, 1e-9);   // angular velocity = torque * R
   EXPECT_NEAR(op.at(hyd), 1.0, 1e-9);   // pressure = flow * R
@@ -123,7 +124,7 @@ TEST(Mech, MassSpringEnergyConservesWithoutDamping) {
   TranOptions opts;
   opts.tstop = 30e-3;
   opts.dt_max = 2e-5;
-  const TranResult res = transient(ckt, opts);
+  const TranResult res = api::transient(ckt, opts);
   ASSERT_TRUE(res.ok) << res.error;
 
   double e_at_5ms = 0.0;

@@ -2,6 +2,7 @@
 // and the transducer extension cards registered by usys::core.
 #include <gtest/gtest.h>
 
+#include "api/api.hpp"
 #include "core/netlist_ext.hpp"
 #include "spice/analysis.hpp"
 #include "spice/devices_passive.hpp"
@@ -21,7 +22,7 @@ R2 mid 0 1k
 )");
   ASSERT_EQ(net.analyses.size(), 1u);
   EXPECT_EQ(net.analyses[0].kind, AnalysisCard::Kind::op);
-  const OpResult op = operating_point(*net.circuit);
+  const OpResult op = api::operating_point(*net.circuit);
   ASSERT_TRUE(op.converged);
   EXPECT_NEAR(op.at(net.circuit->node("mid")), 5.0, 1e-7);  // gmin loading
 }
@@ -59,7 +60,7 @@ R1 in 0 1k
   ASSERT_EQ(net.analyses.size(), 1u);
   EXPECT_EQ(net.analyses[0].kind, AnalysisCard::Kind::tran);
   EXPECT_NEAR(net.analyses[0].tran.tstop, 6e-3, 1e-12);
-  const TranResult res = transient(*net.circuit, net.analyses[0].tran);
+  const TranResult res = api::transient(*net.circuit, net.analyses[0].tran);
   ASSERT_TRUE(res.ok);
   EXPECT_NEAR(res.sample(2e-3, net.circuit->node("in")), 5.0, 1e-6);
 }
@@ -73,7 +74,7 @@ C1 out 0 1u
 .ac dec 10 1 100k
 )");
   ASSERT_EQ(net.analyses.size(), 1u);
-  const AcResult res = ac_sweep(*net.circuit, net.analyses[0].ac);
+  const AcResult res = api::ac_sweep(*net.circuit, net.analyses[0].ac);
   ASSERT_TRUE(res.ok);
   EXPECT_GT(res.freq.size(), 10u);
 }
@@ -88,7 +89,7 @@ Xd vel 0 DAMPER alpha=40m
 Xf vel FORCE f=1m
 .op
 )");
-  const OpResult op = operating_point(*net.circuit);
+  const OpResult op = api::operating_point(*net.circuit);
   ASSERT_TRUE(op.converged);
   EXPECT_NEAR(op.at(net.circuit->node("vel")), 0.0, 1e-9);
 }
@@ -104,7 +105,7 @@ Xd vel 0 DAMPER alpha=40m
 Xi disp vel INTEG
 .tran 0.1m 60m
 )");
-  const TranResult res = transient(*net.circuit, net.analyses[0].tran);
+  const TranResult res = api::transient(*net.circuit, net.analyses[0].tran);
   ASSERT_TRUE(res.ok) << res.error;
   // Static deflection at 10 V ~ -9.84 nm (attraction closes the gap).
   const double x_final = res.sample(60e-3, net.circuit->node("disp"));
@@ -148,7 +149,7 @@ R1 in 0 1k
   EXPECT_EQ(net.analyses[0].tran.method, IntegMethod::gear2);
   EXPECT_NEAR(net.analyses[0].tran.dt_max, 1e-6, 1e-15);
   EXPECT_NEAR(net.analyses[0].tran.newton.reltol, 1e-5, 1e-12);
-  const TranResult res = transient(*net.circuit, net.analyses[0].tran);
+  const TranResult res = api::transient(*net.circuit, net.analyses[0].tran);
   EXPECT_TRUE(res.ok);
 }
 
@@ -167,7 +168,7 @@ R1 in d 1k
 D1 d 0
 .op
 )");
-  const OpResult op = operating_point(*net.circuit);
+  const OpResult op = api::operating_point(*net.circuit);
   ASSERT_TRUE(op.converged);
   EXPECT_GT(op.at(net.circuit->node("d")), 0.5);
   EXPECT_LT(op.at(net.circuit->node("d")), 0.8);
@@ -194,7 +195,7 @@ R4 n4 0 1k
   }
   EXPECT_EQ(net.circuit->find_device("R5"), nullptr);
   // 5 equal resistors in series: n4 sits at 1/5 of the drive.
-  const OpResult op = operating_point(*net.circuit);
+  const OpResult op = api::operating_point(*net.circuit);
   ASSERT_TRUE(op.converged);
   EXPECT_NEAR(op.at(net.circuit->node("n4")), 2.0, 1e-6);
 }
@@ -232,7 +233,7 @@ Xarr drive 0 TRANSARRAY n=8 a=1e-8 d=2e-6 m=1e-9 k=25 alpha=1e-4 dspread=0.1
   const int mech = net.circuit->node("Xarr_v3");
   EXPECT_EQ(net.circuit->node_nature(mech), Nature::mechanical_translation);
 
-  const OpResult op = operating_point(*net.circuit);
+  const OpResult op = api::operating_point(*net.circuit);
   ASSERT_TRUE(op.converged);
   // Electrostatic pull holds every suspension in static equilibrium:
   // velocity unknowns sit at 0 in DC.

@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "api/api.hpp"
 #include "spice/analysis.hpp"
 #include "spice/devices_nonlinear.hpp"
 #include "spice/devices_passive.hpp"
@@ -19,7 +20,7 @@ TEST(Diode, ForwardDropAboutSixHundredMillivolts) {
   ckt.add<VSource>("V1", in, Circuit::kGround, 5.0);
   ckt.add<Resistor>("R1", in, d, 1e3);
   ckt.add<Diode>("D1", d, Circuit::kGround);
-  const OpResult op = operating_point(ckt);
+  const OpResult op = api::operating_point(ckt);
   ASSERT_TRUE(op.converged);
   EXPECT_GT(op.at(d), 0.5);
   EXPECT_LT(op.at(d), 0.8);
@@ -36,7 +37,7 @@ TEST(Diode, ReverseBiasLeaksOnlyIs) {
   ckt.add<VSource>("V1", in, Circuit::kGround, -5.0);
   ckt.add<Resistor>("R1", in, d, 1e3);
   ckt.add<Diode>("D1", d, Circuit::kGround);
-  const OpResult op = operating_point(ckt);
+  const OpResult op = api::operating_point(ckt);
   ASSERT_TRUE(op.converged);
   EXPECT_NEAR(op.at(d), -5.0, 1e-4);  // whole drive across the diode
 }
@@ -49,7 +50,7 @@ TEST(Diode, EmissionCoefficientShiftsDrop) {
     ckt.add<VSource>("V1", in, Circuit::kGround, 5.0);
     ckt.add<Resistor>("R1", in, d, 1e3);
     ckt.add<Diode>("D1", d, Circuit::kGround, 1e-14, n);
-    const OpResult op = operating_point(ckt);
+    const OpResult op = api::operating_point(ckt);
     return op.converged ? op.at(d) : -1.0;
   };
   EXPECT_GT(drop_for(2.0), drop_for(1.0));
@@ -64,7 +65,7 @@ TEST(Diode, HighBiasUsesLinearContinuation) {
   ckt.add<VSource>("V1", in, Circuit::kGround, 100.0);
   ckt.add<Resistor>("R1", in, d, 10.0);
   ckt.add<Diode>("D1", d, Circuit::kGround);
-  const OpResult op = operating_point(ckt);
+  const OpResult op = api::operating_point(ckt);
   ASSERT_TRUE(op.converged);
   // The continuation region has slope g0 = Is*e^(v_crit/nVt)/nVt ~ 0.39 S,
   // so at ~8 A the junction drops ~21 V - large but finite and consistent.
@@ -88,7 +89,7 @@ TEST(Diode, RectifierTransient) {
   TranOptions opts;
   opts.tstop = 30e-3;
   opts.dt_max = 5e-5;
-  const TranResult res = transient(ckt, opts);
+  const TranResult res = api::transient(ckt, opts);
   ASSERT_TRUE(res.ok) << res.error;
   // After a few cycles the output rides near the peak minus the drop.
   const double v_late = res.sample(28e-3, out);
@@ -121,7 +122,7 @@ TEST(Diode, BridgeNeedsSteppingFallbacks) {
   ckt.add<Diode>("D3", Circuit::kGround, p);
   ckt.add<Diode>("D4", Circuit::kGround, q);
   ckt.add<Resistor>("RL", out, Circuit::kGround, 1e3);
-  const OpResult op = operating_point(ckt);
+  const OpResult op = api::operating_point(ckt);
   ASSERT_TRUE(op.converged);
   EXPECT_GT(op.at(out), 8.0);  // 10 V minus two drops
   EXPECT_LT(op.at(out), 9.5);

@@ -11,6 +11,7 @@
 #include <memory>
 #include <string>
 
+#include "api/api.hpp"
 #include "core/netlist_ext.hpp"
 #include "core/transducers.hpp"
 #include "hdl/interpreter.hpp"
@@ -249,7 +250,7 @@ TEST(Partition, TransientTrajectoryBitIdenticalAcrossThreadCounts) {
   opts.dc.newton = opts.newton;
 
   auto ckt_serial = transducer_array(40);
-  const TranResult serial = transient(*ckt_serial, opts);
+  const TranResult serial = api::transient(*ckt_serial, opts);
   ASSERT_TRUE(serial.ok) << serial.error;
   EXPECT_TRUE(serial.used_sparse);
 
@@ -257,7 +258,7 @@ TEST(Partition, TransientTrajectoryBitIdenticalAcrossThreadCounts) {
   opts.newton.refactor_threads = 4;
   opts.dc.newton = opts.newton;
   auto ckt_par = transducer_array(40);
-  const TranResult par = transient(*ckt_par, opts);
+  const TranResult par = api::transient(*ckt_par, opts);
   ASSERT_TRUE(par.ok) << par.error;
 
   ASSERT_EQ(serial.time.size(), par.time.size());
@@ -275,14 +276,14 @@ TEST(ParallelRefactor, TransientTrajectoryBitIdentical) {
   opts.dc.newton.backend = MatrixBackend::sparse;
 
   auto ckt_serial = transducer_array(40);
-  const TranResult serial = transient(*ckt_serial, opts);
+  const TranResult serial = api::transient(*ckt_serial, opts);
   ASSERT_TRUE(serial.ok) << serial.error;
   EXPECT_TRUE(serial.used_sparse);
 
   opts.newton.refactor_threads = 4;
   opts.dc.newton.refactor_threads = 4;
   auto ckt_par = transducer_array(40);
-  const TranResult par = transient(*ckt_par, opts);
+  const TranResult par = api::transient(*ckt_par, opts);
   ASSERT_TRUE(par.ok) << par.error;
 
   ASSERT_EQ(serial.time.size(), par.time.size());

@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "api/api.hpp"
 #include "common/fault_inject.hpp"
 #include "hdl/interpreter.hpp"
 #include "spice/analysis.hpp"
@@ -56,7 +57,7 @@ TEST_F(RescueTest, DcTimeoutReportsStructuredFailure) {
   build_divider(ckt);
   DcOptions opts;
   opts.newton.timeout_ms = 1e-6;  // expired by the first iteration poll
-  const OpResult op = operating_point(ckt, opts);
+  const OpResult op = api::operating_point(ckt, opts);
   EXPECT_FALSE(op.converged);
   EXPECT_EQ(op.failure.kind, FailureKind::timeout);
   EXPECT_EQ(op.failure.analysis, "dc");
@@ -72,7 +73,7 @@ TEST_F(RescueTest, CancelTokenStopsDcAsCancelled) {
   token.cancel();  // pre-cancelled: the first poll sees it
   DcOptions opts;
   opts.newton.cancel = &token;
-  const OpResult op = operating_point(ckt, opts);
+  const OpResult op = api::operating_point(ckt, opts);
   EXPECT_FALSE(op.converged);
   EXPECT_EQ(op.failure.kind, FailureKind::cancelled);
   EXPECT_EQ(op.failure.rescue_attempts, 0);
@@ -86,7 +87,7 @@ TEST_F(RescueTest, CancelTokenStopsTransient) {
   TranOptions opts;
   opts.tstop = 5e-3;
   opts.newton.cancel = &token;
-  const TranResult res = transient(ckt, opts);
+  const TranResult res = api::transient(ckt, opts);
   EXPECT_FALSE(res.ok);
   EXPECT_EQ(res.failure.kind, FailureKind::cancelled);
   EXPECT_EQ(res.failure.analysis, "tran");
@@ -99,7 +100,7 @@ TEST_F(RescueTest, MaxStepsCeilingEndsTransientStructurally) {
   TranOptions opts;
   opts.tstop = 5e-3;
   opts.max_steps = 3;
-  const TranResult res = transient(ckt, opts);
+  const TranResult res = api::transient(ckt, opts);
   EXPECT_FALSE(res.ok);
   EXPECT_EQ(res.failure.kind, FailureKind::max_steps_exceeded);
   EXPECT_NE(res.error.find("max-steps-exceeded"), std::string::npos);
@@ -115,7 +116,7 @@ TEST_F(RescueTest, MaxStepsZeroDisablesTheCeiling) {
   TranOptions opts;
   opts.tstop = 5e-3;
   opts.max_steps = 0;
-  const TranResult res = transient(ckt, opts);
+  const TranResult res = api::transient(ckt, opts);
   EXPECT_TRUE(res.ok) << res.error;
 }
 
@@ -154,7 +155,7 @@ END ARCHITECTURE x;
   {
     Circuit ckt;
     build(ckt);
-    const TranResult res = transient(ckt, opts);
+    const TranResult res = api::transient(ckt, opts);
     EXPECT_FALSE(res.ok);
     EXPECT_EQ(res.failure.kind, FailureKind::assert_violation);
     EXPECT_EQ(res.failure.analysis, "tran");
@@ -168,7 +169,7 @@ END ARCHITECTURE x;
     Circuit ckt;
     build(ckt);
     opts.fail_on_assert = false;
-    const TranResult res = transient(ckt, opts);
+    const TranResult res = api::transient(ckt, opts);
     EXPECT_TRUE(res.ok) << res.error;
   }
 }
@@ -185,7 +186,7 @@ TEST_F(RescueTest, GminSteppingRescuesInjectedStall) {
   Circuit ckt;
   const int mid = build_divider(ckt);
   fault::arm("newton.stall", 1, 1);  // plain Newton fails; the ladder is clean
-  const OpResult op = operating_point(ckt);
+  const OpResult op = api::operating_point(ckt);
   ASSERT_TRUE(op.converged) << op.failure.to_string();
   EXPECT_TRUE(op.used_gmin_stepping);
   EXPECT_FALSE(op.used_source_stepping);
@@ -201,7 +202,7 @@ TEST_F(RescueTest, SourceSteppingRescuesWhenGminIsDisabled) {
   DcOptions opts;
   opts.allow_gmin_stepping = false;
   fault::arm("newton.stall", 1, 1);
-  const OpResult op = operating_point(ckt, opts);
+  const OpResult op = api::operating_point(ckt, opts);
   ASSERT_TRUE(op.converged) << op.failure.to_string();
   EXPECT_TRUE(op.used_source_stepping);
   EXPECT_FALSE(op.used_gmin_stepping);
@@ -213,7 +214,7 @@ TEST_F(RescueTest, WholeLadderFailingReportsDivergenceWithRescueCount) {
   Circuit ckt;
   build_divider(ckt);
   fault::arm("newton.stall", 1, -1);  // every solve stalls, forever
-  const OpResult op = operating_point(ckt);
+  const OpResult op = api::operating_point(ckt);
   EXPECT_FALSE(op.converged);
   EXPECT_EQ(op.failure.kind, FailureKind::newton_divergence);
   EXPECT_EQ(op.failure.analysis, "dc");
@@ -229,7 +230,7 @@ TEST_F(RescueTest, DisabledLadderFailsWithoutRescueAttempts) {
   opts.allow_gmin_stepping = false;
   opts.allow_source_stepping = false;
   fault::arm("newton.stall", 1, -1);
-  const OpResult op = operating_point(ckt, opts);
+  const OpResult op = api::operating_point(ckt, opts);
   EXPECT_FALSE(op.converged);
   EXPECT_EQ(op.failure.rescue_attempts, 0);
   EXPECT_NE(op.failure.detail.find("plain newton"), std::string::npos);
@@ -245,7 +246,7 @@ TEST_F(RescueTest, PersistentStallDrivesTransientStepUnderflow) {
   fault::arm("newton.stall", 2, -1);
   TranOptions opts;
   opts.tstop = 5e-3;
-  const TranResult res = transient(ckt, opts);
+  const TranResult res = api::transient(ckt, opts);
   EXPECT_FALSE(res.ok);
   EXPECT_EQ(res.failure.kind, FailureKind::step_underflow);
   EXPECT_EQ(res.failure.analysis, "tran");
@@ -261,7 +262,7 @@ TEST_F(RescueTest, InjectedDeadlineExpiryTimesOutWithoutWaiting) {
   opts.tstop = 5e-3;
   opts.newton.timeout_ms = 3.6e6;  // an hour — only the injection can expire it
   fault::arm("deadline.expire", 1, -1);
-  const TranResult res = transient(ckt, opts);
+  const TranResult res = api::transient(ckt, opts);
   EXPECT_FALSE(res.ok);
   EXPECT_EQ(res.failure.kind, FailureKind::timeout);
   EXPECT_EQ(res.failure.analysis, "tran");
@@ -273,7 +274,7 @@ TEST_F(RescueTest, InjectedDenseSingularityReportsSingularMatrix) {
   Circuit ckt;
   build_divider(ckt);  // small n: the dense backend is selected
   fault::arm("dense_lu.singular", 1, -1);
-  const OpResult op = operating_point(ckt);
+  const OpResult op = api::operating_point(ckt);
   EXPECT_FALSE(op.converged);
   EXPECT_FALSE(op.used_sparse);
   EXPECT_EQ(op.failure.kind, FailureKind::singular_matrix);
@@ -295,12 +296,12 @@ TEST_F(RescueTest, InjectedSparseSingularityReportsSingularMatrix) {
   opts.newton.backend = MatrixBackend::sparse;
   {
     // Sanity: this circuit really runs on the sparse path when unarmed.
-    const OpResult probe = operating_point(ckt, opts);
+    const OpResult probe = api::operating_point(ckt, opts);
     ASSERT_TRUE(probe.converged);
     if (!probe.used_sparse) GTEST_SKIP() << "sparse backend unavailable here";
   }
   fault::arm("sparse_lu.singular", 1, -1);
-  const OpResult op = operating_point(ckt, opts);
+  const OpResult op = api::operating_point(ckt, opts);
   EXPECT_FALSE(op.converged);
   EXPECT_EQ(op.failure.kind, FailureKind::singular_matrix);
 }
@@ -317,7 +318,7 @@ TEST_F(RescueTest, InjectedAllocFailureIsIsolatedPerSweepPoint) {
     const int out = build_rc(ckt);
     TranOptions opts;
     opts.tstop = 1e-3;
-    const TranResult res = transient(ckt, opts);
+    const TranResult res = api::transient(ckt, opts);
     SweepOutcome o;
     o.ok = res.ok;
     o.error = res.error;
@@ -357,7 +358,7 @@ END ARCHITECTURE x;
   fault::arm("codegen.compile", 1, -1);
   TranOptions opts;
   opts.tstop = 1e-4;
-  const TranResult res = transient(ckt, opts);
+  const TranResult res = api::transient(ckt, opts);
   ASSERT_TRUE(res.ok) << res.error;                 // the VM fallback carried the run
   EXPECT_FALSE(raw->codegen_active());              // ...and codegen never engaged
   EXPECT_GE(fault::fired("codegen.compile"), 1);    // the site was really reached

@@ -12,6 +12,7 @@
 #include <memory>
 #include <string>
 
+#include "api/api.hpp"
 #include "common/thread_pool.hpp"
 #include "core/netlist_ext.hpp"
 #include "core/transducers.hpp"
@@ -272,14 +273,14 @@ TEST(ParallelSolve, TransientTrajectoryBitIdentical) {
   opts.dc.newton.backend = MatrixBackend::sparse;
 
   auto ckt_serial = transducer_array(40);
-  const TranResult serial = transient(*ckt_serial, opts);
+  const TranResult serial = api::transient(*ckt_serial, opts);
   ASSERT_TRUE(serial.ok) << serial.error;
   EXPECT_TRUE(serial.used_sparse);
 
   opts.newton.solve_threads = 4;
   opts.dc.newton.solve_threads = 4;
   auto ckt_par = transducer_array(40);
-  const TranResult par = transient(*ckt_par, opts);
+  const TranResult par = api::transient(*ckt_par, opts);
   ASSERT_TRUE(par.ok) << par.error;
 
   ASSERT_EQ(serial.time.size(), par.time.size());

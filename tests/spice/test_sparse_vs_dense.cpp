@@ -17,6 +17,7 @@
 #include <functional>
 #include <memory>
 
+#include "api/api.hpp"
 #include "core/transducers.hpp"
 #include "hdl/interpreter.hpp"
 #include "hdl/stdlib.hpp"
@@ -135,9 +136,9 @@ void expect_dc_parity(const CircuitBuilder& build) {
   sparse.newton = tight_newton(MatrixBackend::sparse);
 
   auto ckt_d = build();
-  const DcResult rd = solve_dc(*ckt_d, dense);
+  const DcResult rd = api::solve_dc(*ckt_d, dense);
   auto ckt_s = build();
-  const DcResult rs = solve_dc(*ckt_s, sparse);
+  const DcResult rs = api::solve_dc(*ckt_s, sparse);
 
   ASSERT_TRUE(rd.converged);
   ASSERT_TRUE(rs.converged);
@@ -159,12 +160,12 @@ void expect_tran_parity(const CircuitBuilder& build, double tstop, double dt) {
   opts.dc.newton = tight_newton(MatrixBackend::dense);
 
   auto ckt_d = build();
-  const TranResult rd = transient(*ckt_d, opts);
+  const TranResult rd = api::transient(*ckt_d, opts);
 
   opts.newton.backend = MatrixBackend::sparse;
   opts.dc.newton.backend = MatrixBackend::sparse;
   auto ckt_s = build();
-  const TranResult rs = transient(*ckt_s, opts);
+  const TranResult rs = api::transient(*ckt_s, opts);
 
   ASSERT_TRUE(rd.ok) << rd.error;
   ASSERT_TRUE(rs.ok) << rs.error;
@@ -185,11 +186,11 @@ void expect_ac_parity(const CircuitBuilder& build) {
   opts.dc.newton = tight_newton(MatrixBackend::dense);
 
   auto ckt_d = build();
-  const AcResult rd = ac_sweep(*ckt_d, opts);
+  const AcResult rd = api::ac_sweep(*ckt_d, opts);
 
   opts.dc.newton.backend = MatrixBackend::sparse;
   auto ckt_s = build();
-  const AcResult rs = ac_sweep(*ckt_s, opts);
+  const AcResult rs = api::ac_sweep(*ckt_s, opts);
 
   ASSERT_TRUE(rd.ok) << rd.error;
   ASSERT_TRUE(rs.ok) << rs.error;
@@ -245,7 +246,7 @@ TEST(SparseVsDense, AcSymbolicFactorizationComputedOncePerSweep) {
   opts.points = 30;
   opts.dc.newton = tight_newton(MatrixBackend::sparse);
   auto ckt = rc_ladder(40);
-  const AcResult r = ac_sweep(*ckt, opts);
+  const AcResult r = api::ac_sweep(*ckt, opts);
   ASSERT_TRUE(r.ok) << r.error;
   EXPECT_TRUE(r.used_sparse);
   EXPECT_EQ(r.symbolic_factorizations, 1);
@@ -256,14 +257,14 @@ TEST(SparseVsDense, AutoSelectCrossesOverOnSize) {
   {
     auto small = rlc_tank();
     DcOptions opts;  // default backend = auto_select
-    const DcResult r = solve_dc(*small, opts);
+    const DcResult r = api::solve_dc(*small, opts);
     ASSERT_TRUE(r.converged);
     EXPECT_FALSE(r.used_sparse);
   }
   {
     auto big = rc_ladder(100);
     DcOptions opts;
-    const DcResult r = solve_dc(*big, opts);
+    const DcResult r = api::solve_dc(*big, opts);
     ASSERT_TRUE(r.converged);
     EXPECT_TRUE(r.used_sparse);
   }
@@ -287,7 +288,7 @@ TEST(SparseVsDense, UnknownFootprintFallsBackToDense) {
   ckt->add<OpaqueResistor>("Ropaque", a, b, 2e3);
   DcOptions opts;
   opts.newton = tight_newton(MatrixBackend::sparse);  // forced, but incomplete
-  const DcResult r = solve_dc(*ckt, opts);
+  const DcResult r = api::solve_dc(*ckt, opts);
   ASSERT_TRUE(r.converged);
   EXPECT_FALSE(r.used_sparse);
   EXPECT_EQ(r.symbolic_factorizations, 0);

@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "api/api.hpp"
 #include "spice/analysis.hpp"
 #include "spice/devices_nonlinear.hpp"
 #include "spice/devices_passive.hpp"
@@ -21,7 +22,7 @@ TEST(Thermal, SelfHeatingEquilibriumNoTc) {
   ckt.add<VSource>("V1", e, Circuit::kGround, 5.0);
   ckt.add<JouleHeater>("H1", e, Circuit::kGround, t, 100.0);
   ckt.add<Resistor>("RTH", t, Circuit::kGround, 40.0, Nature::thermal);  // K/W
-  const OpResult op = operating_point(ckt);
+  const OpResult op = api::operating_point(ckt);
   ASSERT_TRUE(op.converged);
   EXPECT_NEAR(op.at(t), 25.0 / 100.0 * 40.0, 1e-6);  // 10 K rise
 }
@@ -34,7 +35,7 @@ TEST(Thermal, PositiveTcReducesPowerAndTemperature) {
     ckt.add<VSource>("V1", e, Circuit::kGround, 10.0);
     ckt.add<JouleHeater>("H1", e, Circuit::kGround, t, 50.0, tc);
     ckt.add<Resistor>("RTH", t, Circuit::kGround, 30.0, Nature::thermal);
-    const OpResult op = operating_point(ckt);
+    const OpResult op = api::operating_point(ckt);
     EXPECT_TRUE(op.converged);
     return op.at(t);
   };
@@ -62,7 +63,7 @@ TEST(Thermal, TransientHeatingTimeConstant) {
   ckt.add<Capacitor>("CTH", t, Circuit::kGround, 2.5e-3, Nature::thermal);  // J/K
   TranOptions opts;
   opts.tstop = 0.5;
-  const TranResult res = transient(ckt, opts);
+  const TranResult res = api::transient(ckt, opts);
   ASSERT_TRUE(res.ok) << res.error;
   const double tau = 40.0 * 2.5e-3;  // 0.1 s
   const double t_final = 10.0;
@@ -94,7 +95,7 @@ TEST(Thermal, EnergyAccounting) {
   auto& vs = ckt.add<VSource>("V1", e, Circuit::kGround, 8.0);
   ckt.add<JouleHeater>("H1", e, Circuit::kGround, t, 64.0);
   ckt.add<Resistor>("RTH", t, Circuit::kGround, 25.0, Nature::thermal);
-  const OpResult op = operating_point(ckt);
+  const OpResult op = api::operating_point(ckt);
   ASSERT_TRUE(op.converged);
   const double p_elec = -8.0 * op.x[static_cast<std::size_t>(vs.branch())];
   const double p_thermal = op.at(t) / 25.0;  // heat through Rth

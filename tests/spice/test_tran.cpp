@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "api/api.hpp"
 #include "common/constants.hpp"
 #include "spice/analysis.hpp"
 #include "spice/devices_controlled.hpp"
@@ -26,7 +27,7 @@ TEST(Tran, RcStepResponse) {
 
   TranOptions opts;
   opts.tstop = 5e-3;
-  const TranResult res = transient(ckt, opts);
+  const TranResult res = api::transient(ckt, opts);
   ASSERT_TRUE(res.ok) << res.error;
   for (double t : {1e-3, 2e-3, 4e-3}) {
     const double expected = 1.0 - std::exp(-t / 1e-3);
@@ -49,7 +50,7 @@ TEST(Tran, RcDischargeFromDcPoint) {
 
   TranOptions opts;
   opts.tstop = 3e-3;
-  const TranResult res = transient(ckt, opts);
+  const TranResult res = api::transient(ckt, opts);
   ASSERT_TRUE(res.ok) << res.error;
   EXPECT_NEAR(res.at(0, out), 2.0, 1e-5);  // DC point
   const double t = 2e-3;
@@ -70,7 +71,7 @@ TEST(Tran, LcOscillationFrequencyAndAmplitude) {
   TranOptions opts;
   opts.tstop = 1e-3;
   opts.dt_max = 2e-6;
-  const TranResult res = transient(ckt, opts);
+  const TranResult res = api::transient(ckt, opts);
   ASSERT_TRUE(res.ok) << res.error;
 
   // Count zero crossings of v(n) to estimate the period.
@@ -109,7 +110,7 @@ TEST(Tran, RlcDampedRingdownEnvelope) {
 
   TranOptions opts;
   opts.tstop = 2e-3;
-  const TranResult res = transient(ckt, opts);
+  const TranResult res = api::transient(ckt, opts);
   ASSERT_TRUE(res.ok) << res.error;
 
   // Peak overshoot of v(out): 1 + exp(-pi zeta / sqrt(1 - zeta^2)).
@@ -137,7 +138,7 @@ TEST(Tran, BackwardEulerMatchesTrapezoidalOnSmoothRc) {
   be.method = IntegMethod::backward_euler;
   be.dt_max = 1e-5;  // BE is order 1: give it small steps
 
-  const TranResult rt = transient(ckt, trap);
+  const TranResult rt = api::transient(ckt, trap);
   ASSERT_TRUE(rt.ok) << rt.error;
   // Rebuild: devices hold no state between runs but circuits do get re-bound;
   // a fresh circuit keeps the comparison clean.
@@ -148,7 +149,7 @@ TEST(Tran, BackwardEulerMatchesTrapezoidalOnSmoothRc) {
                     std::make_unique<SinWave>(0.0, 1.0, 100.0));
   ckt2.add<Resistor>("R1", in2, out2, 1e3);
   ckt2.add<Capacitor>("C1", out2, Circuit::kGround, 1e-7);
-  const TranResult rb = transient(ckt2, be);
+  const TranResult rb = api::transient(ckt2, be);
   ASSERT_TRUE(rb.ok) << rb.error;
 
   for (double t : {2e-3, 5e-3, 8e-3}) {
@@ -164,7 +165,7 @@ TEST(Tran, BreakpointsAreHitExactly) {
   ckt.add<Resistor>("R1", in, Circuit::kGround, 1e3);
   TranOptions opts;
   opts.tstop = 5e-3;
-  const TranResult res = transient(ckt, opts);
+  const TranResult res = api::transient(ckt, opts);
   ASSERT_TRUE(res.ok) << res.error;
   // The time axis must contain the pulse corners exactly.
   for (double corner : {1e-3, 1.1e-3, 3.1e-3, 3.2e-3}) {
@@ -185,7 +186,7 @@ TEST(Tran, StateIntegratorIntegratesVelocity) {
   ckt.add<StateIntegrator>("X1", d, v);
   TranOptions opts;
   opts.tstop = 1.0;
-  const TranResult res = transient(ckt, opts);
+  const TranResult res = api::transient(ckt, opts);
   ASSERT_TRUE(res.ok) << res.error;
   EXPECT_NEAR(res.sample(0.5, d), 1.0, 1e-6);
   EXPECT_NEAR(res.sample(1.0, d), 2.0, 1e-6);
@@ -201,7 +202,7 @@ TEST(Tran, SampleAndSignalOutOfRangeContract) {
   ckt.add<Capacitor>("C1", out, Circuit::kGround, 1e-8);
   TranOptions opts;
   opts.tstop = 1e-4;
-  const TranResult res = transient(ckt, opts);
+  const TranResult res = api::transient(ckt, opts);
   ASSERT_TRUE(res.ok) << res.error;
   ASSERT_GE(res.time.size(), 2u);
 
@@ -244,7 +245,7 @@ TEST(Tran, AdaptiveUsesFewerStepsThanFixed) {
   fixed.tstop = 10e-3;
   fixed.adaptive = false;
   fixed.dt_init = 1e-6;
-  const TranResult rf = transient(ckt, fixed);
+  const TranResult rf = api::transient(ckt, fixed);
   ASSERT_TRUE(rf.ok);
 
   Circuit ckt2;
@@ -256,7 +257,7 @@ TEST(Tran, AdaptiveUsesFewerStepsThanFixed) {
   ckt2.add<Capacitor>("C1", out2, Circuit::kGround, 1e-8);
   TranOptions adaptive;
   adaptive.tstop = 10e-3;
-  const TranResult ra = transient(ckt2, adaptive);
+  const TranResult ra = api::transient(ckt2, adaptive);
   ASSERT_TRUE(ra.ok);
   EXPECT_LT(ra.time.size(), rf.time.size() / 2);
 }

@@ -2,7 +2,10 @@
 //
 //   usim <netlist.cir> [--csv=<path>] [--sweep <name>=<spec>]... [--threads=N]
 //        [--solve-threads=N] [--refactor-threads=N] [--partition=auto|off]
-//        [--hdl-mode=<mode>] [--quiet] [--help]
+//        [--set <DEV.PARAM=value>]... [--hdl-mode=<mode>] [--quiet] [--help]
+//   usim --serve=<socket> [--serve-workers=N] [--serve-queue=N] [--serve-cache=N]
+//   usim --client=<socket> <netlist.cir> [--set ...] [--timeout=<ms>] [--no-cache]
+//   usim --client=<socket> --stats | --ping | --shutdown
 //
 // Reads a SPICE-style netlist (including the transducer X-cards and the
 // ARRAY constructs registered by usys::core — see spice/netlist.hpp:
@@ -13,19 +16,24 @@
 //   .tran  decimated node-effort table (full resolution to --csv)
 //   .ac    decimated |H| dB / phase table (full resolution to --csv)
 // .tran and .ac share one writer path (AsciiTable preview + CSV series);
-// when several analyses write CSV, later files get a .2/.3/... suffix.
+// when several analyses write CSV, later files get a .2/.3/... suffix. CSV
+// files are written to a temp file and renamed into place, so concurrent
+// usim processes targeting the same path never interleave partial output.
+//
+// All execution — single run, sweep points, and the server — dispatches
+// through the usys::api facade (api/api.hpp): one Session per circuit, one
+// JobRequest per submission. usim itself holds no analysis dispatch logic.
 //
 // Batch sweep mode: every --sweep flag adds one grid axis,
 //   --sweep gap=1e-6:2e-6:8      8 evenly spaced values (lo:hi:n)
 //   --sweep vdrive=2,5,10        an explicit value list
 // and every `{name}` occurrence in the netlist text is substituted per grid
 // point (the cartesian product of all axes). Points run in parallel via
-// SweepRunner — one circuit + AnalysisEngine per point, --threads workers
-// (default: hardware concurrency) — and the result table has one row per
-// point: axis values plus summary metrics (op efforts / final transient
-// values / last AC magnitudes per node; min/max/mean aggregates over 16
-// nodes). Example netlist with a sweepable gap:
-// examples/transducer_array.cir.
+// SweepRunner — one api::Session per point, --threads workers (default:
+// hardware concurrency) — and the result table has one row per point: axis
+// values plus summary metrics (op efforts / final transient values / last
+// AC magnitudes per node; min/max/mean aggregates over 16 nodes). Example
+// netlist with a sweepable gap: examples/transducer_array.cir.
 //
 // In single-run mode --threads=N instead selects N-thread parallel MNA
 // assembly (NewtonOptions::assembly_threads), --solve-threads=N the
@@ -41,6 +49,12 @@
 // solver tolerance (not bit-identically: pivoting differs). In sweep mode
 // the grid parallelism wins and each point runs serially.
 //
+// --set DEV.PARAM=value overrides one device parameter against the BOUND
+// circuit (no netlist edit, no re-parse): the facade's delta path. Values
+// use SPICE number syntax; parameters are the lower-case netlist keys
+// (R1.r, C3.c, XK2.k, V1.dc, ...). Repeatable. Also accepted by --client
+// submissions, where a matching cached engine takes the rebind() fast path.
+//
 // --hdl-mode=ast|bytecode|codegen presets the execution mode for HDL
 // behavioral cards (HDLTRANSV & co.): the paper's interpreted tree walk, the
 // bytecode VM (default), or natively compiled models. Equivalent to a
@@ -49,14 +63,14 @@
 // warning) when no host compiler is available.
 //
 // Fault tolerance: --timeout=<ms> puts a wall-clock budget on every
-// analysis (per sweep point in sweep mode); a budgeted run that expires
-// stops at the next solver poll and exits 3 instead of hanging. In sweep
-// mode --retries=N re-runs failed points with escalated Newton limits,
-// --checkpoint=<path> journals each finished point (JSONL, flushed per
-// point), --resume=<path> restores completed points bit-identically and
-// re-runs only unfinished ones, and --shard=k/n runs the k-th of n
-// deterministic grid partitions (shard checkpoint files merge by plain
-// concatenation). See docs/robustness.md for the full contract.
+// analysis (per sweep point in sweep mode; whole job in server mode); a
+// budgeted run that expires stops at the next solver poll and exits 3
+// instead of hanging. In sweep mode --retries=N re-runs failed points with
+// escalated Newton limits, --checkpoint=<path> journals each finished point
+// (JSONL, flushed per point), --resume=<path> restores completed points
+// bit-identically and re-runs only unfinished ones, and --shard=k/n runs
+// the k-th of n deterministic grid partitions (shard checkpoint files merge
+// by plain concatenation). See docs/robustness.md for the full contract.
 //
 // Static diagnostics: --lint runs the two-level analyzer (spice/lint.hpp:
 // circuit structure; hdl/verify.hpp: compiled bytecode) INSTEAD of the
@@ -66,9 +80,18 @@
 // docs/diagnostics.md. With --sweep axes, the first grid point's values are
 // substituted so parameterized netlists ({gap}, {vdrive}) lint as written.
 //
+// Server mode: --serve=<socket> turns usim into a long-lived daemon that
+// accepts jobs as line-delimited JSON over a local Unix socket and keeps a
+// warm-engine cache keyed by netlist content hash, so repeat submissions
+// skip parse/bind/symbolic factorization (docs/server.md has the wire
+// protocol). --client=<socket> submits the given netlist to such a daemon
+// and streams the response frames to stdout; --stats / --ping / --shutdown
+// send the corresponding control requests instead.
+//
 // Exit codes: 0 = all analyses (all sweep points) succeeded;
-//             1 = an analysis failed to converge / a sweep point failed;
-//             2 = usage, file, or netlist errors;
+//             1 = an analysis failed to converge / a sweep point failed /
+//                 the server queue was full (busy);
+//             2 = usage, file, netlist, or request errors;
 //             3 = stopped by the --timeout deadline (or a cancel request).
 // --lint: 0 = no findings at/above the threshold, 1 = findings, 2 = parse
 // errors. (--help prints the same contract and exits 0.)
@@ -84,12 +107,16 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
+#include "api/api.hpp"
 #include "common/log.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "core/netlist_ext.hpp"
 #include "hdl/interpreter.hpp"
-#include "spice/engine.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
 #include "spice/sweep.hpp"
 
 using namespace usys;
@@ -139,7 +166,16 @@ class SeriesSink {
         path = path.substr(0, dot) + suffix + path.substr(dot);
       }
     }
-    if (write_csv(path, headers, rows)) std::cout << "full series -> " << path << "\n";
+    // Write-then-rename: the file at `path` appears atomically, so jobs in
+    // concurrent usim processes aiming at the same path can never interleave
+    // partial CSV output (last writer wins whole-file).
+    const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+    if (write_csv(tmp, headers, rows) && std::rename(tmp.c_str(), path.c_str()) == 0) {
+      std::cout << "full series -> " << path << "\n";
+    } else {
+      std::remove(tmp.c_str());
+      std::cerr << "warning: failed to write CSV '" << path << "'\n";
+    }
   }
 
  private:
@@ -147,15 +183,10 @@ class SeriesSink {
   int csv_uses_ = 0;
 };
 
-// --- single-run analyses -----------------------------------------------------
-
-/// Deadline verdicts get their own exit code (3) so batch drivers can tell
-/// "ran out of budget" from "does not converge" without parsing stderr.
-int exit_code_for(const FailureInfo& failure) {
-  return failure.kind == FailureKind::timeout || failure.kind == FailureKind::cancelled
-             ? 3
-             : 1;
-}
+// --- single-run rendering ----------------------------------------------------
+//
+// Dispatch lives in api::Session::run; these only RENDER one finished
+// analysis each (table preview + failure reporting).
 
 const char* rescue_note(bool used_gmin, bool used_source) {
   if (used_gmin) return ", rescued by gmin stepping";
@@ -163,13 +194,11 @@ const char* rescue_note(bool used_gmin, bool used_source) {
   return "";
 }
 
-int run_op(spice::AnalysisEngine& engine, const spice::DcOptions& dc = {}) {
-  spice::Circuit& ckt = engine.circuit();
-  const auto op = engine.run_op(dc);
+void render_op(spice::Circuit& ckt, const spice::OpResult& op) {
   if (!op.converged) {
     std::cerr << "error: operating point failed [" << to_string(op.failure.kind)
               << "]: " << op.failure.to_string() << "\n";
-    return exit_code_for(op.failure);
+    return;
   }
   std::cout << "\n=== .op ===\n";
   AsciiTable t({"node", "nature", "effort"});
@@ -181,13 +210,11 @@ int run_op(spice::AnalysisEngine& engine, const spice::DcOptions& dc = {}) {
   std::cout << "(" << ckt.branch_count() << " branch unknowns, "
             << op.newton_iterations << " Newton iterations"
             << rescue_note(op.used_gmin_stepping, op.used_source_stepping) << ")\n";
-  return 0;
 }
 
-int run_tran(spice::AnalysisEngine& engine, const spice::TranOptions& opts,
-             SeriesSink& sink) {
-  spice::Circuit& ckt = engine.circuit();
-  const auto res = engine.run_tran(opts);
+void render_tran(const api::AnalysisOutcome& outcome, spice::Circuit& ckt,
+                 double tstop, SeriesSink& sink) {
+  const spice::TranResult& res = outcome.tran;
   if (!res.ok) {
     std::cerr << "error: transient failed [" << to_string(res.failure.kind)
               << "]: " << res.error << "\n";
@@ -196,48 +223,81 @@ int run_tran(spice::AnalysisEngine& engine, const spice::TranOptions& opts,
               << " Newton iters"
               << rescue_note(res.used_gmin_stepping, res.used_source_stepping)
               << ")\n";
-    return exit_code_for(res.failure);
+    return;
   }
-  std::cout << "\n=== .tran to " << opts.tstop << " s (" << res.time.size()
+  std::cout << "\n=== .tran to " << tstop << " s (" << res.time.size()
             << " points, " << res.total_newton_iters << " Newton iters, "
             << res.rejected_steps << " rejected steps"
             << rescue_note(res.used_gmin_stepping, res.used_source_stepping)
             << ") ===\n";
-  std::vector<std::string> headers{"t [s]"};
-  for (int i = 0; i < ckt.node_count(); ++i) headers.push_back(ckt.node_name(i));
-  sink.emit(headers, res.time.size(), [&](std::size_t k) {
-    std::vector<double> row{res.time[k]};
-    for (int i = 0; i < ckt.node_count(); ++i) row.push_back(res.at(k, i));
-    return row;
-  });
-  return 0;
+  const api::SeriesView view = api::series_view(outcome, ckt);
+  sink.emit(view.columns, view.rows, view.row_at);
 }
 
-int run_ac(spice::AnalysisEngine& engine, const spice::AcOptions& opts,
-           SeriesSink& sink) {
-  spice::Circuit& ckt = engine.circuit();
-  const auto res = engine.run_ac(opts);
+void render_ac(const api::AnalysisOutcome& outcome, spice::Circuit& ckt,
+               const spice::AcOptions& opts, SeriesSink& sink) {
+  const spice::AcResult& res = outcome.ac;
   if (!res.ok) {
     std::cerr << "error: ac failed [" << to_string(res.failure.kind)
               << "]: " << res.error << "\n";
-    return exit_code_for(res.failure);
+    return;
   }
   std::cout << "\n=== .ac " << opts.f_start << " .. " << opts.f_stop << " Hz ===\n";
-  std::vector<std::string> headers{"f [Hz]"};
-  for (int i = 0; i < ckt.node_count(); ++i) {
-    headers.push_back(ckt.node_name(i) + " dB");
-    headers.push_back(ckt.node_name(i) + " deg");
-  }
-  sink.emit(headers, res.freq.size(), [&](std::size_t k) {
-    std::vector<double> row{res.freq[k]};
-    for (int i = 0; i < ckt.node_count(); ++i) {
-      row.push_back(res.magnitude_db(k, i));
-      row.push_back(res.phase_deg(k, i));
-    }
-    return row;
-  });
-  return 0;
+  const api::SeriesView view = api::series_view(outcome, ckt);
+  sink.emit(view.columns, view.rows, view.row_at);
 }
+
+int run_single(const std::string& text, const std::string& csv, int assembly_threads,
+               int solve_threads, int refactor_threads, spice::PartitionMode partition,
+               const std::string& hdl_mode, double timeout_ms,
+               const std::vector<std::string>& set_specs) {
+  api::Session session(text, hdl_mode);  // NetlistError -> main -> exit 2
+  if (!session.title().empty()) std::cout << "*" << session.title() << "\n";
+  spice::Circuit& ckt = session.circuit();
+  SeriesSink sink(csv);
+
+  api::JobRequest jr;
+  for (const auto& spec : set_specs) {
+    api::ParamOverride ov;
+    if (!api::parse_override(spec, ov)) {
+      std::cerr << "error: bad --set '" << spec << "' (want DEV.PARAM=value)\n";
+      return 2;
+    }
+    jr.overrides.push_back(std::move(ov));
+  }
+  jr.options.assembly_threads = assembly_threads;
+  jr.options.solve_threads = solve_threads;
+  jr.options.refactor_threads = refactor_threads;
+  jr.options.partition = partition;
+  // The timeout budgets each ANALYSIS CARD, not the whole netlist: the
+  // engine polls one deadline per run_op/run_tran/run_ac call.
+  jr.options.timeout_ms = timeout_ms;
+
+  if (session.cards().empty()) std::cout << "(no analysis cards; running .op)\n";
+
+  const auto& cards = session.cards();
+  const api::JobResult result = session.run(
+      jr, [&](std::size_t index, const api::AnalysisOutcome& outcome) {
+        switch (outcome.kind) {
+          case spice::AnalysisCard::Kind::op:
+            render_op(ckt, outcome.op);
+            break;
+          case spice::AnalysisCard::Kind::tran:
+            render_tran(outcome, ckt, cards[index].tran.tstop, sink);
+            break;
+          case spice::AnalysisCard::Kind::ac:
+            render_ac(outcome, ckt, cards[index].ac, sink);
+            break;
+        }
+      });
+  // Failures inside analyses were already rendered by the callback; what
+  // remains is the pre-analysis path (a rejected --set override).
+  if (!result.ok && result.analyses.empty())
+    std::cerr << "error: " << result.error << "\n";
+  return result.exit_code;
+}
+
+// --- lint mode ---------------------------------------------------------------
 
 /// Parse errors — malformed cards (NetlistError) and circuit-construction
 /// conflicts like duplicate device names (CircuitError) — are netlist
@@ -252,51 +312,6 @@ spice::Netlist parse_netlist(const std::string& text, const std::string& hdl_mod
     throw spice::NetlistError(0, e.what());
   }
 }
-
-int run_single(const std::string& text, const std::string& csv, int assembly_threads,
-               int solve_threads, int refactor_threads, spice::PartitionMode partition,
-               const std::string& hdl_mode, double timeout_ms) {
-  spice::Netlist net = parse_netlist(text, hdl_mode);
-  if (!net.title.empty()) std::cout << "*" << net.title << "\n";
-  spice::AnalysisEngine engine(*net.circuit);
-  SeriesSink sink(csv);
-  // The timeout budgets each ANALYSIS CARD, not the whole netlist: the
-  // engine polls one deadline per run_op/run_tran/run_ac call.
-  const auto apply_opts = [&](spice::NewtonOptions& newton) {
-    newton.assembly_threads = assembly_threads;
-    newton.solve_threads = solve_threads;
-    newton.refactor_threads = refactor_threads;
-    newton.partition = partition;
-    newton.timeout_ms = timeout_ms;
-  };
-  spice::DcOptions dc;
-  apply_opts(dc.newton);
-  if (net.analyses.empty()) {
-    std::cout << "(no analysis cards; running .op)\n";
-    return run_op(engine, dc);
-  }
-  for (auto card : net.analyses) {
-    int rc = 0;
-    switch (card.kind) {
-      case spice::AnalysisCard::Kind::op:
-        rc = run_op(engine, dc);
-        break;
-      case spice::AnalysisCard::Kind::tran:
-        apply_opts(card.tran.newton);
-        apply_opts(card.tran.dc.newton);
-        rc = run_tran(engine, card.tran, sink);
-        break;
-      case spice::AnalysisCard::Kind::ac:
-        apply_opts(card.ac.dc.newton);
-        rc = run_ac(engine, card.ac, sink);
-        break;
-    }
-    if (rc != 0) return rc;
-  }
-  return 0;
-}
-
-// --- lint mode ---------------------------------------------------------------
 
 /// `usim --lint`: parse, bind, run the full static analyzer, print findings,
 /// and report via the exit code. Analyses never run. `warn_threshold` makes
@@ -402,68 +417,48 @@ void node_metrics(spice::SweepOutcome& out, const spice::Circuit& ckt,
   out.metrics.emplace_back(prefix + ":mean", sum / ckt.node_count());
 }
 
-/// Runs all analysis cards of one substituted netlist and distills scalar
-/// metrics (per-node op efforts / final transient values / last-point AC
-/// magnitudes; aggregated on array-scale circuits). `attempt` > 0 is a
-/// retry of a failed point: Newton iteration limits double per attempt (the
-/// rescue ladder itself is already on by default) so a marginal point gets
-/// a genuinely stronger solve, not just a replay.
+/// Runs all analysis cards of one substituted netlist through the facade and
+/// distills scalar metrics (per-node op efforts / final transient values /
+/// last-point AC magnitudes; aggregated on array-scale circuits).
+/// `attempt` > 0 is a retry of a failed point: Newton iteration limits
+/// double per attempt (the rescue ladder itself is already on by default)
+/// so a marginal point gets a genuinely stronger solve, not just a replay.
 spice::SweepOutcome sweep_job(const std::string& text, const spice::SweepPoint& point,
                               int assembly_threads, const std::string& hdl_mode,
                               double timeout_ms, int attempt) {
   spice::SweepOutcome out;
-  spice::Netlist net = parse_netlist(substitute(text, point), hdl_mode);
-  spice::Circuit& ckt = *net.circuit;
-  spice::AnalysisEngine engine(ckt);
-  const int iter_scale = 1 << std::min(attempt, 4);
-  const auto apply_opts = [&](spice::NewtonOptions& newton) {
-    newton.assembly_threads = assembly_threads;
-    newton.timeout_ms = timeout_ms;
-    newton.max_iters *= iter_scale;
-  };
-  if (net.analyses.empty()) {
-    net.analyses.push_back({});  // default .op, as in single-run mode
+  api::Session session(substitute(text, point), hdl_mode);
+  api::JobRequest jr;
+  jr.options.assembly_threads = assembly_threads;
+  jr.options.timeout_ms = timeout_ms;
+  jr.options.max_iters_scale = 1 << std::min(attempt, 4);
+  const api::JobResult result = session.run(jr);
+  if (!result.ok) {
+    out.failure = result.failure;
+    out.error = result.error.empty() ? "analysis failed" : result.error;
+    return out;
   }
-  for (std::size_t a = 0; a < net.analyses.size(); ++a) {
-    auto card = net.analyses[a];
-    switch (card.kind) {
-      case spice::AnalysisCard::Kind::op: {
-        spice::DcOptions dc;
-        apply_opts(dc.newton);
-        const auto op = engine.run_op(dc);
-        if (!op.converged) {
-          out.failure = op.failure;
-          out.error = op.failure.to_string();
-          return out;
-        }
-        node_metrics(out, ckt, "op", [&](int i) { return op.at(i); });
+  spice::Circuit& ckt = session.circuit();
+  std::vector<spice::AnalysisCard> cards = session.cards();
+  if (cards.empty()) cards.push_back({});  // the facade's default .op
+  for (std::size_t a = 0; a < result.analyses.size(); ++a) {
+    const api::AnalysisOutcome& oc = result.analyses[a];
+    switch (oc.kind) {
+      case spice::AnalysisCard::Kind::op:
+        node_metrics(out, ckt, "op", [&](int i) { return oc.op.at(i); });
         break;
-      }
       case spice::AnalysisCard::Kind::tran: {
-        apply_opts(card.tran.newton);
-        card.tran.dc.newton.assembly_threads = assembly_threads;
-        const auto res = engine.run_tran(card.tran);
-        if (!res.ok) {
-          out.failure = res.failure;
-          out.error = res.error.empty() ? "transient failed" : res.error;
-          return out;
-        }
+        const double tstop = cards[a].tran.tstop;
         node_metrics(out, ckt, "tran(tstop)",
-                     [&](int i) { return res.sample(card.tran.tstop, i); });
-        out.metrics.emplace_back("tran:points", static_cast<double>(res.time.size()));
+                     [&](int i) { return oc.tran.sample(tstop, i); });
+        out.metrics.emplace_back("tran:points",
+                                 static_cast<double>(oc.tran.time.size()));
         break;
       }
       case spice::AnalysisCard::Kind::ac: {
-        apply_opts(card.ac.dc.newton);
-        const auto res = engine.run_ac(card.ac);
-        if (!res.ok) {
-          out.failure = res.failure;
-          out.error = res.error.empty() ? "ac failed" : res.error;
-          return out;
-        }
-        const std::size_t last = res.freq.size() - 1;
+        const std::size_t last = oc.ac.freq.size() - 1;
         node_metrics(out, ckt, "ac dB(fstop)",
-                     [&](int i) { return res.magnitude_db(last, i); });
+                     [&](int i) { return oc.ac.magnitude_db(last, i); });
         break;
       }
     }
@@ -591,11 +586,16 @@ int run_sweep(const std::string& text, const std::vector<spice::SweepAxis>& axes
 
 void print_usage(std::ostream& os) {
   os << "usage: usim <netlist.cir> [--csv=<path>] "
-        "[--sweep <name>=<lo:hi:n | v1,v2,...>]... [--threads=N] "
-        "[--solve-threads=N] [--refactor-threads=N] [--partition=auto|off] "
-        "[--hdl-mode=<mode>] [--timeout=<ms>] [--retries=N] "
-        "[--checkpoint=<path>] [--resume=<path>] [--shard=k/n] "
+        "[--sweep <name>=<lo:hi:n | v1,v2,...>]... [--set <DEV.PARAM=value>]... "
+        "[--threads=N] [--solve-threads=N] [--refactor-threads=N] "
+        "[--partition=auto|off] [--hdl-mode=<mode>] [--timeout=<ms>] "
+        "[--retries=N] [--checkpoint=<path>] [--resume=<path>] [--shard=k/n] "
         "[--lint[=error|warn]] [--lint-format=text|json] [--quiet]\n"
+        "       usim --serve=<socket> [--serve-workers=N] [--serve-queue=N] "
+        "[--serve-cache=N]\n"
+        "       usim --client=<socket> <netlist.cir> [--set ...] [--timeout=<ms>] "
+        "[--no-cache]\n"
+        "       usim --client=<socket> --stats | --ping | --shutdown\n"
         "\n"
         "  --lint[=error|warn] run the static diagnostics pass instead of the\n"
         "                      analysis cards: circuit structure (floating nodes,\n"
@@ -607,9 +607,15 @@ void print_usage(std::ostream& os) {
         "                      first grid point is substituted for {name} markers\n"
         "  --lint-format=F     lint output format: text (default) or json (schema\n"
         "                      in docs/diagnostics.md)\n"
-        "  --csv=<path>        write full .tran/.ac series (or the sweep table) as CSV\n"
+        "  --csv=<path>        write full .tran/.ac series (or the sweep table) as\n"
+        "                      CSV; written via temp file + rename, so concurrent\n"
+        "                      jobs targeting one path never interleave output\n"
         "  --sweep name=spec   add one grid axis (lo:hi:n or v1,v2,...); every {name}\n"
         "                      in the netlist is substituted per point\n"
+        "  --set DEV.PARAM=V   override one device parameter on the bound circuit\n"
+        "                      (no re-parse; lower-case netlist keys: R1.r, C3.c,\n"
+        "                      XK2.k, V1.dc, ...). Repeatable; SPICE number syntax.\n"
+        "                      Works in single-run and --client modes\n"
         "  --threads=N         sweep mode: N parallel grid workers (0 = auto);\n"
         "                      single-run mode: N-thread parallel MNA assembly\n"
         "  --solve-threads=N   single-run mode: N-thread level-scheduled triangular\n"
@@ -633,9 +639,10 @@ void print_usage(std::ostream& os) {
         "                      no host compiler is available). Same as a leading\n"
         "                      '.options hdl=<mode>'; per-card 'mode=' overrides\n"
         "  --timeout=<ms>      wall-clock budget per analysis card (per sweep point\n"
-        "                      in sweep mode); an expired run stops at the next\n"
-        "                      solver poll and reports a timeout failure (exit 3 in\n"
-        "                      single-run mode). 0 = unlimited (default)\n"
+        "                      in sweep mode; whole job in --client mode); an\n"
+        "                      expired run stops at the next solver poll and reports\n"
+        "                      a timeout failure (exit 3 in single-run mode).\n"
+        "                      0 = unlimited (default)\n"
         "  --retries=N         sweep mode: re-run a failed point up to N extra times\n"
         "                      with doubled Newton iteration limits per attempt\n"
         "  --checkpoint=<path> sweep mode: journal each finished point to a JSONL\n"
@@ -648,13 +655,42 @@ void print_usage(std::ostream& os) {
         "                      partitions (k is 1-based; point i belongs to shard\n"
         "                      (i mod n)+1). Shard checkpoint files merge by plain\n"
         "                      concatenation\n"
+        "  --serve=<socket>    run as a long-lived daemon on a Unix socket: jobs\n"
+        "                      arrive as line-delimited JSON (docs/server.md) and\n"
+        "                      repeat submissions of the same netlist hit a warm\n"
+        "                      engine cache (skip parse/bind/symbolic). Blocks until\n"
+        "                      a shutdown request\n"
+        "  --serve-workers=N   server mode: worker threads executing jobs (default 2)\n"
+        "  --serve-queue=N     server mode: queued-job capacity before submissions\n"
+        "                      are rejected with a busy frame (default 16)\n"
+        "  --serve-cache=N     server mode: warm engine cache capacity; up to 2xN\n"
+        "                      sessions are kept in a cooled state (default 8)\n"
+        "  --client=<socket>   submit the netlist to a --serve daemon and stream the\n"
+        "                      response frames (line-delimited JSON) to stdout; the\n"
+        "                      exit code comes from the done frame\n"
+        "  --stats             with --client: request the server's /stats snapshot\n"
+        "                      (jobs/s, cache hit rates, queue depth, p50/p99)\n"
+        "  --ping              with --client: liveness probe (pong)\n"
+        "  --shutdown          with --client: ask the daemon to exit cleanly\n"
+        "  --no-cache          with --client: bypass the server's result cache\n"
+        "                      (benchmarking; the engine cache still applies)\n"
         "  --quiet             suppress info/warn chatter (keeps errors)\n"
         "  --help              print this and exit 0\n"
         "\n"
         "exit codes: 0 = all analyses (all sweep points) succeeded\n"
-        "            1 = an analysis failed to converge / a sweep point failed\n"
-        "            2 = usage, file, or netlist errors\n"
+        "            1 = an analysis failed to converge / a sweep point failed /\n"
+        "                the server queue was full (busy)\n"
+        "            2 = usage, file, netlist, or request errors\n"
         "            3 = stopped by the --timeout deadline (or a cancel request)\n";
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream file(path);
+  if (!file) return false;
+  std::stringstream buf;
+  buf << file.rdbuf();
+  out = buf.str();
+  return true;
 }
 
 }  // namespace
@@ -670,9 +706,11 @@ int main(int argc, char** argv) {
     print_usage(std::cerr);
     return 2;
   }
+  std::string netlist_path;
   std::string csv;
   std::string hdl_mode;  // flag absent: the netlist (or bytecode) decides
   std::vector<spice::SweepAxis> axes;
+  std::vector<std::string> set_specs;
   int threads = -1;           // flag absent: sweep mode = auto, assembly = serial
   int solve_threads = -1;     // flag absent: serial triangular solves
   int refactor_threads = -1;  // flag absent: serial numeric refactorization
@@ -683,8 +721,20 @@ int main(int argc, char** argv) {
   bool lint_warn = false;   // --lint=warn: warnings fail too
   bool lint_json = false;   // --lint-format=json
   spice::SweepOptions sweep_opts;
-  for (int i = 2; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--csv=", 6) == 0) {
+  server::ServerOptions serve_opts;
+  std::string client_path;
+  server::Request::Op client_op = server::Request::Op::run;
+  bool client_control = false;  // --stats / --ping / --shutdown given
+  bool no_cache = false;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] != '-') {
+      if (!netlist_path.empty()) {
+        std::cerr << "error: more than one netlist ('" << netlist_path << "', '"
+                  << argv[i] << "')\n";
+        return 2;
+      }
+      netlist_path = argv[i];
+    } else if (std::strncmp(argv[i], "--csv=", 6) == 0) {
       csv = argv[i] + 6;
     } else if (std::strcmp(argv[i], "--sweep") == 0 && i + 1 < argc) {
       const std::string arg = argv[++i];
@@ -712,6 +762,10 @@ int main(int argc, char** argv) {
         return 2;
       }
       axes.push_back(std::move(axis));
+    } else if (std::strcmp(argv[i], "--set") == 0 && i + 1 < argc) {
+      set_specs.emplace_back(argv[++i]);
+    } else if (std::strncmp(argv[i], "--set=", 6) == 0) {
+      set_specs.emplace_back(argv[i] + 6);
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       threads = std::atoi(argv[i] + 10);
       if (threads < 0) {
@@ -793,6 +847,47 @@ int main(int argc, char** argv) {
         return 2;
       }
       lint_mode = true;
+    } else if (std::strncmp(argv[i], "--serve=", 8) == 0) {
+      serve_opts.socket_path = argv[i] + 8;
+      if (serve_opts.socket_path.empty()) {
+        std::cerr << "error: --serve needs a socket path\n";
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--serve-workers=", 16) == 0) {
+      serve_opts.workers = std::atoi(argv[i] + 16);
+      if (serve_opts.workers < 1) {
+        std::cerr << "error: --serve-workers must be >= 1\n";
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--serve-queue=", 14) == 0) {
+      serve_opts.queue_capacity = std::atoi(argv[i] + 14);
+      if (serve_opts.queue_capacity < 1) {
+        std::cerr << "error: --serve-queue must be >= 1\n";
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--serve-cache=", 14) == 0) {
+      serve_opts.engine_cache_capacity = std::atoi(argv[i] + 14);
+      if (serve_opts.engine_cache_capacity < 1) {
+        std::cerr << "error: --serve-cache must be >= 1\n";
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--client=", 9) == 0) {
+      client_path = argv[i] + 9;
+      if (client_path.empty()) {
+        std::cerr << "error: --client needs a socket path\n";
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      client_op = server::Request::Op::stats;
+      client_control = true;
+    } else if (std::strcmp(argv[i], "--ping") == 0) {
+      client_op = server::Request::Op::ping;
+      client_control = true;
+    } else if (std::strcmp(argv[i], "--shutdown") == 0) {
+      client_op = server::Request::Op::shutdown;
+      client_control = true;
+    } else if (std::strcmp(argv[i], "--no-cache") == 0) {
+      no_cache = true;
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       // Long-documented flag: suppress info/warn chatter (keeps errors).
       set_log_level(LogLevel::error);
@@ -802,17 +897,56 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::ifstream file(argv[1]);
-  if (!file) {
-    std::cerr << "error: cannot open '" << argv[1] << "'\n";
+  // --- server mode -----------------------------------------------------------
+  if (!serve_opts.socket_path.empty()) {
+    if (!client_path.empty()) {
+      std::cerr << "error: --serve and --client are mutually exclusive\n";
+      return 2;
+    }
+    return server::serve_blocking(serve_opts);
+  }
+
+  // --- client mode -----------------------------------------------------------
+  if (!client_path.empty()) {
+    server::Request req;
+    req.op = client_op;
+    if (!client_control) {
+      if (netlist_path.empty()) {
+        std::cerr << "error: --client needs a netlist (or --stats/--ping/--shutdown)\n";
+        return 2;
+      }
+      if (!read_file(netlist_path, req.netlist)) {
+        std::cerr << "error: cannot open '" << netlist_path << "'\n";
+        return 2;
+      }
+      req.hdl_mode = hdl_mode;
+      req.set_specs = set_specs;
+      req.timeout_ms = timeout_ms;
+      req.threads = threads < 0 ? 1 : threads;
+      req.partition = partition == spice::PartitionMode::auto_mode;
+      req.no_cache = no_cache;
+    }
+    return server::run_client(client_path, req, std::cout, std::cerr);
+  }
+  if (client_control || no_cache) {
+    std::cerr << "error: --stats/--ping/--shutdown/--no-cache need --client=<socket>\n";
     return 2;
   }
-  std::stringstream buf;
-  buf << file.rdbuf();
+
+  // --- local modes -----------------------------------------------------------
+  if (netlist_path.empty()) {
+    print_usage(std::cerr);
+    return 2;
+  }
+  std::string text;
+  if (!read_file(netlist_path, text)) {
+    std::cerr << "error: cannot open '" << netlist_path << "'\n";
+    return 2;
+  }
 
   try {
     if (lint_mode) {
-      std::string ltext = buf.str();
+      std::string ltext = text;
       if (!axes.empty()) {
         // Parameterized netlists lint at the first grid point.
         const auto grid = spice::sweep_grid(axes);
@@ -827,21 +961,24 @@ int main(int argc, char** argv) {
         std::cerr << "note: --solve-threads/--refactor-threads/--partition are "
                      "ignored in sweep mode (grid parallelism wins; each point "
                      "solves serially and monolithically)\n";
+      if (!set_specs.empty())
+        std::cerr << "note: --set applies to single-run and --client modes only "
+                     "(use a --sweep axis with one value instead)\n";
       // --resume keeps journaling to the same file, so an interrupted resume
       // can itself be resumed; an explicit --checkpoint overrides.
       if (!sweep_opts.resume_path.empty() && sweep_opts.checkpoint_path.empty())
         sweep_opts.checkpoint_path = sweep_opts.resume_path;
-      return run_sweep(buf.str(), axes, threads < 0 ? 0 : threads, csv, hdl_mode,
+      return run_sweep(text, axes, threads < 0 ? 0 : threads, csv, hdl_mode,
                        timeout_ms, sweep_opts);
     }
     if (sweep_opts.retries > 0 || !sweep_opts.checkpoint_path.empty() ||
         !sweep_opts.resume_path.empty() || sweep_opts.shard_count > 0)
       std::cerr << "note: --retries/--checkpoint/--resume/--shard apply to "
                    "sweep mode only (no --sweep axis given)\n";
-    return run_single(buf.str(), csv, threads < 0 ? 1 : threads,
+    return run_single(text, csv, threads < 0 ? 1 : threads,
                       solve_threads < 0 ? 1 : solve_threads,
                       refactor_threads < 0 ? 1 : refactor_threads, partition,
-                      hdl_mode, timeout_ms);
+                      hdl_mode, timeout_ms, set_specs);
   } catch (const spice::NetlistError& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
