@@ -1,0 +1,190 @@
+// Monte Carlo sweep engine throughput (docs/sweeps.md): the counter-based
+// RNG draw rate, statistical grid construction, stats accumulation +
+// serialization, and the end-to-end MC operating-point sweep through the
+// same api::run_sweep_point path the CLI and the server dispatch.
+//
+// The per-layer benches bound where a million-point tolerance study spends
+// its time: draws and grid construction must be noise (tens of ns/point)
+// next to the per-point circuit solve (~ms), and the stats distillation
+// must stay linear in points. The exit summary prints points/s for the
+// end-to-end sweep at 1 and 4 threads — the fleet-sizing number.
+//
+// CI smoke mode: --benchmark_min_time=0.02s --benchmark_format=json
+//                --benchmark_out=BENCH_sweep_mc.json
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/api.hpp"
+#include "common/rng.hpp"
+#include "spice/stats.hpp"
+#include "spice/sweep.hpp"
+
+using namespace usys;
+
+namespace {
+
+/// The tolerance-analysis divider from docs/sweeps.md: two drawn
+/// parameters, one .op, cheap enough that the sweep fabric overhead is
+/// visible next to the solve.
+const char kMcNetlist[] =
+    "* mc divider\n"
+    "V1 in 0 {vd}\n"
+    "R1 in out {r}\n"
+    "R2 out 0 1000\n"
+    ".op\n"
+    ".end\n";
+
+std::vector<spice::ParamDist> mc_dists() {
+  return {*spice::parse_dist_spec("r", "normal(1k,50)"),
+          *spice::parse_dist_spec("vd", "uniform(4.5,5.5)")};
+}
+
+std::vector<spice::SweepPoint> mc_points(int n) {
+  return spice::mc_grid({}, mc_dists(), {42, n});
+}
+
+/// One normal draw per iteration — the per-(point,param) cost of the
+/// stateless RNG, inverse-CDF transform included.
+void BM_RngNormalDraw(benchmark::State& state) {
+  const std::uint64_t key = rng_hash_name("r");
+  std::uint64_t counter = 0;
+  double acc = 0.0;
+  for (auto _ : state) {
+    acc += rng_normal(42, counter++, key, 1000.0, 50.0);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_RngNormalDraw)->Unit(benchmark::kNanosecond);
+
+/// Building the composed statistical grid (draws included) for N points.
+void BM_McGridBuild(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto grid = mc_points(n);
+    benchmark::DoNotOptimize(grid.data());
+  }
+  state.counters["points/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * n, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_McGridBuild)->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
+/// Distilling N synthetic outcomes into the stats JSONL document:
+/// accumulation, sorted-exact quantiles, yield, %.17g serialization.
+void BM_StatsDistill(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto grid = mc_points(n);
+  std::vector<spice::SweepOutcome> outcomes(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    outcomes[i].ok = true;
+    outcomes[i].metrics = {
+        {"op:out", grid[i].value("vd") * 1000.0 /
+                       (grid[i].value("r") + 1000.0)}};
+  }
+  spice::MeasureSpec m;
+  m.label = "vout";
+  m.metric = "op:out";
+  m.lo = 2.2;
+  m.has_lo = true;
+  m.hi = 2.8;
+  m.has_hi = true;
+  for (auto _ : state) {
+    spice::StatsRun run;  // default seed_text: GCC 12 -Wmaybe-uninitialized
+                          // false-fires on assigning a literal here (-Werror CI)
+    run.total_points = n;
+    run.mc = n;
+    run.measures = {m};
+    for (std::size_t i = 0; i < grid.size(); ++i)
+      run.add_outcome(static_cast<long>(i), grid[i], outcomes[i]);
+    const std::string doc = run.to_jsonl();
+    benchmark::DoNotOptimize(doc.data());
+  }
+  state.counters["points/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * n, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_StatsDistill)->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
+/// One MC point end to end: substitute drawn params, parse, bind, solve
+/// .op, distill metrics — the unit of work a sweep fans out.
+void BM_McSweepPoint(benchmark::State& state) {
+  const auto grid = mc_points(64);
+  std::size_t i = 0;
+  api::JobOptions opts;
+  for (auto _ : state) {
+    const auto out =
+        api::run_sweep_point(kMcNetlist, grid[i++ % grid.size()], "bytecode",
+                             opts, /*attempt=*/0);
+    if (!out.ok) state.SkipWithError("sweep point failed");
+    benchmark::DoNotOptimize(out.metrics.data());
+  }
+}
+BENCHMARK(BM_McSweepPoint)->Unit(benchmark::kMicrosecond);
+
+/// The full batch through SweepRunner: 256 MC points at 1 / 4 workers.
+void BM_McSweepBatch(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const auto grid = mc_points(256);
+  spice::SweepRunner runner(threads);
+  api::JobOptions opts;
+  int failures = 0;
+  for (auto _ : state) {
+    const auto results =
+        runner.run(grid, [&](const spice::SweepPoint& p) {
+          return api::run_sweep_point(kMcNetlist, p, "bytecode", opts, 0);
+        });
+    for (const auto& r : results) failures += r.ok ? 0 : 1;
+  }
+  if (failures > 0) state.SkipWithError("sweep points failed");
+  state.counters["points/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(grid.size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_McSweepBatch)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+/// Direct wall-clock summary (independent of google-benchmark's repetition
+/// policy): MC points/s at 1 vs 4 workers — the number that sizes a fleet.
+void print_summary() {
+  using clock = std::chrono::steady_clock;
+  const auto grid = mc_points(256);
+  api::JobOptions opts;
+  std::printf("\n=== MC sweep throughput (256-point .op batch) ===\n");
+  std::printf("(hardware concurrency: %u)\n", std::thread::hardware_concurrency());
+  std::printf("%8s %14s %12s\n", "threads", "batch [ms]", "points/s");
+  double serial_ms = 0.0;
+  for (int threads : {1, 4}) {
+    spice::SweepRunner runner(threads);
+    auto run_once = [&] {
+      const auto results =
+          runner.run(grid, [&](const spice::SweepPoint& p) {
+            return api::run_sweep_point(kMcNetlist, p, "bytecode", opts, 0);
+          });
+      benchmark::DoNotOptimize(results.data());
+    };
+    run_once();  // warm-up
+    const auto t0 = clock::now();
+    run_once();
+    const double ms =
+        std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+    if (threads == 1) serial_ms = ms;
+    std::printf("%8d %14.2f %12.0f\n", threads, ms,
+                1000.0 * static_cast<double>(grid.size()) / ms);
+  }
+  std::printf("\ndraws and grid construction are O(10ns-100ns)/point; the\n"
+              "per-point parse+bind+solve dominates, so MC batches scale\n"
+              "with workers (speedup needs physical cores; serial %0.2f ms).\n",
+              serial_ms);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_summary();
+  return 0;
+}

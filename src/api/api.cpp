@@ -1,5 +1,6 @@
 #include "api/api.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <utility>
@@ -300,6 +301,98 @@ JobResult Session::run(const JobRequest& request, const AnalysisCallback& on_ana
   restore();
   ++impl_->jobs;
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// Sweep-point dispatch (shared by usim --sweep and the server's sweep op)
+// ---------------------------------------------------------------------------
+
+std::string substitute_params(std::string text, const spice::SweepPoint& point) {
+  for (const auto& [name, value] : point.params) {
+    const std::string key = "{" + name + "}";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    const std::size_t len = std::char_traits<char>::length(buf);
+    for (std::size_t p = text.find(key); p != std::string::npos;
+         p = text.find(key, p)) {
+      text.replace(p, key.size(), buf);
+      p += len;
+    }
+  }
+  return text;
+}
+
+namespace {
+
+/// Per-node metrics stay readable on small circuits; array-scale circuits
+/// (over 16 nodes — think TRANSARRAY) get min/max/mean aggregates instead.
+void node_metrics(spice::SweepOutcome& out, const spice::Circuit& ckt,
+                  const std::string& prefix,
+                  const std::function<double(int)>& value_of) {
+  constexpr int kMaxPerNodeColumns = 16;
+  if (ckt.node_count() <= kMaxPerNodeColumns) {
+    for (int i = 0; i < ckt.node_count(); ++i)
+      out.metrics.emplace_back(prefix + ":" + ckt.node_name(i), value_of(i));
+    return;
+  }
+  double lo = value_of(0);
+  double hi = lo;
+  double sum = 0.0;
+  for (int i = 0; i < ckt.node_count(); ++i) {
+    const double v = value_of(i);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    sum += v;
+  }
+  out.metrics.emplace_back(prefix + ":min", lo);
+  out.metrics.emplace_back(prefix + ":max", hi);
+  out.metrics.emplace_back(prefix + ":mean", sum / ckt.node_count());
+}
+
+}  // namespace
+
+spice::SweepOutcome run_sweep_point(const std::string& text,
+                                    const spice::SweepPoint& point,
+                                    const std::string& hdl_mode,
+                                    const JobOptions& options, int attempt) {
+  spice::SweepOutcome out;
+  Session session(substitute_params(text, point), hdl_mode);
+  JobRequest jr;
+  jr.options = options;
+  jr.options.max_iters_scale = 1 << std::min(attempt, 4);
+  const JobResult result = session.run(jr);
+  if (!result.ok) {
+    out.failure = result.failure;
+    out.error = result.error.empty() ? "analysis failed" : result.error;
+    return out;
+  }
+  spice::Circuit& ckt = session.circuit();
+  std::vector<spice::AnalysisCard> cards = session.cards();
+  if (cards.empty()) cards.push_back({});  // the facade's default .op
+  for (std::size_t a = 0; a < result.analyses.size(); ++a) {
+    const AnalysisOutcome& oc = result.analyses[a];
+    switch (oc.kind) {
+      case spice::AnalysisCard::Kind::op:
+        node_metrics(out, ckt, "op", [&](int i) { return oc.op.at(i); });
+        break;
+      case spice::AnalysisCard::Kind::tran: {
+        const double tstop = cards[a].tran.tstop;
+        node_metrics(out, ckt, "tran(tstop)",
+                     [&](int i) { return oc.tran.sample(tstop, i); });
+        out.metrics.emplace_back("tran:points",
+                                 static_cast<double>(oc.tran.time.size()));
+        break;
+      }
+      case spice::AnalysisCard::Kind::ac: {
+        const std::size_t last = oc.ac.freq.size() - 1;
+        node_metrics(out, ckt, "ac dB(fstop)",
+                     [&](int i) { return oc.ac.magnitude_db(last, i); });
+        break;
+      }
+    }
+  }
+  out.ok = true;
+  return out;
 }
 
 // ---------------------------------------------------------------------------

@@ -30,6 +30,7 @@
 
 #include "spice/engine.hpp"
 #include "spice/netlist.hpp"
+#include "spice/sweep.hpp"
 
 namespace usys::api {
 
@@ -173,6 +174,26 @@ class Session {
   struct Impl;
   std::unique_ptr<Impl> impl_;
 };
+
+/// Substitutes every `{name}` placeholder in `text` with the point's value
+/// for `name`, printed %.17g so the substituted netlist round-trips the
+/// exact double. The text half of the sweep-point contract: the same point
+/// always produces the same netlist bytes.
+std::string substitute_params(std::string text, const spice::SweepPoint& point);
+
+/// The per-point sweep job shared by `usim --sweep` and the server's sweep
+/// op: substitutes `point` into `text`, runs the netlist's analysis cards
+/// through a fresh Session, and distills scalar metrics (per-node op
+/// efforts / final transient values / last-point AC magnitudes; min/max/mean
+/// aggregates above 16 nodes). `attempt` > 0 is a retry of a failed point —
+/// Newton iteration limits double per attempt so a marginal point gets a
+/// genuinely stronger solve, not a replay. Exceptions propagate; run this
+/// under SweepRunner, whose isolation boundary converts them to per-point
+/// failures.
+spice::SweepOutcome run_sweep_point(const std::string& text,
+                                    const spice::SweepPoint& point,
+                                    const std::string& hdl_mode,
+                                    const JobOptions& options, int attempt);
 
 // Facade equivalents of the deprecated spice:: free functions — each runs
 // on a fresh engine, exactly like the originals, so results are identical.

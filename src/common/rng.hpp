@@ -1,0 +1,57 @@
+// Counter-based deterministic RNG for Monte Carlo parameter draws.
+//
+// Every draw is a pure function of (seed, counter, key): there is no
+// generator state to advance, so the value drawn for sweep point i and
+// parameter p is the same no matter which thread, shard, or resumed
+// process computes it — the determinism guarantees of the statistical
+// sweep engine (docs/sweeps.md) reduce to this file being stateless.
+//
+//   seed    — the user-visible `--seed` value (whole-run entropy),
+//   counter — the global sweep point index,
+//   key     — a hash of the parameter name (stream separation).
+//
+// The mixer is a SplitMix64-style avalanche chain (Steele et al.,
+// "Fast splittable pseudorandom number generators"): each input word is
+// absorbed and fully avalanched before the next, so sequential counters
+// within one (seed, key) stream are injective and adjacent streams are
+// decorrelated. Statistical quality is ample for tolerance analysis;
+// it is not a cryptographic generator.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace usys {
+
+/// Finalizing avalanche (bijective on uint64).
+std::uint64_t rng_mix64(std::uint64_t x) noexcept;
+
+/// FNV-1a hash of a parameter name, used as the per-parameter stream key.
+/// Case-sensitive: sweep parameter names are case-sensitive placeholders.
+std::uint64_t rng_hash_name(std::string_view name) noexcept;
+
+/// The core draw: uniform 64-bit value for (seed, counter, key).
+std::uint64_t rng_draw_u64(std::uint64_t seed, std::uint64_t counter,
+                           std::uint64_t key) noexcept;
+
+/// Uniform double in [0, 1) with 53 random bits.
+double rng_uniform01(std::uint64_t seed, std::uint64_t counter,
+                     std::uint64_t key) noexcept;
+
+/// Uniform double in [lo, hi).
+double rng_uniform(std::uint64_t seed, std::uint64_t counter, std::uint64_t key,
+                   double lo, double hi) noexcept;
+
+/// Normal draw N(mu, sigma^2) via the inverse CDF of a single uniform,
+/// so exactly one counter value is consumed per draw (stateless — no
+/// Box-Muller pair caching).
+double rng_normal(std::uint64_t seed, std::uint64_t counter, std::uint64_t key,
+                  double mu, double sigma) noexcept;
+
+/// Inverse standard-normal CDF (quantile function) for p in (0, 1).
+/// Acklam's rational approximation refined by one Halley step against
+/// erfc, accurate to ~1 ulp over the full open interval. Exposed for the
+/// statistics golden tests.
+double inverse_normal_cdf(double p) noexcept;
+
+}  // namespace usys

@@ -17,6 +17,8 @@ bool parse_request(const std::string& line, Request& out, std::string& error) {
   const std::string op = doc->get_string("op", "run");
   if (op == "run") {
     out.op = Request::Op::run;
+  } else if (op == "sweep") {
+    out.op = Request::Op::sweep;
   } else if (op == "stats") {
     out.op = Request::Op::stats;
   } else if (op == "ping") {
@@ -27,7 +29,7 @@ bool parse_request(const std::string& line, Request& out, std::string& error) {
     error = "unknown op '" + op + "'";
     return false;
   }
-  if (out.op != Request::Op::run) return true;
+  if (out.op != Request::Op::run && out.op != Request::Op::sweep) return true;
 
   out.netlist = doc->get_string("netlist");
   if (out.netlist.empty()) {
@@ -53,6 +55,24 @@ bool parse_request(const std::string& line, Request& out, std::string& error) {
     error = "timeout_ms and threads must be >= 0";
     return false;
   }
+  if (out.op == Request::Op::sweep) {
+    out.mc = static_cast<int>(doc->get_number("mc", 1.0));
+    if (out.mc < 1 || out.mc > 10'000'000) {
+      error = "\"mc\" must be an integer in [1, 1e7]";
+      return false;
+    }
+    out.seed = doc->get_string("seed", "0");
+    out.sweep_specs.clear();
+    if (const JsonValue* sw = doc->find("sweep"); sw != nullptr && sw->is_array()) {
+      for (const auto& item : sw->items()) {
+        if (!item.is_string()) {
+          error = "\"sweep\" entries must be strings (\"name=spec\")";
+          return false;
+        }
+        out.sweep_specs.push_back(item.as_string());
+      }
+    }
+  }
   return true;
 }
 
@@ -63,8 +83,9 @@ std::string build_request(const Request& req) {
     case Request::Op::stats: doc.set("op", JsonValue::make_string("stats")); break;
     case Request::Op::ping: doc.set("op", JsonValue::make_string("ping")); break;
     case Request::Op::shutdown: doc.set("op", JsonValue::make_string("shutdown")); break;
-    case Request::Op::run: {
-      doc.set("op", JsonValue::make_string("run"));
+    case Request::Op::run:
+    case Request::Op::sweep: {
+      doc.set("op", JsonValue::make_string(req.op == Request::Op::run ? "run" : "sweep"));
       doc.set("netlist", JsonValue::make_string(req.netlist));
       if (!req.hdl_mode.empty()) doc.set("hdl", JsonValue::make_string(req.hdl_mode));
       if (!req.set_specs.empty()) {
@@ -76,6 +97,15 @@ std::string build_request(const Request& req) {
       if (req.threads != 1) doc.set("threads", JsonValue::make_number(req.threads));
       if (req.partition) doc.set("partition", JsonValue::make_bool(true));
       if (req.no_cache) doc.set("no_cache", JsonValue::make_bool(true));
+      if (req.op == Request::Op::sweep) {
+        if (req.mc != 1) doc.set("mc", JsonValue::make_number(req.mc));
+        if (req.seed != "0") doc.set("seed", JsonValue::make_string(req.seed));
+        if (!req.sweep_specs.empty()) {
+          JsonValue sw = JsonValue::make_array();
+          for (const auto& s : req.sweep_specs) sw.push_back(JsonValue::make_string(s));
+          doc.set("sweep", std::move(sw));
+        }
+      }
       break;
     }
   }
@@ -188,6 +218,55 @@ std::string done_frame(bool ok, int exit_code, bool parsed, bool bound, bool reb
   out += ",\"cached\":";
   json_append_escaped(out, cached);
   out += '}';
+  return out;
+}
+
+std::string sweep_stats_frame(const spice::StatsRun& run) {
+  const spice::YieldSummary y = run.yield();
+  std::string out = frame_head("sweep_stats");
+  out += ",\"points\":" + std::to_string(run.total_points);
+  out += ",\"ran\":" + std::to_string(y.n);
+  out += ",\"ok\":" + std::to_string(y.ok);
+  out += ",\"pass\":" + std::to_string(y.pass);
+  out += ",\"yield\":";
+  json_append_double(out, y.yield);
+  out += ",\"metrics\":[";
+  bool first = true;
+  for (const auto& s : run.metric_summaries()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    json_append_escaped(out, s.name);
+    out += ",\"n\":" + std::to_string(s.n);
+    out += ",\"mean\":";
+    json_append_double(out, s.mean);
+    out += ",\"stddev\":";
+    json_append_double(out, s.stddev);
+    out += ",\"min\":";
+    json_append_double(out, s.min);
+    out += ",\"max\":";
+    json_append_double(out, s.max);
+    out += ",\"q\":[";
+    for (std::size_t i = 0; i < s.quantiles.size(); ++i) {
+      if (i > 0) out += ',';
+      out += '[';
+      json_append_double(out, s.quantiles[i].q);
+      out += ',';
+      json_append_double(out, s.quantiles[i].value);
+      out += ']';
+    }
+    out += "]}";
+  }
+  out += "],\"measures\":[";
+  for (std::size_t m = 0; m < y.measure_failures.size(); ++m) {
+    if (m > 0) out += ',';
+    out += '[';
+    json_append_escaped(out, y.measure_failures[m].first);
+    out += ',';
+    out += std::to_string(y.measure_failures[m].second);
+    out += ']';
+  }
+  out += "]}";
   return out;
 }
 

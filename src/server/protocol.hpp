@@ -5,8 +5,10 @@
 // the server answers with a stream of response frames and closes.
 //
 //   request  {"v":1,"op":"run","netlist":"...","hdl":"...","set":[...],...}
+//            {"v":1,"op":"sweep","netlist":"...","sweep":[...],"mc":N,"seed":"S",...}
 //            {"v":1,"op":"stats"} | {"v":1,"op":"ping"} | {"v":1,"op":"shutdown"}
 //   frames   status -> (series -> rows* -> end_series)* -> [error] -> done
+//            status -> sweep_stats -> [error] -> done        (op == sweep)
 //            or: busy | stats | pong | bye | error
 //
 // This header owns the translation both directions: request line -> Request
@@ -19,6 +21,7 @@
 #include <vector>
 
 #include "api/api.hpp"
+#include "spice/stats.hpp"
 
 namespace usys::server {
 
@@ -26,14 +29,22 @@ inline constexpr int kProtocolVersion = 1;
 
 /// One parsed client request.
 struct Request {
-  enum class Op { run, stats, ping, shutdown } op = Op::run;
-  std::string netlist;                 ///< netlist text (op == run)
+  enum class Op { run, sweep, stats, ping, shutdown } op = Op::run;
+  std::string netlist;                 ///< netlist text (op == run | sweep)
   std::string hdl_mode;                ///< "" = netlist decides
   std::vector<std::string> set_specs;  ///< "DEV.PARAM=value" overrides
   double timeout_ms = 0.0;             ///< per-job wall budget; 0 = none
   int threads = 1;                     ///< assembly/solve/refactor budget
   bool partition = false;              ///< PartitionMode::auto_mode
   bool no_cache = false;               ///< bypass the result cache (benching)
+
+  // op == sweep: a Monte Carlo / corner batch (docs/sweeps.md). The
+  // netlist's own .param/.measure cards apply; `sweep_specs` adds
+  // "name=lo:hi:n | v1,v2 | normal(mu,sigma) | uniform(lo,hi) |
+  // corner(...)" entries on top, exactly the usim --sweep grammar.
+  std::vector<std::string> sweep_specs;
+  int mc = 1;               ///< Monte Carlo draws per grid combination
+  std::string seed = "0";   ///< RNG seed, decimal uint64 as text
 };
 
 /// Parses one request line. False (with `error` filled) on malformed JSON,
@@ -73,6 +84,12 @@ std::string busy_frame(int queue_depth, int capacity);
 std::string done_frame(bool ok, int exit_code, bool parsed, bool bound, bool rebound,
                        int symbolic_factorizations, double elapsed_ms,
                        const char* cached);
+
+/// Result payload of a sweep job: grid size, executed/ok/pass counts,
+/// yield, per-metric summaries (count/mean/stddev/min/max/quantiles) and
+/// per-measure failure counts — the distilled StatsRun, not per-point data
+/// (shard locally with usim for point-level files).
+std::string sweep_stats_frame(const spice::StatsRun& run);
 
 std::string pong_frame();
 std::string bye_frame();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <cstdlib>
 #include <deque>
 #include <iostream>
 #include <list>
@@ -190,6 +191,7 @@ struct SimServer::Impl {
         return;
       }
       case Request::Op::run:
+      case Request::Op::sweep:
         break;
     }
     auto job = std::make_shared<Job>();
@@ -338,6 +340,145 @@ struct SimServer::Impl {
     }
   }
 
+  /// A sweep job: build the statistical grid (netlist .param/.measure cards
+  /// + request sweep specs), fan it across a SweepRunner, stream one
+  /// sweep_stats frame. Every point parses its own substituted netlist, so
+  /// the engine/result caches are bypassed; the job-level deadline and
+  /// hangup cancellation ride the same monitor/token path as run jobs (each
+  /// point polls the token through its JobOptions).
+  void execute_sweep(Job& job) {
+    const auto write = [&job](const std::string& line) {
+      return job.conn.write_all(line + "\n");
+    };
+    const Request& req = job.req;
+    const std::string hash = api::content_hash(req.netlist, req.hdl_mode);
+    const auto reject = [&](const std::string& message) {
+      const auto failure = make_failure(FailureKind::internal_error, "sweep", message);
+      write(error_frame(2, "bad-request", message));
+      write(done_frame(false, 2, false, false, false, 0, ms_since(job.enqueued),
+                       "none"));
+      finish(job, false, 2, failure);
+    };
+
+    std::vector<spice::SweepAxis> axes;
+    std::vector<spice::ParamDist> dists;
+    std::vector<spice::MeasureSpec> measures;
+    try {
+      dists = spice::parse_param_dists(req.netlist);
+      measures = spice::parse_measures(req.netlist);
+    } catch (const spice::NetlistError& e) {
+      reject(e.what());
+      return;
+    }
+    for (const auto& spec : req.sweep_specs) {
+      std::string why;
+      const auto entry = spice::parse_sweep_entry(spec, &why);
+      if (!entry) {
+        reject("bad sweep spec '" + spec + "': " + why);
+        return;
+      }
+      if (entry->is_dist) {
+        // A request spec overrides a netlist .param of the same name.
+        bool replaced = false;
+        for (auto& d : dists) {
+          if (d.name == entry->dist.name) {
+            d = entry->dist;
+            replaced = true;
+            break;
+          }
+        }
+        if (!replaced) dists.push_back(entry->dist);
+      } else {
+        axes.push_back(entry->axis);
+      }
+    }
+    for (const auto& axis : axes) {
+      for (const auto& d : dists) {
+        if (d.name == axis.name) {
+          reject("parameter '" + axis.name + "' is both a sweep axis and a distribution");
+          return;
+        }
+      }
+    }
+    char* seed_end = nullptr;
+    const unsigned long long seed = std::strtoull(req.seed.c_str(), &seed_end, 10);
+    if (req.seed.empty() || seed_end == nullptr || *seed_end != '\0') {
+      reject("bad seed '" + req.seed + "' (want a decimal uint64)");
+      return;
+    }
+
+    spice::McOptions mc;
+    mc.seed = seed;
+    mc.samples = req.mc;
+    // Size preflight before materializing anything: one request must not be
+    // able to balloon the daemon.
+    constexpr std::size_t kMaxServerSweepPoints = 1'000'000;
+    std::size_t combos = 1;
+    for (const auto& axis : axes) combos *= std::max<std::size_t>(1, axis.values.size());
+    for (const auto& d : dists)
+      if (d.kind == spice::ParamDist::Kind::corner)
+        combos *= std::max<std::size_t>(1, d.values.size());
+    if (combos * static_cast<std::size_t>(req.mc) > kMaxServerSweepPoints) {
+      reject("sweep grid too large (" + std::to_string(combos) + " combos x " +
+             std::to_string(req.mc) + " draws; server cap " +
+             std::to_string(kMaxServerSweepPoints) + " points)");
+      return;
+    }
+    const std::vector<spice::SweepPoint> grid = spice::mc_grid(axes, dists, mc);
+    if (grid.empty()) {
+      reject("empty sweep grid");
+      return;
+    }
+
+    write(status_frame(job.id, hash, "none", queue_depth()));
+
+    api::JobOptions popts;
+    popts.cancel = &job.cancel;
+    spice::SweepRunner runner(std::max(1, req.threads));
+    const auto results = runner.run(
+        grid,
+        [&](const spice::SweepPoint& p, int attempt) {
+          return api::run_sweep_point(req.netlist, p, req.hdl_mode, popts, attempt);
+        },
+        spice::SweepOptions{});
+
+    if (job.cancel.cancelled()) {
+      const auto failure =
+          make_failure(FailureKind::cancelled, "sweep",
+                       "sweep cancelled (client disconnected or deadline expired)");
+      write(error_frame(3, to_string(failure.kind), failure.to_string()));
+      write(done_frame(false, 3, true, false, false, 0, ms_since(job.enqueued),
+                       "none"));
+      finish(job, false, 3, failure);
+      return;
+    }
+
+    spice::StatsRun stats;
+    stats.seed_text = std::to_string(seed);
+    stats.total_points = static_cast<long>(grid.size());
+    stats.mc = req.mc;
+    stats.measures = std::move(measures);
+    long failures = 0;
+    FailureInfo first_failure;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      stats.add_outcome(static_cast<long>(i), grid[i], results[i]);
+      if (!results[i].ok && !results[i].skipped) {
+        if (failures == 0) first_failure = results[i].failure;
+        ++failures;
+      }
+    }
+    write(sweep_stats_frame(stats));
+    const bool ok = failures == 0;
+    const int exit_code = ok ? 0 : 1;
+    if (!ok)
+      write(error_frame(exit_code, to_string(first_failure.kind),
+                        std::to_string(failures) + " of " + std::to_string(grid.size()) +
+                            " points failed"));
+    write(done_frame(ok, exit_code, true, true, false, 0, ms_since(job.enqueued),
+                     "none"));
+    finish(job, ok, exit_code, ok ? FailureInfo{} : first_failure);
+  }
+
   void execute(Job& job) {
     const auto write = [&job](const std::string& line) {
       return job.conn.write_all(line + "\n");
@@ -351,6 +492,11 @@ struct SimServer::Impl {
       write(done_frame(false, 3, false, false, false, 0, ms_since(job.enqueued),
                        "none"));
       finish(job, false, 3, failure);
+      return;
+    }
+
+    if (job.req.op == Request::Op::sweep) {
+      execute_sweep(job);
       return;
     }
 

@@ -7,6 +7,7 @@
 
 #include "common/strings.hpp"
 #include "spice/devices_controlled.hpp"
+#include "spice/stats.hpp"
 #include "spice/devices_nonlinear.hpp"
 #include "spice/devices_passive.hpp"
 #include "spice/devices_source.hpp"
@@ -429,6 +430,10 @@ Netlist NetlistParser::parse(const std::string& text) {
 
     if (head[0] == '.') {
       if (head == ".node") continue;  // handled in pass 1
+      // Statistical sweep cards are extracted from the raw text by the
+      // parse_param_dists / parse_measures pre-passes (they drive {name}
+      // placeholders this parser never sees substituted); inert here.
+      if (head == ".param" || head == ".measure") continue;
       if (head == ".end") break;
       if (head == ".op") {
         AnalysisCard card;
@@ -550,6 +555,93 @@ Netlist NetlistParser::parse(const std::string& text) {
     }
   }
   return out;
+}
+
+namespace {
+
+/// Shared line scanner for the statistical pre-passes: strips ';' comments,
+/// skips blanks/'*' comments, tokenizes lines whose head matches `card`
+/// (case-insensitive), and hands (tokens, lineno) to `fn`.
+void scan_cards(const std::string& text, std::string_view card,
+                const std::function<void(const std::vector<std::string>&, int)>& fn) {
+  std::istringstream is(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (const auto semi = line.find(';'); semi != std::string::npos) line.resize(semi);
+    const std::string_view t = trim(line);
+    if (t.empty() || t[0] == '*' || t[0] != '.') continue;
+    const auto space = t.find_first_of(" \t");
+    const auto head = to_lower(t.substr(0, space));
+    if (head != card) continue;
+    fn(tokenize_card(t, lineno), lineno);
+  }
+}
+
+}  // namespace
+
+std::vector<ParamDist> parse_param_dists(const std::string& text) {
+  std::vector<ParamDist> dists;
+  scan_cards(text, ".param", [&](const std::vector<std::string>& toks, int lineno) {
+    if (toks.size() != 3)
+      throw NetlistError(lineno, ".param needs <name> <value | dist=...>");
+    const std::string& name = toks[1];
+    std::string spec = toks[2];
+    // Accept both ".param g dist=normal(1,0.1)" and ".param g normal(1,0.1)".
+    if (const auto eq = spec.find('='); eq != std::string::npos) {
+      if (to_lower(spec.substr(0, eq)) != "dist")
+        throw NetlistError(lineno, ".param value must be <number> or dist=<spec>");
+      spec = spec.substr(eq + 1);
+    }
+    std::string why;
+    auto dist = parse_dist_spec(name, spec, &why);
+    if (!dist) throw NetlistError(lineno, ".param " + name + ": " + why);
+    // Later cards override earlier ones, like repeated .options keys.
+    for (auto& existing : dists) {
+      if (existing.name == name) {
+        existing = std::move(*dist);
+        return;
+      }
+    }
+    dists.push_back(std::move(*dist));
+  });
+  return dists;
+}
+
+std::vector<MeasureSpec> parse_measures(const std::string& text) {
+  std::vector<MeasureSpec> measures;
+  scan_cards(text, ".measure", [&](const std::vector<std::string>& toks, int lineno) {
+    if (toks.size() < 4)
+      throw NetlistError(lineno,
+                         ".measure needs <label> <metric> min=<v> and/or max=<v>");
+    MeasureSpec spec;
+    spec.label = toks[1];
+    spec.metric = toks[2];
+    for (std::size_t i = 3; i < toks.size(); ++i) {
+      const auto eq = toks[i].find('=');
+      if (eq == std::string::npos)
+        throw NetlistError(lineno, ".measure bounds must be min=<v> or max=<v>");
+      const std::string key = to_lower(toks[i].substr(0, eq));
+      const auto v = parse_spice_number(toks[i].substr(eq + 1));
+      if (!v)
+        throw NetlistError(lineno, ".measure " + spec.label + ": bad number in '" +
+                                       toks[i] + "'");
+      if (key == "min") {
+        spec.has_lo = true;
+        spec.lo = *v;
+      } else if (key == "max") {
+        spec.has_hi = true;
+        spec.hi = *v;
+      } else {
+        throw NetlistError(lineno, ".measure bound must be min or max, got '" + key + "'");
+      }
+    }
+    if (spec.has_lo && spec.has_hi && spec.hi < spec.lo)
+      throw NetlistError(lineno, ".measure " + spec.label + ": max < min");
+    measures.push_back(std::move(spec));
+  });
+  return measures;
 }
 
 }  // namespace usys::spice

@@ -49,6 +49,7 @@
 
 #include "spice/analysis.hpp"
 #include "spice/circuit.hpp"
+#include "spice/stats.hpp"
 #include "spice/waveform.hpp"
 
 namespace usys::spice {
@@ -143,5 +144,19 @@ double param_or(const XDeviceArgs& args, const std::string& key, double fallback
 /// `.options` value in effect, then `fallback`.
 std::string sparam_or(const XDeviceArgs& args, const std::string& key,
                       const std::string& fallback);
+
+/// Statistical-sweep pre-passes (docs/sweeps.md). Both scan the RAW netlist
+/// text — before {name} parameter substitution, which is why they cannot
+/// live inside parse() — and throw NetlistError on malformed cards;
+/// parse() itself treats the cards as inert.
+///
+/// `.param <name> <value>` or `.param <name> dist=normal(mu,sigma) |
+/// uniform(lo,hi) | corner(v1,v2,...)`; a later card overrides an earlier
+/// one with the same name.
+std::vector<ParamDist> parse_param_dists(const std::string& text);
+
+/// `.measure <label> <metric> [min=<v>] [max=<v>]` yield bounds (at least
+/// one bound required).
+std::vector<MeasureSpec> parse_measures(const std::string& text);
 
 }  // namespace usys::spice

@@ -1,0 +1,448 @@
+#include "spice/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/json.hpp"
+
+namespace usys::spice {
+
+bool measure_passes(
+    const std::vector<std::pair<std::string, double>>& metrics,
+    const MeasureSpec& m) noexcept {
+  for (const auto& [name, value] : metrics) {
+    if (name != m.metric) continue;
+    if (!std::isfinite(value)) return false;
+    if (m.has_lo && value < m.lo) return false;
+    if (m.has_hi && value > m.hi) return false;
+    return true;
+  }
+  return false;  // metric absent: the bound cannot be verified -> fail
+}
+
+bool measures_pass(
+    const std::vector<std::pair<std::string, double>>& metrics,
+    const std::vector<MeasureSpec>& measures) noexcept {
+  for (const auto& m : measures)
+    if (!measure_passes(metrics, m)) return false;
+  return true;
+}
+
+void MetricStats::add(double v) {
+  if (std::isfinite(v)) samples_.push_back(v);
+}
+
+double MetricStats::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : samples_) sum += v;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double MetricStats::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double ss = 0.0;
+  for (double v : samples_) ss += (v - m) * (v - m);
+  return std::sqrt(ss / static_cast<double>(samples_.size() - 1));
+}
+
+double MetricStats::min_value() const {
+  if (samples_.empty()) return 0.0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double MetricStats::max_value() const {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double MetricStats::quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  const double h = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(h);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double frac = h - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+MetricSummary MetricStats::summary(const std::string& name,
+                                   const std::vector<double>& qs) const {
+  MetricSummary s;
+  s.name = name;
+  s.n = count();
+  s.mean = mean();
+  s.stddev = stddev();
+  s.min = min_value();
+  s.max = max_value();
+  // One sort shared by all quantile levels.
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  for (double q : qs) {
+    QuantilePoint p;
+    p.q = q;
+    if (sorted.empty()) {
+      p.value = 0.0;
+    } else if (q <= 0.0) {
+      p.value = sorted.front();
+    } else if (q >= 1.0) {
+      p.value = sorted.back();
+    } else {
+      const double h = q * static_cast<double>(sorted.size() - 1);
+      const auto lo = static_cast<std::size_t>(h);
+      p.value = (lo + 1 >= sorted.size())
+                    ? sorted.back()
+                    : sorted[lo] + (h - static_cast<double>(lo)) *
+                                       (sorted[lo + 1] - sorted[lo]);
+    }
+    s.quantiles.push_back(p);
+  }
+  return s;
+}
+
+const std::vector<double>& default_quantiles() {
+  static const std::vector<double> qs = {0.01, 0.05, 0.25, 0.5,
+                                         0.75, 0.95, 0.99};
+  return qs;
+}
+
+void StatsRun::add_outcome(long index, const SweepPoint& point,
+                           const SweepOutcome& outcome) {
+  if (outcome.skipped) return;
+  StatsPoint sp;
+  sp.index = index;
+  sp.point = point;
+  sp.ok = outcome.ok;
+  sp.metrics = outcome.metrics;
+  sp.pass = outcome.ok && measures_pass(outcome.metrics, measures);
+  points[index] = std::move(sp);
+}
+
+std::vector<MetricSummary> StatsRun::metric_summaries() const {
+  // Accumulate in ascending point index; metric columns in first-seen
+  // order. Both orders are deterministic, so the summaries are too.
+  std::vector<std::string> names;
+  std::vector<MetricStats> stats;
+  for (const auto& [index, sp] : points) {
+    if (!sp.ok) continue;
+    for (const auto& [name, value] : sp.metrics) {
+      std::size_t slot = 0;
+      for (; slot < names.size(); ++slot)
+        if (names[slot] == name) break;
+      if (slot == names.size()) {
+        names.push_back(name);
+        stats.emplace_back();
+      }
+      stats[slot].add(value);
+    }
+  }
+  std::vector<MetricSummary> out;
+  out.reserve(names.size());
+  for (std::size_t i = 0; i < names.size(); ++i)
+    out.push_back(stats[i].summary(names[i], default_quantiles()));
+  return out;
+}
+
+YieldSummary StatsRun::yield() const {
+  YieldSummary y;
+  std::vector<long> fails(measures.size(), 0);
+  for (const auto& [index, sp] : points) {
+    ++y.n;
+    if (!sp.ok) continue;
+    ++y.ok;
+    if (sp.pass) ++y.pass;
+    for (std::size_t m = 0; m < measures.size(); ++m)
+      if (!measure_passes(sp.metrics, measures[m])) ++fails[m];
+  }
+  y.yield = y.n > 0 ? static_cast<double>(y.pass) / static_cast<double>(y.n)
+                    : 0.0;
+  for (std::size_t m = 0; m < measures.size(); ++m)
+    y.measure_failures.emplace_back(measures[m].label, fails[m]);
+  return y;
+}
+
+namespace {
+
+void append_params(std::string& out,
+                   const std::vector<std::pair<std::string, double>>& kv) {
+  out += '[';
+  bool first = true;
+  for (const auto& [name, value] : kv) {
+    if (!first) out += ',';
+    first = false;
+    out += '[';
+    json_append_escaped(out, name);
+    out += ',';
+    json_append_double(out, value);
+    out += ']';
+  }
+  out += ']';
+}
+
+}  // namespace
+
+std::string StatsRun::to_jsonl() const {
+  std::string out;
+  out.reserve(128 + points.size() * 96);
+
+  // Header. The seed travels as a decimal string so the full uint64 range
+  // survives the double-only JSON number model.
+  out += "{\"v\":1,\"stats\":\"header\",\"seed\":";
+  json_append_escaped(out, seed_text);
+  out += ",\"points\":" + std::to_string(total_points);
+  out += ",\"mc\":" + std::to_string(mc);
+  out += ",\"shard\":";
+  if (shard_count > 1)
+    json_append_escaped(out, std::to_string(shard_index) + "/" +
+                                 std::to_string(shard_count));
+  else
+    json_append_escaped(out, std::string("full"));
+  out += ",\"measures\":[";
+  for (std::size_t m = 0; m < measures.size(); ++m) {
+    if (m) out += ',';
+    out += '[';
+    json_append_escaped(out, measures[m].label);
+    out += ',';
+    json_append_escaped(out, measures[m].metric);
+    out += ',';
+    if (measures[m].has_lo)
+      json_append_double(out, measures[m].lo);
+    else
+      out += "null";
+    out += ',';
+    if (measures[m].has_hi)
+      json_append_double(out, measures[m].hi);
+    else
+      out += "null";
+    out += ']';
+  }
+  out += "]}\n";
+
+  // Points, ascending global index (std::map order).
+  for (const auto& [index, sp] : points) {
+    out += "{\"stats\":\"point\",\"i\":" + std::to_string(index);
+    out += sp.ok ? ",\"ok\":true" : ",\"ok\":false";
+    out += sp.pass ? ",\"pass\":true" : ",\"pass\":false";
+    out += ",\"params\":";
+    append_params(out, sp.point.params);
+    out += ",\"metrics\":";
+    append_params(out, sp.metrics);
+    out += "}\n";
+  }
+
+  // Derived summaries.
+  for (const auto& s : metric_summaries()) {
+    out += "{\"stats\":\"metric\",\"name\":";
+    json_append_escaped(out, s.name);
+    out += ",\"n\":" + std::to_string(s.n);
+    out += ",\"mean\":";
+    json_append_double(out, s.mean);
+    out += ",\"stddev\":";
+    json_append_double(out, s.stddev);
+    out += ",\"min\":";
+    json_append_double(out, s.min);
+    out += ",\"max\":";
+    json_append_double(out, s.max);
+    out += ",\"q\":[";
+    for (std::size_t i = 0; i < s.quantiles.size(); ++i) {
+      if (i) out += ',';
+      out += '[';
+      json_append_double(out, s.quantiles[i].q);
+      out += ',';
+      json_append_double(out, s.quantiles[i].value);
+      out += ']';
+    }
+    out += "]}\n";
+  }
+
+  const YieldSummary y = yield();
+  out += "{\"stats\":\"yield\",\"n\":" + std::to_string(y.n);
+  out += ",\"ok\":" + std::to_string(y.ok);
+  out += ",\"pass\":" + std::to_string(y.pass);
+  out += ",\"yield\":";
+  json_append_double(out, y.yield);
+  out += ",\"measures\":[";
+  for (std::size_t m = 0; m < y.measure_failures.size(); ++m) {
+    if (m) out += ',';
+    out += '[';
+    json_append_escaped(out, y.measure_failures[m].first);
+    out += ',';
+    out += std::to_string(y.measure_failures[m].second);
+    out += ']';
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool write_stats(const std::string& path, const StatsRun& run,
+                 std::string* error) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      if (error) *error = "cannot open '" + tmp + "' for writing";
+      return false;
+    }
+    out << run.to_jsonl();
+    if (!out) {
+      if (error) *error = "write to '" + tmp + "' failed";
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error) *error = "cannot rename '" + tmp + "' to '" + path + "'";
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+bool parse_kv_pairs(const JsonValue& v,
+                    std::vector<std::pair<std::string, double>>& out) {
+  if (!v.is_array()) return false;
+  for (const auto& item : v.items()) {
+    if (!item.is_array() || item.items().size() != 2 ||
+        !item.items()[0].is_string())
+      return false;
+    out.emplace_back(item.items()[0].as_string(),
+                     item.items()[1].as_number());
+  }
+  return true;
+}
+
+bool measures_equal(const std::vector<MeasureSpec>& a,
+                    const std::vector<MeasureSpec>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].label != b[i].label || a[i].metric != b[i].metric ||
+        a[i].has_lo != b[i].has_lo || a[i].has_hi != b[i].has_hi)
+      return false;
+    if (a[i].has_lo && a[i].lo != b[i].lo) return false;
+    if (a[i].has_hi && a[i].hi != b[i].hi) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool load_stats(const std::string& path, StatsRun& run, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error) *error = "cannot open stats file '" + path + "'";
+    return false;
+  }
+  run = StatsRun{};
+  bool saw_header = false;
+  std::string line;
+  long lineno = 0;
+  auto fail = [&](const std::string& why) {
+    if (error)
+      *error = path + ":" + std::to_string(lineno) + ": " + why;
+    return false;
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const auto doc = json_parse(line);
+    if (!doc || !doc->is_object()) return fail("not a JSON object");
+    const std::string kind = doc->get_string("stats");
+    if (kind == "header") {
+      saw_header = true;
+      run.seed_text = doc->get_string("seed", "0");
+      run.total_points = static_cast<long>(doc->get_number("points"));
+      run.mc = static_cast<int>(doc->get_number("mc", 1));
+      const std::string shard = doc->get_string("shard", "full");
+      if (shard != "full") {
+        const auto slash = shard.find('/');
+        if (slash == std::string::npos) return fail("bad shard field");
+        run.shard_index = std::atoi(shard.substr(0, slash).c_str());
+        run.shard_count = std::atoi(shard.substr(slash + 1).c_str());
+      }
+      if (const JsonValue* ms = doc->find("measures")) {
+        if (!ms->is_array()) return fail("bad measures field");
+        for (const auto& item : ms->items()) {
+          if (!item.is_array() || item.items().size() != 4 ||
+              !item.items()[0].is_string() || !item.items()[1].is_string())
+            return fail("bad measure entry");
+          MeasureSpec spec;
+          spec.label = item.items()[0].as_string();
+          spec.metric = item.items()[1].as_string();
+          if (item.items()[2].is_number()) {
+            spec.has_lo = true;
+            spec.lo = item.items()[2].as_number();
+          }
+          if (item.items()[3].is_number()) {
+            spec.has_hi = true;
+            spec.hi = item.items()[3].as_number();
+          }
+          run.measures.push_back(std::move(spec));
+        }
+      }
+    } else if (kind == "point") {
+      StatsPoint sp;
+      sp.index = static_cast<long>(doc->get_number("i", -1));
+      if (sp.index < 0) return fail("point without index");
+      sp.ok = doc->get_bool("ok");
+      sp.pass = doc->get_bool("pass");
+      const JsonValue* params = doc->find("params");
+      const JsonValue* metrics = doc->find("metrics");
+      if (!params || !parse_kv_pairs(*params, sp.point.params))
+        return fail("bad params field");
+      if (!metrics || !parse_kv_pairs(*metrics, sp.metrics))
+        return fail("bad metrics field");
+      run.points[sp.index] = std::move(sp);
+    }
+    // metric / yield summary lines are derived state: ignored on load.
+  }
+  if (!saw_header) {
+    if (error) *error = path + ": missing stats header line";
+    return false;
+  }
+  return true;
+}
+
+bool merge_stats(const std::vector<std::string>& inputs, StatsRun& out,
+                 std::string* error) {
+  if (inputs.empty()) {
+    if (error) *error = "no stats files to merge";
+    return false;
+  }
+  out = StatsRun{};
+  bool first = true;
+  for (const auto& path : inputs) {
+    StatsRun shard;
+    if (!load_stats(path, shard, error)) return false;
+    if (first) {
+      out.seed_text = shard.seed_text;
+      out.total_points = shard.total_points;
+      out.mc = shard.mc;
+      out.measures = shard.measures;
+      first = false;
+    } else if (shard.seed_text != out.seed_text ||
+               shard.total_points != out.total_points ||
+               shard.mc != out.mc ||
+               !measures_equal(shard.measures, out.measures)) {
+      if (error)
+        *error = "'" + path +
+                 "' is from a different run (seed/points/mc/measures "
+                 "mismatch) — refusing to merge";
+      return false;
+    }
+    for (auto& [index, sp] : shard.points) out.points[index] = std::move(sp);
+  }
+  // The merged document is the canonical unsharded form.
+  out.shard_index = 0;
+  out.shard_count = 0;
+  return true;
+}
+
+}  // namespace usys::spice

@@ -6,6 +6,8 @@
 #include <new>
 #include <stdexcept>
 
+#include "common/rng.hpp"
+#include "common/strings.hpp"
 #include "common/thread_pool.hpp"
 #include "spice/checkpoint.hpp"
 
@@ -54,6 +56,219 @@ std::vector<SweepPoint> sweep_grid(const std::vector<SweepAxis>& axes) {
     }
   }
   return grid;
+}
+
+namespace {
+
+bool fail_spec(std::string* error, std::string why) {
+  if (error) *error = std::move(why);
+  return false;
+}
+
+/// Splits "a,b,c" into trimmed non-empty pieces.
+std::vector<std::string> split_args(std::string_view s) {
+  std::vector<std::string> out;
+  for (const auto piece : split(s, ",")) {
+    const auto t = trim(piece);
+    if (!t.empty()) out.emplace_back(t);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<ParamDist> parse_dist_spec(const std::string& name,
+                                         const std::string& spec,
+                                         std::string* error) {
+  ParamDist dist;
+  dist.name = name;
+  const auto s = trim(spec);
+  const std::string spec_text(s);
+  const auto open = spec_text.find('(');
+  if (open == std::string::npos) {
+    const auto v = parse_spice_number(spec_text);
+    if (!v) {
+      fail_spec(error, "'" + spec_text + "' is not a number or dist(...)");
+      return std::nullopt;
+    }
+    dist.kind = ParamDist::Kind::constant;
+    dist.a = *v;
+    return dist;
+  }
+  if (spec_text.empty() || spec_text.back() != ')') {
+    fail_spec(error, "missing ')' in '" + spec_text + "'");
+    return std::nullopt;
+  }
+  const auto head = to_lower(spec_text.substr(0, open));
+  const auto args =
+      split_args(std::string_view(spec_text).substr(open + 1, spec_text.size() - open - 2));
+  auto two = [&](const char* what) -> bool {
+    if (args.size() != 2)
+      return fail_spec(error, std::string(what) + " wants exactly 2 arguments");
+    const auto a = parse_spice_number(args[0]);
+    const auto b = parse_spice_number(args[1]);
+    if (!a || !b) return fail_spec(error, std::string(what) + ": bad number");
+    dist.a = *a;
+    dist.b = *b;
+    return true;
+  };
+  if (head == "normal" || head == "gauss") {
+    dist.kind = ParamDist::Kind::normal;
+    if (!two("normal(mu,sigma)")) return std::nullopt;
+    if (dist.b < 0.0) {
+      fail_spec(error, "normal(mu,sigma): sigma must be >= 0");
+      return std::nullopt;
+    }
+    return dist;
+  }
+  if (head == "uniform") {
+    dist.kind = ParamDist::Kind::uniform;
+    if (!two("uniform(lo,hi)")) return std::nullopt;
+    if (dist.b < dist.a) {
+      fail_spec(error, "uniform(lo,hi): hi must be >= lo");
+      return std::nullopt;
+    }
+    return dist;
+  }
+  if (head == "corner") {
+    dist.kind = ParamDist::Kind::corner;
+    if (args.empty()) {
+      fail_spec(error, "corner(...) wants at least one value");
+      return std::nullopt;
+    }
+    for (const auto& arg : args) {
+      const auto v = parse_spice_number(arg);
+      if (!v) {
+        fail_spec(error, "corner(...): '" + arg + "' is not a number");
+        return std::nullopt;
+      }
+      dist.values.push_back(*v);
+    }
+    return dist;
+  }
+  fail_spec(error, "unknown distribution '" + head +
+                       "' (want normal, uniform, or corner)");
+  return std::nullopt;
+}
+
+std::optional<SweepEntry> parse_sweep_entry(const std::string& arg,
+                                            std::string* error) {
+  const auto eq = arg.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    fail_spec(error, "want name=spec");
+    return std::nullopt;
+  }
+  const std::string name(trim(arg.substr(0, eq)));
+  const std::string spec(trim(arg.substr(eq + 1)));
+  if (name.empty() || spec.empty()) {
+    fail_spec(error, "want name=spec");
+    return std::nullopt;
+  }
+  SweepEntry entry;
+  if (spec.find('(') != std::string::npos) {
+    auto dist = parse_dist_spec(name, spec, error);
+    if (!dist) return std::nullopt;
+    entry.is_dist = true;
+    entry.dist = std::move(*dist);
+    return entry;
+  }
+  entry.axis.name = name;
+  if (spec.find(':') != std::string::npos) {
+    const auto pieces = split(spec, ":");
+    if (pieces.size() != 3) {
+      fail_spec(error, "range spec wants lo:hi:n");
+      return std::nullopt;
+    }
+    const auto lo = parse_spice_number(pieces[0]);
+    const auto hi = parse_spice_number(pieces[1]);
+    const auto nv = parse_spice_number(pieces[2]);
+    const int n = nv ? static_cast<int>(*nv) : 0;
+    if (!lo || !hi || !nv || *nv != n || n < 1 || n > 1'000'000) {
+      fail_spec(error, "range spec wants lo:hi:n with 1 <= n <= 1e6");
+      return std::nullopt;
+    }
+    entry.axis.values = SweepAxis::linspace(name, *lo, *hi, n).values;
+    return entry;
+  }
+  for (const auto piece : split(spec, ",")) {
+    const auto v = parse_spice_number(trim(piece));
+    if (!v) {
+      const std::string bad(trim(piece));
+      fail_spec(error, "'" + bad + "' is not a number");
+      return std::nullopt;
+    }
+    entry.axis.values.push_back(*v);
+  }
+  if (entry.axis.values.empty()) {
+    fail_spec(error, "empty value list");
+    return std::nullopt;
+  }
+  return entry;
+}
+
+std::vector<SweepPoint> mc_grid(const std::vector<SweepAxis>& axes,
+                                const std::vector<ParamDist>& dists,
+                                const McOptions& mc) {
+  // Corner dists become grid axes after the explicit ones (declaration
+  // order), so corners enumerate as a cartesian product composed with the
+  // sweep grid; random/constant dists append per point below.
+  std::vector<SweepAxis> full_axes = axes;
+  for (const auto& dist : dists) {
+    if (dist.kind != ParamDist::Kind::corner) continue;
+    SweepAxis axis;
+    axis.name = dist.name;
+    axis.values = dist.values;
+    full_axes.push_back(std::move(axis));
+  }
+  std::vector<SweepPoint> base = sweep_grid(full_axes);
+  if (base.empty()) {
+    if (!full_axes.empty()) return base;  // an axis was empty: empty grid
+    base.emplace_back();                  // no axes at all: one empty point
+  }
+
+  const int samples = std::max(1, mc.samples);
+  std::vector<SweepPoint> grid;
+  grid.reserve(base.size() * static_cast<std::size_t>(samples));
+  for (const auto& b : base) {
+    for (int m = 0; m < samples; ++m) {
+      const auto index = static_cast<std::uint64_t>(grid.size());
+      SweepPoint point = b;
+      for (const auto& dist : dists) {
+        switch (dist.kind) {
+          case ParamDist::Kind::constant:
+            point.params.emplace_back(dist.name, dist.a);
+            break;
+          case ParamDist::Kind::normal:
+            point.params.emplace_back(
+                dist.name, rng_normal(mc.seed, index, rng_hash_name(dist.name),
+                                      dist.a, dist.b));
+            break;
+          case ParamDist::Kind::uniform:
+            point.params.emplace_back(
+                dist.name, rng_uniform(mc.seed, index, rng_hash_name(dist.name),
+                                       dist.a, dist.b));
+            break;
+          case ParamDist::Kind::corner:
+            break;  // already a grid axis
+        }
+      }
+      grid.push_back(std::move(point));
+    }
+  }
+  return grid;
+}
+
+std::string shard_suffixed_path(const std::string& path, int shard_index,
+                                int shard_count) {
+  if (shard_count <= 1) return path;
+  const std::string suffix = ".shard" + std::to_string(shard_index) + "of" +
+                             std::to_string(shard_count);
+  const auto slash = path.find_last_of('/');
+  const auto dot = path.find_last_of('.');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash))
+    return path + suffix;
+  return path.substr(0, dot) + suffix + path.substr(dot);
 }
 
 bool shard_owns(std::size_t index, int shard_index, int shard_count) noexcept {

@@ -16,7 +16,9 @@
 // grid across processes whose checkpoint files merge by concatenation.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -44,6 +46,72 @@ struct SweepPoint {
 
 /// Cartesian product of the axes, last axis fastest (row-major).
 std::vector<SweepPoint> sweep_grid(const std::vector<SweepAxis>& axes);
+
+/// One statistical parameter: a constant, a tolerance distribution, or a
+/// corner list. Declared by `.param <name> dist=...` netlist cards or
+/// `--sweep name=dist(...)` CLI specs (docs/sweeps.md).
+struct ParamDist {
+  enum class Kind {
+    constant,  ///< fixed value `a` at every point
+    normal,    ///< N(a, b^2) drawn per point
+    uniform,   ///< U[a, b) drawn per point
+    corner,    ///< enumerate `values` as a grid axis (cartesian with others)
+  };
+  std::string name;
+  Kind kind = Kind::constant;
+  double a = 0.0;  ///< constant value / mu / lo
+  double b = 0.0;  ///< sigma / hi
+  std::vector<double> values;  ///< corner values
+
+  /// True for kinds that consume an RNG draw (normal, uniform).
+  bool is_random() const noexcept {
+    return kind == Kind::normal || kind == Kind::uniform;
+  }
+};
+
+/// Parses a distribution spec: "normal(mu,sigma)", "uniform(lo,hi)",
+/// "corner(v1,v2,...)" or a plain SPICE number (constant). Numbers accept
+/// engineering suffixes (1k, 0.1u). Returns nullopt on malformed input
+/// (optionally describing why in *error).
+std::optional<ParamDist> parse_dist_spec(const std::string& name,
+                                         const std::string& spec,
+                                         std::string* error = nullptr);
+
+/// One parsed `--sweep name=spec` entry: either a grid axis
+/// ("name=lo:hi:n" or "name=v1,v2,...") or a distribution
+/// ("name=normal(mu,sigma)" etc — anything parse_dist_spec accepts with a
+/// '(' in it). Shared by usim and the server so both front ends accept the
+/// same spec grammar.
+struct SweepEntry {
+  bool is_dist = false;
+  SweepAxis axis;   ///< valid when !is_dist
+  ParamDist dist;   ///< valid when is_dist
+};
+
+/// Parses "name=spec". Returns nullopt on malformed input (optionally
+/// describing why in *error).
+std::optional<SweepEntry> parse_sweep_entry(const std::string& arg,
+                                            std::string* error = nullptr);
+
+/// Monte Carlo / corner controls for mc_grid.
+struct McOptions {
+  std::uint64_t seed = 0;  ///< whole-run RNG seed (--seed)
+  int samples = 1;         ///< Monte Carlo draws per grid combination (--mc)
+};
+
+/// Builds the full statistical grid: cartesian product of the explicit
+/// axes and every corner() distribution (axes slowest, corners in
+/// declaration order, the MC draw index fastest), replicated
+/// max(1, mc.samples) times. Constant params take their fixed value at
+/// every point; normal/uniform params are drawn per point from the
+/// counter-based RNG keyed on (mc.seed, global point index, name hash) —
+/// see common/rng.hpp — so the grid is identical no matter how it is later
+/// threaded, sharded, or resumed, and any single point can be rebuilt in
+/// isolation. With no axes and no dists the grid has mc.samples points
+/// (all-empty params) so a plain netlist can still be MC-replicated.
+std::vector<SweepPoint> mc_grid(const std::vector<SweepAxis>& axes,
+                                const std::vector<ParamDist>& dists,
+                                const McOptions& mc);
 
 /// What one grid point produced: a flat list of named scalar metrics, or an
 /// error. Metric names should be identical across points so results
@@ -92,6 +160,14 @@ struct SweepOptions {
 /// True when `index` belongs to shard `shard_index` of `shard_count`
 /// (1-based shard_index; shard_count <= 1 owns everything).
 bool shard_owns(std::size_t index, int shard_index, int shard_count) noexcept;
+
+/// Shard-unique output path: inserts ".shard<k>of<n>" before the extension
+/// ("out.csv" -> "out.shard1of2.csv"; no extension appends the suffix).
+/// Identity when shard_count <= 1. Per-shard result files (sweep CSV,
+/// stats JSONL) derive their names through this so concurrent shards
+/// pointed at the same path never clobber each other.
+std::string shard_suffixed_path(const std::string& path, int shard_index,
+                                int shard_count);
 
 class SweepRunner {
  public:

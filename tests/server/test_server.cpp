@@ -23,6 +23,8 @@
 
 #include "api/api.hpp"
 #include "common/json.hpp"
+#include "spice/stats.hpp"
+#include "spice/sweep.hpp"
 #include "common/socket.hpp"
 #include "server/protocol.hpp"
 #include "server/server.hpp"
@@ -511,6 +513,179 @@ TEST(Server, StatsAreSelfConsistent) {
   EXPECT_EQ(wire.get_number("jobs_completed"), 5.0);
   EXPECT_EQ(wire.get_number("parses"), 2.0);
   EXPECT_EQ(wire.get_number("result_hits"), 1.0);
+}
+
+// --- sweep jobs --------------------------------------------------------------
+
+// MC divider: two netlist-declared distributions and one yield bound. Every
+// point is a cheap .op, so an 8-draw batch finishes in milliseconds.
+const char* kMcNetlist = R"(* mc divider
+V1 in 0 {vd}
+R1 in out {r}
+R2 out 0 1000
+.param r dist=normal(1k,50)
+.param vd dist=uniform(4.5,5.5)
+.measure vout op:out min=2.2 max=2.8
+.op
+.end
+)";
+
+Request sweep_request(std::string netlist, int mc, const std::string& seed) {
+  Request req;
+  req.op = Request::Op::sweep;
+  req.netlist = std::move(netlist);
+  req.mc = mc;
+  req.seed = seed;
+  return req;
+}
+
+TEST(Server, SweepJobMatchesLocalEngineByteForByte) {
+  TestServer ts(small_server("sweep"));
+  ASSERT_TRUE(ts.started);
+
+  const Request req = sweep_request(kMcNetlist, 8, "42");
+  const auto frames = submit(ts.server, req);
+
+  // Frame sequence is pinned: status -> sweep_stats -> done (no error).
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(parse_frame(frames[0]).get_string("frame"), "status");
+  EXPECT_EQ(parse_frame(frames[1]).get_string("frame"), "sweep_stats");
+  EXPECT_EQ(parse_frame(frames[2]).get_string("frame"), "done");
+  auto done = find_frame(frames, "done");
+  EXPECT_TRUE(done->get_bool("ok"));
+  EXPECT_EQ(done->get_number("exit_code"), 0.0);
+
+  // Payload shape: the distilled StatsRun fields clients key on.
+  JsonValue stats = parse_frame(frames[1]);
+  EXPECT_EQ(stats.get_number("points"), 8.0);
+  EXPECT_EQ(stats.get_number("ran"), 8.0);
+  EXPECT_EQ(stats.get_number("ok"), 8.0);
+  const JsonValue* metrics = stats.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_TRUE(metrics->is_array());
+  ASSERT_FALSE(metrics->items().empty());
+  const JsonValue& m0 = metrics->items()[0];
+  for (const char* key : {"name", "n", "mean", "stddev", "min", "max", "q"})
+    EXPECT_NE(m0.find(key), nullptr) << key;
+  const JsonValue* measures = stats.find("measures");
+  ASSERT_NE(measures, nullptr);
+  ASSERT_EQ(measures->items().size(), 1u);
+  EXPECT_EQ(measures->items()[0].items()[0].as_string(), "vout");
+
+  // The frame must be byte-identical to what the library computes locally
+  // from the same netlist + seed: the server adds transport, not statistics.
+  const auto dists = spice::parse_param_dists(kMcNetlist);
+  spice::StatsRun local;
+  local.seed_text = "42";
+  local.mc = 8;
+  local.measures = spice::parse_measures(kMcNetlist);
+  const auto grid = spice::mc_grid({}, dists, {42, 8});
+  local.total_points = static_cast<long>(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    spice::SweepOutcome out =
+        api::run_sweep_point(kMcNetlist, grid[i], "", {}, 0);
+    local.add_outcome(static_cast<long>(i), grid[i], out);
+  }
+  EXPECT_EQ(frames[1], sweep_stats_frame(local));
+
+  // Determinism on the wire: a repeat submission streams the same bytes.
+  const auto again = submit(ts.server, req);
+  ASSERT_EQ(again.size(), 3u);
+  EXPECT_EQ(again[1], frames[1]);
+}
+
+TEST(Server, SweepSpecsComposeWithAndOverrideNetlistParams) {
+  TestServer ts(small_server("sweepspec"));
+  ASSERT_TRUE(ts.started);
+
+  // A CLI axis multiplies the grid; a CLI dist overrides the netlist card.
+  Request req = sweep_request(kMcNetlist, 2, "7");
+  req.sweep_specs = {"load=500,1000,2000", "r=normal(1000,1)"};
+  // {load} must appear in the text for the axis to matter; reuse R2's value.
+  req.netlist = R"(* mc divider
+V1 in 0 {vd}
+R1 in out {r}
+R2 out 0 {load}
+.param r dist=normal(1k,50)
+.param vd dist=uniform(4.5,5.5)
+.measure vout op:out min=1.0 max=4.0
+.op
+.end
+)";
+  const auto frames = submit(ts.server, req);
+  auto stats = find_frame(frames, "sweep_stats");
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->get_number("points"), 6.0);  // 3 axis values x 2 draws
+  EXPECT_EQ(stats->get_number("ran"), 6.0);
+  auto done = find_frame(frames, "done");
+  ASSERT_TRUE(done.has_value());
+  EXPECT_TRUE(done->get_bool("ok"));
+}
+
+TEST(Server, SweepBadSpecAndBadSeedAreExitTwo) {
+  TestServer ts(small_server("sweepbad"));
+  ASSERT_TRUE(ts.started);
+
+  Request bad_spec = sweep_request(kMcNetlist, 2, "0");
+  bad_spec.sweep_specs = {"r=cauchy(0,1)"};  // unknown distribution
+  auto frames = submit(ts.server, bad_spec);
+  auto error = find_frame(frames, "error");
+  ASSERT_TRUE(error.has_value());
+  EXPECT_EQ(error->get_number("code"), 2.0);
+  auto done = find_frame(frames, "done");
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->get_number("exit_code"), 2.0);
+
+  Request bad_seed = sweep_request(kMcNetlist, 2, "not-a-number");
+  auto done2 = find_frame(submit(ts.server, bad_seed), "done");
+  ASSERT_TRUE(done2.has_value());
+  EXPECT_EQ(done2->get_number("exit_code"), 2.0);
+}
+
+TEST(Server, SweepDeadlineExpiryIsExitThree) {
+  TestServer ts(small_server("sweepddl"));
+  ASSERT_TRUE(ts.started);
+
+  // Four slow (~0.8 s) points against a 50 ms whole-job budget: the
+  // monitor's cancel must stop the batch at the next solver poll.
+  Request req = sweep_request(slow_netlist(), 4, "0");
+  req.timeout_ms = 50.0;
+  const auto frames = submit(ts.server, req);
+  auto done = find_frame(frames, "done");
+  ASSERT_TRUE(done.has_value());
+  EXPECT_FALSE(done->get_bool("ok"));
+  EXPECT_EQ(done->get_number("exit_code"), 3.0);
+  EXPECT_TRUE(wait_for_stats(
+      ts.server, [](const StatsSnapshot& s) { return s.jobs_cancelled == 1; }));
+}
+
+TEST(Server, SweepJobsShareBusyRejection) {
+  ServerOptions opts = small_server("sweepbusy");
+  opts.workers = 1;
+  opts.queue_capacity = 1;
+  TestServer ts(std::move(opts));
+  ASSERT_TRUE(ts.started);
+
+  const std::string slow = slow_netlist();
+
+  // Occupy the worker, fill the queue (as in QueueSaturationGetsBusyFrame).
+  UnixConn a = UnixConn::connect_to(ts.server.socket_path());
+  ASSERT_TRUE(a.valid());
+  ASSERT_TRUE(a.write_all(build_request(run_request(slow)) + "\n"));
+  std::string line;
+  ASSERT_TRUE(a.read_line(line, 30000));
+  ASSERT_TRUE(wait_for_stats(ts.server,
+                             [](const StatsSnapshot& s) { return s.queue_depth == 0; }));
+  UnixConn b = UnixConn::connect_to(ts.server.socket_path());
+  ASSERT_TRUE(b.valid());
+  ASSERT_TRUE(b.write_all(build_request(run_request(slow)) + "\n"));
+  ASSERT_TRUE(wait_for_stats(ts.server,
+                             [](const StatsSnapshot& s) { return s.queue_depth == 1; }));
+
+  // A sweep submission takes the same admission path -> structured busy.
+  const auto frames = submit(ts.server, sweep_request(kMcNetlist, 4, "1"));
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(parse_frame(frames[0]).get_string("frame"), "busy");
 }
 
 }  // namespace

@@ -1,8 +1,10 @@
 // usim — command-line netlist simulator (the "SPICE" of this repository).
 //
-//   usim <netlist.cir> [--csv=<path>] [--sweep <name>=<spec>]... [--threads=N]
-//        [--solve-threads=N] [--refactor-threads=N] [--partition=auto|off]
+//   usim <netlist.cir> [--csv=<path>] [--sweep <name>=<spec>]... [--mc=N]
+//        [--seed=S] [--stats-out=<path>] [--threads=N] [--solve-threads=N]
+//        [--refactor-threads=N] [--partition=auto|off]
 //        [--set <DEV.PARAM=value>]... [--hdl-mode=<mode>] [--quiet] [--help]
+//   usim --merge-stats=<out.jsonl> <shard.jsonl>...
 //   usim --serve=<socket> [--serve-workers=N] [--serve-queue=N] [--serve-cache=N]
 //   usim --client=<socket> <netlist.cir> [--set ...] [--timeout=<ms>] [--no-cache]
 //   usim --client=<socket> --stats | --ping | --shutdown
@@ -24,16 +26,27 @@
 // through the usys::api facade (api/api.hpp): one Session per circuit, one
 // JobRequest per submission. usim itself holds no analysis dispatch logic.
 //
-// Batch sweep mode: every --sweep flag adds one grid axis,
+// Batch sweep mode: every --sweep flag adds one grid axis or one
+// statistical parameter,
 //   --sweep gap=1e-6:2e-6:8      8 evenly spaced values (lo:hi:n)
 //   --sweep vdrive=2,5,10        an explicit value list
+//   --sweep gap=normal(2u,50n)   a per-point Monte Carlo draw
+//   --sweep temp=corner(-40,25,125)  a corner axis (cartesian with the rest)
 // and every `{name}` occurrence in the netlist text is substituted per grid
-// point (the cartesian product of all axes). Points run in parallel via
-// SweepRunner — one api::Session per point, --threads workers (default:
-// hardware concurrency) — and the result table has one row per point: axis
-// values plus summary metrics (op efforts / final transient values / last
-// AC magnitudes per node; min/max/mean aggregates over 16 nodes). Example
-// netlist with a sweepable gap: examples/transducer_array.cir.
+// point (cartesian product of axes and corners, x --mc MC draws). Netlist
+// `.param name dist=...` cards declare the same distributions inline and
+// `.measure label metric min=.. max=..` cards declare yield bounds; draws
+// come from a counter-based RNG keyed on (--seed, global point index,
+// param-name hash), so results are bit-identical across thread counts,
+// --shard splits, and checkpoint resume (docs/sweeps.md). Points run in
+// parallel via SweepRunner — one api::Session per point, --threads workers
+// (default: hardware concurrency) — and the result table has one row per
+// point: global index, parameter values, summary metrics (op efforts /
+// final transient values / last AC magnitudes per node; min/max/mean
+// aggregates over 16 nodes). --stats-out distills the run into a mergeable
+// stats JSONL (quantiles + yield); `usim --merge-stats` fuses per-shard
+// files into the byte-identical single-run document. Example netlist with
+// a sweepable gap: examples/transducer_array.cir.
 //
 // In single-run mode --threads=N instead selects N-thread parallel MNA
 // assembly (NewtonOptions::assembly_threads), --solve-threads=N the
@@ -96,6 +109,9 @@
 // --lint: 0 = no findings at/above the threshold, 1 = findings, 2 = parse
 // errors. (--help prints the same contract and exits 0.)
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -117,6 +133,7 @@
 #include "hdl/interpreter.hpp"
 #include "server/client.hpp"
 #include "server/server.hpp"
+#include "spice/stats.hpp"
 #include "spice/sweep.hpp"
 
 using namespace usys;
@@ -344,140 +361,30 @@ int run_lint(const std::string& text, const std::string& hdl_mode,
 }
 
 // --- sweep mode --------------------------------------------------------------
-
-/// Splits `spec` on `sep` (no empty pieces allowed).
-std::vector<std::string> split_spec(const std::string& spec, char sep) {
-  std::vector<std::string> out;
-  std::istringstream is(spec);
-  std::string piece;
-  while (std::getline(is, piece, sep)) out.push_back(piece);
-  return out;
-}
-
-/// "lo:hi:n" or "v1,v2,v3" -> value list; empty on parse failure. Values go
-/// through parse_spice_number, so engineering suffixes work exactly as on
-/// netlist cards (--sweep gap=1.5u:2.5u:4).
-std::vector<double> parse_sweep_spec(const std::string& spec) {
-  if (spec.find(':') != std::string::npos) {
-    const auto pieces = split_spec(spec, ':');
-    if (pieces.size() != 3) return {};
-    const auto lo = parse_spice_number(pieces[0]);
-    const auto hi = parse_spice_number(pieces[1]);
-    const auto nv = parse_spice_number(pieces[2]);
-    if (!lo || !hi || !nv) return {};
-    const int n = static_cast<int>(*nv);
-    if (*nv != n || n < 1 || n > 1'000'000) return {};
-    return spice::SweepAxis::linspace("", *lo, *hi, n).values;
-  }
-  std::vector<double> vals;
-  for (const auto& piece : split_spec(spec, ',')) {
-    const auto v = parse_spice_number(piece);
-    if (!v) return {};
-    vals.push_back(*v);
-  }
-  return vals;
-}
-
-std::string substitute(std::string text, const spice::SweepPoint& point) {
-  for (const auto& [name, value] : point.params) {
-    const std::string key = "{" + name + "}";
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%.17g", value);
-    for (std::size_t p = text.find(key); p != std::string::npos;
-         p = text.find(key, p)) {
-      text.replace(p, key.size(), buf);
-      p += std::strlen(buf);
-    }
-  }
-  return text;
-}
-
-/// Per-node metrics stay readable on small circuits; array-scale circuits
-/// (over 16 nodes — think TRANSARRAY) get min/max/mean aggregates instead.
-void node_metrics(spice::SweepOutcome& out, const spice::Circuit& ckt,
-                  const std::string& prefix,
-                  const std::function<double(int)>& value_of) {
-  constexpr int kMaxPerNodeColumns = 16;
-  if (ckt.node_count() <= kMaxPerNodeColumns) {
-    for (int i = 0; i < ckt.node_count(); ++i)
-      out.metrics.emplace_back(prefix + ":" + ckt.node_name(i), value_of(i));
-    return;
-  }
-  double lo = value_of(0);
-  double hi = lo;
-  double sum = 0.0;
-  for (int i = 0; i < ckt.node_count(); ++i) {
-    const double v = value_of(i);
-    lo = std::min(lo, v);
-    hi = std::max(hi, v);
-    sum += v;
-  }
-  out.metrics.emplace_back(prefix + ":min", lo);
-  out.metrics.emplace_back(prefix + ":max", hi);
-  out.metrics.emplace_back(prefix + ":mean", sum / ckt.node_count());
-}
-
-/// Runs all analysis cards of one substituted netlist through the facade and
-/// distills scalar metrics (per-node op efforts / final transient values /
-/// last-point AC magnitudes; aggregated on array-scale circuits).
-/// `attempt` > 0 is a retry of a failed point: Newton iteration limits
-/// double per attempt (the rescue ladder itself is already on by default)
-/// so a marginal point gets a genuinely stronger solve, not just a replay.
-spice::SweepOutcome sweep_job(const std::string& text, const spice::SweepPoint& point,
-                              int assembly_threads, const std::string& hdl_mode,
-                              double timeout_ms, int attempt) {
-  spice::SweepOutcome out;
-  api::Session session(substitute(text, point), hdl_mode);
-  api::JobRequest jr;
-  jr.options.assembly_threads = assembly_threads;
-  jr.options.timeout_ms = timeout_ms;
-  jr.options.max_iters_scale = 1 << std::min(attempt, 4);
-  const api::JobResult result = session.run(jr);
-  if (!result.ok) {
-    out.failure = result.failure;
-    out.error = result.error.empty() ? "analysis failed" : result.error;
-    return out;
-  }
-  spice::Circuit& ckt = session.circuit();
-  std::vector<spice::AnalysisCard> cards = session.cards();
-  if (cards.empty()) cards.push_back({});  // the facade's default .op
-  for (std::size_t a = 0; a < result.analyses.size(); ++a) {
-    const api::AnalysisOutcome& oc = result.analyses[a];
-    switch (oc.kind) {
-      case spice::AnalysisCard::Kind::op:
-        node_metrics(out, ckt, "op", [&](int i) { return oc.op.at(i); });
-        break;
-      case spice::AnalysisCard::Kind::tran: {
-        const double tstop = cards[a].tran.tstop;
-        node_metrics(out, ckt, "tran(tstop)",
-                     [&](int i) { return oc.tran.sample(tstop, i); });
-        out.metrics.emplace_back("tran:points",
-                                 static_cast<double>(oc.tran.time.size()));
-        break;
-      }
-      case spice::AnalysisCard::Kind::ac: {
-        const std::size_t last = oc.ac.freq.size() - 1;
-        node_metrics(out, ckt, "ac dB(fstop)",
-                     [&](int i) { return oc.ac.magnitude_db(last, i); });
-        break;
-      }
-    }
-  }
-  out.ok = true;
-  return out;
-}
+//
+// Parsing ({name} substitution, dist specs) and per-point execution live in
+// the library now — api::substitute_params / api::run_sweep_point and
+// spice::parse_sweep_entry / mc_grid — shared verbatim with the server's
+// sweep op. This file only renders the result table and the stats summary.
 
 int run_sweep(const std::string& text, const std::vector<spice::SweepAxis>& axes,
-              int threads, const std::string& csv, const std::string& hdl_mode,
+              const std::vector<spice::ParamDist>& dists,
+              const std::vector<spice::MeasureSpec>& measures,
+              const spice::McOptions& mc, int threads, const std::string& csv,
+              const std::string& stats_out, const std::string& hdl_mode,
               double timeout_ms, const spice::SweepOptions& sweep_opts) {
-  const auto grid = spice::sweep_grid(axes);
+  const auto grid = spice::mc_grid(axes, dists, mc);
   if (grid.empty()) {
     std::cerr << "error: empty sweep grid\n";
     return 2;
   }
+  const bool statistical = mc.samples > 1 || !dists.empty() || !measures.empty();
   spice::SweepRunner runner(threads);
   std::cout << "=== sweep: " << grid.size() << " points x " << axes.size()
             << " axes on " << runner.thread_count() << " threads";
+  if (statistical)
+    std::cout << " (mc=" << mc.samples << ", seed=" << mc.seed << ", "
+              << dists.size() << " dists)";
   if (sweep_opts.shard_count > 1)
     std::cout << " (shard " << sweep_opts.shard_index << "/" << sweep_opts.shard_count
               << ")";
@@ -487,14 +394,21 @@ int run_sweep(const std::string& text, const std::vector<spice::SweepAxis>& axes
   const auto results = runner.run(
       grid,
       [&](const spice::SweepPoint& p, int attempt) {
-        return sweep_job(text, p, 1, hdl_mode, timeout_ms, attempt);
+        api::JobOptions opts;
+        opts.assembly_threads = 1;
+        opts.timeout_ms = timeout_ms;
+        return api::run_sweep_point(text, p, hdl_mode, opts, attempt);
       },
       sweep_opts);
 
-  // Tabulate: axis columns + the union of metric names across successful
-  // points, first-seen order. (Metric sets can legitimately differ per
-  // point — e.g. sweeping an array size across the per-node aggregation
-  // threshold — so a point missing a column shows '-' there, not 'failed'.)
+  // Tabulate: global index + parameter columns (every point carries the
+  // same names: axes, corners, then drawn/constant params) + the union of
+  // metric names across successful points, first-seen order. (Metric sets
+  // can legitimately differ per point — e.g. sweeping an array size across
+  // the per-node aggregation threshold — so a point missing a column shows
+  // '-' there, not 'failed'.) The leading index column is what keeps
+  // per-shard result files alignable: row i of any shard's CSV names the
+  // same grid point as row i of the full run.
   std::vector<std::string> metric_names;
   for (const auto& result : results) {
     if (!result.ok) continue;
@@ -505,9 +419,20 @@ int run_sweep(const std::string& text, const std::vector<spice::SweepAxis>& axes
     }
   }
   std::vector<std::string> headers;
-  for (const auto& axis : axes) headers.push_back(axis.name);
+  headers.push_back("index");
+  for (const auto& [name, value] : grid[0].params) headers.push_back(name);
   headers.insert(headers.end(), metric_names.begin(), metric_names.end());
   headers.push_back("status");
+
+  spice::StatsRun stats;
+  stats.seed_text = std::to_string(mc.seed);
+  stats.total_points = static_cast<long>(grid.size());
+  stats.mc = std::max(1, mc.samples);
+  if (sweep_opts.shard_count > 1) {
+    stats.shard_index = sweep_opts.shard_index;
+    stats.shard_count = sweep_opts.shard_count;
+  }
+  stats.measures = measures;
 
   AsciiTable t(headers);
   std::vector<std::vector<double>> csv_rows;
@@ -516,8 +441,11 @@ int run_sweep(const std::string& text, const std::vector<spice::SweepAxis>& axes
   int skipped = 0;
   std::vector<std::pair<FailureKind, int>> failure_counts;
   for (std::size_t i = 0; i < grid.size(); ++i) {
+    stats.add_outcome(static_cast<long>(i), grid[i], results[i]);
     std::vector<std::string> cells;
     std::vector<double> row;
+    cells.push_back(std::to_string(i));
+    row.push_back(static_cast<double>(i));
     for (const auto& [name, value] : grid[i].params) {
       cells.push_back(fmt_num(value, 6));
       row.push_back(value);
@@ -577,24 +505,97 @@ int run_sweep(const std::string& text, const std::vector<spice::SweepAxis>& axes
   if (!sweep_opts.checkpoint_path.empty())
     std::cout << "checkpoint -> " << sweep_opts.checkpoint_path << "\n";
   if (!csv.empty() && !csv_rows.empty()) {
+    // Sharded runs aiming at one --csv path must not clobber each other:
+    // each shard writes its own .shardKofN file (identity when unsharded).
+    const std::string csv_path = spice::shard_suffixed_path(
+        csv, sweep_opts.shard_index, sweep_opts.shard_count);
     std::vector<std::string> csv_headers(headers.begin(), headers.end() - 1);
-    if (write_csv(csv, csv_headers, csv_rows))
-      std::cout << "sweep table -> " << csv << "\n";
+    if (write_csv(csv_path, csv_headers, csv_rows))
+      std::cout << "sweep table -> " << csv_path << "\n";
+  }
+
+  if (statistical) {
+    const auto summaries = stats.metric_summaries();
+    if (!summaries.empty()) {
+      std::cout << "\n=== stats ===\n";
+      AsciiTable st({"metric", "n", "mean", "stddev", "min", "max", "p05",
+                     "p50", "p95"});
+      for (const auto& s : summaries) {
+        auto q_at = [&](double q) {
+          for (const auto& qp : s.quantiles)
+            if (qp.q == q) return fmt_sci(qp.value, 4);
+          return std::string("-");
+        };
+        st.add_row({s.name, std::to_string(s.n), fmt_sci(s.mean, 4),
+                    fmt_sci(s.stddev, 4), fmt_sci(s.min, 4), fmt_sci(s.max, 4),
+                    q_at(0.05), q_at(0.5), q_at(0.95)});
+      }
+      st.print(std::cout);
+    }
+    const spice::YieldSummary y = stats.yield();
+    std::cout << "yield: " << y.pass << "/" << y.n << " points pass ("
+              << fmt_num(100.0 * y.yield, 4) << "%)\n";
+    for (const auto& [label, fails] : y.measure_failures)
+      if (fails > 0)
+        std::cout << "  measure " << label << ": " << fails << " failure(s)\n";
+  }
+  if (!stats_out.empty()) {
+    const std::string stats_path = spice::shard_suffixed_path(
+        stats_out, sweep_opts.shard_index, sweep_opts.shard_count);
+    std::string err;
+    if (spice::write_stats(stats_path, stats, &err)) {
+      std::cout << "stats -> " << stats_path << "\n";
+    } else {
+      std::cerr << "warning: failed to write stats '" << stats_path
+                << "': " << err << "\n";
+    }
   }
   return failures == 0 ? 0 : 1;
 }
 
+// --- merge-stats mode --------------------------------------------------------
+
+/// `usim --merge-stats=<out> a.jsonl b.jsonl ...`: fuse per-shard stats
+/// files into the canonical single-run document. Summaries are recomputed
+/// from the merged point set, so the output is byte-identical to the file a
+/// single unsharded process with the same seed would have written.
+int run_merge_stats(const std::vector<std::string>& inputs,
+                    const std::string& out_path) {
+  if (inputs.empty()) {
+    std::cerr << "error: --merge-stats needs input stats files as positional "
+                 "arguments\n";
+    return 2;
+  }
+  spice::StatsRun merged;
+  std::string err;
+  if (!spice::merge_stats(inputs, merged, &err)) {
+    std::cerr << "error: " << err << "\n";
+    return 2;
+  }
+  if (!spice::write_stats(out_path, merged, &err)) {
+    std::cerr << "error: " << err << "\n";
+    return 2;
+  }
+  const spice::YieldSummary y = merged.yield();
+  std::cout << "merged " << inputs.size() << " stats file(s): " << y.n << " of "
+            << merged.total_points << " points, yield " << y.pass << "/" << y.n
+            << " -> " << out_path << "\n";
+  return 0;
+}
+
 void print_usage(std::ostream& os) {
   os << "usage: usim <netlist.cir> [--csv=<path>] "
-        "[--sweep <name>=<lo:hi:n | v1,v2,...>]... [--set <DEV.PARAM=value>]... "
+        "[--sweep <name>=<spec>]... [--mc=N] [--seed=S] [--stats-out=<path>] "
+        "[--set <DEV.PARAM=value>]... "
         "[--threads=N] [--solve-threads=N] [--refactor-threads=N] "
         "[--partition=auto|off] [--hdl-mode=<mode>] [--timeout=<ms>] "
         "[--retries=N] [--checkpoint=<path>] [--resume=<path>] [--shard=k/n] "
         "[--lint[=error|warn]] [--lint-format=text|json] [--quiet]\n"
+        "       usim --merge-stats=<out.jsonl> <shard.jsonl>...\n"
         "       usim --serve=<socket> [--serve-workers=N] [--serve-queue=N] "
         "[--serve-cache=N]\n"
-        "       usim --client=<socket> <netlist.cir> [--set ...] [--timeout=<ms>] "
-        "[--no-cache]\n"
+        "       usim --client=<socket> <netlist.cir> [--sweep ...] [--mc=N] "
+        "[--seed=S] [--set ...] [--timeout=<ms>] [--no-cache]\n"
         "       usim --client=<socket> --stats | --ping | --shutdown\n"
         "\n"
         "  --lint[=error|warn] run the static diagnostics pass instead of the\n"
@@ -610,8 +611,29 @@ void print_usage(std::ostream& os) {
         "  --csv=<path>        write full .tran/.ac series (or the sweep table) as\n"
         "                      CSV; written via temp file + rename, so concurrent\n"
         "                      jobs targeting one path never interleave output\n"
-        "  --sweep name=spec   add one grid axis (lo:hi:n or v1,v2,...); every {name}\n"
-        "                      in the netlist is substituted per point\n"
+        "  --sweep name=spec   add one grid axis (lo:hi:n or v1,v2,...) or one\n"
+        "                      statistical parameter (normal(mu,sigma),\n"
+        "                      uniform(lo,hi), corner(v1,...), or a constant);\n"
+        "                      every {name} in the netlist is substituted per\n"
+        "                      point. Netlist '.param name dist=...' cards declare\n"
+        "                      the same thing inline; a --sweep dist of the same\n"
+        "                      name overrides the card (docs/sweeps.md)\n"
+        "  --mc=N              sweep mode: N Monte Carlo draws per grid/corner\n"
+        "                      combination (default 1); normal/uniform params are\n"
+        "                      redrawn per point, the MC index runs fastest\n"
+        "  --seed=S            sweep mode: RNG seed, decimal uint64 (default 0).\n"
+        "                      Draws are keyed on (seed, global point index, param\n"
+        "                      name hash), so any point is reproducible in\n"
+        "                      isolation and streams are bit-identical across\n"
+        "                      --threads counts, --shard splits, and --resume\n"
+        "  --stats-out=<path>  sweep mode: write the stats JSONL document (header,\n"
+        "                      per-point params/metrics/pass, quantile + yield\n"
+        "                      summaries; schema in docs/sweeps.md). Sharded runs\n"
+        "                      write <path>.shardKofN instead of clobbering\n"
+        "  --merge-stats=<out> merge per-shard stats JSONL files (given as\n"
+        "                      positional arguments) into <out>; the merged file\n"
+        "                      is byte-identical to the same run unsharded. Exits\n"
+        "                      0 on success, 2 on unreadable/incompatible inputs\n"
         "  --set DEV.PARAM=V   override one device parameter on the bound circuit\n"
         "                      (no re-parse; lower-case netlist keys: R1.r, C3.c,\n"
         "                      XK2.k, V1.dc, ...). Repeatable; SPICE number syntax.\n"
@@ -707,9 +729,17 @@ int main(int argc, char** argv) {
     return 2;
   }
   std::string netlist_path;
+  std::vector<std::string> positionals;  // netlist, or --merge-stats inputs
   std::string csv;
   std::string hdl_mode;  // flag absent: the netlist (or bytecode) decides
   std::vector<spice::SweepAxis> axes;
+  std::vector<spice::ParamDist> cli_dists;  // --sweep name=dist(...) entries
+  std::vector<std::string> sweep_raw;       // verbatim --sweep specs (--client)
+  int mc_samples = 1;
+  bool mc_given = false;  // --mc alone (no axes/dists) still forces sweep mode
+  std::uint64_t seed = 0;
+  std::string stats_out;
+  std::string merge_out;  // --merge-stats=<out>: merge mode
   std::vector<std::string> set_specs;
   int threads = -1;           // flag absent: sweep mode = auto, assembly = serial
   int solve_threads = -1;     // flag absent: serial triangular solves
@@ -728,40 +758,62 @@ int main(int argc, char** argv) {
   bool no_cache = false;
   for (int i = 1; i < argc; ++i) {
     if (argv[i][0] != '-') {
-      if (!netlist_path.empty()) {
-        std::cerr << "error: more than one netlist ('" << netlist_path << "', '"
-                  << argv[i] << "')\n";
-        return 2;
-      }
-      netlist_path = argv[i];
+      positionals.emplace_back(argv[i]);
     } else if (std::strncmp(argv[i], "--csv=", 6) == 0) {
       csv = argv[i] + 6;
     } else if (std::strcmp(argv[i], "--sweep") == 0 && i + 1 < argc) {
       const std::string arg = argv[++i];
-      const auto eq = arg.find('=');
-      spice::SweepAxis axis;
-      if (eq != std::string::npos && eq > 0 && arg[0] != '-') {
-        axis.name = arg.substr(0, eq);
-        axis.values = parse_sweep_spec(arg.substr(eq + 1));
-      }
-      if (axis.name.empty() || axis.values.empty()) {
-        std::cerr << "error: bad --sweep spec '" << arg
-                  << "' (want name=lo:hi:n or name=v1,v2,...)\n";
+      std::string why;
+      auto entry = spice::parse_sweep_entry(arg, &why);
+      if (!entry) {
+        std::cerr << "error: bad --sweep spec '" << arg << "': " << why << "\n";
         return 2;
       }
+      const std::string& pname = entry->is_dist ? entry->dist.name : entry->axis.name;
       // {i}, {i+N}, {i-N} belong to the netlist's .array construct; a sweep
-      // axis with one of those names would rewrite array placeholders
+      // parameter with one of those names would rewrite array placeholders
       // before the parser ever sees them.
       const bool array_like =
-          axis.name == "i" ||
-          ((axis.name.rfind("i+", 0) == 0 || axis.name.rfind("i-", 0) == 0) &&
-           axis.name.find_first_not_of("0123456789", 2) == std::string::npos);
+          pname == "i" ||
+          ((pname.rfind("i+", 0) == 0 || pname.rfind("i-", 0) == 0) &&
+           pname.find_first_not_of("0123456789", 2) == std::string::npos);
       if (array_like) {
-        std::cerr << "error: sweep axis '" << axis.name
+        std::cerr << "error: sweep parameter '" << pname
                   << "' collides with .array {i} placeholders; pick another name\n";
         return 2;
       }
-      axes.push_back(std::move(axis));
+      sweep_raw.push_back(arg);
+      if (entry->is_dist) {
+        cli_dists.push_back(std::move(entry->dist));
+      } else {
+        axes.push_back(std::move(entry->axis));
+      }
+    } else if (std::strncmp(argv[i], "--mc=", 5) == 0) {
+      mc_samples = std::atoi(argv[i] + 5);
+      if (mc_samples < 1 || mc_samples > 10'000'000) {
+        std::cerr << "error: --mc must be in [1, 1e7]\n";
+        return 2;
+      }
+      mc_given = true;
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      const char* s = argv[i] + 7;
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long long v = std::strtoull(s, &end, 10);
+      if (*s == '\0' || !std::isdigit(static_cast<unsigned char>(*s)) ||
+          *end != '\0' || errno == ERANGE) {
+        std::cerr << "error: --seed must be a decimal unsigned 64-bit integer\n";
+        return 2;
+      }
+      seed = static_cast<std::uint64_t>(v);
+    } else if (std::strncmp(argv[i], "--stats-out=", 12) == 0) {
+      stats_out = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--merge-stats=", 14) == 0) {
+      merge_out = argv[i] + 14;
+      if (merge_out.empty()) {
+        std::cerr << "error: --merge-stats needs an output path\n";
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--set") == 0 && i + 1 < argc) {
       set_specs.emplace_back(argv[++i]);
     } else if (std::strncmp(argv[i], "--set=", 6) == 0) {
@@ -897,6 +949,22 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- merge-stats mode ------------------------------------------------------
+  // Positional arguments are the per-shard input files, not a netlist.
+  if (!merge_out.empty()) {
+    if (!serve_opts.socket_path.empty() || !client_path.empty()) {
+      std::cerr << "error: --merge-stats is a local mode (no --serve/--client)\n";
+      return 2;
+    }
+    return run_merge_stats(positionals, merge_out);
+  }
+  if (positionals.size() > 1) {
+    std::cerr << "error: more than one netlist ('" << positionals[0] << "', '"
+              << positionals[1] << "')\n";
+    return 2;
+  }
+  if (!positionals.empty()) netlist_path = positionals[0];
+
   // --- server mode -----------------------------------------------------------
   if (!serve_opts.socket_path.empty()) {
     if (!client_path.empty()) {
@@ -925,6 +993,24 @@ int main(int argc, char** argv) {
       req.threads = threads < 0 ? 1 : threads;
       req.partition = partition == spice::PartitionMode::auto_mode;
       req.no_cache = no_cache;
+      // Any sweep/MC ingredient — a --sweep spec, --mc, or a netlist that
+      // declares .param distributions — upgrades the submission to the
+      // server's sweep op. Specs travel verbatim; the server re-parses them
+      // with the same spice::parse_sweep_entry grammar.
+      bool wants_sweep = !sweep_raw.empty() || mc_given;
+      if (!wants_sweep) {
+        try {
+          wants_sweep = !spice::parse_param_dists(req.netlist).empty();
+        } catch (const spice::NetlistError&) {
+          // Malformed .param cards: let the server produce the error frame.
+        }
+      }
+      if (wants_sweep) {
+        req.op = server::Request::Op::sweep;
+        req.sweep_specs = sweep_raw;
+        req.mc = mc_samples;
+        req.seed = std::to_string(seed);
+      }
     }
     return server::run_client(client_path, req, std::cout, std::cerr);
   }
@@ -945,16 +1031,40 @@ int main(int argc, char** argv) {
   }
 
   try {
+    // Statistical pre-passes over the RAW netlist text: .param declares
+    // per-point distributions, .measure declares yield bounds. A --sweep
+    // dist of the same name overrides the netlist card (CLI wins).
+    std::vector<spice::ParamDist> dists = spice::parse_param_dists(text);
+    const std::vector<spice::MeasureSpec> measures = spice::parse_measures(text);
+    for (const auto& d : cli_dists) {
+      const auto it = std::find_if(dists.begin(), dists.end(),
+                                   [&](const auto& x) { return x.name == d.name; });
+      if (it == dists.end()) {
+        dists.push_back(d);
+      } else {
+        *it = d;
+      }
+    }
+    for (const auto& axis : axes) {
+      for (const auto& d : dists) {
+        if (axis.name == d.name) {
+          std::cerr << "error: '" << axis.name
+                    << "' is both a sweep axis and a parameter distribution\n";
+          return 2;
+        }
+      }
+    }
+    const bool sweep_mode = !axes.empty() || !dists.empty() || mc_given;
     if (lint_mode) {
       std::string ltext = text;
-      if (!axes.empty()) {
+      if (sweep_mode) {
         // Parameterized netlists lint at the first grid point.
-        const auto grid = spice::sweep_grid(axes);
-        if (!grid.empty()) ltext = substitute(ltext, grid[0]);
+        const auto grid = spice::mc_grid(axes, dists, {seed, 1});
+        if (!grid.empty()) ltext = api::substitute_params(ltext, grid[0]);
       }
       return run_lint(ltext, hdl_mode, lint_warn, lint_json);
     }
-    if (!axes.empty()) {
+    if (sweep_mode) {
       if ((solve_threads >= 0 && solve_threads != 1) ||
           (refactor_threads >= 0 && refactor_threads != 1) ||
           (partition_flag && partition != spice::PartitionMode::off))
@@ -968,13 +1078,15 @@ int main(int argc, char** argv) {
       // can itself be resumed; an explicit --checkpoint overrides.
       if (!sweep_opts.resume_path.empty() && sweep_opts.checkpoint_path.empty())
         sweep_opts.checkpoint_path = sweep_opts.resume_path;
-      return run_sweep(text, axes, threads < 0 ? 0 : threads, csv, hdl_mode,
+      return run_sweep(text, axes, dists, measures, {seed, mc_samples},
+                       threads < 0 ? 0 : threads, csv, stats_out, hdl_mode,
                        timeout_ms, sweep_opts);
     }
     if (sweep_opts.retries > 0 || !sweep_opts.checkpoint_path.empty() ||
-        !sweep_opts.resume_path.empty() || sweep_opts.shard_count > 0)
-      std::cerr << "note: --retries/--checkpoint/--resume/--shard apply to "
-                   "sweep mode only (no --sweep axis given)\n";
+        !sweep_opts.resume_path.empty() || sweep_opts.shard_count > 0 ||
+        !stats_out.empty())
+      std::cerr << "note: --retries/--checkpoint/--resume/--shard/--stats-out "
+                   "apply to sweep mode only (no --sweep axis given)\n";
     return run_single(text, csv, threads < 0 ? 1 : threads,
                       solve_threads < 0 ? 1 : solve_threads,
                       refactor_threads < 0 ? 1 : refactor_threads, partition,
